@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table/figure benchmark runs its experiment at a CPU-friendly scale (the
+``bench_scale`` fixture) through ``benchmark.pedantic(rounds=1)`` — the point
+of these benchmarks is to *regenerate* the paper's tables and figures and
+report how long that takes, not to micro-profile a hot loop.  The
+micro-benchmarks in ``test_microbenchmarks.py`` use normal multi-round timing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import SCALES
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """Scale used by the table/figure regeneration benchmarks."""
+    return SCALES["tiny"].with_overrides(
+        hr_shape=(16, 16, 64),
+        lr_factors=(2, 2, 4),
+        crop_shape_lr=(4, 4, 8),
+        n_points=32,
+        samples_per_epoch=8,
+        epochs=2,
+        batch_size=2,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_scale_solver(bench_scale):
+    """Same scale but generating data with the actual Rayleigh–Bénard solver."""
+    return bench_scale.with_overrides(backend="solver", t_final=4.0)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

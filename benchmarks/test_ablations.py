@@ -1,0 +1,44 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md."""
+
+import pytest
+
+from repro.experiments import (
+    run_ablation_activation,
+    run_ablation_allreduce,
+    run_ablation_capacity,
+    run_ablation_interpolation,
+)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_decoder_activation(benchmark, bench_scale, once):
+    """Smooth (softplus) vs. piecewise-linear (relu) decoder activations under the equation loss."""
+    result = once(benchmark, run_ablation_activation, scale=bench_scale,
+                  activations=("softplus", "relu"), gamma=0.0125)
+    assert set(result["reports"]) == {"activation=softplus", "activation=relu"}
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_latent_interpolation(benchmark, bench_scale, once):
+    """Trilinear blending of the 8 bounding latent vectors (Eqn. 6) vs. nearest vertex."""
+    result = once(benchmark, run_ablation_interpolation, scale=bench_scale)
+    assert set(result["reports"]) == {"interpolation=trilinear", "interpolation=nearest"}
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_latent_capacity(benchmark, bench_scale, once):
+    """Latent context grid width: fewer channels -> fewer parameters."""
+    result = once(benchmark, run_ablation_capacity, scale=bench_scale, latent_channels=(2, 6))
+    counts = result["parameter_counts"]
+    assert counts["latent=2"] < counts["latent=6"]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_allreduce_overlap(benchmark, once):
+    """Communication/computation overlap and ring vs. naive all-reduce cost."""
+    result = once(benchmark, run_ablation_allreduce,
+                  world_sizes=(1, 8, 128), overlap_fractions=(0.0, 0.9))
+    eff_no = result["results"]["overlap=0"][128]["efficiency"]
+    eff_yes = result["results"]["overlap=0.9"][128]["efficiency"]
+    assert eff_yes > eff_no
+    assert result["ring_vs_naive_comm_time"]["ring"] < result["ring_vs_naive_comm_time"]["naive"]

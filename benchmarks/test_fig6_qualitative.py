@@ -1,0 +1,28 @@
+"""Figure 6 — qualitative comparison: low-res input / super-resolved / ground truth.
+
+Produces the field arrays of the figure's three rows (plus the trilinear
+baseline) for one snapshot and reports reconstruction errors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_fig6_qualitative
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_qualitative_fields(benchmark, bench_scale, once):
+    result = once(benchmark, run_fig6_qualitative, scale=bench_scale, gamma=0.0125)
+    channels = ("p", "T", "u", "w")
+    assert result["channels"] == channels
+    for group in ("lowres", "prediction", "trilinear", "ground_truth"):
+        assert set(result[group]) == set(channels)
+        for field in result[group].values():
+            assert field.ndim == 2
+            assert np.isfinite(field).all()
+    # Prediction grids must be at the high resolution, inputs at the low resolution.
+    assert result["prediction"]["T"].shape == result["ground_truth"]["T"].shape
+    assert result["lowres"]["T"].size < result["ground_truth"]["T"].size
+    print()
+    print(f"Fig. 6 reconstruction MAE — MeshfreeFlowNet: {result['errors']['prediction_mae']:.4f}, "
+          f"trilinear: {result['errors']['trilinear_mae']:.4f}")

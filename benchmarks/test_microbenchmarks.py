@@ -1,0 +1,93 @@
+"""Micro-benchmarks of the computational kernels (multi-round timings).
+
+These are conventional pytest-benchmark measurements of the hot paths:
+U-Net encoding, continuous decoding, the equation-loss derivative stack,
+the Rayleigh–Bénard solver step and the ring all-reduce.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, conv3d, ops
+from repro.core import LossWeights, MeshfreeFlowNet, MeshfreeFlowNetConfig, compute_losses
+from repro.distributed import ring_allreduce
+from repro.pde import RayleighBenard2D
+from repro.simulation import RayleighBenardConfig, RayleighBenardSolver
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny())
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    rng = np.random.default_rng(0)
+    return (
+        Tensor(rng.standard_normal((2, 4, 2, 8, 8))),
+        Tensor(rng.random((2, 32, 3)), requires_grad=True),
+        Tensor(rng.standard_normal((2, 32, 4))),
+    )
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_conv3d_forward(benchmark):
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.standard_normal((2, 8, 4, 16, 16)))
+    w = Tensor(rng.standard_normal((8, 8, 3, 3, 3)))
+    benchmark(lambda: conv3d(x, w, padding=1))
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_unet_encode(benchmark, model, inputs):
+    lowres, _, _ = inputs
+    benchmark(lambda: model.latent_grid(lowres))
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_continuous_decode(benchmark, model, inputs):
+    lowres, coords, _ = inputs
+    grid = model.latent_grid(lowres)
+    benchmark(lambda: model.decode(grid, coords))
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_prediction_loss_step(benchmark, model, inputs):
+    lowres, coords, targets = inputs
+    weights = LossWeights(gamma=0.0)
+
+    def step():
+        model.zero_grad()
+        total, _ = compute_losses(model, lowres, coords, targets, None, weights)
+        total.backward()
+
+    benchmark(step)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_equation_loss_step(benchmark, model, inputs):
+    """Full physics-constrained step: prediction + equation loss + backward."""
+    lowres, coords, targets = inputs
+    pde = RayleighBenard2D(rayleigh=1e6)
+    weights = LossWeights(gamma=0.0125)
+
+    def step():
+        model.zero_grad()
+        total, _ = compute_losses(model, lowres, coords, targets, pde, weights,
+                                  coord_scales=(1.0, 1.0, 4.0))
+        total.backward()
+
+    benchmark(step)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_solver_step(benchmark):
+    solver = RayleighBenardSolver(RayleighBenardConfig(nz=32, nx=128, t_final=1.0, seed=0))
+    benchmark(lambda: solver.step(1e-3))
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_ring_allreduce_8_ranks(benchmark):
+    rng = np.random.default_rng(0)
+    buffers = [rng.standard_normal(40_000) for _ in range(8)]
+    benchmark(lambda: ring_allreduce(buffers, average=True))

@@ -1,0 +1,28 @@
+"""Table 1 — equation-loss weight (γ) sweep.
+
+Regenerates the paper's γ ablation at benchmark scale: one MeshfreeFlowNet is
+trained per γ and evaluated with the nine physics metrics on a held-out
+simulation.  The paper's qualitative findings to compare against:
+
+* γ = γ* = 0.0125 gives the best average R²,
+* very large γ (≥ 0.4) severely degrades the reconstruction.
+"""
+
+import pytest
+
+from repro.experiments import run_table1_gamma_sweep
+from repro.metrics import format_table
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_gamma_sweep(benchmark, bench_scale, once):
+    result = once(benchmark, run_table1_gamma_sweep, scale=bench_scale,
+                  gammas=(0.0, 0.0125, 0.2))
+    reports = result["reports"]
+    assert set(reports) == {"gamma=0", "gamma=0.0125", "gamma=0.2"}
+    for report in reports.values():
+        # all nine metrics must be present and finite
+        assert len(report.nmae) == 9
+        assert all(v >= 0 for v in report.nmae.values())
+    print()
+    print(format_table(reports, title="Table 1 (benchmark scale) — gamma sweep"))

@@ -1,0 +1,22 @@
+"""Table 2 — MeshfreeFlowNet vs. Baseline I (trilinear) and Baseline II (U-Net decoder).
+
+Paper shape to compare against: the trilinear baseline fails badly on the
+velocity-derived metrics, the U-Net decoder baseline is much better, and
+MeshfreeFlowNet (especially with γ = γ*) is best.
+"""
+
+import pytest
+
+from repro.experiments import run_table2_baselines
+from repro.metrics import format_table
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_baselines(benchmark, bench_scale, once):
+    result = once(benchmark, run_table2_baselines, scale=bench_scale)
+    reports = result["reports"]
+    assert set(reports) == {"baseline_I_trilinear", "baseline_II_unet", "mfn_gamma=0", "mfn_gamma=gamma*"}
+    for report in reports.values():
+        assert len(report.r2) == 9
+    print()
+    print(format_table(reports, title="Table 2 (benchmark scale) — baselines comparison"))

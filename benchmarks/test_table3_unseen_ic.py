@@ -1,0 +1,21 @@
+"""Table 3 — generalisation to unseen initial conditions (1 vs N training datasets).
+
+Paper shape to compare against: training on more initial conditions improves
+every metric on an unseen initial condition.
+"""
+
+import pytest
+
+from repro.experiments import run_table3_unseen_ic
+from repro.metrics import format_table
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_unseen_initial_conditions(benchmark, bench_scale, once):
+    result = once(benchmark, run_table3_unseen_ic, scale=bench_scale, dataset_counts=(1, 3))
+    reports = result["reports"]
+    assert set(reports) == {"1_dataset", "3_datasets"}
+    for report in reports.values():
+        assert len(report.nmae) == 9
+    print()
+    print(format_table(reports, title="Table 3 (benchmark scale) — unseen initial conditions"))

@@ -1,0 +1,27 @@
+"""Table 4 — generalisation across Rayleigh-number boundary conditions.
+
+Trains on a mixture of Rayleigh numbers and evaluates on in-range and
+out-of-range Rayleigh numbers.  Paper shape to compare against: performance is
+best for Rayleigh numbers inside (or near) the training range and degrades
+gradually, not catastrophically, far outside it.
+"""
+
+import pytest
+
+from repro.experiments import run_table4_rayleigh_transfer
+from repro.metrics import format_table
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_rayleigh_transfer(benchmark, bench_scale, once):
+    result = once(
+        benchmark, run_table4_rayleigh_transfer, scale=bench_scale,
+        train_rayleigh=(2e5, 9e6),
+        test_rayleigh=(1e4, 5e6, 1e8),
+    )
+    reports = result["reports"]
+    assert set(reports) == {"Ra=1e+04", "Ra=5e+06", "Ra=1e+08"}
+    for report in reports.values():
+        assert len(report.r2) == 9
+    print()
+    print(format_table(reports, title="Table 4 (benchmark scale) — Rayleigh-number transfer"))

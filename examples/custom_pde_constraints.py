@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Composing arbitrary combinations of PDE constraints.
+
+The paper highlights that MeshfreeFlowNet "allows imposing arbitrary
+combinations of PDE constraints".  This example shows the three ways to do it:
+
+1. use a registered constraint set by name (``make_pde_system``),
+2. pick a subset of the Rayleigh–Bénard equations,
+3. write a brand-new constraint set with the declarative term language
+   (here: incompressibility + a Boussinesq-style vorticity transport proxy),
+
+then trains a small model with each constraint set on the same data and
+reports how the individual residuals evolve.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.autodiff import Tensor
+from repro.core import LossWeights, MeshfreeFlowNet, MeshfreeFlowNetConfig, compute_losses
+from repro.data import SuperResolutionDataset
+from repro.optim import Adam
+from repro.pde import PDESystem, RayleighBenard2D, make_pde_system
+from repro.simulation import synthetic_convection
+
+
+def custom_vorticity_system() -> PDESystem:
+    """Incompressibility + a reduced vorticity-like transport constraint.
+
+    The second constraint couples velocity shear and buoyancy:
+    ``u_z - w_x`` advected by the flow should balance the horizontal
+    temperature gradient (the baroclinic source of vorticity in Boussinesq
+    convection).  It only uses first and second derivatives already supported
+    by the expression layer.
+    """
+    system = PDESystem(("p", "T", "u", "w"), ("t", "z", "x"))
+    system.add_constraint("continuity", [(1.0, ["u_x"]), (1.0, ["w_z"])])
+    system.add_constraint("vorticity_balance", [
+        (1.0, ["u_tz"]),      # d/dt of du/dz
+        (-1.0, ["w_tx"]),     # minus d/dt of dw/dx
+        (-1.0, ["T_x"]),      # baroclinic production
+    ])
+    return system
+
+
+def train_with_system(name: str, pde, dataset, gamma: float, steps: int) -> dict:
+    model = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny(unet_pool_factors=((1, 2, 2),)))
+    optimizer = Adam(model.parameters(), lr=1e-2)
+    weights = LossWeights(gamma=gamma)
+    first, last = None, None
+    for step in range(steps):
+        batch = dataset.sample_batch([2 * step, 2 * step + 1], epoch=0)
+        optimizer.zero_grad()
+        total, breakdown = compute_losses(
+            model, Tensor(batch.lowres), Tensor(batch.coords), Tensor(batch.targets),
+            pde, weights, coord_scales=batch.coord_scales)
+        total.backward()
+        optimizer.step()
+        if first is None:
+            first = breakdown
+        last = breakdown
+    return {"name": name, "first": first, "last": last}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=12)
+    parser.add_argument("--gamma", type=float, default=0.05)
+    args = parser.parse_args()
+
+    sim = synthetic_convection(nt=16, nz=16, nx=64, seed=0)
+    dataset = SuperResolutionDataset(sim, lr_factors=(2, 2, 4), crop_shape_lr=(4, 4, 8),
+                                     n_points=64, samples_per_epoch=64, seed=0)
+
+    systems = {
+        # 1. by name from the registry
+        "divergence_free (registry)": make_pde_system("divergence_free"),
+        "advection_diffusion (registry)": make_pde_system("advection_diffusion", diffusivity=1e-2),
+        # 2. a subset of the Rayleigh–Bénard system
+        "RB continuity+temperature": RayleighBenard2D(rayleigh=1e6, include_momentum=False),
+        # 3. the full paper system and a hand-written custom one
+        "RB full (paper)": RayleighBenard2D(rayleigh=1e6),
+        "custom vorticity balance": custom_vorticity_system(),
+    }
+
+    print(f"training {len(systems)} models, {args.steps} steps each, gamma={args.gamma}\n")
+    for name, pde in systems.items():
+        needed = [s.symbol for s in pde.required_derivatives()]
+        print(f"--- {name}")
+        print(f"    constraints: {[c.name for c in pde.constraints]}")
+        print(f"    derivatives required from the model: {needed}")
+        out = train_with_system(name, pde, dataset, args.gamma, args.steps)
+        print(f"    prediction loss: {out['first'].prediction:.4f} -> {out['last'].prediction:.4f}")
+        print(f"    equation   loss: {out['first'].equation:.4f} -> {out['last'].equation:.4f}")
+        for cname, value in out["last"].per_constraint.items():
+            print(f"        residual |{cname}| = {value:.4f}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

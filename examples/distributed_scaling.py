@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Simulated data-parallel scaling study (Fig. 7 of the paper).
+
+Three parts:
+
+1. **Throughput / efficiency (Fig. 7a)** — the α–β performance model of ring
+   all-reduce over NVLink (intra-node) and InfiniBand (inter-node) links,
+   evaluated from 1 to 128 workers.
+2. **Gradient-synchronisation numerics** — an in-process
+   ``DataParallelGroup`` with real ring all-reduce on the gradients, verifying
+   that replicas stay bit-identical while training.
+3. **Loss vs. epochs / wall time (Fig. 7b-c)** — synchronous data-parallel
+   training simulated by gradient averaging over per-worker micro-batches;
+   wall times come from the performance model.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.autodiff import Tensor, ops
+from repro import nn
+from repro.distributed import DataParallelGroup, ScalingPerformanceModel
+from repro.experiments import run_fig7_scaling
+from repro.optim import SGD
+
+
+def part1_throughput(world_sizes) -> None:
+    print("=== Fig. 7a — throughput and scaling efficiency (performance model) ===")
+    model = ScalingPerformanceModel()
+    print(f"model: {model.n_parameters/1e6:.0f}M parameters, "
+          f"{model.batch_size_per_worker} samples/worker/step, "
+          f"{model.compute_time_per_sample*1e3:.1f} ms compute per sample")
+    print(f"{'workers':>8} {'throughput (samples/s)':>24} {'ideal':>12} {'efficiency':>12} {'epoch time (s)':>16}")
+    for point in model.evaluate(world_sizes):
+        print(f"{point.world_size:8d} {point.throughput:24.1f} "
+              f"{model.ideal_throughput(point.world_size):12.1f} "
+              f"{point.efficiency:12.4f} {point.epoch_time:16.2f}")
+    print()
+
+
+def part2_gradient_sync(world_size: int = 4, steps: int = 5) -> None:
+    print(f"=== Ring all-reduce gradient synchronisation ({world_size} simulated ranks) ===")
+
+    def factory():
+        rng = np.random.default_rng(0)
+        return nn.Sequential(nn.Linear(6, 16, rng=rng), nn.Tanh(), nn.Linear(16, 1, rng=rng))
+
+    group = DataParallelGroup(factory, world_size=world_size,
+                              optimizer_factory=lambda p: SGD(p, lr=0.05))
+    rng = np.random.default_rng(1)
+    for step in range(steps):
+        losses = []
+        for rank in range(world_size):
+            x = Tensor(rng.standard_normal((8, 6)))
+            y = Tensor(rng.standard_normal((8, 1)))
+            losses.append(ops.mse_loss(group.replicas[rank](x), y))
+        values = group.step(losses)
+        print(f"  step {step}: per-rank losses = {[f'{v:.3f}' for v in values]}, "
+              f"replicas in sync = {group.parameters_in_sync()}")
+    print(f"  total gradient traffic (simulated): {group.communication_bytes()/1e3:.1f} kB\n")
+
+
+def part3_loss_curves(world_sizes, epochs: int) -> None:
+    print("=== Fig. 7b/7c — loss vs epochs and vs modelled wall time ===")
+    out = run_fig7_scaling(scale="tiny", world_sizes=world_sizes,
+                           curve_world_sizes=world_sizes, epochs=epochs)
+    for ws, curve in out["loss_curves"].items():
+        losses = ", ".join(f"{l:.4f}" for l in curve["loss"])
+        print(f"  {ws:4d} workers: loss per epoch = [{losses}]")
+        print(f"              modelled epoch time = {curve['modelled_epoch_time']:.2f}s "
+              f"-> total {curve['wall_time'][-1]:.1f}s for {epochs} epochs")
+    print(f"\n  scaling efficiency at {max(world_sizes)} workers: {out['efficiency_at_max']:.4f} "
+          f"(paper reports 96.80% at 128 GPUs)")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=3)
+    parser.add_argument("--max-workers", type=int, default=128)
+    args = parser.parse_args()
+
+    world_sizes = [w for w in (1, 2, 4, 8, 16, 32, 64, 128) if w <= args.max_workers]
+    part1_throughput(world_sizes)
+    part2_gradient_sync()
+    part3_loss_curves([w for w in (1, 2, 8) if w <= args.max_workers], args.epochs)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Quickstart: train MeshfreeFlowNet on Rayleigh–Bénard data and super-resolve it.
+
+This end-to-end example
+
+1. generates a high-resolution Rayleigh–Bénard dataset (fast synthetic
+   generator by default; pass ``--solver`` to run the actual DNS solver),
+2. builds the low-resolution training data by downsampling in space and time,
+3. trains MeshfreeFlowNet with the physics-constrained loss (γ = γ* = 0.0125),
+4. evaluates the nine turbulence metrics of the paper against the trilinear
+   interpolation baseline and prints a Table-2-style comparison.
+
+Run with ``python examples/quickstart.py`` (≈ a minute on one CPU core) or
+``python examples/quickstart.py --epochs 40 --solver`` for a better model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.baselines import TrilinearBaseline
+from repro.core import MeshfreeFlowNet, MeshfreeFlowNetConfig
+from repro.data import SuperResolutionDataset
+from repro.metrics import format_table
+from repro.pde import RayleighBenard2D
+from repro.simulation import simulate_rayleigh_benard, synthetic_convection
+from repro.training import Trainer, TrainerConfig, evaluate_model, pointwise_errors
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--solver", action="store_true",
+                        help="generate data with the Rayleigh-Bénard DNS solver instead of the fast synthetic generator")
+    parser.add_argument("--epochs", type=int, default=10)
+    parser.add_argument("--gamma", type=float, default=0.0125, help="equation-loss weight (γ* in the paper)")
+    parser.add_argument("--rayleigh", type=float, default=1e6)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    print("=== 1. Generating high-resolution data ===")
+    t0 = time.time()
+    if args.solver:
+        sim = simulate_rayleigh_benard(rayleigh=args.rayleigh, nz=32, nx=128,
+                                       t_final=8.0, n_snapshots=32, seed=args.seed)
+    else:
+        sim = synthetic_convection(nt=32, nz=32, nx=128, rayleigh=args.rayleigh, seed=args.seed)
+    print(f"    dataset shape (nt, C, nz, nx) = {sim.fields.shape}   [{time.time() - t0:.1f}s]")
+
+    print("=== 2. Building the super-resolution dataset (downsampling 2x/4x/4x) ===")
+    dataset = SuperResolutionDataset(
+        sim,
+        lr_factors=(2, 4, 4),          # (d_t, d_z, d_x); the paper uses (4, 8, 8)
+        crop_shape_lr=(4, 8, 16),
+        n_points=128,
+        samples_per_epoch=32,
+        seed=args.seed,
+    )
+    print(f"    low-resolution grid: {dataset.lr_shape}, crop {dataset.crop_shape_lr}")
+
+    print("=== 3. Training MeshfreeFlowNet ===")
+    config = MeshfreeFlowNetConfig.small(unet_pool_factors=((1, 2, 2), (2, 2, 2)))
+    model = MeshfreeFlowNet(config)
+    print(f"    parameters: {model.count_parameters()}")
+    pde = RayleighBenard2D(rayleigh=args.rayleigh, prandtl=1.0)
+    trainer = Trainer(
+        model, dataset, pde_system=pde,
+        config=TrainerConfig(epochs=args.epochs, batch_size=2, gamma=args.gamma,
+                             learning_rate=1e-2, verbose=True),
+    )
+    t0 = time.time()
+    trainer.train()
+    print(f"    training finished in {time.time() - t0:.1f}s; {trainer.history.summary()}")
+
+    print("=== 4. Evaluation against the trilinear baseline ===")
+    reports = {
+        "trilinear (Baseline I)": evaluate_model(TrilinearBaseline(), dataset, label="trilinear"),
+        f"MeshfreeFlowNet (gamma={args.gamma})": evaluate_model(model, dataset, label="mfn"),
+    }
+    print(format_table(reports, title="Turbulence-metric NMAE (x100) and R^2"))
+
+    errors_mfn = pointwise_errors(model, dataset)
+    errors_tri = pointwise_errors(TrilinearBaseline(), dataset)
+    print(f"\npointwise MAE  — MeshfreeFlowNet: {errors_mfn['mae']:.4f}   trilinear: {errors_tri['mae']:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""repro — a from-scratch reproduction of MeshfreeFlowNet (SC 2020).
+
+MeshfreeFlowNet is a physics-constrained deep-learning framework for
+continuous (grid-free) space-time super-resolution of PDE solutions, evaluated
+on 2D Rayleigh–Bénard convection.  This package re-implements the entire
+system in NumPy: the automatic-differentiation engine and neural-network
+layers, the MeshfreeFlowNet model itself (3D U-Net encoder + continuously
+queried MLP decoder), the PDE constraint layer, the Rayleigh–Bénard data
+generator that replaces Dedalus, the turbulence evaluation metrics, the
+baselines, a simulated data-parallel distributed-training stack, and the
+experiment harnesses that regenerate every table and figure of the paper.
+
+Quickstart
+----------
+>>> from repro import MeshfreeFlowNet, MeshfreeFlowNetConfig
+>>> model = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny())
+
+See ``examples/quickstart.py`` for an end-to-end train/evaluate loop.
+"""
+
+from .core import (
+    ImNet,
+    LossWeights,
+    MeshfreeFlowNet,
+    MeshfreeFlowNetConfig,
+    UNet3d,
+    compute_losses,
+    equation_loss,
+    prediction_loss,
+)
+from .pde import PDESystem, RayleighBenard2D, make_pde_system
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    "MeshfreeFlowNet",
+    "MeshfreeFlowNetConfig",
+    "UNet3d",
+    "ImNet",
+    "PDESystem",
+    "RayleighBenard2D",
+    "make_pde_system",
+    "prediction_loss",
+    "equation_loss",
+    "compute_losses",
+    "LossWeights",
+]

@@ -1,0 +1,81 @@
+"""Reverse-mode automatic differentiation engine (NumPy backend).
+
+This subpackage replaces the role PyTorch autograd plays in the original
+MeshfreeFlowNet implementation.  It provides:
+
+* :class:`~repro.autodiff.tensor.Tensor` — an array wrapper that records a
+  dynamic computation graph,
+* :func:`~repro.autodiff.tensor.grad` — a functional gradient API supporting
+  ``create_graph=True`` (higher-order differentiation, needed by the PDE
+  equation loss),
+* a library of differentiable primitives (:mod:`repro.autodiff.ops`) and
+  first-order neural-network kernels (:mod:`repro.autodiff.nn_ops`),
+* :func:`~repro.autodiff.gradcheck.gradcheck` for finite-difference
+  verification.
+"""
+
+from . import nn_ops, ops
+from .gradcheck import gradcheck, numerical_gradient
+from .nn_ops import avg_pool3d, conv3d, max_pool3d, upsample_nearest3d
+from .ops import (
+    abs,
+    add,
+    broadcast_to,
+    clip_by_value,
+    concatenate,
+    cos,
+    div,
+    dot,
+    exp,
+    expand_dims,
+    getitem,
+    l1_loss,
+    leaky_relu,
+    log,
+    matmul,
+    maximum,
+    mean,
+    minimum,
+    mse_loss,
+    mul,
+    neg,
+    norm,
+    outer,
+    pad,
+    pow,
+    put_index,
+    relu,
+    reshape,
+    sigmoid,
+    sin,
+    softplus,
+    sqrt,
+    square,
+    squeeze,
+    stack,
+    sub,
+    sum,
+    sum_to_shape,
+    swap_last_axes,
+    tanh,
+    transpose,
+    var,
+)
+from .tensor import Tensor, enable_grad, ensure_tensor, grad, is_grad_enabled, no_grad
+
+__all__ = [
+    "Tensor",
+    "grad",
+    "no_grad",
+    "enable_grad",
+    "is_grad_enabled",
+    "ensure_tensor",
+    "gradcheck",
+    "numerical_gradient",
+    "ops",
+    "nn_ops",
+    "conv3d",
+    "max_pool3d",
+    "avg_pool3d",
+    "upsample_nearest3d",
+]

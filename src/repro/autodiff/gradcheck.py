@@ -1,0 +1,62 @@
+"""Numerical gradient checking utilities used by the test-suite."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor, grad
+
+__all__ = ["numerical_gradient", "gradcheck"]
+
+
+def numerical_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    index: int,
+    eps: float = 1e-5,
+) -> np.ndarray:
+    """Central finite-difference gradient of ``sum(fn(*inputs))`` w.r.t. ``inputs[index]``."""
+    target = inputs[index]
+    flat = target.data.reshape(-1)
+    num_grad = np.zeros_like(flat)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(fn(*inputs).data.sum())
+        flat[i] = original - eps
+        minus = float(fn(*inputs).data.sum())
+        flat[i] = original
+        num_grad[i] = (plus - minus) / (2.0 * eps)
+    return num_grad.reshape(target.shape)
+
+
+def gradcheck(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    eps: float = 1e-5,
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> bool:
+    """Compare analytic and numerical gradients for every input that requires grad.
+
+    Raises ``AssertionError`` with a diagnostic message on mismatch; returns
+    ``True`` otherwise so it can be used directly inside ``assert``.
+    """
+    out = fn(*inputs)
+    ones = Tensor(np.ones_like(out.data))
+    analytic = grad(out, list(inputs), grad_outputs=[ones], allow_unused=True)
+    for idx, inp in enumerate(inputs):
+        if not inp.requires_grad:
+            continue
+        a = analytic[idx]
+        a_arr = np.zeros_like(inp.data) if a is None else a.data
+        n_arr = numerical_gradient(fn, inputs, idx, eps=eps)
+        if not np.allclose(a_arr, n_arr, atol=atol, rtol=rtol):
+            max_err = np.max(np.abs(a_arr - n_arr))
+            raise AssertionError(
+                f"gradcheck failed for input {idx}: max abs error {max_err:.3e}\n"
+                f"analytic:\n{a_arr}\nnumerical:\n{n_arr}"
+            )
+    return True

@@ -1,0 +1,197 @@
+"""Neural-network specific primitives: 3D convolution, pooling, upsampling.
+
+These ops back the U-Net encoder (Context Generation Network) and the
+convolutional-decoder baseline.  They implement efficient value-level backward
+rules (im2col / col2im) and are therefore **first-order only** — which is
+sufficient because the MeshfreeFlowNet equation loss only needs higher-order
+derivatives through the continuous decoding MLP, never through the
+convolutional encoder (the latent context enters the MLP as an input, so the
+encoder only ever sees first-order gradients).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .tensor import Op, Tensor
+
+__all__ = ["conv3d", "max_pool3d", "avg_pool3d", "upsample_nearest3d"]
+
+
+def _triple(value) -> tuple[int, int, int]:
+    if isinstance(value, (tuple, list)):
+        if len(value) != 3:
+            raise ValueError(f"expected 3 values, got {value}")
+        return tuple(int(v) for v in value)
+    return (int(value),) * 3
+
+
+def _extract_patches(x: np.ndarray, kernel: tuple[int, int, int], stride: tuple[int, int, int]) -> np.ndarray:
+    """Return a strided view of shape (N, C, Do, Ho, Wo, kd, kh, kw)."""
+    n, c, d, h, w = x.shape
+    kd, kh, kw = kernel
+    sd, sh, sw = stride
+    do = (d - kd) // sd + 1
+    ho = (h - kh) // sh + 1
+    wo = (w - kw) // sw + 1
+    sn, sc, s0, s1, s2 = x.strides
+    shape = (n, c, do, ho, wo, kd, kh, kw)
+    strides = (sn, sc, s0 * sd, s1 * sh, s2 * sw, s0, s1, s2)
+    return np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+
+
+class Conv3d(Op):
+    """3D cross-correlation via im2col + matmul.
+
+    Input ``(N, C_in, D, H, W)``; weight ``(C_out, C_in, kd, kh, kw)``;
+    output ``(N, C_out, D_out, H_out, W_out)``.
+    """
+
+    def __init__(self, stride=1, padding=0):
+        self.stride = _triple(stride)
+        self.padding = _triple(padding)
+
+    def forward(self, x, weight):
+        self._x_shape = x.shape
+        n, c_in, d, h, w = x.shape
+        c_out, c_in_w, kd, kh, kw = weight.shape
+        if c_in != c_in_w:
+            raise ValueError(f"input channels {c_in} != weight channels {c_in_w}")
+        pd, ph, pw = self.padding
+        if any(self.padding):
+            x = np.pad(x, ((0, 0), (0, 0), (pd, pd), (ph, ph), (pw, pw)))
+        self._padded_shape = x.shape
+        patches = _extract_patches(x, (kd, kh, kw), self.stride)
+        n, _, do, ho, wo, _, _, _ = patches.shape
+        # (N, L, C_in*kd*kh*kw)
+        cols = patches.transpose(0, 2, 3, 4, 1, 5, 6, 7).reshape(n, do * ho * wo, c_in * kd * kh * kw)
+        self._cols = cols
+        self._out_spatial = (do, ho, wo)
+        w2 = weight.reshape(c_out, -1)
+        out = cols @ w2.T  # (N, L, C_out)
+        return out.transpose(0, 2, 1).reshape(n, c_out, do, ho, wo)
+
+    def backward(self, grad):
+        x_t, w_t = self.inputs
+        weight = w_t.data
+        g = grad.data
+        n, c_out, do, ho, wo = g.shape
+        _, c_in, kd, kh, kw = weight.shape
+        g2 = g.reshape(n, c_out, do * ho * wo).transpose(0, 2, 1)  # (N, L, C_out)
+
+        grad_weight = np.einsum("nlc,nlk->ck", g2, self._cols).reshape(weight.shape)
+
+        w2 = weight.reshape(c_out, -1)
+        gcols = g2 @ w2  # (N, L, C_in*k^3)
+        gcols = gcols.reshape(n, do, ho, wo, c_in, kd, kh, kw).transpose(0, 4, 1, 2, 3, 5, 6, 7)
+
+        grad_padded = np.zeros(self._padded_shape, dtype=g.dtype)
+        sd, sh, sw = self.stride
+        for i in range(kd):
+            for j in range(kh):
+                for k in range(kw):
+                    grad_padded[
+                        :, :, i : i + sd * do : sd, j : j + sh * ho : sh, k : k + sw * wo : sw
+                    ] += gcols[:, :, :, :, :, i, j, k]
+        pd, ph, pw = self.padding
+        d, h, w = self._x_shape[2:]
+        grad_x = grad_padded[:, :, pd : pd + d, ph : ph + h, pw : pw + w]
+        return Tensor(grad_x), Tensor(grad_weight)
+
+
+class MaxPool3d(Op):
+    """Non-overlapping max pooling (kernel == stride), per-axis kernel sizes."""
+
+    def __init__(self, kernel_size=2):
+        self.kernel = _triple(kernel_size)
+
+    def forward(self, x):
+        n, c, d, h, w = x.shape
+        kd, kh, kw = self.kernel
+        if d % kd or h % kh or w % kw:
+            raise ValueError(
+                f"MaxPool3d requires spatial dims {(d, h, w)} divisible by kernel {self.kernel}"
+            )
+        self._in_shape = x.shape
+        windows = x.reshape(n, c, d // kd, kd, h // kh, kh, w // kw, kw)
+        windows = windows.transpose(0, 1, 2, 4, 6, 3, 5, 7).reshape(
+            n, c, d // kd, h // kh, w // kw, kd * kh * kw
+        )
+        self._argmax = windows.argmax(axis=-1)
+        return windows.max(axis=-1)
+
+    def backward(self, grad):
+        n, c, d, h, w = self._in_shape
+        kd, kh, kw = self.kernel
+        do, ho, wo = d // kd, h // kh, w // kw
+        g = grad.data
+        out = np.zeros((n, c, do, ho, wo, kd * kh * kw), dtype=g.dtype)
+        idx = np.indices((n, c, do, ho, wo))
+        out[idx[0], idx[1], idx[2], idx[3], idx[4], self._argmax] = g
+        out = out.reshape(n, c, do, ho, wo, kd, kh, kw).transpose(0, 1, 2, 5, 3, 6, 4, 7)
+        return (Tensor(out.reshape(self._in_shape)),)
+
+
+class AvgPool3d(Op):
+    """Non-overlapping average pooling (kernel == stride)."""
+
+    def __init__(self, kernel_size=2):
+        self.kernel = _triple(kernel_size)
+
+    def forward(self, x):
+        n, c, d, h, w = x.shape
+        kd, kh, kw = self.kernel
+        if d % kd or h % kh or w % kw:
+            raise ValueError(
+                f"AvgPool3d requires spatial dims {(d, h, w)} divisible by kernel {self.kernel}"
+            )
+        self._in_shape = x.shape
+        windows = x.reshape(n, c, d // kd, kd, h // kh, kh, w // kw, kw)
+        return windows.mean(axis=(3, 5, 7))
+
+    def backward(self, grad):
+        kd, kh, kw = self.kernel
+        scale = 1.0 / (kd * kh * kw)
+        g = grad.data * scale
+        g = np.repeat(np.repeat(np.repeat(g, kd, axis=2), kh, axis=3), kw, axis=4)
+        return (Tensor(g),)
+
+
+class UpsampleNearest3d(Op):
+    """Nearest-neighbour upsampling by integer scale factors."""
+
+    def __init__(self, scale_factor=2):
+        self.scale = _triple(scale_factor)
+
+    def forward(self, x):
+        self._in_shape = x.shape
+        sd, sh, sw = self.scale
+        out = np.repeat(x, sd, axis=2)
+        out = np.repeat(out, sh, axis=3)
+        out = np.repeat(out, sw, axis=4)
+        return out
+
+    def backward(self, grad):
+        n, c, d, h, w = self._in_shape
+        sd, sh, sw = self.scale
+        g = grad.data.reshape(n, c, d, sd, h, sh, w, sw)
+        return (Tensor(g.sum(axis=(3, 5, 7))),)
+
+
+def conv3d(x, weight, stride=1, padding=0) -> Tensor:
+    """Differentiable (first-order) 3D convolution."""
+    return Conv3d.apply(x, weight, stride=stride, padding=padding)
+
+
+def max_pool3d(x, kernel_size=2) -> Tensor:
+    return MaxPool3d.apply(x, kernel_size=kernel_size)
+
+
+def avg_pool3d(x, kernel_size=2) -> Tensor:
+    return AvgPool3d.apply(x, kernel_size=kernel_size)
+
+
+def upsample_nearest3d(x, scale_factor=2) -> Tensor:
+    return UpsampleNearest3d.apply(x, scale_factor=scale_factor)

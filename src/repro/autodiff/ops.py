@@ -1,0 +1,665 @@
+"""Differentiable primitive operations.
+
+Every primitive in this module implements its backward rule *in terms of
+tensor operations*, so any composition of these ops supports higher-order
+differentiation through :func:`repro.autodiff.grad` with ``create_graph=True``.
+
+The functions are exposed both as free functions (``ops.add``, ``ops.matmul``,
+…) and as methods / operators on :class:`~repro.autodiff.tensor.Tensor`
+(attached at the bottom of this module).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .tensor import Op, Tensor, ensure_tensor
+
+__all__ = [
+    "add", "sub", "mul", "div", "neg", "pow", "exp", "log", "sqrt", "sin",
+    "cos", "tanh", "sigmoid", "softplus", "relu", "leaky_relu", "abs",
+    "maximum", "minimum", "matmul", "sum", "mean", "var", "reshape",
+    "transpose", "swap_last_axes", "broadcast_to", "getitem", "put_index",
+    "concatenate", "stack", "pad", "expand_dims", "squeeze", "sum_to_shape",
+    "square", "clip_by_value", "dot", "outer", "norm", "l1_loss", "mse_loss",
+]
+
+
+# --------------------------------------------------------------------------- helpers
+def _sum_axes_for_broadcast(from_shape: tuple[int, ...], to_shape: tuple[int, ...]):
+    """Axes over which to sum in order to reduce ``from_shape`` to ``to_shape``."""
+    ndiff = len(from_shape) - len(to_shape)
+    axes = list(range(ndiff))
+    for i, dim in enumerate(to_shape):
+        if dim == 1 and from_shape[ndiff + i] != 1:
+            axes.append(ndiff + i)
+    return tuple(axes)
+
+
+def sum_to_shape(t: Tensor, shape: tuple[int, ...]) -> Tensor:
+    """Reduce ``t`` to ``shape`` by summing broadcast dimensions."""
+    t = ensure_tensor(t)
+    if t.shape == tuple(shape):
+        return t
+    axes = _sum_axes_for_broadcast(t.shape, tuple(shape))
+    if axes:
+        t = sum(t, axis=axes, keepdims=True)
+    if t.shape != tuple(shape):
+        t = reshape(t, shape)
+    return t
+
+
+# --------------------------------------------------------------------------- arithmetic
+class Add(Op):
+    def forward(self, a, b):
+        self._a_shape, self._b_shape = a.shape, b.shape
+        return a + b
+
+    def backward(self, grad):
+        return sum_to_shape(grad, self._a_shape), sum_to_shape(grad, self._b_shape)
+
+
+class Sub(Op):
+    def forward(self, a, b):
+        self._a_shape, self._b_shape = a.shape, b.shape
+        return a - b
+
+    def backward(self, grad):
+        return sum_to_shape(grad, self._a_shape), sum_to_shape(neg(grad), self._b_shape)
+
+
+class Mul(Op):
+    def forward(self, a, b):
+        self._a_shape, self._b_shape = a.shape, b.shape
+        return a * b
+
+    def backward(self, grad):
+        a, b = self.inputs
+        ga = sum_to_shape(mul(grad, b), self._a_shape)
+        gb = sum_to_shape(mul(grad, a), self._b_shape)
+        return ga, gb
+
+
+class Div(Op):
+    def forward(self, a, b):
+        self._a_shape, self._b_shape = a.shape, b.shape
+        return a / b
+
+    def backward(self, grad):
+        a, b = self.inputs
+        ga = sum_to_shape(div(grad, b), self._a_shape)
+        gb = sum_to_shape(neg(div(mul(grad, a), mul(b, b))), self._b_shape)
+        return ga, gb
+
+
+class Neg(Op):
+    def forward(self, a):
+        return -a
+
+    def backward(self, grad):
+        return (neg(grad),)
+
+
+class Pow(Op):
+    """Elementwise power with a constant (python scalar) exponent."""
+
+    def __init__(self, exponent: float):
+        self.exponent = float(exponent)
+
+    def forward(self, a):
+        return a ** self.exponent
+
+    def backward(self, grad):
+        (a,) = self.inputs
+        p = self.exponent
+        return (mul(grad, mul(Tensor(np.array(p)), pow(a, p - 1.0))),)
+
+
+class Exp(Op):
+    def forward(self, a):
+        return np.exp(a)
+
+    def backward(self, grad):
+        (a,) = self.inputs
+        return (mul(grad, exp(a)),)
+
+
+class Log(Op):
+    def forward(self, a):
+        return np.log(a)
+
+    def backward(self, grad):
+        (a,) = self.inputs
+        return (div(grad, a),)
+
+
+class Sin(Op):
+    def forward(self, a):
+        return np.sin(a)
+
+    def backward(self, grad):
+        (a,) = self.inputs
+        return (mul(grad, cos(a)),)
+
+
+class Cos(Op):
+    def forward(self, a):
+        return np.cos(a)
+
+    def backward(self, grad):
+        (a,) = self.inputs
+        return (neg(mul(grad, sin(a))),)
+
+
+class Tanh(Op):
+    def forward(self, a):
+        return np.tanh(a)
+
+    def backward(self, grad):
+        (a,) = self.inputs
+        t = tanh(a)
+        return (mul(grad, sub(Tensor(np.array(1.0)), mul(t, t))),)
+
+
+class Sigmoid(Op):
+    def forward(self, a):
+        out = np.empty_like(a)
+        pos = a >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-a[pos]))
+        ea = np.exp(a[~pos])
+        out[~pos] = ea / (1.0 + ea)
+        return out
+
+    def backward(self, grad):
+        (a,) = self.inputs
+        s = sigmoid(a)
+        return (mul(grad, mul(s, sub(Tensor(np.array(1.0)), s))),)
+
+
+class Softplus(Op):
+    """Numerically stable ``log(1 + exp(x))``; derivative is ``sigmoid(x)``."""
+
+    def forward(self, a):
+        return np.maximum(a, 0.0) + np.log1p(np.exp(-np.abs(a)))
+
+    def backward(self, grad):
+        (a,) = self.inputs
+        return (mul(grad, sigmoid(a)),)
+
+
+class ReLU(Op):
+    def forward(self, a):
+        self._mask = (a > 0).astype(a.dtype)
+        return a * self._mask
+
+    def backward(self, grad):
+        return (mul(grad, Tensor(self._mask)),)
+
+
+class LeakyReLU(Op):
+    def __init__(self, negative_slope: float = 0.01):
+        self.negative_slope = float(negative_slope)
+
+    def forward(self, a):
+        self._mask = np.where(a > 0, 1.0, self.negative_slope).astype(a.dtype)
+        return a * self._mask
+
+    def backward(self, grad):
+        return (mul(grad, Tensor(self._mask)),)
+
+
+class Abs(Op):
+    def forward(self, a):
+        self._sign = np.sign(a)
+        return np.abs(a)
+
+    def backward(self, grad):
+        return (mul(grad, Tensor(self._sign)),)
+
+
+class Maximum(Op):
+    def forward(self, a, b):
+        self._a_shape, self._b_shape = a.shape, b.shape
+        self._mask = (a >= b).astype(a.dtype)
+        return np.maximum(a, b)
+
+    def backward(self, grad):
+        mask = Tensor(np.broadcast_to(self._mask, grad.shape).copy())
+        one_minus = Tensor(1.0 - mask.data)
+        ga = sum_to_shape(mul(grad, mask), self._a_shape)
+        gb = sum_to_shape(mul(grad, one_minus), self._b_shape)
+        return ga, gb
+
+
+class Minimum(Op):
+    def forward(self, a, b):
+        self._a_shape, self._b_shape = a.shape, b.shape
+        self._mask = (a <= b).astype(a.dtype)
+        return np.minimum(a, b)
+
+    def backward(self, grad):
+        mask = Tensor(np.broadcast_to(self._mask, grad.shape).copy())
+        one_minus = Tensor(1.0 - mask.data)
+        ga = sum_to_shape(mul(grad, mask), self._a_shape)
+        gb = sum_to_shape(mul(grad, one_minus), self._b_shape)
+        return ga, gb
+
+
+# --------------------------------------------------------------------------- linear algebra
+class MatMul(Op):
+    def forward(self, a, b):
+        self._a_shape, self._b_shape = a.shape, b.shape
+        return np.matmul(a, b)
+
+    def backward(self, grad):
+        a, b = self.inputs
+        ga = matmul(grad, swap_last_axes(b))
+        gb = matmul(swap_last_axes(a), grad)
+        return sum_to_shape(ga, self._a_shape), sum_to_shape(gb, self._b_shape)
+
+
+# --------------------------------------------------------------------------- reductions & shape
+class Sum(Op):
+    def __init__(self, axis=None, keepdims: bool = False):
+        self.axis = axis
+        self.keepdims = keepdims
+
+    def forward(self, a):
+        self._in_shape = a.shape
+        return np.sum(a, axis=self.axis, keepdims=self.keepdims)
+
+    def backward(self, grad):
+        if self.axis is None:
+            kept_shape = (1,) * len(self._in_shape)
+        else:
+            axes = self.axis if isinstance(self.axis, tuple) else (self.axis,)
+            axes = tuple(ax % len(self._in_shape) for ax in axes)
+            kept_shape = tuple(
+                1 if i in axes else d for i, d in enumerate(self._in_shape)
+            )
+        g = grad if self.keepdims and self.axis is not None else reshape(grad, kept_shape)
+        if not self.keepdims and self.axis is None:
+            g = reshape(grad, kept_shape)
+        return (broadcast_to(g, self._in_shape),)
+
+
+class BroadcastTo(Op):
+    def __init__(self, shape):
+        self.shape = tuple(shape)
+
+    def forward(self, a):
+        self._in_shape = a.shape
+        return np.broadcast_to(a, self.shape).copy()
+
+    def backward(self, grad):
+        return (sum_to_shape(grad, self._in_shape),)
+
+
+class Reshape(Op):
+    def __init__(self, shape):
+        self.shape = tuple(shape)
+
+    def forward(self, a):
+        self._in_shape = a.shape
+        return a.reshape(self.shape)
+
+    def backward(self, grad):
+        return (reshape(grad, self._in_shape),)
+
+
+class Transpose(Op):
+    def __init__(self, axes=None):
+        self.axes = tuple(axes) if axes is not None else None
+
+    def forward(self, a):
+        self._ndim = a.ndim
+        return np.transpose(a, self.axes)
+
+    def backward(self, grad):
+        if self.axes is None:
+            inv = None
+        else:
+            inv = tuple(int(np.argsort(self.axes)[i]) for i in range(len(self.axes)))
+        return (transpose(grad, inv),)
+
+
+class GetIndex(Op):
+    """``a[index]`` for arbitrary numpy indexing expressions."""
+
+    def __init__(self, index):
+        self.index = index
+
+    def forward(self, a):
+        self._in_shape = a.shape
+        out = a[self.index]
+        return np.array(out, copy=True)
+
+    def backward(self, grad):
+        return (put_index(grad, self.index, self._in_shape),)
+
+
+class PutIndex(Op):
+    """Scatter-add ``a`` into a zero array of ``shape`` at ``index``.
+
+    This is the adjoint of :class:`GetIndex`; the pair makes gather/scatter
+    fully differentiable (to any order), which is required because the latent
+    context grid of MeshfreeFlowNet is gathered at the 8 bounding vertices of
+    every query point and that gather lives on the second-order path of the
+    equation loss.
+    """
+
+    def __init__(self, index, shape):
+        self.index = index
+        self.shape = tuple(shape)
+
+    def forward(self, a):
+        out = np.zeros(self.shape, dtype=a.dtype)
+        np.add.at(out, self.index, a)
+        return out
+
+    def backward(self, grad):
+        return (getitem(grad, self.index),)
+
+
+class Concatenate(Op):
+    def __init__(self, axis: int = 0):
+        self.axis = axis
+
+    def forward(self, *arrays):
+        self._sizes = [a.shape[self.axis] for a in arrays]
+        return np.concatenate(arrays, axis=self.axis)
+
+    def backward(self, grad):
+        grads = []
+        start = 0
+        for size in self._sizes:
+            index = [slice(None)] * grad.ndim
+            index[self.axis] = slice(start, start + size)
+            grads.append(getitem(grad, tuple(index)))
+            start += size
+        return tuple(grads)
+
+
+class Pad(Op):
+    """Constant (zero) padding."""
+
+    def __init__(self, pad_width):
+        self.pad_width = tuple(tuple(p) for p in pad_width)
+
+    def forward(self, a):
+        self._in_shape = a.shape
+        return np.pad(a, self.pad_width, mode="constant")
+
+    def backward(self, grad):
+        index = tuple(
+            slice(p[0], p[0] + d) for p, d in zip(self.pad_width, self._in_shape)
+        )
+        return (getitem(grad, index),)
+
+
+# --------------------------------------------------------------------------- functional wrappers
+def add(a, b) -> Tensor:
+    return Add.apply(a, b)
+
+
+def sub(a, b) -> Tensor:
+    return Sub.apply(a, b)
+
+
+def mul(a, b) -> Tensor:
+    return Mul.apply(a, b)
+
+
+def div(a, b) -> Tensor:
+    return Div.apply(a, b)
+
+
+def neg(a) -> Tensor:
+    return Neg.apply(a)
+
+
+def pow(a, exponent: float) -> Tensor:
+    return Pow.apply(a, exponent=exponent)
+
+
+def square(a) -> Tensor:
+    a = ensure_tensor(a)
+    return mul(a, a)
+
+
+def exp(a) -> Tensor:
+    return Exp.apply(a)
+
+
+def log(a) -> Tensor:
+    return Log.apply(a)
+
+
+def sqrt(a) -> Tensor:
+    return Pow.apply(a, exponent=0.5)
+
+
+def sin(a) -> Tensor:
+    return Sin.apply(a)
+
+
+def cos(a) -> Tensor:
+    return Cos.apply(a)
+
+
+def tanh(a) -> Tensor:
+    return Tanh.apply(a)
+
+
+def sigmoid(a) -> Tensor:
+    return Sigmoid.apply(a)
+
+
+def softplus(a) -> Tensor:
+    return Softplus.apply(a)
+
+
+def relu(a) -> Tensor:
+    return ReLU.apply(a)
+
+
+def leaky_relu(a, negative_slope: float = 0.01) -> Tensor:
+    return LeakyReLU.apply(a, negative_slope=negative_slope)
+
+
+def abs(a) -> Tensor:  # noqa: A001 - mirrors numpy naming
+    return Abs.apply(a)
+
+
+def maximum(a, b) -> Tensor:
+    return Maximum.apply(a, b)
+
+
+def minimum(a, b) -> Tensor:
+    return Minimum.apply(a, b)
+
+
+def clip_by_value(a, low: float, high: float) -> Tensor:
+    return minimum(maximum(a, Tensor(np.array(low))), Tensor(np.array(high)))
+
+
+def matmul(a, b) -> Tensor:
+    return MatMul.apply(a, b)
+
+
+def dot(a, b) -> Tensor:
+    """Inner product of two 1-D tensors."""
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    return sum(mul(a, b))
+
+
+def outer(a, b) -> Tensor:
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    return matmul(reshape(a, (-1, 1)), reshape(b, (1, -1)))
+
+
+def sum(a, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    return Sum.apply(a, axis=axis, keepdims=keepdims)
+
+
+def mean(a, axis=None, keepdims: bool = False) -> Tensor:
+    a = ensure_tensor(a)
+    if axis is None:
+        count = a.size
+    else:
+        axes = axis if isinstance(axis, tuple) else (axis,)
+        count = 1
+        for ax in axes:
+            count *= a.shape[ax]
+    return mul(sum(a, axis=axis, keepdims=keepdims), Tensor(np.array(1.0 / count)))
+
+
+def var(a, axis=None, keepdims: bool = False) -> Tensor:
+    """Biased (population) variance, matching BatchNorm semantics."""
+    a = ensure_tensor(a)
+    mu = mean(a, axis=axis, keepdims=True)
+    centered = sub(a, mu)
+    v = mean(mul(centered, centered), axis=axis, keepdims=keepdims)
+    return v
+
+
+def norm(a, ord: float = 2.0) -> Tensor:
+    """Flattened vector norm."""
+    a = ensure_tensor(a)
+    if ord == 1:
+        return sum(abs(a))
+    if ord == 2:
+        return sqrt(sum(square(a)))
+    return pow(sum(pow(abs(a), ord)), 1.0 / ord)
+
+
+def reshape(a, shape) -> Tensor:
+    a = ensure_tensor(a)
+    shape = tuple(shape) if not isinstance(shape, int) else (shape,)
+    if -1 in shape:
+        known = 1
+        for s in shape:
+            if s != -1:
+                known *= s
+        shape = tuple(a.size // known if s == -1 else s for s in shape)
+    return Reshape.apply(a, shape=shape)
+
+
+def transpose(a, axes=None) -> Tensor:
+    return Transpose.apply(a, axes=axes)
+
+
+def swap_last_axes(a) -> Tensor:
+    """Swap the final two axes (used by matmul backward)."""
+    a = ensure_tensor(a)
+    axes = list(range(a.ndim))
+    axes[-1], axes[-2] = axes[-2], axes[-1]
+    return transpose(a, axes)
+
+
+def broadcast_to(a, shape) -> Tensor:
+    return BroadcastTo.apply(a, shape=shape)
+
+
+def getitem(a, index) -> Tensor:
+    return GetIndex.apply(a, index=index)
+
+
+def put_index(a, index, shape) -> Tensor:
+    return PutIndex.apply(a, index=index, shape=shape)
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    return Concatenate.apply(*tensors, axis=axis)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    tensors = [ensure_tensor(t) for t in tensors]
+    expanded = [expand_dims(t, axis) for t in tensors]
+    return concatenate(expanded, axis=axis)
+
+
+def pad(a, pad_width) -> Tensor:
+    return Pad.apply(a, pad_width=pad_width)
+
+
+def expand_dims(a, axis: int) -> Tensor:
+    a = ensure_tensor(a)
+    shape = list(a.shape)
+    if axis < 0:
+        axis = len(shape) + 1 + axis
+    shape.insert(axis, 1)
+    return reshape(a, shape)
+
+
+def squeeze(a, axis: Optional[int] = None) -> Tensor:
+    a = ensure_tensor(a)
+    if axis is None:
+        shape = tuple(d for d in a.shape if d != 1)
+    else:
+        shape = tuple(d for i, d in enumerate(a.shape) if i != axis % a.ndim or d != 1)
+    return reshape(a, shape)
+
+
+# --------------------------------------------------------------------------- losses
+def l1_loss(pred, target) -> Tensor:
+    """Mean absolute error."""
+    return mean(abs(sub(pred, target)))
+
+
+def mse_loss(pred, target) -> Tensor:
+    """Mean squared error."""
+    return mean(square(sub(pred, target)))
+
+
+# --------------------------------------------------------------------------- Tensor operator plumbing
+def _binary_left(fn):
+    def method(self, other):
+        return fn(self, ensure_tensor(other))
+
+    return method
+
+
+def _binary_right(fn):
+    def method(self, other):
+        return fn(ensure_tensor(other), self)
+
+    return method
+
+
+Tensor.__add__ = _binary_left(add)
+Tensor.__radd__ = _binary_right(add)
+Tensor.__sub__ = _binary_left(sub)
+Tensor.__rsub__ = _binary_right(sub)
+Tensor.__mul__ = _binary_left(mul)
+Tensor.__rmul__ = _binary_right(mul)
+Tensor.__truediv__ = _binary_left(div)
+Tensor.__rtruediv__ = _binary_right(div)
+Tensor.__matmul__ = _binary_left(matmul)
+Tensor.__neg__ = lambda self: neg(self)
+Tensor.__pow__ = lambda self, p: pow(self, p)
+Tensor.__getitem__ = lambda self, index: getitem(self, index)
+
+Tensor.sum = lambda self, axis=None, keepdims=False: sum(self, axis=axis, keepdims=keepdims)
+Tensor.mean = lambda self, axis=None, keepdims=False: mean(self, axis=axis, keepdims=keepdims)
+Tensor.var = lambda self, axis=None, keepdims=False: var(self, axis=axis, keepdims=keepdims)
+Tensor.reshape = lambda self, *shape: reshape(self, shape[0] if len(shape) == 1 and not isinstance(shape[0], int) else shape)
+Tensor.transpose = lambda self, axes=None: transpose(self, axes)
+Tensor.exp = lambda self: exp(self)
+Tensor.log = lambda self: log(self)
+Tensor.sqrt = lambda self: sqrt(self)
+Tensor.tanh = lambda self: tanh(self)
+Tensor.sigmoid = lambda self: sigmoid(self)
+Tensor.relu = lambda self: relu(self)
+Tensor.abs = lambda self: abs(self)
+Tensor.square = lambda self: square(self)
+Tensor.flatten = lambda self: reshape(self, (-1,))
+
+# Comparison operators return plain numpy boolean arrays (non-differentiable).
+Tensor.__gt__ = lambda self, other: self.data > (other.data if isinstance(other, Tensor) else other)
+Tensor.__lt__ = lambda self, other: self.data < (other.data if isinstance(other, Tensor) else other)
+Tensor.__ge__ = lambda self, other: self.data >= (other.data if isinstance(other, Tensor) else other)
+Tensor.__le__ = lambda self, other: self.data <= (other.data if isinstance(other, Tensor) else other)

@@ -1,0 +1,338 @@
+"""Core reverse-mode automatic differentiation engine.
+
+This module provides the :class:`Tensor` class, the dynamic computation graph
+machinery, the functional :func:`grad` API (analogous to
+``torch.autograd.grad``) and the :func:`no_grad` context manager.
+
+The engine supports *higher-order* differentiation: the backward rule of every
+mathematical primitive is itself expressed in terms of differentiable tensor
+operations, so gradients of gradients (as required by the PDE equation loss of
+MeshfreeFlowNet, which differentiates the decoder output with respect to its
+space-time input coordinates and then differentiates the resulting residual
+with respect to the network parameters) are obtained by simply calling
+:func:`grad` with ``create_graph=True``.
+
+Only the neural-network primitives that never participate in the second-order
+path (3D convolution, pooling, nearest-neighbour upsampling — see
+``repro.autodiff.nn_ops``) implement value-level backward rules and are
+therefore first-order only.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Tensor",
+    "Op",
+    "grad",
+    "no_grad",
+    "enable_grad",
+    "is_grad_enabled",
+    "ensure_tensor",
+]
+
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record a computation graph."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph construction.
+
+    Inside the context every new :class:`Tensor` produced by an operation is a
+    leaf without history; this mirrors ``torch.no_grad`` and is used both by
+    user code (e.g. evaluation loops) and internally when backward passes do
+    not need to be differentiable themselves.
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+@contextlib.contextmanager
+def enable_grad():
+    """Context manager that (re-)enables graph construction."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = True
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+class Op:
+    """Base class for differentiable operations (graph nodes).
+
+    Subclasses implement :meth:`forward` (returning a raw ``numpy`` array) and
+    :meth:`backward` (returning one gradient :class:`Tensor` — or ``None`` —
+    per input).  ``backward`` receives the upstream gradient as a
+    :class:`Tensor` and must be written using tensor operations whenever the
+    op may participate in higher-order differentiation.
+    """
+
+    #: Inputs captured by :meth:`apply`.
+    inputs: tuple["Tensor", ...]
+
+    def forward(self, *xs: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def backward(self, grad_output: "Tensor") -> Sequence[Optional["Tensor"]]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @classmethod
+    def apply(cls, *inputs, **kwargs) -> "Tensor":
+        """Run the op on ``inputs`` and (optionally) record it in the graph."""
+        tensors = tuple(ensure_tensor(x) for x in inputs)
+        op = cls(**kwargs)
+        data = op.forward(*(t.data for t in tensors))
+        requires_grad = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+        out = Tensor(data, requires_grad=requires_grad)
+        if requires_grad:
+            op.inputs = tensors
+            out._op = op
+        return out
+
+
+class Tensor:
+    """A multidimensional array that records the operations applied to it.
+
+    Parameters
+    ----------
+    data:
+        Array-like initial value.  Stored as ``float64`` by default for
+        numerical robustness of gradient checks and PDE residuals.
+    requires_grad:
+        Whether gradients should be accumulated for this tensor when calling
+        :meth:`backward` / :func:`grad`.
+    """
+
+    __slots__ = ("data", "requires_grad", "grad", "_op", "name")
+
+    def __init__(self, data, requires_grad: bool = False, dtype=np.float64, name: str | None = None):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=dtype)
+        self.requires_grad = bool(requires_grad)
+        self.grad: Optional[np.ndarray] = None
+        self._op: Optional[Op] = None
+        self.name = name
+
+    # ------------------------------------------------------------------ info
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})\n{self.data!r}"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def is_leaf(self) -> bool:
+        return self._op is None
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    # -------------------------------------------------------------- backward
+    def backward(self, grad_output: Optional["Tensor"] = None) -> None:
+        """Accumulate gradients of ``self`` into every reachable leaf ``.grad``.
+
+        ``grad_output`` defaults to ones (so scalar losses can simply call
+        ``loss.backward()``).
+        """
+        if grad_output is None:
+            grad_output = Tensor(np.ones_like(self.data))
+        grads = _backward_pass([self], [ensure_tensor(grad_output)], create_graph=False)
+        for node, g in grads.items():
+            if node.requires_grad and node.is_leaf():
+                arr = g.data
+                if node.grad is None:
+                    node.grad = np.array(arr, dtype=node.data.dtype, copy=True)
+                else:
+                    node.grad = node.grad + arr
+
+
+def ensure_tensor(x) -> Tensor:
+    """Coerce scalars / arrays / tensors into a :class:`Tensor`."""
+    if isinstance(x, Tensor):
+        return x
+    return Tensor(x, requires_grad=False)
+
+
+def _topological_order(roots: Iterable[Tensor]) -> list[Tensor]:
+    """Return tensors in topological order (inputs before outputs)."""
+    order: list[Tensor] = []
+    visited: set[int] = set()
+    stack: list[tuple[Tensor, bool]] = [(r, False) for r in roots]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        if node._op is not None:
+            for parent in node._op.inputs:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+    return order
+
+
+def _backward_pass(
+    outputs: Sequence[Tensor],
+    grad_outputs: Sequence[Tensor],
+    create_graph: bool,
+) -> dict[Tensor, Tensor]:
+    """Core reverse-mode sweep shared by :func:`grad` and ``Tensor.backward``.
+
+    Returns a mapping from every visited tensor that requires grad to its
+    accumulated gradient tensor.
+    """
+    grads: dict[int, Tensor] = {}
+    nodes: dict[int, Tensor] = {}
+
+    for out, gout in zip(outputs, grad_outputs):
+        if gout.shape != out.shape:
+            raise ValueError(
+                f"grad_output shape {gout.shape} does not match output shape {out.shape}"
+            )
+        _accumulate(grads, nodes, out, gout, create_graph)
+
+    order = _topological_order(outputs)
+    ctx = enable_grad() if create_graph else no_grad()
+    with ctx:
+        for node in reversed(order):
+            if node._op is None:
+                continue
+            gout = grads.get(id(node))
+            if gout is None:
+                continue
+            input_grads = node._op.backward(gout)
+            for parent, g in zip(node._op.inputs, input_grads):
+                if g is None:
+                    continue
+                if not (parent.requires_grad or parent._op is not None):
+                    continue
+                _accumulate(grads, nodes, parent, g, create_graph)
+    return {nodes[k]: v for k, v in grads.items()}
+
+
+def _accumulate(grads, nodes, node: Tensor, g: Tensor, create_graph: bool) -> None:
+    if not create_graph:
+        g = g.detach()
+    if g.shape != node.shape:
+        raise ValueError(
+            f"gradient shape {g.shape} does not match tensor shape {node.shape}"
+        )
+    key = id(node)
+    nodes[key] = node
+    if key in grads:
+        from . import ops  # local import to avoid a circular dependency
+
+        grads[key] = ops.add(grads[key], g)
+    else:
+        grads[key] = g
+
+
+def grad(
+    outputs,
+    inputs,
+    grad_outputs=None,
+    create_graph: bool = False,
+    allow_unused: bool = True,
+):
+    """Compute gradients of ``outputs`` with respect to ``inputs``.
+
+    Mirrors ``torch.autograd.grad``.  When ``create_graph=True`` the returned
+    gradients carry their own computation graph and can be differentiated
+    again — this is how the MeshfreeFlowNet equation loss obtains
+    ``d(residual)/d(parameters)`` where the residual already contains
+    ``dy/dx`` and ``d2y/dx2`` terms.
+
+    Parameters
+    ----------
+    outputs:
+        Tensor or sequence of tensors to differentiate.
+    inputs:
+        Tensor or sequence of tensors with respect to which the gradient is
+        taken.
+    grad_outputs:
+        Upstream gradients (default: ones for each output).
+    create_graph:
+        Build a differentiable graph for the gradient computation itself.
+    allow_unused:
+        If ``False``, raise when one of ``inputs`` does not participate in the
+        computation of ``outputs``; otherwise return ``None`` for it.
+    """
+    single_output = isinstance(outputs, Tensor)
+    single_input = isinstance(inputs, Tensor)
+    outputs_seq = [outputs] if single_output else list(outputs)
+    inputs_seq = [inputs] if single_input else list(inputs)
+
+    if grad_outputs is None:
+        grad_outputs_seq = [Tensor(np.ones_like(o.data)) for o in outputs_seq]
+    else:
+        if isinstance(grad_outputs, Tensor):
+            grad_outputs_seq = [grad_outputs]
+        else:
+            grad_outputs_seq = [ensure_tensor(g) for g in grad_outputs]
+    if len(grad_outputs_seq) != len(outputs_seq):
+        raise ValueError("grad_outputs must match outputs in length")
+
+    grads_map = _backward_pass(outputs_seq, grad_outputs_seq, create_graph)
+    by_id = {id(k): v for k, v in grads_map.items()}
+
+    results: list[Optional[Tensor]] = []
+    for inp in inputs_seq:
+        g = by_id.get(id(inp))
+        if g is None and not allow_unused:
+            raise RuntimeError("One of the differentiated tensors was not used in the graph")
+        results.append(g)
+    if single_input:
+        return results[0]
+    return tuple(results)

@@ -1,0 +1,6 @@
+"""Baseline models: trilinear interpolation (I) and U-Net + conv decoder (II)."""
+
+from .trilinear import TrilinearBaseline
+from .unet_decoder import UNetDecoderBaseline, decompose_upsample_factors
+
+__all__ = ["TrilinearBaseline", "UNetDecoderBaseline", "decompose_upsample_factors"]

@@ -1,0 +1,54 @@
+"""Baseline (I): classic trilinear interpolation of the low-resolution input."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..autodiff import Tensor
+from ..data.interpolation import interpolate_grid, upsample_trilinear
+
+__all__ = ["TrilinearBaseline"]
+
+
+class TrilinearBaseline:
+    """Purely interpolative super-resolution (no learned parameters).
+
+    Exposes the same ``forward`` / ``predict_grid`` interface as
+    :class:`~repro.core.model.MeshfreeFlowNet` so that the evaluation
+    harnesses can treat all models uniformly.
+    """
+
+    name = "trilinear"
+
+    def forward(self, lowres, coords) -> Tensor:
+        """Interpolate the low-resolution grid at continuous query points."""
+        lowres_np = lowres.data if isinstance(lowres, Tensor) else np.asarray(lowres)
+        coords_np = coords.data if isinstance(coords, Tensor) else np.asarray(coords)
+        out = np.stack(
+            [interpolate_grid(lowres_np[b], coords_np[b]) for b in range(lowres_np.shape[0])],
+            axis=0,
+        )
+        return Tensor(out)
+
+    __call__ = forward
+
+    def predict_grid(self, lowres, output_shape: Sequence[int], chunk_size: int = 0) -> np.ndarray:
+        """Upsample onto a regular high-resolution grid of ``output_shape``."""
+        lowres_np = lowres.data if isinstance(lowres, Tensor) else np.asarray(lowres)
+        output_shape = tuple(int(v) for v in output_shape)
+        return np.stack(
+            [upsample_trilinear(lowres_np[b], output_shape) for b in range(lowres_np.shape[0])],
+            axis=0,
+        )
+
+    def parameters(self) -> list:
+        """No trainable parameters (kept for interface compatibility)."""
+        return []
+
+    def eval(self) -> "TrilinearBaseline":
+        return self
+
+    def train(self, mode: bool = True) -> "TrilinearBaseline":
+        return self

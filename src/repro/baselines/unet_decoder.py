@@ -1,0 +1,99 @@
+"""Baseline (II): 3D U-Net encoder + convolutional decoder to the HR grid.
+
+This is the deep-learning baseline of Table 2: it shares the exact U-Net
+backbone of MeshfreeFlowNet but, instead of a continuously-queryable MLP,
+upsamples the latent grid back to the target high-resolution grid with
+nearest-neighbour upsampling + residual convolution blocks (Fig. 5, right
+branch).  Point-sample training targets are obtained by differentiable
+trilinear interpolation of the decoded grid, so it can be trained by the same
+Trainer as MeshfreeFlowNet.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..autodiff import Tensor, no_grad, ops
+from .. import nn
+from ..core.config import MeshfreeFlowNetConfig
+from ..core.latent_grid import query_latent_grid, regular_grid_coordinates
+from ..core.unet import ResBlock3d, UNet3d
+from ..data.interpolation import upsample_trilinear
+
+__all__ = ["UNetDecoderBaseline", "decompose_upsample_factors"]
+
+
+def decompose_upsample_factors(factors: Sequence[int]) -> list[tuple[int, int, int]]:
+    """Split total upsampling factors into stages of at most 2 per axis.
+
+    ``(4, 8, 8) -> [(1, 2, 2), (2, 2, 2), (2, 2, 2)]`` — the decomposition used
+    in Fig. 5.  Each factor must be a power of two (or one).
+    """
+    factors = [int(f) for f in factors]
+    for f in factors:
+        if f < 1 or (f & (f - 1)) != 0:
+            raise ValueError(f"upsampling factors must be powers of two; got {factors}")
+    remaining = list(factors)
+    stages: list[tuple[int, int, int]] = []
+    while any(f > 1 for f in remaining):
+        stage = tuple(2 if f > 1 else 1 for f in remaining)
+        stages.append(stage)
+        remaining = [f // s for f, s in zip(remaining, stage)]
+    # Put the "smallest" stages first so early feature maps stay small.
+    return stages[::-1] if stages else [(1, 1, 1)]
+
+
+class UNetDecoderBaseline(nn.Module):
+    """U-Net encoder + convolutional upsampling decoder (Baseline II)."""
+
+    name = "unet_decoder"
+
+    def __init__(self, config: Optional[MeshfreeFlowNetConfig] = None,
+                 upsample_factors: Sequence[int] = (4, 8, 8),
+                 decoder_channels: int = 32):
+        super().__init__()
+        self.config = config if config is not None else MeshfreeFlowNetConfig()
+        self.upsample_factors = tuple(int(f) for f in upsample_factors)
+        rng = np.random.default_rng(self.config.seed)
+        self.unet = UNet3d.from_config(self.config, rng=rng)
+
+        stages = decompose_upsample_factors(self.upsample_factors)
+        channels = self.config.latent_channels
+        blocks: list[nn.Module] = []
+        for stage in stages:
+            blocks.append(nn.UpsampleNearest3d(stage))
+            blocks.append(ResBlock3d(channels, decoder_channels,
+                                     norm=self.config.unet_norm,
+                                     activation=self.config.unet_activation, rng=rng))
+            channels = decoder_channels
+        blocks.append(nn.Conv3d(channels, self.config.out_channels, kernel_size=1, rng=rng))
+        self.decoder = nn.Sequential(*blocks)
+
+    # ---------------------------------------------------------------- forward
+    def decode_grid(self, lowres: Tensor) -> Tensor:
+        """Full decoded high-resolution grid ``(N, C_out, nt*ft, nz*fz, nx*fx)``."""
+        return self.decoder(self.unet(lowres))
+
+    def forward(self, lowres: Tensor, coords: Tensor) -> Tensor:
+        """Point predictions via differentiable trilinear sampling of the decoded grid."""
+        grid = self.decode_grid(lowres)
+        coord_dim = coords.shape[-1]
+        return query_latent_grid(grid, coords, decoder=lambda inp: inp[..., coord_dim:])
+
+    # --------------------------------------------------------- dense sampling
+    def predict_grid(self, lowres: Tensor, output_shape: Sequence[int],
+                     chunk_size: int = 0) -> np.ndarray:
+        """Super-resolve onto a regular grid of ``output_shape``.
+
+        The convolutional decoder produces a grid of fixed integer upsampling
+        factors; if a different ``output_shape`` is requested the decoded grid
+        is trilinearly resampled onto it (a shape-only adjustment).
+        """
+        output_shape = tuple(int(v) for v in output_shape)
+        with no_grad():
+            grid = self.decode_grid(lowres).data
+        if grid.shape[2:] == output_shape:
+            return grid
+        return np.stack([upsample_trilinear(grid[b], output_shape) for b in range(grid.shape[0])], axis=0)

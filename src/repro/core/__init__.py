@@ -1,0 +1,30 @@
+"""Core MeshfreeFlowNet model: the paper's primary contribution."""
+
+from .config import MeshfreeFlowNetConfig
+from .imnet import ImNet
+from .latent_grid import query_latent_grid, regular_grid_coordinates, trilinear_weights_numpy
+from .losses import (
+    LossBreakdown,
+    LossWeights,
+    compute_losses,
+    equation_loss,
+    prediction_loss,
+)
+from .model import MeshfreeFlowNet
+from .unet import ResBlock3d, UNet3d
+
+__all__ = [
+    "MeshfreeFlowNetConfig",
+    "MeshfreeFlowNet",
+    "UNet3d",
+    "ResBlock3d",
+    "ImNet",
+    "query_latent_grid",
+    "regular_grid_coordinates",
+    "trilinear_weights_numpy",
+    "prediction_loss",
+    "equation_loss",
+    "compute_losses",
+    "LossWeights",
+    "LossBreakdown",
+]

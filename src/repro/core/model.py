@@ -1,0 +1,203 @@
+"""The MeshfreeFlowNet model (Sec. 4 of the paper).
+
+Combines the Context Generation Network (3D U-Net) with the Continuous
+Decoding Network (ImNet) through differentiable trilinear latent-grid
+querying, and exposes helpers for dense super-resolution and for computing the
+spatio-temporal derivatives required by the PDE equation loss.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..autodiff import Tensor, grad, no_grad, ops
+from .. import nn
+from ..pde import PDESystem, parse_symbol
+from .config import MeshfreeFlowNetConfig
+from .imnet import ImNet
+from .latent_grid import query_latent_grid, regular_grid_coordinates
+from .unet import UNet3d
+
+__all__ = ["MeshfreeFlowNet"]
+
+
+class MeshfreeFlowNet(nn.Module):
+    """Physics-constrained continuous space-time super-resolution model.
+
+    Parameters
+    ----------
+    config:
+        Architecture hyper-parameters; defaults to the paper configuration.
+
+    Notes
+    -----
+    The forward pass takes a low-resolution space-time crop
+    ``(N, C_in, nt, nz, nx)`` and query coordinates ``(N, P, 3)`` normalised to
+    ``[0, 1]`` over the crop extent, and returns the predicted physical values
+    ``(N, P, C_out)`` at those continuous locations.
+    """
+
+    def __init__(self, config: Optional[MeshfreeFlowNetConfig] = None):
+        super().__init__()
+        self.config = config if config is not None else MeshfreeFlowNetConfig()
+        rng = np.random.default_rng(self.config.seed)
+        self.unet = UNet3d.from_config(self.config, rng=rng)
+        self.imnet = ImNet.from_config(self.config, rng=rng)
+
+    # ---------------------------------------------------------------- forward
+    def latent_grid(self, lowres: Tensor) -> Tensor:
+        """Encode the low-resolution input into a latent context grid."""
+        return self.unet(lowres)
+
+    def forward(self, lowres: Tensor, coords: Tensor) -> Tensor:
+        """Predict physical values at continuous query coordinates."""
+        grid = self.unet(lowres)
+        return self.decode(grid, coords)
+
+    def decode(self, grid: Tensor, coords: Tensor) -> Tensor:
+        """Decode an already-computed latent grid at query coordinates."""
+        return query_latent_grid(grid, coords, self.imnet, interpolation=self.config.interpolation)
+
+    # --------------------------------------------------------- dense sampling
+    def predict_grid(self, lowres: Tensor, output_shape: Sequence[int],
+                     chunk_size: int = 4096) -> np.ndarray:
+        """Super-resolve onto a regular high-resolution grid.
+
+        Parameters
+        ----------
+        lowres:
+            Input crop ``(N, C_in, nt, nz, nx)``.
+        output_shape:
+            Target high-resolution grid shape ``(nt_hr, nz_hr, nx_hr)``.
+        chunk_size:
+            Number of query points decoded per batch to bound memory use.
+
+        Returns
+        -------
+        ``numpy`` array of shape ``(N, C_out, nt_hr, nz_hr, nx_hr)``.
+        """
+        output_shape = tuple(int(v) for v in output_shape)
+        if len(output_shape) != 3:
+            raise ValueError(f"output_shape must be (nt, nz, nx); got {output_shape}")
+        coords_np = regular_grid_coordinates(output_shape)
+        n_batch = lowres.shape[0]
+        n_points = coords_np.shape[0]
+        out = np.zeros((n_batch, n_points, self.config.out_channels))
+        with no_grad():
+            grid = self.unet(lowres)
+            for start in range(0, n_points, chunk_size):
+                stop = min(start + chunk_size, n_points)
+                chunk = np.broadcast_to(coords_np[start:stop], (n_batch, stop - start, 3)).copy()
+                pred = self.decode(grid, Tensor(chunk))
+                out[:, start:stop, :] = pred.data
+        out = out.reshape(n_batch, *output_shape, self.config.out_channels)
+        return np.moveaxis(out, -1, 1)
+
+    def super_resolve(self, lowres: Tensor, upsample_factors: Sequence[int],
+                      chunk_size: int = 4096) -> np.ndarray:
+        """Super-resolve by integer upsampling factors along ``(t, z, x)``."""
+        factors = tuple(int(f) for f in upsample_factors)
+        out_shape = tuple(s * f for s, f in zip(lowres.shape[2:], factors))
+        return self.predict_grid(lowres, out_shape, chunk_size=chunk_size)
+
+    # ----------------------------------------------------------- derivatives
+    def forward_with_derivatives(
+        self,
+        lowres: Tensor,
+        coords: Tensor,
+        pde_system: PDESystem,
+        coord_scales: Optional[Sequence[float]] = None,
+    ) -> tuple[Tensor, dict[str, Tensor]]:
+        """Forward pass plus all derivatives required by ``pde_system``.
+
+        The query ``coords`` are treated as differentiation variables; the
+        returned ``values`` dictionary maps every symbol needed by the PDE
+        system (fields and their space-time derivatives, converted to
+        *physical* units via ``coord_scales``) to a tensor of shape
+        ``(N, P)``.  All derivative tensors carry a computation graph, so a
+        loss built from them can be backpropagated to the network parameters.
+
+        Parameters
+        ----------
+        coord_scales:
+            Physical extent of the crop along ``(t, z, x)``.  A derivative with
+            respect to a normalised coordinate is divided by the corresponding
+            extent to convert it to physical units.  Defaults to ones.
+        """
+        if not isinstance(coords, Tensor):
+            coords = Tensor(np.asarray(coords), requires_grad=True)
+        if not coords.requires_grad:
+            coords = Tensor(coords.data, requires_grad=True)
+        scales = np.ones(3) if coord_scales is None else np.asarray(coord_scales, dtype=np.float64)
+        if scales.shape != (3,):
+            raise ValueError(f"coord_scales must have shape (3,); got {scales.shape}")
+        if np.any(scales <= 0):
+            raise ValueError("coord_scales must be positive")
+
+        field_names = list(self.config.field_names)
+        coord_names = list(self.config.coord_names)
+
+        pred = self.forward(lowres, coords)
+
+        values: dict[str, Tensor] = {}
+        for i, name in enumerate(field_names):
+            values[name] = pred[:, :, i]
+
+        specs = pde_system.required_derivatives()
+        if not specs:
+            return pred, values
+
+        # Cache of d(field)/d(normalised coords): field -> (N, P, 3) tensor.
+        first_order: dict[str, Tensor] = {}
+        # Cache of d2(field)/d(c1)d(coords): (field, c1) -> (N, P, 3) tensor.
+        second_order: dict[tuple[str, str], Tensor] = {}
+
+        def first(field: str) -> Tensor:
+            if field not in first_order:
+                channel = values[field]
+                g = grad(ops.sum(channel), coords, create_graph=True)
+                if g is None:
+                    g = Tensor(np.zeros_like(coords.data))
+                first_order[field] = g
+            return first_order[field]
+
+        def second(field: str, c1: str) -> Tensor:
+            key = (field, c1)
+            if key not in second_order:
+                axis1 = coord_names.index(c1)
+                d1 = first(field)[:, :, axis1]
+                g = grad(ops.sum(d1), coords, create_graph=True)
+                if g is None:
+                    g = Tensor(np.zeros_like(coords.data))
+                second_order[key] = g
+            return second_order[key]
+
+        for spec in specs:
+            if spec.field not in values:
+                raise KeyError(f"PDE system requests unknown field '{spec.field}'")
+            if spec.order == 1:
+                axis = coord_names.index(spec.coords[0])
+                d = first(spec.field)[:, :, axis]
+                scale = scales[axis]
+                values[spec.symbol] = ops.mul(d, Tensor(np.array(1.0 / scale)))
+            elif spec.order == 2:
+                c1, c2 = spec.coords
+                axis1 = coord_names.index(c1)
+                axis2 = coord_names.index(c2)
+                d2 = second(spec.field, c1)[:, :, axis2]
+                scale = scales[axis1] * scales[axis2]
+                values[spec.symbol] = ops.mul(d2, Tensor(np.array(1.0 / scale)))
+            else:  # pragma: no cover - guarded by PDESystem.add_constraint
+                raise ValueError(f"unsupported derivative order {spec.order}")
+        return pred, values
+
+    # ------------------------------------------------------------- utilities
+    def count_parameters(self) -> dict[str, int]:
+        """Parameter counts of the two sub-networks."""
+        return {
+            "unet": self.unet.num_parameters(),
+            "imnet": self.imnet.num_parameters(),
+            "total": self.num_parameters(),
+        }

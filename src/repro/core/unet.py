@@ -1,0 +1,162 @@
+"""Context Generation Network: a 3D U-Net with residual blocks (Sec. 4.1).
+
+The network maps a low-resolution physical input grid ``(N, C_in, nt, nz, nx)``
+to a Latent Context Grid ``(N, C_latent, nt, nz, nx)`` of the same spatial
+size.  It is fully convolutional, so at inference time it can be applied to
+arbitrarily sized domains (possibly much larger than the training crops).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..autodiff import Tensor, ops
+from .. import nn
+from .config import MeshfreeFlowNetConfig
+
+__all__ = ["ResBlock3d", "UNet3d"]
+
+
+def _make_norm(kind: str, channels: int) -> nn.Module:
+    if kind == "batch":
+        return nn.BatchNorm3d(channels)
+    if kind == "group":
+        return nn.GroupNorm3d(num_groups=min(4, channels), num_channels=channels)
+    if kind == "none":
+        return nn.Identity()
+    raise ValueError(f"unknown norm '{kind}'")
+
+
+class ResBlock3d(nn.Module):
+    """Bottleneck residual block: 1×1×1 → 3×3×3 → 1×1×1 convolutions.
+
+    Each convolution is followed by normalisation; ReLU activations are
+    interleaved and the skip connection is projected with a 1×1×1 convolution
+    when the channel count changes (Fig. 5, "ResBlock").
+    """
+
+    def __init__(self, in_channels: int, out_channels: int,
+                 neck_channels: Optional[int] = None,
+                 norm: str = "batch", activation: str = "relu",
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        neck = neck_channels if neck_channels is not None else max(out_channels // 2, 1)
+        self.conv1 = nn.Conv3d(in_channels, neck, kernel_size=1, rng=rng)
+        self.norm1 = _make_norm(norm, neck)
+        self.conv2 = nn.Conv3d(neck, neck, kernel_size=3, padding=1, rng=rng)
+        self.norm2 = _make_norm(norm, neck)
+        self.conv3 = nn.Conv3d(neck, out_channels, kernel_size=1, rng=rng)
+        self.norm3 = _make_norm(norm, out_channels)
+        self.act = nn.get_activation(activation)
+        if in_channels != out_channels:
+            self.skip = nn.Conv3d(in_channels, out_channels, kernel_size=1, rng=rng)
+        else:
+            self.skip = nn.Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = self.act(self.norm1(self.conv1(x)))
+        h = self.act(self.norm2(self.conv2(h)))
+        h = self.norm3(self.conv3(h))
+        return self.act(ops.add(h, self.skip(x)))
+
+
+class UNet3d(nn.Module):
+    """3D U-Net with residual blocks, max-pool downsampling and nearest upsampling.
+
+    Parameters
+    ----------
+    in_channels:
+        Number of physical channels of the low-resolution input.
+    latent_channels:
+        Number of channels of the produced latent context grid.
+    base_channels:
+        Channel count after the stem block; doubled at every level.
+    pool_factors:
+        Per-level pooling factors along ``(t, z, x)``.  The input spatial
+        dimensions must be divisible by the cumulative product of these
+        factors (checked at call time with an informative error).
+    """
+
+    def __init__(self, in_channels: int, latent_channels: int,
+                 base_channels: int = 16,
+                 pool_factors: Sequence[tuple[int, int, int]] = ((1, 2, 2), (2, 2, 2)),
+                 norm: str = "batch", activation: str = "relu",
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_channels = int(in_channels)
+        self.latent_channels = int(latent_channels)
+        self.pool_factors = tuple(tuple(int(v) for v in p) for p in pool_factors)
+        self.num_levels = len(self.pool_factors)
+
+        self.stem = ResBlock3d(in_channels, base_channels, norm=norm, activation=activation, rng=rng)
+
+        channels = [base_channels * (2 ** i) for i in range(self.num_levels + 1)]
+        self.down_pools = nn.ModuleList([nn.MaxPool3d(p) for p in self.pool_factors])
+        self.down_blocks = nn.ModuleList([
+            ResBlock3d(channels[i], channels[i + 1], norm=norm, activation=activation, rng=rng)
+            for i in range(self.num_levels)
+        ])
+        self.up_samples = nn.ModuleList([
+            nn.UpsampleNearest3d(self.pool_factors[i]) for i in reversed(range(self.num_levels))
+        ])
+        self.up_blocks = nn.ModuleList([
+            ResBlock3d(channels[i + 1] + channels[i], channels[i], norm=norm, activation=activation, rng=rng)
+            for i in reversed(range(self.num_levels))
+        ])
+        self.head = nn.Conv3d(base_channels, latent_channels, kernel_size=1, rng=rng)
+
+    # ------------------------------------------------------------------ utils
+    def required_divisor(self) -> tuple[int, int, int]:
+        """Cumulative pooling factor per axis."""
+        div = [1, 1, 1]
+        for p in self.pool_factors:
+            for a in range(3):
+                div[a] *= p[a]
+        return tuple(div)
+
+    def _check_input(self, x: Tensor) -> None:
+        if x.ndim != 5:
+            raise ValueError(f"expected 5-D input (N, C, nt, nz, nx); got shape {x.shape}")
+        if x.shape[1] != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} input channels, got {x.shape[1]}")
+        div = self.required_divisor()
+        spatial = x.shape[2:]
+        for axis, (dim, d) in enumerate(zip(spatial, div)):
+            if dim % d != 0:
+                raise ValueError(
+                    f"input spatial shape {spatial} is not divisible by the cumulative "
+                    f"pooling factors {div} (axis {axis}: {dim} % {d} != 0)"
+                )
+
+    # ---------------------------------------------------------------- forward
+    def forward(self, x: Tensor) -> Tensor:
+        """Return the latent context grid ``(N, latent_channels, nt, nz, nx)``."""
+        self._check_input(x)
+        h = self.stem(x)
+        skips = [h]
+        for pool, block in zip(self.down_pools, self.down_blocks):
+            h = block(pool(h))
+            skips.append(h)
+        skips.pop()  # bottom features are not reused as a skip connection
+        for up, block in zip(self.up_samples, self.up_blocks):
+            h = up(h)
+            skip = skips.pop()
+            h = block(ops.concatenate([h, skip], axis=1))
+        return self.head(h)
+
+    # -------------------------------------------------------------- factories
+    @classmethod
+    def from_config(cls, config: MeshfreeFlowNetConfig,
+                    rng: Optional[np.random.Generator] = None) -> "UNet3d":
+        return cls(
+            in_channels=config.in_channels,
+            latent_channels=config.latent_channels,
+            base_channels=config.unet_base_channels,
+            pool_factors=config.unet_pool_factors,
+            norm=config.unet_norm,
+            activation=config.unet_activation,
+            rng=rng,
+        )

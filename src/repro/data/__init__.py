@@ -1,0 +1,17 @@
+"""Data pipeline: downsampling, normalisation, crop/point sampling, loaders."""
+
+from .dataset import Batch, DataLoader, SuperResolutionDataset
+from .downsample import downsample_fields, downsample_result
+from .interpolation import interpolate_grid, upsample_trilinear
+from .normalization import ChannelNormalizer
+
+__all__ = [
+    "Batch",
+    "DataLoader",
+    "SuperResolutionDataset",
+    "downsample_fields",
+    "downsample_result",
+    "interpolate_grid",
+    "upsample_trilinear",
+    "ChannelNormalizer",
+]

@@ -1,0 +1,274 @@
+"""Training / evaluation datasets for space-time super-resolution.
+
+A :class:`SuperResolutionDataset` wraps one or more high-resolution
+:class:`~repro.simulation.result.SimulationResult` objects, applies the
+low-resolution operator (downsampling by ``(d_t, d_z, d_x)``), and produces
+the training samples of Fig. 3:
+
+* a low-resolution space-time crop (the model input),
+* a set of random continuous query coordinates inside that crop,
+* ground-truth values at the query points, obtained by trilinear
+  interpolation of the high-resolution solution,
+* the physical extent of the crop (needed to convert normalised-coordinate
+  derivatives into physical derivatives for the equation loss).
+
+Sampling is fully deterministic given ``(seed, epoch, index)`` so that the
+simulated distributed data-parallel training can partition sample indices
+across ranks and still be bitwise reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from ..simulation.result import CHANNELS, SimulationResult
+from .downsample import downsample_fields
+from .interpolation import interpolate_grid
+from .normalization import ChannelNormalizer
+
+__all__ = ["SuperResolutionDataset", "DataLoader", "Batch"]
+
+
+@dataclass
+class Batch:
+    """A mini-batch of point-sampled training data (NumPy arrays)."""
+
+    lowres: np.ndarray        #: (B, C, nt_lr, nz_lr, nx_lr)
+    coords: np.ndarray        #: (B, P, 3) normalised query coordinates
+    targets: np.ndarray       #: (B, P, C) ground-truth values at the queries
+    coord_scales: np.ndarray  #: (3,) physical extent of the crops along (t, z, x)
+
+    def __len__(self) -> int:
+        return self.lowres.shape[0]
+
+
+class SuperResolutionDataset:
+    """Point-sampling dataset built from high-resolution simulations.
+
+    Parameters
+    ----------
+    results:
+        One or more high-resolution simulation results (identical grids).
+    lr_factors:
+        Downsampling factors ``(d_t, d_z, d_x)`` of the low-resolution operator.
+        The paper uses ``(4, 8, 8)``.
+    crop_shape_lr:
+        Spatio-temporal size of the low-resolution crops fed to the U-Net.
+    n_points:
+        Number of random query points per crop.
+    samples_per_epoch:
+        Nominal number of crops per training epoch (the paper uses 3000).
+    normalize:
+        Normalise every channel to zero mean / unit variance (statistics from
+        the high-resolution training data).
+    downsample_method:
+        ``"subsample"`` or ``"mean"`` (see :func:`downsample_fields`).
+    """
+
+    def __init__(self, results: Sequence[SimulationResult] | SimulationResult,
+                 lr_factors: tuple[int, int, int] = (4, 8, 8),
+                 crop_shape_lr: tuple[int, int, int] = (4, 16, 16),
+                 n_points: int = 512,
+                 samples_per_epoch: int = 256,
+                 normalize: bool = True,
+                 downsample_method: str = "subsample",
+                 seed: int = 0):
+        if isinstance(results, SimulationResult):
+            results = [results]
+        if not results:
+            raise ValueError("need at least one simulation result")
+        self.results = list(results)
+        self.lr_factors = tuple(int(f) for f in lr_factors)
+        self.crop_shape_lr = tuple(int(c) for c in crop_shape_lr)
+        self.n_points = int(n_points)
+        self.samples_per_epoch = int(samples_per_epoch)
+        self.downsample_method = downsample_method
+        self.seed = int(seed)
+
+        ref_shape = self.results[0].fields.shape
+        for r in self.results:
+            if r.fields.shape != ref_shape:
+                raise ValueError("all simulation results must share the same grid shape")
+
+        self.hr_fields = [r.fields.copy() for r in self.results]
+        self.lr_fields = [downsample_fields(f, self.lr_factors, method=downsample_method)
+                          for f in self.hr_fields]
+
+        lr_shape = self.lr_fields[0].shape
+        for axis, (crop, full) in enumerate(zip(self.crop_shape_lr, (lr_shape[0], lr_shape[2], lr_shape[3]))):
+            if crop > full:
+                raise ValueError(
+                    f"crop_shape_lr {self.crop_shape_lr} exceeds the low-resolution grid "
+                    f"{(lr_shape[0], lr_shape[2], lr_shape[3])} on axis {axis}"
+                )
+
+        self.normalizer: Optional[ChannelNormalizer] = None
+        if normalize:
+            self.normalizer = ChannelNormalizer().fit(np.concatenate(self.hr_fields, axis=0), channel_axis=1)
+            self.hr_fields = [self.normalizer.transform(f, channel_axis=1) for f in self.hr_fields]
+            self.lr_fields = [self.normalizer.transform(f, channel_axis=1) for f in self.lr_fields]
+
+        # Physical spacing of the high-resolution grid (shared across results).
+        dt_hr, dz_hr, dx_hr = self.results[0].grid_spacing()
+        ft, fz, fx = self.lr_factors
+        ct, cz, cx = self.crop_shape_lr
+        self._crop_extent = np.array([
+            max((ct - 1) * ft * dt_hr, 1e-12),
+            max((cz - 1) * fz * dz_hr, 1e-12),
+            max((cx - 1) * fx * dx_hr, 1e-12),
+        ])
+
+    # ---------------------------------------------------------------- info
+    @property
+    def n_datasets(self) -> int:
+        return len(self.results)
+
+    @property
+    def channel_names(self) -> tuple[str, ...]:
+        return CHANNELS
+
+    @property
+    def lr_shape(self) -> tuple[int, int, int]:
+        f = self.lr_fields[0]
+        return (f.shape[0], f.shape[2], f.shape[3])
+
+    @property
+    def hr_shape(self) -> tuple[int, int, int]:
+        f = self.hr_fields[0]
+        return (f.shape[0], f.shape[2], f.shape[3])
+
+    @property
+    def crop_extent(self) -> np.ndarray:
+        """Physical extent of one crop along (t, z, x)."""
+        return self._crop_extent.copy()
+
+    def hr_crop_shape(self) -> tuple[int, int, int]:
+        """Grid shape of the high-resolution region spanned by one LR crop."""
+        ft, fz, fx = self.lr_factors
+        ct, cz, cx = self.crop_shape_lr
+        return ((ct - 1) * ft + 1, (cz - 1) * fz + 1, (cx - 1) * fx + 1)
+
+    def __len__(self) -> int:
+        return self.samples_per_epoch
+
+    # ------------------------------------------------------------- sampling
+    def _rng(self, epoch: int, index: int) -> np.random.Generator:
+        return np.random.default_rng(np.random.SeedSequence([self.seed, int(epoch), int(index)]))
+
+    def sample(self, index: int, epoch: int = 0, n_points: Optional[int] = None) -> Batch:
+        """Draw one deterministic crop + point-sample batch element."""
+        rng = self._rng(epoch, index)
+        n_points = self.n_points if n_points is None else int(n_points)
+        ft, fz, fx = self.lr_factors
+        ct, cz, cx = self.crop_shape_lr
+
+        d = int(rng.integers(0, self.n_datasets))
+        lr = self.lr_fields[d]
+        hr = self.hr_fields[d]
+        nt_lr, _, nz_lr, nx_lr = lr.shape
+
+        st = int(rng.integers(0, nt_lr - ct + 1))
+        sz = int(rng.integers(0, nz_lr - cz + 1))
+        sx = int(rng.integers(0, nx_lr - cx + 1))
+
+        lr_crop = lr[st:st + ct, :, sz:sz + cz, sx:sx + cx]          # (ct, C, cz, cx)
+        lr_crop = np.moveaxis(lr_crop, 1, 0)                          # (C, ct, cz, cx)
+
+        ht, hz, hx = st * ft, sz * fz, sx * fx
+        sht, shz, shx = self.hr_crop_shape()
+        hr_crop = hr[ht:ht + sht, :, hz:hz + shz, hx:hx + shx]
+        hr_crop = np.moveaxis(hr_crop, 1, 0)                          # (C, nt_hr, nz_hr, nx_hr)
+
+        coords = rng.random((n_points, 3))
+        targets = interpolate_grid(hr_crop, coords)                    # (P, C)
+
+        return Batch(
+            lowres=lr_crop[None],
+            coords=coords[None],
+            targets=targets[None],
+            coord_scales=self._crop_extent.copy(),
+        )
+
+    def sample_batch(self, indices: Sequence[int], epoch: int = 0,
+                     n_points: Optional[int] = None) -> Batch:
+        """Stack several deterministic samples into a batch."""
+        samples = [self.sample(i, epoch=epoch, n_points=n_points) for i in indices]
+        return Batch(
+            lowres=np.concatenate([s.lowres for s in samples], axis=0),
+            coords=np.concatenate([s.coords for s in samples], axis=0),
+            targets=np.concatenate([s.targets for s in samples], axis=0),
+            coord_scales=samples[0].coord_scales,
+        )
+
+    # ------------------------------------------------------------ evaluation
+    def evaluation_pair(self, dataset_index: int = 0) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Full-domain (low-res input, high-res target, extent) for evaluation.
+
+        The high-resolution field is trimmed to the region spanned by the
+        low-resolution grid points so that both grids cover exactly the same
+        physical extent.  Returns ``(lowres (C, nt_lr, nz_lr, nx_lr),
+        highres (C, nt_hr, nz_hr, nx_hr), extent (3,))``.
+        """
+        lr = self.lr_fields[dataset_index]
+        hr = self.hr_fields[dataset_index]
+        ft, fz, fx = self.lr_factors
+        nt_lr, _, nz_lr, nx_lr = lr.shape
+        hr_trim = hr[: (nt_lr - 1) * ft + 1, :, : (nz_lr - 1) * fz + 1, : (nx_lr - 1) * fx + 1]
+        dt_hr, dz_hr, dx_hr = self.results[dataset_index].grid_spacing()
+        extent = np.array([
+            max((nt_lr - 1) * ft * dt_hr, 1e-12),
+            max((nz_lr - 1) * fz * dz_hr, 1e-12),
+            max((nx_lr - 1) * fx * dx_hr, 1e-12),
+        ])
+        return np.moveaxis(lr, 1, 0), np.moveaxis(hr_trim, 1, 0), extent
+
+    def denormalize(self, fields: np.ndarray, channel_axis: int = 0) -> np.ndarray:
+        """Map normalised fields back to physical units (no-op if unnormalised)."""
+        if self.normalizer is None:
+            return np.asarray(fields)
+        return self.normalizer.inverse_transform(fields, channel_axis=channel_axis)
+
+
+class DataLoader:
+    """Iterates a :class:`SuperResolutionDataset` in mini-batches.
+
+    A ``sampler`` (sequence of sample indices) can be supplied to restrict the
+    loader to a subset of the epoch — this is how the distributed data-parallel
+    simulation shards data across ranks.
+    """
+
+    def __init__(self, dataset: SuperResolutionDataset, batch_size: int = 4,
+                 sampler: Optional[Sequence[int]] = None, drop_last: bool = False):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.sampler = list(sampler) if sampler is not None else None
+        self.drop_last = bool(drop_last)
+        self.epoch = 0
+
+    def set_epoch(self, epoch: int) -> None:
+        """Change the epoch used to seed the deterministic crop sampling."""
+        self.epoch = int(epoch)
+
+    def _indices(self) -> list[int]:
+        if self.sampler is not None:
+            return list(self.sampler)
+        return list(range(len(self.dataset)))
+
+    def __len__(self) -> int:
+        n = len(self._indices())
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Batch]:
+        indices = self._indices()
+        for start in range(0, len(indices), self.batch_size):
+            chunk = indices[start:start + self.batch_size]
+            if self.drop_last and len(chunk) < self.batch_size:
+                break
+            yield self.dataset.sample_batch(chunk, epoch=self.epoch)

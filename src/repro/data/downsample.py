@@ -1,0 +1,64 @@
+"""The low-resolution operator ``L``: downsampling in space and time.
+
+The paper constructs the low-resolution dataset ``D_L`` from the
+high-resolution solution with downsampling factors ``d_t = 4`` (time) and
+``d_s = 8`` (space).  Both strided subsampling (what a coarse solver output
+would look like) and block-mean filtering (an anti-aliased coarse-graining)
+are provided.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..simulation.result import SimulationResult
+
+__all__ = ["downsample_fields", "downsample_result"]
+
+
+def _block_mean(arr: np.ndarray, factors: tuple[int, int, int]) -> np.ndarray:
+    nt, c, nz, nx = arr.shape
+    ft, fz, fx = factors
+    return arr.reshape(nt // ft, ft, c, nz // fz, fz, nx // fx, fx).mean(axis=(1, 4, 6))
+
+
+def downsample_fields(fields: np.ndarray, factors: tuple[int, int, int],
+                      method: str = "subsample") -> np.ndarray:
+    """Downsample ``(nt, C, nz, nx)`` fields by integer ``(d_t, d_z, d_x)`` factors.
+
+    ``method`` is ``"subsample"`` (strided decimation) or ``"mean"`` (block
+    average).  Every factor must divide the corresponding axis length.
+    """
+    fields = np.asarray(fields)
+    if fields.ndim != 4:
+        raise ValueError(f"fields must have shape (nt, C, nz, nx); got {fields.shape}")
+    ft, fz, fx = (int(f) for f in factors)
+    if min(ft, fz, fx) < 1:
+        raise ValueError(f"factors must be >= 1; got {factors}")
+    nt, _, nz, nx = fields.shape
+    for name, dim, f in (("nt", nt, ft), ("nz", nz, fz), ("nx", nx, fx)):
+        if dim % f != 0:
+            raise ValueError(f"{name}={dim} is not divisible by downsampling factor {f}")
+    if method == "subsample":
+        return fields[::ft, :, ::fz, ::fx].copy()
+    if method == "mean":
+        return _block_mean(fields, (ft, fz, fx))
+    raise ValueError(f"unknown downsampling method '{method}'")
+
+
+def downsample_result(result: SimulationResult, factors: tuple[int, int, int],
+                      method: str = "subsample") -> SimulationResult:
+    """Apply :func:`downsample_fields` to a :class:`SimulationResult`."""
+    ft = int(factors[0])
+    fields = downsample_fields(result.fields, factors, method=method)
+    times = result.times[::ft] if method == "subsample" else result.times.reshape(-1, ft).mean(axis=1)
+    return SimulationResult(
+        fields=fields,
+        times=times.copy(),
+        lx=result.lx,
+        lz=result.lz,
+        rayleigh=result.rayleigh,
+        prandtl=result.prandtl,
+        metadata={**result.metadata, "downsample_factors": tuple(int(f) for f in factors),
+                  "downsample_method": method},
+    )

@@ -1,0 +1,78 @@
+"""Trilinear grid interpolation in NumPy.
+
+Used for (i) producing point-sample training targets from the high-resolution
+ground truth (the "Supervision" arrow in Fig. 3 of the paper), and (ii) the
+trilinear-upsampling Baseline (I).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+__all__ = ["interpolate_grid", "upsample_trilinear"]
+
+
+def interpolate_grid(field: np.ndarray, coords: np.ndarray) -> np.ndarray:
+    """Trilinearly interpolate a regular grid at normalised query points.
+
+    Parameters
+    ----------
+    field:
+        Array of shape ``(C, n_t, n_z, n_x)`` (channel-first grid).
+    coords:
+        Query coordinates of shape ``(P, 3)``, normalised to ``[0, 1]`` along
+        each axis (axis order ``t, z, x``); values outside the range are
+        clamped to the boundary.
+
+    Returns
+    -------
+    Array of shape ``(P, C)``.
+    """
+    field = np.asarray(field, dtype=np.float64)
+    coords = np.asarray(coords, dtype=np.float64)
+    if field.ndim != 4:
+        raise ValueError(f"field must have shape (C, nt, nz, nx); got {field.shape}")
+    if coords.ndim != 2 or coords.shape[1] != 3:
+        raise ValueError(f"coords must have shape (P, 3); got {coords.shape}")
+
+    sizes = field.shape[1:]
+    idx0 = []
+    frac = []
+    for axis in range(3):
+        n = sizes[axis]
+        pos = np.clip(coords[:, axis], 0.0, 1.0) * max(n - 1, 1)
+        if n == 1:
+            i0 = np.zeros(coords.shape[0], dtype=np.int64)
+        else:
+            i0 = np.clip(np.floor(pos).astype(np.int64), 0, n - 2)
+        idx0.append(i0)
+        frac.append(pos - i0)
+
+    out = np.zeros((coords.shape[0], field.shape[0]))
+    for offsets in itertools.product((0, 1), repeat=3):
+        weight = np.ones(coords.shape[0])
+        index = []
+        for axis, offset in enumerate(offsets):
+            f = frac[axis]
+            weight = weight * (f if offset == 1 else (1.0 - f))
+            index.append(np.minimum(idx0[axis] + offset, sizes[axis] - 1))
+        vertex_values = field[:, index[0], index[1], index[2]]  # (C, P)
+        out += weight[:, None] * vertex_values.T
+    return out
+
+
+def upsample_trilinear(field: np.ndarray, output_shape: tuple[int, int, int]) -> np.ndarray:
+    """Trilinearly upsample a channel-first grid to ``output_shape`` (Baseline I).
+
+    ``field`` has shape ``(C, nt, nz, nx)``; the result has shape
+    ``(C, *output_shape)``.  Grid points of both grids are assumed to span the
+    same normalised ``[0, 1]`` extent per axis.
+    """
+    output_shape = tuple(int(v) for v in output_shape)
+    axes = [np.linspace(0.0, 1.0, n) if n > 1 else np.zeros(1) for n in output_shape]
+    tt, zz, xx = np.meshgrid(*axes, indexing="ij")
+    coords = np.stack([tt.ravel(), zz.ravel(), xx.ravel()], axis=-1)
+    values = interpolate_grid(field, coords)  # (P, C)
+    return values.T.reshape(field.shape[0], *output_shape)

@@ -1,0 +1,64 @@
+"""Channel-wise normalisation of the physical fields."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ChannelNormalizer"]
+
+
+class ChannelNormalizer:
+    """Per-channel affine normalisation ``(x - mean) / std``.
+
+    Statistics are computed over all non-channel axes of the fitted arrays.
+    The channel axis position is configurable because grids are stored as
+    ``(nt, C, nz, nx)`` while point samples are ``(..., C)``.
+    """
+
+    def __init__(self, eps: float = 1e-8):
+        self.eps = float(eps)
+        self.mean_: np.ndarray | None = None
+        self.std_: np.ndarray | None = None
+
+    @property
+    def fitted(self) -> bool:
+        return self.mean_ is not None
+
+    def fit(self, fields: np.ndarray, channel_axis: int = 1) -> "ChannelNormalizer":
+        fields = np.asarray(fields)
+        axes = tuple(a for a in range(fields.ndim) if a != channel_axis % fields.ndim)
+        self.mean_ = fields.mean(axis=axes)
+        self.std_ = fields.std(axis=axes) + self.eps
+        return self
+
+    def _reshape(self, stats: np.ndarray, ndim: int, channel_axis: int) -> np.ndarray:
+        shape = [1] * ndim
+        shape[channel_axis % ndim] = -1
+        return stats.reshape(shape)
+
+    def transform(self, fields: np.ndarray, channel_axis: int = 1) -> np.ndarray:
+        self._check()
+        mean = self._reshape(self.mean_, np.ndim(fields), channel_axis)
+        std = self._reshape(self.std_, np.ndim(fields), channel_axis)
+        return (np.asarray(fields) - mean) / std
+
+    def inverse_transform(self, fields: np.ndarray, channel_axis: int = 1) -> np.ndarray:
+        self._check()
+        mean = self._reshape(self.mean_, np.ndim(fields), channel_axis)
+        std = self._reshape(self.std_, np.ndim(fields), channel_axis)
+        return np.asarray(fields) * std + mean
+
+    def state_dict(self) -> dict:
+        self._check()
+        return {"mean": self.mean_.copy(), "std": self.std_.copy(), "eps": self.eps}
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "ChannelNormalizer":
+        norm = cls(eps=float(state["eps"]))
+        norm.mean_ = np.asarray(state["mean"], dtype=np.float64)
+        norm.std_ = np.asarray(state["std"], dtype=np.float64)
+        return norm
+
+    def _check(self) -> None:
+        if not self.fitted:
+            raise RuntimeError("ChannelNormalizer must be fitted before use")

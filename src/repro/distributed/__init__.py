@@ -1,0 +1,21 @@
+"""Simulated data-parallel distributed training (the NCCL / DDP substitute)."""
+
+from .allreduce import AllReduceStats, naive_allreduce, reduce_scatter_allgather_cost, ring_allreduce
+from .comm import SimulatedCommunicator
+from .ddp import DataParallelGroup, average_gradients
+from .perf_model import ClusterSpec, ScalingPerformanceModel, ScalingPoint
+from .sampler import DistributedSampler
+
+__all__ = [
+    "ring_allreduce",
+    "naive_allreduce",
+    "reduce_scatter_allgather_cost",
+    "AllReduceStats",
+    "SimulatedCommunicator",
+    "DistributedSampler",
+    "DataParallelGroup",
+    "average_gradients",
+    "ClusterSpec",
+    "ScalingPerformanceModel",
+    "ScalingPoint",
+]

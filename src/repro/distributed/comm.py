@@ -1,0 +1,69 @@
+"""Simulated communicator for in-process multi-rank execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from .allreduce import AllReduceStats, naive_allreduce, ring_allreduce
+
+__all__ = ["SimulatedCommunicator"]
+
+
+class SimulatedCommunicator:
+    """An in-process stand-in for ``torch.distributed`` / NCCL.
+
+    All "ranks" live in the same process; collectives operate on per-rank
+    lists of NumPy buffers.  The communicator keeps running totals of the
+    bytes moved and collective calls issued so experiments can report
+    communication volume alongside timing from the analytic performance
+    model.
+    """
+
+    def __init__(self, world_size: int, algorithm: str = "ring"):
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        if algorithm not in ("ring", "naive"):
+            raise ValueError(f"unknown all-reduce algorithm '{algorithm}'")
+        self.world_size = int(world_size)
+        self.algorithm = algorithm
+        self.total_bytes = 0
+        self.num_collectives = 0
+        self.history: list[AllReduceStats] = []
+
+    # ------------------------------------------------------------ collectives
+    def allreduce(self, buffers: Sequence[np.ndarray], average: bool = False) -> list[np.ndarray]:
+        """All-reduce (sum or mean) across ranks; ``buffers[i]`` belongs to rank ``i``."""
+        buffers = list(buffers)
+        if len(buffers) != self.world_size:
+            raise ValueError(f"expected {self.world_size} buffers, got {len(buffers)}")
+        fn = ring_allreduce if self.algorithm == "ring" else naive_allreduce
+        results, stats = fn(buffers, average=average)
+        self.total_bytes += stats.total_bytes
+        self.num_collectives += 1
+        self.history.append(stats)
+        return results
+
+    def broadcast(self, buffer: np.ndarray, root: int = 0) -> list[np.ndarray]:
+        """Broadcast a buffer from ``root`` to all ranks."""
+        if not 0 <= root < self.world_size:
+            raise ValueError(f"root {root} out of range for world_size {self.world_size}")
+        arr = np.asarray(buffer)
+        self.total_bytes += arr.nbytes * (self.world_size - 1)
+        self.num_collectives += 1
+        return [arr.copy() for _ in range(self.world_size)]
+
+    def barrier(self) -> None:
+        """No-op (ranks are lock-stepped by construction)."""
+
+    # ------------------------------------------------------------------ stats
+    def reset_stats(self) -> None:
+        self.total_bytes = 0
+        self.num_collectives = 0
+        self.history.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"SimulatedCommunicator(world_size={self.world_size}, "
+                f"algorithm='{self.algorithm}', collectives={self.num_collectives})")

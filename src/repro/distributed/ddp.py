@@ -1,0 +1,110 @@
+"""Data-parallel training simulation (DistributedDataParallel equivalent).
+
+Two levels of fidelity are provided:
+
+* :class:`DataParallelGroup` — *replicated* simulation: ``world_size`` model
+  replicas live in the same process, each consumes its own shard of the batch,
+  gradients are combined with the ring all-reduce from
+  :mod:`repro.distributed.allreduce`, and every replica's optimizer applies the
+  same averaged update.  Used by the tests to verify that distributed training
+  is bitwise equivalent to single-process large-batch training.
+
+* gradient accumulation in the Trainer (``world_size`` micro-batches averaged
+  on a single model) — mathematically identical to synchronous data-parallel
+  SGD while requiring only one replica; used for the loss-vs-epoch curves of
+  Fig. 7b at large worker counts.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..nn.module import Module
+from ..optim.optimizers import Optimizer
+from .comm import SimulatedCommunicator
+
+__all__ = ["DataParallelGroup", "average_gradients"]
+
+
+def average_gradients(replicas: Sequence[Module], communicator: SimulatedCommunicator) -> None:
+    """All-reduce (average) gradients across replicas, in place.
+
+    Parameters without gradients on any replica are treated as zero gradients
+    so that all replicas stay consistent.
+    """
+    param_lists = [list(r.parameters()) for r in replicas]
+    n_params = len(param_lists[0])
+    for lst in param_lists:
+        if len(lst) != n_params:
+            raise ValueError("replicas have differing parameter counts")
+    for idx in range(n_params):
+        grads = []
+        for rank in range(len(replicas)):
+            p = param_lists[rank][idx]
+            grads.append(p.grad if p.grad is not None else np.zeros_like(p.data))
+        reduced = communicator.allreduce(grads, average=True)
+        for rank in range(len(replicas)):
+            param_lists[rank][idx].grad = reduced[rank]
+
+
+class DataParallelGroup:
+    """A group of lock-stepped model replicas with synchronous gradient averaging."""
+
+    def __init__(self, model_factory: Callable[[], Module], world_size: int,
+                 optimizer_factory: Callable[[list], Optimizer],
+                 algorithm: str = "ring"):
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        self.world_size = int(world_size)
+        self.communicator = SimulatedCommunicator(self.world_size, algorithm=algorithm)
+        self.replicas: list[Module] = [model_factory() for _ in range(self.world_size)]
+        self.optimizers: list[Optimizer] = [optimizer_factory(r.parameters()) for r in self.replicas]
+        self.sync_parameters()
+
+    # ------------------------------------------------------------------ sync
+    def sync_parameters(self) -> None:
+        """Broadcast rank 0's parameters to every replica (initial sync)."""
+        reference = self.replicas[0].state_dict()
+        for replica in self.replicas[1:]:
+            replica.load_state_dict(copy.deepcopy(reference))
+
+    def parameters_in_sync(self, atol: float = 0.0) -> bool:
+        """Check that all replicas hold identical parameters."""
+        ref = self.replicas[0].state_dict()
+        for replica in self.replicas[1:]:
+            other = replica.state_dict()
+            for key, value in ref.items():
+                if not np.allclose(value, other[key], atol=atol, rtol=0.0):
+                    return False
+        return True
+
+    # ------------------------------------------------------------------ step
+    def step(self, per_rank_losses: Sequence) -> list[float]:
+        """Backward each rank's loss, all-reduce gradients, apply the update.
+
+        ``per_rank_losses[i]`` must be a scalar loss tensor computed from
+        replica ``i``'s forward pass on its own data shard.
+        """
+        if len(per_rank_losses) != self.world_size:
+            raise ValueError(f"expected {self.world_size} losses, got {len(per_rank_losses)}")
+        values = []
+        for replica, optimizer, loss in zip(self.replicas, self.optimizers, per_rank_losses):
+            optimizer.zero_grad()
+            loss.backward()
+            values.append(float(loss.data))
+        average_gradients(self.replicas, self.communicator)
+        for optimizer in self.optimizers:
+            optimizer.step()
+        return values
+
+    # ------------------------------------------------------------------ info
+    @property
+    def model(self) -> Module:
+        """Rank 0's replica (all replicas are identical after every step)."""
+        return self.replicas[0]
+
+    def communication_bytes(self) -> int:
+        return self.communicator.total_bytes

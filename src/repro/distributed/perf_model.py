@@ -1,0 +1,143 @@
+"""Analytic performance model of data-parallel training (Fig. 7a / 7c).
+
+The paper measures throughput and scaling efficiency of synchronous
+data-parallel training on up to 16 Cori-GPU nodes (128 V100s, NVLink within a
+node, EDR InfiniBand between nodes).  Without that hardware we model the step
+time as
+
+``step_time(N) = compute_time + exposed_communication(N) ``
+
+where the communication term follows the standard α–β (latency–bandwidth)
+cost of a ring all-reduce over the gradient message, using intra-node
+bandwidth while the job fits on one node and inter-node bandwidth beyond, and
+where a configurable fraction of the communication is overlapped with the
+backward pass (the optimisation described in Sec. 3.4).
+
+Default parameters are calibrated so that the model reproduces the paper's
+headline numbers (≈96.8 % scaling efficiency at 128 GPUs, ≈2×10³ samples/s
+aggregate throughput); the *shape* of the curves — near-linear throughput,
+efficiency dropping slightly once the job spans multiple nodes — is a
+genuine prediction of the cost model rather than a fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .allreduce import reduce_scatter_allgather_cost
+
+__all__ = ["ClusterSpec", "ScalingPerformanceModel", "ScalingPoint"]
+
+
+@dataclass
+class ClusterSpec:
+    """Hardware characteristics of the (simulated) GPU cluster."""
+
+    gpus_per_node: int = 8
+    intra_node_bandwidth: float = 130e9     #: bytes/s (NVLink cube-mesh)
+    inter_node_bandwidth: float = 12.5e9    #: bytes/s (EDR InfiniBand, 100 Gb/s)
+    intra_node_latency: float = 8e-6        #: seconds per hop
+    inter_node_latency: float = 25e-6       #: seconds per hop
+
+    def bandwidth(self, world_size: int) -> float:
+        return self.intra_node_bandwidth if world_size <= self.gpus_per_node else self.inter_node_bandwidth
+
+    def latency(self, world_size: int) -> float:
+        return self.intra_node_latency if world_size <= self.gpus_per_node else self.inter_node_latency
+
+
+@dataclass
+class ScalingPoint:
+    """One row of the scaling study."""
+
+    world_size: int
+    step_time: float
+    throughput: float
+    efficiency: float
+    communication_time: float
+    exposed_communication_time: float
+    epoch_time: float
+
+
+@dataclass
+class ScalingPerformanceModel:
+    """α–β cost model for synchronous data-parallel training."""
+
+    n_parameters: int = 40_000_000
+    bytes_per_parameter: int = 4
+    compute_time_per_sample: float = 0.064   #: forward+backward seconds per sample on one worker
+    batch_size_per_worker: int = 16
+    samples_per_epoch: int = 3000
+    overlap_fraction: float = 0.0            #: fraction of all-reduce hidden behind backprop
+    cluster: ClusterSpec = None
+
+    def __post_init__(self):
+        if self.cluster is None:
+            self.cluster = ClusterSpec()
+        if not 0.0 <= self.overlap_fraction <= 1.0:
+            raise ValueError("overlap_fraction must be in [0, 1]")
+        if self.n_parameters <= 0 or self.compute_time_per_sample <= 0:
+            raise ValueError("model size and compute time must be positive")
+
+    # ------------------------------------------------------------------ costs
+    @property
+    def message_bytes(self) -> int:
+        return int(self.n_parameters * self.bytes_per_parameter)
+
+    def communication_time(self, world_size: int) -> float:
+        """Full (un-overlapped) ring all-reduce time for one step."""
+        return reduce_scatter_allgather_cost(
+            world_size, self.message_bytes,
+            self.cluster.bandwidth(world_size), self.cluster.latency(world_size),
+        )
+
+    def exposed_communication_time(self, world_size: int) -> float:
+        return (1.0 - self.overlap_fraction) * self.communication_time(world_size)
+
+    def compute_time(self) -> float:
+        return self.batch_size_per_worker * self.compute_time_per_sample
+
+    def step_time(self, world_size: int) -> float:
+        return self.compute_time() + self.exposed_communication_time(world_size)
+
+    # ------------------------------------------------------------- quantities
+    def throughput(self, world_size: int) -> float:
+        """Aggregate training throughput in samples per second."""
+        return world_size * self.batch_size_per_worker / self.step_time(world_size)
+
+    def ideal_throughput(self, world_size: int) -> float:
+        return world_size * self.batch_size_per_worker / self.compute_time()
+
+    def efficiency(self, world_size: int) -> float:
+        """Scaling efficiency relative to perfectly linear scaling of one worker."""
+        return self.throughput(world_size) / (world_size * self.throughput(1))
+
+    def steps_per_epoch(self, world_size: int) -> int:
+        global_batch = world_size * self.batch_size_per_worker
+        return max(1, int(np.ceil(self.samples_per_epoch / global_batch)))
+
+    def epoch_time(self, world_size: int) -> float:
+        return self.steps_per_epoch(world_size) * self.step_time(world_size)
+
+    def training_time(self, world_size: int, epochs: int) -> float:
+        return epochs * self.epoch_time(world_size)
+
+    # ----------------------------------------------------------------- tables
+    def evaluate(self, world_sizes: Sequence[int]) -> list[ScalingPoint]:
+        """Evaluate the model at several worker counts (Fig. 7a data)."""
+        points = []
+        for n in world_sizes:
+            n = int(n)
+            points.append(ScalingPoint(
+                world_size=n,
+                step_time=self.step_time(n),
+                throughput=self.throughput(n),
+                efficiency=self.efficiency(n),
+                communication_time=self.communication_time(n),
+                exposed_communication_time=self.exposed_communication_time(n),
+                epoch_time=self.epoch_time(n),
+            ))
+        return points

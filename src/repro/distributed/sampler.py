@@ -1,0 +1,57 @@
+"""Distributed data sampler (the ``DistributedSampler`` equivalent)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DistributedSampler"]
+
+
+class DistributedSampler:
+    """Partitions per-epoch sample indices across data-parallel ranks.
+
+    Every rank receives the same number of indices (the trailing indices are
+    padded by wrapping around, like PyTorch's sampler), and the shuffling is a
+    deterministic function of ``(seed, epoch)`` so all ranks agree on the
+    global permutation without communicating.
+    """
+
+    def __init__(self, num_samples: int, world_size: int, rank: int,
+                 shuffle: bool = True, seed: int = 0):
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        if not 0 <= rank < world_size:
+            raise ValueError(f"rank {rank} out of range for world_size {world_size}")
+        if num_samples < 1:
+            raise ValueError("num_samples must be >= 1")
+        self.num_samples = int(num_samples)
+        self.world_size = int(world_size)
+        self.rank = int(rank)
+        self.shuffle = bool(shuffle)
+        self.seed = int(seed)
+        self.epoch = 0
+        self.samples_per_rank = int(np.ceil(self.num_samples / self.world_size))
+
+    def set_epoch(self, epoch: int) -> None:
+        self.epoch = int(epoch)
+
+    def global_permutation(self) -> np.ndarray:
+        """The epoch's global index order (identical on every rank)."""
+        indices = np.arange(self.num_samples)
+        if self.shuffle:
+            rng = np.random.default_rng(np.random.SeedSequence([self.seed, self.epoch]))
+            rng.shuffle(indices)
+        total = self.samples_per_rank * self.world_size
+        if total > self.num_samples:
+            indices = np.concatenate([indices, indices[: total - self.num_samples]])
+        return indices
+
+    def indices(self) -> list[int]:
+        """The indices owned by this rank for the current epoch."""
+        return [int(i) for i in self.global_permutation()[self.rank::self.world_size]]
+
+    def __iter__(self):
+        return iter(self.indices())
+
+    def __len__(self) -> int:
+        return self.samples_per_rank

@@ -1,0 +1,41 @@
+"""Experiment runners that regenerate every table and figure of the paper."""
+
+from .ablations import (
+    run_ablation_activation,
+    run_ablation_allreduce,
+    run_ablation_capacity,
+    run_ablation_interpolation,
+)
+from .common import SCALES, ExperimentScale, build_dataset, build_model, get_scale, simulate, train_model
+from .figures import run_fig2_simulation, run_fig6_qualitative, run_fig7_scaling
+from .tables import (
+    GAMMA_STAR,
+    PAPER_GAMMAS,
+    run_table1_gamma_sweep,
+    run_table2_baselines,
+    run_table3_unseen_ic,
+    run_table4_rayleigh_transfer,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "SCALES",
+    "get_scale",
+    "simulate",
+    "build_dataset",
+    "build_model",
+    "train_model",
+    "PAPER_GAMMAS",
+    "GAMMA_STAR",
+    "run_table1_gamma_sweep",
+    "run_table2_baselines",
+    "run_table3_unseen_ic",
+    "run_table4_rayleigh_transfer",
+    "run_fig2_simulation",
+    "run_fig6_qualitative",
+    "run_fig7_scaling",
+    "run_ablation_activation",
+    "run_ablation_interpolation",
+    "run_ablation_capacity",
+    "run_ablation_allreduce",
+]

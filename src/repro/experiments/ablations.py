@@ -1,0 +1,116 @@
+"""Ablation experiments for the design choices called out in DESIGN.md.
+
+These go beyond the paper's own ablation (Table 1, the γ sweep) and probe the
+individual architectural decisions of MeshfreeFlowNet:
+
+* decoder activation (smooth softplus/tanh vs. piecewise-linear ReLU, which
+  collapses the Laplacian terms of the equation loss),
+* trilinear latent blending vs. nearest-vertex decoding (Eqn. 6),
+* latent-grid channel count (model capacity),
+* all-reduce algorithm and communication/computation overlap in the scaling
+  performance model.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..distributed import ScalingPerformanceModel
+from ..metrics.report import MetricReport
+from ..training import evaluate_model
+from .common import ExperimentScale, build_dataset, build_model, get_scale, simulate, train_model
+
+__all__ = [
+    "run_ablation_activation",
+    "run_ablation_interpolation",
+    "run_ablation_capacity",
+    "run_ablation_allreduce",
+]
+
+
+def _train_and_eval(scale: ExperimentScale, dataset, val_dataset, gamma: float,
+                    label: str, **config_overrides) -> tuple[MetricReport, dict]:
+    model = build_model(scale, **config_overrides)
+    trainer = train_model(scale, dataset, gamma=gamma, model=model)
+    report = evaluate_model(trainer.model, val_dataset, label=label)
+    return report, trainer.history.to_dict()
+
+
+def run_ablation_activation(scale: str | ExperimentScale = "tiny",
+                            activations: Sequence[str] = ("softplus", "tanh", "relu"),
+                            gamma: float = 0.0125) -> dict:
+    """Equation loss vs. decoder activation smoothness."""
+    scale = get_scale(scale)
+    sim = simulate(scale)
+    val_sim = simulate(scale, seed=scale.seed + 1)
+    dataset = build_dataset(scale, results=sim)
+    val_dataset = build_dataset(scale, results=val_sim)
+    reports, histories = {}, {}
+    for act in activations:
+        label = f"activation={act}"
+        reports[label], histories[label] = _train_and_eval(
+            scale, dataset, val_dataset, gamma, label, imnet_activation=act)
+    return {"experiment": "ablation_activation", "scale": scale.name,
+            "reports": reports, "histories": histories}
+
+
+def run_ablation_interpolation(scale: str | ExperimentScale = "tiny",
+                               gamma: float = 0.0) -> dict:
+    """Trilinear latent blending (Eqn. 6) vs. nearest-vertex decoding."""
+    scale = get_scale(scale)
+    sim = simulate(scale)
+    val_sim = simulate(scale, seed=scale.seed + 1)
+    dataset = build_dataset(scale, results=sim)
+    val_dataset = build_dataset(scale, results=val_sim)
+    reports = {}
+    for mode in ("trilinear", "nearest"):
+        label = f"interpolation={mode}"
+        reports[label], _ = _train_and_eval(
+            scale, dataset, val_dataset, gamma, label, interpolation=mode)
+    return {"experiment": "ablation_interpolation", "scale": scale.name, "reports": reports}
+
+
+def run_ablation_capacity(scale: str | ExperimentScale = "tiny",
+                          latent_channels: Sequence[int] = (2, 6, 16),
+                          gamma: float = 0.0) -> dict:
+    """Latent context grid width (capacity of the learned representation)."""
+    scale = get_scale(scale)
+    sim = simulate(scale)
+    val_sim = simulate(scale, seed=scale.seed + 1)
+    dataset = build_dataset(scale, results=sim)
+    val_dataset = build_dataset(scale, results=val_sim)
+    reports, parameter_counts = {}, {}
+    for c in latent_channels:
+        label = f"latent={c}"
+        model = build_model(scale, latent_channels=int(c))
+        parameter_counts[label] = model.num_parameters()
+        trainer = train_model(scale, dataset, gamma=gamma, model=model)
+        reports[label] = evaluate_model(trainer.model, val_dataset, label=label)
+    return {"experiment": "ablation_capacity", "scale": scale.name,
+            "reports": reports, "parameter_counts": parameter_counts}
+
+
+def run_ablation_allreduce(world_sizes: Sequence[int] = (1, 2, 8, 32, 128),
+                           overlap_fractions: Sequence[float] = (0.0, 0.5, 0.9)) -> dict:
+    """Scaling efficiency vs. communication/computation overlap (performance model)."""
+    results = {}
+    for overlap in overlap_fractions:
+        model = ScalingPerformanceModel(overlap_fraction=float(overlap))
+        results[f"overlap={overlap:g}"] = {
+            int(p.world_size): {"efficiency": p.efficiency, "throughput": p.throughput}
+            for p in model.evaluate(list(world_sizes))
+        }
+    # Naive (gather+broadcast) all-reduce cost comparison at the largest size.
+    ring = ScalingPerformanceModel()
+    naive_cost = ring.message_bytes * (max(world_sizes) - 1) / ring.cluster.inter_node_bandwidth
+    return {
+        "experiment": "ablation_allreduce",
+        "world_sizes": [int(w) for w in world_sizes],
+        "results": results,
+        "ring_vs_naive_comm_time": {
+            "ring": ring.communication_time(max(world_sizes)),
+            "naive": naive_cost,
+        },
+    }

@@ -1,0 +1,182 @@
+"""Shared infrastructure for the experiment runners.
+
+Every table/figure runner accepts an :class:`ExperimentScale` that controls
+dataset sizes, model capacity and training length.  Three presets are
+provided:
+
+* ``tiny``   — synthetic data, seconds per experiment; used by the benchmark
+  suite and CI so every experiment runs on a single CPU core.
+* ``small``  — real Rayleigh–Bénard solver data at reduced resolution; minutes
+  per experiment on a workstation.
+* ``paper``  — the paper's nominal sizes (512×128 spatial grid, 400 snapshots,
+  3000 samples/epoch, 100 epochs).  Provided for completeness; running it
+  requires hours of CPU time (the original work used V100 GPUs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.config import MeshfreeFlowNetConfig
+from ..core.model import MeshfreeFlowNet
+from ..data.dataset import SuperResolutionDataset
+from ..pde import RayleighBenard2D
+from ..simulation import DatasetSpec, SimulationResult, generate_dataset
+from ..training import Trainer, TrainerConfig
+
+__all__ = ["ExperimentScale", "get_scale", "build_datasets", "build_dataset",
+           "build_model", "train_model", "SCALES"]
+
+
+@dataclass
+class ExperimentScale:
+    """Knobs controlling the cost/fidelity of an experiment."""
+
+    name: str = "tiny"
+    backend: str = "synthetic"                 #: "synthetic" or "solver"
+    hr_shape: tuple[int, int, int] = (16, 16, 64)   #: (nt, nz, nx) of the HR data
+    t_final: float = 8.0
+    lr_factors: tuple[int, int, int] = (2, 2, 4)
+    crop_shape_lr: tuple[int, int, int] = (4, 4, 8)
+    n_points: int = 64
+    samples_per_epoch: int = 16
+    epochs: int = 4
+    batch_size: int = 2
+    learning_rate: float = 1e-2
+    model_size: str = "tiny"                   #: "tiny", "small" or "paper"
+    model_pool_factors: tuple[tuple[int, int, int], ...] = ((1, 2, 2),)
+    rayleigh: float = 1e6
+    prandtl: float = 1.0
+    seed: int = 0
+
+    def with_overrides(self, **overrides) -> "ExperimentScale":
+        return replace(self, **overrides)
+
+    def model_config(self, **overrides) -> MeshfreeFlowNetConfig:
+        factory = {
+            "tiny": MeshfreeFlowNetConfig.tiny,
+            "small": MeshfreeFlowNetConfig.small,
+            "paper": MeshfreeFlowNetConfig.paper,
+        }[self.model_size]
+        if self.model_size == "paper":
+            cfg = factory()
+            for key, value in overrides.items():
+                setattr(cfg, key, value)
+            return cfg
+        return factory(unet_pool_factors=self.model_pool_factors, **overrides)
+
+    def trainer_config(self, gamma: float, **overrides) -> TrainerConfig:
+        base = dict(
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            learning_rate=self.learning_rate,
+            gamma=gamma,
+            seed=self.seed,
+        )
+        base.update(overrides)
+        return TrainerConfig(**base)
+
+
+SCALES: dict[str, ExperimentScale] = {
+    "tiny": ExperimentScale(),
+    "small": ExperimentScale(
+        name="small",
+        backend="solver",
+        hr_shape=(32, 32, 128),
+        t_final=12.0,
+        lr_factors=(4, 4, 4),
+        crop_shape_lr=(4, 8, 16),
+        n_points=256,
+        samples_per_epoch=64,
+        epochs=20,
+        batch_size=2,
+        model_size="small",
+        model_pool_factors=((1, 2, 2), (2, 2, 2)),
+    ),
+    "paper": ExperimentScale(
+        name="paper",
+        backend="solver",
+        hr_shape=(400, 128, 512),
+        t_final=50.0,
+        lr_factors=(4, 8, 8),
+        crop_shape_lr=(4, 16, 16),
+        n_points=512,
+        samples_per_epoch=3000,
+        epochs=100,
+        batch_size=8,
+        model_size="paper",
+        model_pool_factors=((1, 2, 2), (1, 2, 2), (2, 2, 2), (2, 2, 2)),
+    ),
+}
+
+
+def get_scale(scale: str | ExperimentScale | None) -> ExperimentScale:
+    """Resolve a scale name (or pass through an :class:`ExperimentScale`)."""
+    if scale is None:
+        return SCALES["tiny"]
+    if isinstance(scale, ExperimentScale):
+        return scale
+    try:
+        return SCALES[scale]
+    except KeyError as exc:
+        raise KeyError(f"unknown scale '{scale}'; available: {sorted(SCALES)}") from exc
+
+
+def simulate(scale: ExperimentScale, rayleigh: Optional[float] = None,
+             seed: Optional[int] = None) -> SimulationResult:
+    """Generate one high-resolution dataset at this scale."""
+    nt, nz, nx = scale.hr_shape
+    spec = DatasetSpec(
+        rayleigh=scale.rayleigh if rayleigh is None else float(rayleigh),
+        prandtl=scale.prandtl,
+        nt=nt, nz=nz, nx=nx,
+        t_final=scale.t_final,
+        seed=scale.seed if seed is None else int(seed),
+        backend=scale.backend,
+    )
+    return generate_dataset(spec)
+
+
+def build_dataset(scale: ExperimentScale, results: Sequence[SimulationResult] | SimulationResult | None = None,
+                  rayleigh: Optional[float] = None, seed: Optional[int] = None,
+                  **overrides) -> SuperResolutionDataset:
+    """Build a :class:`SuperResolutionDataset` for this scale."""
+    if results is None:
+        results = simulate(scale, rayleigh=rayleigh, seed=seed)
+    params = dict(
+        lr_factors=scale.lr_factors,
+        crop_shape_lr=scale.crop_shape_lr,
+        n_points=scale.n_points,
+        samples_per_epoch=scale.samples_per_epoch,
+        seed=scale.seed,
+    )
+    params.update(overrides)
+    return SuperResolutionDataset(results, **params)
+
+
+def build_datasets(scale: ExperimentScale, seeds: Sequence[int]) -> list[SimulationResult]:
+    """Generate several datasets differing only in their initial-condition seed."""
+    return [simulate(scale, seed=s) for s in seeds]
+
+
+def build_model(scale: ExperimentScale, **config_overrides) -> MeshfreeFlowNet:
+    """Instantiate a MeshfreeFlowNet sized for this scale."""
+    return MeshfreeFlowNet(scale.model_config(**config_overrides))
+
+
+def train_model(scale: ExperimentScale, dataset: SuperResolutionDataset,
+                gamma: float, model: Optional[MeshfreeFlowNet] = None,
+                rayleigh: Optional[float] = None, **trainer_overrides) -> Trainer:
+    """Train a MeshfreeFlowNet on ``dataset`` with equation-loss weight ``gamma``."""
+    model = model if model is not None else build_model(scale)
+    pde = None
+    if gamma > 0:
+        ra = scale.rayleigh if rayleigh is None else float(rayleigh)
+        pde = RayleighBenard2D(rayleigh=ra, prandtl=scale.prandtl)
+    trainer = Trainer(model, dataset, pde_system=pde,
+                      config=scale.trainer_config(gamma, **trainer_overrides))
+    trainer.train()
+    return trainer

@@ -1,0 +1,160 @@
+"""Runners for Figures 2, 6 and 7 of the paper."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..autodiff import Tensor
+from ..baselines import TrilinearBaseline
+from ..data.dataset import SuperResolutionDataset
+from ..distributed import ScalingPerformanceModel
+from ..metrics import turbulence_summary
+from ..simulation import SimulationResult
+from ..training import Trainer
+from .common import ExperimentScale, build_dataset, build_model, get_scale, simulate, train_model
+
+__all__ = ["run_fig2_simulation", "run_fig6_qualitative", "run_fig7_scaling"]
+
+
+def run_fig2_simulation(scale: str | ExperimentScale = "tiny",
+                        snapshot_fraction: float = 0.75) -> dict:
+    """Figure 2: a typical Rayleigh–Bénard solution (T, p, u, w contour data).
+
+    Runs the data-generating simulation and returns one late-time snapshot of
+    the four physical fields plus their turbulence statistics — the arrays one
+    would plot to regenerate the figure.
+    """
+    scale = get_scale(scale)
+    sim = simulate(scale)
+    index = min(int(snapshot_fraction * (sim.nt - 1)), sim.nt - 1)
+    snapshot = sim.snapshot(index)
+    _, dz, dx = sim.grid_spacing()
+    nu = float(np.sqrt(sim.prandtl / sim.rayleigh))
+    stats = turbulence_summary(snapshot["u"], snapshot["w"], dx=dx, dz=dz, nu=nu)
+    return {
+        "experiment": "fig2_simulation",
+        "scale": scale.name,
+        "snapshot_index": index,
+        "time": float(sim.times[index]),
+        "fields": snapshot,
+        "grid": {"nz": sim.nz, "nx": sim.nx, "lx": sim.lx, "lz": sim.lz},
+        "rayleigh": sim.rayleigh,
+        "prandtl": sim.prandtl,
+        "turbulence_summary": stats,
+    }
+
+
+def run_fig6_qualitative(scale: str | ExperimentScale = "tiny",
+                         gamma: float = 0.0125,
+                         snapshot_fraction: float = 0.5,
+                         trainer: Optional[Trainer] = None) -> dict:
+    """Figure 6: low-res input vs. super-resolved output vs. HR ground truth.
+
+    Trains a MeshfreeFlowNet (unless an already-trained ``trainer`` is given)
+    and returns, for one time snapshot, the low-resolution input fields, the
+    model's super-resolved fields, the trilinear-baseline fields and the
+    high-resolution ground truth — the four image rows of the figure.
+    """
+    scale = get_scale(scale)
+    sim = simulate(scale)
+    dataset = build_dataset(scale, results=sim)
+    if trainer is None:
+        trainer = train_model(scale, dataset, gamma=gamma)
+    model = trainer.model
+
+    lowres, highres, _ = dataset.evaluation_pair(0)
+    hr_shape = highres.shape[1:]
+    prediction = model.predict_grid(Tensor(lowres[None]), hr_shape)[0]
+    trilinear = TrilinearBaseline().predict_grid(Tensor(lowres[None]), hr_shape)[0]
+
+    # Convert everything back to physical units and pick one HR time index.
+    pred_fields = dataset.denormalize(prediction, channel_axis=0)
+    tri_fields = dataset.denormalize(trilinear, channel_axis=0)
+    true_fields = dataset.denormalize(highres, channel_axis=0)
+    low_fields = dataset.denormalize(lowres, channel_axis=0)
+
+    t_hr = min(int(snapshot_fraction * (hr_shape[0] - 1)), hr_shape[0] - 1)
+    t_lr = min(t_hr // scale.lr_factors[0], lowres.shape[1] - 1)
+    channels = dataset.channel_names
+    return {
+        "experiment": "fig6_qualitative",
+        "scale": scale.name,
+        "gamma": gamma,
+        "channels": channels,
+        "lowres": {c: low_fields[i, t_lr] for i, c in enumerate(channels)},
+        "prediction": {c: pred_fields[i, t_hr] for i, c in enumerate(channels)},
+        "trilinear": {c: tri_fields[i, t_hr] for i, c in enumerate(channels)},
+        "ground_truth": {c: true_fields[i, t_hr] for i, c in enumerate(channels)},
+        "errors": {
+            "prediction_mae": float(np.mean(np.abs(pred_fields - true_fields))),
+            "trilinear_mae": float(np.mean(np.abs(tri_fields - true_fields))),
+        },
+    }
+
+
+def run_fig7_scaling(scale: str | ExperimentScale = "tiny",
+                     world_sizes: Sequence[int] = (1, 2, 16, 128),
+                     curve_world_sizes: Optional[Sequence[int]] = None,
+                     epochs: Optional[int] = None,
+                     performance_model: Optional[ScalingPerformanceModel] = None,
+                     train_curves: bool = True) -> dict:
+    """Figure 7: scaling study (throughput, loss vs epochs, loss vs wall time).
+
+    * 7a — aggregate throughput and scaling efficiency for each worker count,
+      from the α–β performance model of the ring all-reduce.
+    * 7b — training-loss-vs-epoch curves from *simulated* synchronous
+      data-parallel training (gradient averaging over ``world_size``
+      micro-batches, which is mathematically identical to DDP).
+    * 7c — the same losses plotted against modelled wall-clock time
+      (epochs × modelled epoch time for that worker count).
+    """
+    scale = get_scale(scale)
+    perf = performance_model if performance_model is not None else ScalingPerformanceModel()
+    throughput_points = perf.evaluate(list(world_sizes))
+
+    curves: dict[int, dict] = {}
+    if train_curves:
+        curve_sizes = list(curve_world_sizes) if curve_world_sizes is not None else list(world_sizes)
+        sim = simulate(scale)
+        n_epochs = scale.epochs if epochs is None else int(epochs)
+        for ws in curve_sizes:
+            dataset = build_dataset(scale, results=sim)
+            trainer = train_model(
+                scale, dataset, gamma=0.0,
+                world_size=int(ws), epochs=n_epochs,
+            )
+            losses = trainer.history.series("loss")
+            epoch_time = perf.epoch_time(int(ws))
+            curves[int(ws)] = {
+                "epochs": list(range(len(losses))),
+                "loss": losses.tolist(),
+                "wall_time": (np.arange(1, len(losses) + 1) * epoch_time).tolist(),
+                "modelled_epoch_time": epoch_time,
+            }
+
+    return {
+        "experiment": "fig7_scaling",
+        "scale": scale.name,
+        "world_sizes": [int(w) for w in world_sizes],
+        "throughput": {
+            p.world_size: {
+                "throughput": p.throughput,
+                "ideal_throughput": perf.ideal_throughput(p.world_size),
+                "efficiency": p.efficiency,
+                "step_time": p.step_time,
+                "communication_time": p.communication_time,
+                "epoch_time": p.epoch_time,
+            }
+            for p in throughput_points
+        },
+        "efficiency_at_max": throughput_points[-1].efficiency,
+        "loss_curves": curves,
+        "performance_model": {
+            "n_parameters": perf.n_parameters,
+            "compute_time_per_sample": perf.compute_time_per_sample,
+            "batch_size_per_worker": perf.batch_size_per_worker,
+            "overlap_fraction": perf.overlap_fraction,
+        },
+    }

@@ -1,0 +1,170 @@
+"""Runners for Tables 1–4 of the paper.
+
+Every runner returns a dictionary with a ``"reports"`` entry mapping row
+labels to :class:`~repro.metrics.report.MetricReport` objects (the NMAE / R²
+of the nine physics metrics — exactly the columns of the paper's tables),
+plus experiment-specific extras (training histories, configuration).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..baselines import TrilinearBaseline, UNetDecoderBaseline
+from ..metrics.report import MetricReport, format_table
+from ..training import Trainer, evaluate_model
+from .common import ExperimentScale, build_dataset, build_model, get_scale, simulate, train_model
+
+__all__ = ["run_table1_gamma_sweep", "run_table2_baselines",
+           "run_table3_unseen_ic", "run_table4_rayleigh_transfer"]
+
+#: the γ values swept in Table 1 of the paper
+PAPER_GAMMAS = (0.0, 0.0125, 0.025, 0.05, 0.1, 0.2, 0.4, 0.8, 1.0)
+GAMMA_STAR = 0.0125
+
+
+def run_table1_gamma_sweep(scale: str | ExperimentScale = "tiny",
+                           gammas: Sequence[float] = (0.0, 0.0125, 0.1, 1.0),
+                           verbose: bool = False) -> dict:
+    """Table 1: prediction-loss vs equation-loss weighting (γ sweep).
+
+    Trains one MeshfreeFlowNet per γ on the same dataset and evaluates the
+    physics metrics on a validation simulation with a different seed.
+    """
+    scale = get_scale(scale)
+    train_sim = simulate(scale, seed=scale.seed)
+    val_sim = simulate(scale, seed=scale.seed + 1)
+    dataset = build_dataset(scale, results=train_sim)
+    val_dataset = build_dataset(scale, results=val_sim)
+
+    reports: dict[str, MetricReport] = {}
+    histories = {}
+    for gamma in gammas:
+        trainer = train_model(scale, dataset, gamma=float(gamma))
+        label = f"gamma={gamma:g}"
+        reports[label] = evaluate_model(trainer.model, val_dataset, label=label)
+        histories[label] = trainer.history.to_dict()
+        if verbose:
+            print(f"{label}: avg R2 = {reports[label].average_r2:.4f}")
+    if verbose:
+        print(format_table(reports, title="Table 1 — equation-loss weight sweep"))
+    return {
+        "experiment": "table1_gamma_sweep",
+        "scale": scale.name,
+        "gammas": [float(g) for g in gammas],
+        "reports": reports,
+        "histories": histories,
+    }
+
+
+def run_table2_baselines(scale: str | ExperimentScale = "tiny",
+                         gamma_star: float = GAMMA_STAR,
+                         verbose: bool = False) -> dict:
+    """Table 2: MeshfreeFlowNet (γ=0 and γ=γ*) vs Baselines I and II."""
+    scale = get_scale(scale)
+    train_sim = simulate(scale, seed=scale.seed)
+    val_sim = simulate(scale, seed=scale.seed + 1)
+    dataset = build_dataset(scale, results=train_sim)
+    val_dataset = build_dataset(scale, results=val_sim)
+
+    reports: dict[str, MetricReport] = {}
+
+    # Baseline (I): trilinear interpolation (no training).
+    reports["baseline_I_trilinear"] = evaluate_model(
+        TrilinearBaseline(), val_dataset, label="baseline_I_trilinear")
+
+    # Baseline (II): U-Net encoder + convolutional decoder.
+    baseline2 = UNetDecoderBaseline(scale.model_config(), upsample_factors=scale.lr_factors)
+    trainer_b2 = Trainer(baseline2, dataset, pde_system=None,
+                         config=scale.trainer_config(gamma=0.0))
+    trainer_b2.train()
+    reports["baseline_II_unet"] = evaluate_model(baseline2, val_dataset, label="baseline_II_unet")
+
+    # MeshfreeFlowNet without and with the equation loss.
+    trainer_g0 = train_model(scale, dataset, gamma=0.0)
+    reports["mfn_gamma=0"] = evaluate_model(trainer_g0.model, val_dataset, label="mfn_gamma=0")
+
+    trainer_gs = train_model(scale, dataset, gamma=gamma_star)
+    reports["mfn_gamma=gamma*"] = evaluate_model(trainer_gs.model, val_dataset, label="mfn_gamma=gamma*")
+
+    if verbose:
+        print(format_table(reports, title="Table 2 — MeshfreeFlowNet vs baselines"))
+    return {
+        "experiment": "table2_baselines",
+        "scale": scale.name,
+        "gamma_star": gamma_star,
+        "reports": reports,
+    }
+
+
+def run_table3_unseen_ic(scale: str | ExperimentScale = "tiny",
+                         dataset_counts: Sequence[int] = (1, 3),
+                         gamma: float = GAMMA_STAR,
+                         verbose: bool = False) -> dict:
+    """Table 3: generalisation to unseen initial conditions.
+
+    Trains on 1 vs N datasets (different random initial conditions) and
+    evaluates on a held-out initial condition never seen during training.
+    """
+    scale = get_scale(scale)
+    max_count = max(dataset_counts)
+    train_sims = [simulate(scale, seed=scale.seed + i) for i in range(max_count)]
+    unseen_sim = simulate(scale, seed=scale.seed + 1000)
+    unseen_dataset = build_dataset(scale, results=unseen_sim)
+
+    reports: dict[str, MetricReport] = {}
+    for count in dataset_counts:
+        dataset = build_dataset(scale, results=train_sims[:count])
+        trainer = train_model(scale, dataset, gamma=gamma)
+        label = f"{count}_dataset" + ("s" if count > 1 else "")
+        reports[label] = evaluate_model(trainer.model, unseen_dataset, label=label)
+        if verbose:
+            print(f"{label}: avg R2 = {reports[label].average_r2:.4f}")
+    if verbose:
+        print(format_table(reports, title="Table 3 — unseen initial conditions"))
+    return {
+        "experiment": "table3_unseen_ic",
+        "scale": scale.name,
+        "dataset_counts": [int(c) for c in dataset_counts],
+        "gamma": gamma,
+        "reports": reports,
+    }
+
+
+def run_table4_rayleigh_transfer(scale: str | ExperimentScale = "tiny",
+                                 train_rayleigh: Sequence[float] = (2e5, 1e6, 9e6),
+                                 test_rayleigh: Sequence[float] = (1e4, 1e5, 5e6, 1e7, 1e8),
+                                 gamma: float = GAMMA_STAR,
+                                 verbose: bool = False) -> dict:
+    """Table 4: generalisation across Rayleigh-number boundary conditions.
+
+    Trains on a mixture of Rayleigh numbers (the paper uses 10 datasets with
+    Ra ∈ [2e5, 9e6]) and evaluates on in-range, near-range and far-range
+    Rayleigh numbers.
+    """
+    scale = get_scale(scale)
+    train_sims = [simulate(scale, rayleigh=ra, seed=scale.seed + i)
+                  for i, ra in enumerate(train_rayleigh)]
+    dataset = build_dataset(scale, results=train_sims)
+    trainer = train_model(scale, dataset, gamma=gamma, rayleigh=float(np.median(train_rayleigh)))
+
+    reports: dict[str, MetricReport] = {}
+    for i, ra in enumerate(test_rayleigh):
+        test_sim = simulate(scale, rayleigh=ra, seed=scale.seed + 500 + i)
+        test_dataset = build_dataset(scale, results=test_sim)
+        label = f"Ra={ra:.0e}"
+        reports[label] = evaluate_model(trainer.model, test_dataset, label=label)
+        if verbose:
+            print(f"{label}: avg R2 = {reports[label].average_r2:.4f}")
+    if verbose:
+        print(format_table(reports, title="Table 4 — Rayleigh-number transfer"))
+    return {
+        "experiment": "table4_rayleigh_transfer",
+        "scale": scale.name,
+        "train_rayleigh": [float(r) for r in train_rayleigh],
+        "test_rayleigh": [float(r) for r in test_rayleigh],
+        "gamma": gamma,
+        "reports": reports,
+    }

@@ -1,0 +1,44 @@
+"""Evaluation metrics: turbulence statistics, NMAE/R², table-style reports."""
+
+from .regression import mae, nmae, r2_score, rmse
+from .report import MetricReport, evaluate_fields, format_table
+from .turbulence import (
+    METRIC_NAMES,
+    dissipation,
+    eddy_turnover_time,
+    energy_spectrum,
+    integral_scale,
+    kolmogorov_length,
+    kolmogorov_time,
+    rms_velocity,
+    taylor_microscale,
+    taylor_reynolds,
+    total_kinetic_energy,
+    turbulence_summary,
+    turbulence_time_series,
+    velocity_gradients,
+)
+
+__all__ = [
+    "METRIC_NAMES",
+    "total_kinetic_energy",
+    "rms_velocity",
+    "dissipation",
+    "taylor_microscale",
+    "taylor_reynolds",
+    "kolmogorov_time",
+    "kolmogorov_length",
+    "energy_spectrum",
+    "integral_scale",
+    "eddy_turnover_time",
+    "turbulence_summary",
+    "turbulence_time_series",
+    "velocity_gradients",
+    "nmae",
+    "r2_score",
+    "mae",
+    "rmse",
+    "MetricReport",
+    "evaluate_fields",
+    "format_table",
+]

@@ -1,0 +1,58 @@
+"""Regression-style error metrics: NMAE and R² (as reported in the paper's tables)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["nmae", "r2_score", "mae", "rmse"]
+
+_EPS = 1e-12
+
+
+def mae(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Mean absolute error."""
+    prediction, target = _validate(prediction, target)
+    return float(np.mean(np.abs(prediction - target)))
+
+
+def rmse(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Root-mean-square error."""
+    prediction, target = _validate(prediction, target)
+    return float(np.sqrt(np.mean((prediction - target) ** 2)))
+
+
+def nmae(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Normalised mean absolute error.
+
+    The MAE normalised by the range of the target series (falling back to the
+    mean absolute target value when the range is degenerate), matching the
+    "Normalized Mean Absolute Error" of the paper's tables.  Reported tables
+    multiply this by 100.
+    """
+    prediction, target = _validate(prediction, target)
+    scale = float(np.max(target) - np.min(target))
+    if scale < _EPS:
+        scale = float(np.mean(np.abs(target)))
+    if scale < _EPS:
+        scale = 1.0
+    return float(np.mean(np.abs(prediction - target)) / scale)
+
+
+def r2_score(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Coefficient of determination R² of ``prediction`` against ``target``."""
+    prediction, target = _validate(prediction, target)
+    ss_res = float(np.sum((target - prediction) ** 2))
+    ss_tot = float(np.sum((target - np.mean(target)) ** 2))
+    if ss_tot < _EPS:
+        return 1.0 if ss_res < _EPS else -np.inf
+    return 1.0 - ss_res / ss_tot
+
+
+def _validate(prediction, target) -> tuple[np.ndarray, np.ndarray]:
+    prediction = np.asarray(prediction, dtype=np.float64).ravel()
+    target = np.asarray(target, dtype=np.float64).ravel()
+    if prediction.shape != target.shape:
+        raise ValueError(f"shape mismatch: {prediction.shape} vs {target.shape}")
+    if prediction.size == 0:
+        raise ValueError("empty arrays")
+    return prediction, target

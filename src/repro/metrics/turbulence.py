@@ -1,0 +1,178 @@
+"""Physics-based evaluation metrics (Sec. 3.3 of the paper).
+
+All metrics operate on 2D velocity/temperature snapshots ``(nz, nx)`` (or on
+time series of snapshots) and mirror the nine quantities reported in the
+paper's tables:
+
+* total kinetic energy ``E_tot``
+* RMS velocity ``u_rms``
+* dissipation rate ``ε``
+* Taylor microscale ``λ``
+* Taylor-scale Reynolds number ``Re_λ``
+* Kolmogorov time scale ``τ_η`` and length scale ``η``
+* turbulent integral scale ``L``
+* large-eddy turnover time ``T_L``
+
+Velocity gradients are evaluated spectrally in the periodic ``x`` direction
+and with central differences in ``z``; the kinematic viscosity entering the
+definitions is the non-dimensional ``R* = sqrt(Pr/Ra)`` of the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+__all__ = [
+    "METRIC_NAMES",
+    "velocity_gradients",
+    "total_kinetic_energy",
+    "rms_velocity",
+    "dissipation",
+    "taylor_microscale",
+    "taylor_reynolds",
+    "kolmogorov_time",
+    "kolmogorov_length",
+    "energy_spectrum",
+    "integral_scale",
+    "eddy_turnover_time",
+    "turbulence_summary",
+    "turbulence_time_series",
+]
+
+#: canonical metric ordering used in tables (matches the paper's columns)
+METRIC_NAMES = ("Etot", "urms", "dissipation", "taylor_microscale", "taylor_reynolds",
+                "kolmogorov_time", "kolmogorov_length", "integral_scale", "eddy_turnover_time")
+
+_EPS = 1e-12
+
+
+def velocity_gradients(u: np.ndarray, w: np.ndarray, dx: float, dz: float):
+    """Return (du/dx, du/dz, dw/dx, dw/dz) using spectral x and central-FD z derivatives."""
+    u = np.asarray(u, dtype=np.float64)
+    w = np.asarray(w, dtype=np.float64)
+    if u.shape != w.shape or u.ndim != 2:
+        raise ValueError("u and w must be 2-D arrays of identical shape (nz, nx)")
+    nx = u.shape[1]
+    k = 2.0 * np.pi * np.fft.rfftfreq(nx, d=dx)
+    dudx = np.fft.irfft(1j * k * np.fft.rfft(u, axis=1), n=nx, axis=1)
+    dwdx = np.fft.irfft(1j * k * np.fft.rfft(w, axis=1), n=nx, axis=1)
+    dudz = np.gradient(u, dz, axis=0)
+    dwdz = np.gradient(w, dz, axis=0)
+    return dudx, dudz, dwdx, dwdz
+
+
+def total_kinetic_energy(u: np.ndarray, w: np.ndarray) -> float:
+    """``E_tot = 0.5 <u_i u_i>`` (kinetic energy per unit mass)."""
+    return float(0.5 * np.mean(u**2 + w**2))
+
+
+def rms_velocity(u: np.ndarray, w: np.ndarray) -> float:
+    """``u_rms = sqrt(2/3 E_tot)`` (the paper's isotropic convention)."""
+    return float(np.sqrt((2.0 / 3.0) * total_kinetic_energy(u, w)))
+
+
+def dissipation(u: np.ndarray, w: np.ndarray, dx: float, dz: float, nu: float) -> float:
+    """``ε = 2 ν <S_ij S_ij>`` with the 2D strain-rate tensor S."""
+    dudx, dudz, dwdx, dwdz = velocity_gradients(u, w, dx, dz)
+    s_xx = dudx
+    s_zz = dwdz
+    s_xz = 0.5 * (dudz + dwdx)
+    sij_sij = s_xx**2 + s_zz**2 + 2.0 * s_xz**2
+    return float(2.0 * nu * np.mean(sij_sij))
+
+
+def taylor_microscale(u: np.ndarray, w: np.ndarray, dx: float, dz: float, nu: float) -> float:
+    """``λ = sqrt(15 ν u_rms² / ε)``."""
+    eps = dissipation(u, w, dx, dz, nu)
+    return float(np.sqrt(15.0 * nu * rms_velocity(u, w) ** 2 / max(eps, _EPS)))
+
+
+def taylor_reynolds(u: np.ndarray, w: np.ndarray, dx: float, dz: float, nu: float) -> float:
+    """``Re_λ = u_rms λ / ν``."""
+    return float(rms_velocity(u, w) * taylor_microscale(u, w, dx, dz, nu) / max(nu, _EPS))
+
+
+def kolmogorov_time(u: np.ndarray, w: np.ndarray, dx: float, dz: float, nu: float) -> float:
+    """``τ_η = sqrt(ν / ε)``."""
+    eps = dissipation(u, w, dx, dz, nu)
+    return float(np.sqrt(nu / max(eps, _EPS)))
+
+
+def kolmogorov_length(u: np.ndarray, w: np.ndarray, dx: float, dz: float, nu: float) -> float:
+    """``η = ν^{3/4} ε^{-1/4}``."""
+    eps = dissipation(u, w, dx, dz, nu)
+    return float(nu**0.75 * max(eps, _EPS) ** -0.25)
+
+
+def energy_spectrum(u: np.ndarray, w: np.ndarray, dx: float) -> tuple[np.ndarray, np.ndarray]:
+    """1D kinetic-energy spectrum E(k) along the periodic x direction, z-averaged.
+
+    Normalised so that ``sum(E(k)) * dk ≈ E_tot`` (Parseval).  Returns
+    ``(k, E)`` with the zero mode excluded.
+    """
+    u = np.asarray(u, dtype=np.float64)
+    w = np.asarray(w, dtype=np.float64)
+    nx = u.shape[1]
+    lx = nx * dx
+    k = 2.0 * np.pi * np.fft.rfftfreq(nx, d=dx)
+    uhat = np.fft.rfft(u, axis=1) / nx
+    what = np.fft.rfft(w, axis=1) / nx
+    # one-sided spectrum: double the contribution of non-Nyquist positive modes
+    weights = np.full(k.shape, 2.0)
+    weights[0] = 1.0
+    if nx % 2 == 0:
+        weights[-1] = 1.0
+    e_k = 0.5 * weights * np.mean(np.abs(uhat) ** 2 + np.abs(what) ** 2, axis=0)
+    dk = 2.0 * np.pi / lx
+    return k[1:], e_k[1:] / dk
+
+
+def integral_scale(u: np.ndarray, w: np.ndarray, dx: float) -> float:
+    """``L = (π / (2 u_rms²)) ∫ E(k)/k dk`` (spectral integral length scale)."""
+    k, e_k = energy_spectrum(u, w, dx)
+    urms = rms_velocity(u, w)
+    dk = k[1] - k[0] if len(k) > 1 else 1.0
+    integral = float(np.sum(e_k / np.maximum(k, _EPS)) * dk)
+    return float(np.pi / (2.0 * max(urms, _EPS) ** 2) * integral)
+
+
+def eddy_turnover_time(u: np.ndarray, w: np.ndarray, dx: float) -> float:
+    """``T_L = L / u_rms``."""
+    return float(integral_scale(u, w, dx) / max(rms_velocity(u, w), _EPS))
+
+
+def turbulence_summary(u: np.ndarray, w: np.ndarray, dx: float, dz: float, nu: float) -> dict[str, float]:
+    """All nine metrics of Sec. 3.3 for a single snapshot."""
+    return {
+        "Etot": total_kinetic_energy(u, w),
+        "urms": rms_velocity(u, w),
+        "dissipation": dissipation(u, w, dx, dz, nu),
+        "taylor_microscale": taylor_microscale(u, w, dx, dz, nu),
+        "taylor_reynolds": taylor_reynolds(u, w, dx, dz, nu),
+        "kolmogorov_time": kolmogorov_time(u, w, dx, dz, nu),
+        "kolmogorov_length": kolmogorov_length(u, w, dx, dz, nu),
+        "integral_scale": integral_scale(u, w, dx),
+        "eddy_turnover_time": eddy_turnover_time(u, w, dx),
+    }
+
+
+def turbulence_time_series(fields: np.ndarray, dx: float, dz: float, nu: float,
+                           u_channel: int = 2, w_channel: int = 3) -> dict[str, np.ndarray]:
+    """Metric time series for fields of shape ``(nt, C, nz, nx)``.
+
+    Returns a mapping metric-name -> array of length ``nt``; this is the
+    quantity on which the paper computes NMAE and R² between prediction and
+    ground truth.
+    """
+    fields = np.asarray(fields)
+    if fields.ndim != 4:
+        raise ValueError(f"fields must have shape (nt, C, nz, nx); got {fields.shape}")
+    series: dict[str, list[float]] = {name: [] for name in METRIC_NAMES}
+    for t in range(fields.shape[0]):
+        summary = turbulence_summary(fields[t, u_channel], fields[t, w_channel], dx, dz, nu)
+        for name in METRIC_NAMES:
+            series[name].append(summary[name])
+    return {name: np.asarray(vals) for name, vals in series.items()}

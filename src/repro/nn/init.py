@@ -1,0 +1,57 @@
+"""Weight initialisation schemes."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["kaiming_uniform", "kaiming_normal", "xavier_uniform", "xavier_normal", "zeros", "uniform_fan_in"]
+
+
+def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Compute fan-in / fan-out for dense or convolutional weight shapes."""
+    if len(shape) == 2:  # (in, out) for Linear as stored here
+        fan_in, fan_out = shape[0], shape[1]
+    elif len(shape) >= 3:  # (out_channels, in_channels, *kernel)
+        receptive = int(np.prod(shape[2:]))
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        fan_in = fan_out = int(shape[0])
+    return fan_in, fan_out
+
+
+def kaiming_uniform(shape, rng: np.random.Generator, gain: float = math.sqrt(2.0)) -> np.ndarray:
+    fan_in, _ = _fan_in_out(tuple(shape))
+    bound = gain * math.sqrt(3.0 / max(fan_in, 1))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def kaiming_normal(shape, rng: np.random.Generator, gain: float = math.sqrt(2.0)) -> np.ndarray:
+    fan_in, _ = _fan_in_out(tuple(shape))
+    std = gain / math.sqrt(max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    fan_in, fan_out = _fan_in_out(tuple(shape))
+    bound = gain * math.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    fan_in, fan_out = _fan_in_out(tuple(shape))
+    std = gain * math.sqrt(2.0 / max(fan_in + fan_out, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+def uniform_fan_in(shape, rng: np.random.Generator) -> np.ndarray:
+    """PyTorch default bias init: U(-1/sqrt(fan_in), 1/sqrt(fan_in))."""
+    fan_in, _ = _fan_in_out(tuple(shape))
+    bound = 1.0 / math.sqrt(max(fan_in, 1))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape, rng: np.random.Generator | None = None) -> np.ndarray:
+    return np.zeros(shape)

@@ -1,0 +1,143 @@
+"""Module / Parameter abstractions (the ``torch.nn.Module`` equivalent)."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..autodiff import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is registered as a trainable module attribute."""
+
+    def __init__(self, data, requires_grad: bool = True, name: str | None = None):
+        super().__init__(data, requires_grad=requires_grad, name=name)
+
+
+class Module:
+    """Base class for all neural-network modules.
+
+    Provides parameter registration/collection, buffers (non-trainable state
+    such as BatchNorm running statistics), training/eval mode switching and
+    ``state_dict`` (de)serialisation.  Sub-modules are discovered through
+    attribute assignment, mirroring PyTorch semantics.
+    """
+
+    def __init__(self):
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # --------------------------------------------------------------- registry
+    def __setattr__(self, name, value):
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register non-trainable persistent state (e.g. running statistics)."""
+        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def register_parameter(self, name: str, param: Parameter) -> None:
+        self._parameters[name] = param
+        object.__setattr__(self, name, param)
+
+    def add_module(self, name: str, module: "Module") -> None:
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # ----------------------------------------------------------------- access
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for mod_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{mod_name}.")
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        for name, buf in self._buffers.items():
+            yield (f"{prefix}{name}", buf)
+        for mod_name, module in self._modules.items():
+            yield from module.named_buffers(prefix=f"{prefix}{mod_name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for module in self._modules.values():
+            yield from module.modules()
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalar parameters."""
+        return int(sum(p.size for p in self.parameters()))
+
+    # ------------------------------------------------------------------ modes
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # ------------------------------------------------------------ state dicts
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        state: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for name, buf in self.named_buffers():
+            state[name] = np.asarray(buf).copy()
+        return state
+
+    def load_state_dict(self, state: dict, strict: bool = True) -> None:
+        own_params = dict(self.named_parameters())
+        own_buffers = self._named_buffer_owners()
+        missing = []
+        for name, value in state.items():
+            if name in own_params:
+                param = own_params[name]
+                if param.shape != np.shape(value):
+                    raise ValueError(
+                        f"shape mismatch for {name}: {param.shape} vs {np.shape(value)}"
+                    )
+                param.data[...] = value
+            elif name in own_buffers:
+                owner, attr = own_buffers[name]
+                owner._buffers[attr][...] = value
+                object.__setattr__(owner, attr, owner._buffers[attr])
+            else:
+                missing.append(name)
+        if strict and missing:
+            raise KeyError(f"unexpected keys in state_dict: {missing}")
+
+    def _named_buffer_owners(self, prefix: str = ""):
+        owners = {}
+        for name in self._buffers:
+            owners[f"{prefix}{name}"] = (self, name)
+        for mod_name, module in self._modules.items():
+            owners.update(module._named_buffer_owners(prefix=f"{prefix}{mod_name}."))
+        return owners
+
+    # ------------------------------------------------------------------- call
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        child_repr = ", ".join(self._modules.keys())
+        return f"{self.__class__.__name__}({child_repr})"

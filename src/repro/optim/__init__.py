@@ -1,0 +1,16 @@
+"""Optimizers and learning-rate schedulers."""
+
+from .optimizers import SGD, Adam, Optimizer, clip_grad_norm
+from .schedulers import CosineAnnealingLR, ExponentialLR, LRScheduler, StepLR, WarmupLR
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "LRScheduler",
+    "StepLR",
+    "ExponentialLR",
+    "CosineAnnealingLR",
+    "WarmupLR",
+]

@@ -1,0 +1,131 @@
+"""Gradient-descent optimizers (SGD, Adam) operating on module parameters."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..nn.module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm"]
+
+
+class Optimizer:
+    """Base optimizer holding a list of parameters and per-parameter state."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float):
+        self.params: list[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+        self.state: dict[int, dict] = {}
+        self._step_count = 0
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def state_dict(self) -> dict:
+        return {
+            "lr": self.lr,
+            "step_count": self._step_count,
+            "state": {i: {k: np.copy(v) if isinstance(v, np.ndarray) else v
+                          for k, v in s.items()}
+                      for i, s in self.state.items()},
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = float(state["lr"])
+        self._step_count = int(state["step_count"])
+        self.state = {int(i): dict(s) for i, s in state["state"].items()}
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, params, lr: float = 1e-2, momentum: float = 0.0,
+                 weight_decay: float = 0.0, nesterov: bool = False):
+        super().__init__(params, lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self.nesterov = bool(nesterov)
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+
+    def step(self) -> None:
+        self._step_count += 1
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                buf = self.state.setdefault(i, {}).get("momentum")
+                if buf is None:
+                    buf = np.array(g, copy=True)
+                else:
+                    buf = self.momentum * buf + g
+                self.state[i]["momentum"] = buf
+                g = g + self.momentum * buf if self.nesterov else buf
+            p.data -= self.lr * g
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba), the optimizer used in the paper's experiments."""
+
+    def __init__(self, params, lr: float = 1e-3, betas: tuple[float, float] = (0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        if not (0.0 <= betas[0] < 1.0 and 0.0 <= betas[1] < 1.0):
+            raise ValueError(f"invalid betas {betas}")
+        self.betas = (float(betas[0]), float(betas[1]))
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+
+    def step(self) -> None:
+        self._step_count += 1
+        b1, b2 = self.betas
+        t = self._step_count
+        bias_c1 = 1.0 - b1 ** t
+        bias_c2 = 1.0 - b2 ** t
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            st = self.state.setdefault(i, {})
+            m = st.get("m")
+            v = st.get("v")
+            if m is None:
+                m = np.zeros_like(p.data)
+                v = np.zeros_like(p.data)
+            m = b1 * m + (1 - b1) * g
+            v = b2 * v + (1 - b2) * (g * g)
+            st["m"], st["v"] = m, v
+            m_hat = m / bias_c1
+            v_hat = v / bias_c2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def clip_grad_norm(params: Sequence[Parameter], max_norm: float) -> float:
+    """Clip the global L2 norm of the gradients in place; return the pre-clip norm."""
+    total = 0.0
+    for p in params:
+        if p.grad is not None:
+            total += float(np.sum(p.grad ** 2))
+    total = math.sqrt(total)
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        for p in params:
+            if p.grad is not None:
+                p.grad *= scale
+    return total

@@ -1,0 +1,83 @@
+"""Learning-rate schedulers."""
+
+from __future__ import annotations
+
+import math
+
+from .optimizers import Optimizer
+
+__all__ = ["LRScheduler", "StepLR", "ExponentialLR", "CosineAnnealingLR", "WarmupLR"]
+
+
+class LRScheduler:
+    """Base scheduler; call :meth:`step` once per epoch (or iteration)."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = float(optimizer.lr)
+        self.last_epoch = 0
+
+    def get_lr(self) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def step(self) -> float:
+        self.last_epoch += 1
+        lr = self.get_lr()
+        self.optimizer.lr = lr
+        return lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.last_epoch // self.step_size)
+
+
+class ExponentialLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95):
+        super().__init__(optimizer)
+        self.gamma = float(gamma)
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** self.last_epoch
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine annealing from the base learning rate down to ``eta_min``."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+        super().__init__(optimizer)
+        self.t_max = int(t_max)
+        self.eta_min = float(eta_min)
+
+    def get_lr(self) -> float:
+        t = min(self.last_epoch, self.t_max)
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (1 + math.cos(math.pi * t / self.t_max))
+
+
+class WarmupLR(LRScheduler):
+    """Linear warmup for large-batch (multi-worker) training, then constant.
+
+    Used by the scaling study: when the global batch size grows with the
+    number of data-parallel workers, a warmup phase avoids early divergence
+    (the standard large-batch training recipe).
+    """
+
+    def __init__(self, optimizer: Optimizer, warmup_epochs: int, target_scale: float = 1.0):
+        super().__init__(optimizer)
+        self.warmup_epochs = max(int(warmup_epochs), 1)
+        self.target_scale = float(target_scale)
+
+    def get_lr(self) -> float:
+        if self.last_epoch >= self.warmup_epochs:
+            return self.base_lr * self.target_scale
+        frac = self.last_epoch / self.warmup_epochs
+        return self.base_lr * (1.0 + frac * (self.target_scale - 1.0))

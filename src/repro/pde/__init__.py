@@ -1,0 +1,29 @@
+"""PDE constraint expressions and the Rayleigh–Bénard system."""
+
+from .expressions import Constraint, DerivativeSpec, PDESystem, Term, parse_symbol
+from .rayleigh_benard import (
+    COORDS,
+    FIELDS,
+    RayleighBenard2D,
+    advection_diffusion_system,
+    divergence_free_system,
+    rayleigh_benard_system,
+)
+from .registry import available_pde_systems, make_pde_system, register_pde_system
+
+__all__ = [
+    "Term",
+    "Constraint",
+    "PDESystem",
+    "DerivativeSpec",
+    "parse_symbol",
+    "FIELDS",
+    "COORDS",
+    "RayleighBenard2D",
+    "rayleigh_benard_system",
+    "divergence_free_system",
+    "advection_diffusion_system",
+    "register_pde_system",
+    "make_pde_system",
+    "available_pde_systems",
+]

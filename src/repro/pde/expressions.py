@@ -1,0 +1,190 @@
+"""Declarative PDE residual expressions.
+
+The paper advertises that MeshfreeFlowNet "supports arbitrary combinations of
+PDE constraints".  This module provides the small declarative language used to
+express those constraints: a :class:`Constraint` is a sum of :class:`Term`
+objects, each of which is a constant coefficient multiplied by a product of
+*symbols*.  A symbol is either a field name (``"u"``, ``"T"``, …) or a
+derivative of a field written ``"<field>_<coords>"`` where ``<coords>`` is a
+sequence of coordinate names applied left-to-right, e.g. ``"T_x"`` (∂T/∂x),
+``"u_xx"`` (∂²u/∂x²) or ``"w_tz"`` (∂²w/∂t∂z).
+
+A :class:`PDESystem` groups constraints, reports exactly which derivatives the
+model must supply, and evaluates the residual of each constraint given a
+dictionary of symbol values (tensors of identical shape).  The residuals feed
+the Equation Loss (Eqn. 9 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..autodiff import Tensor, ops
+
+__all__ = ["Term", "Constraint", "PDESystem", "parse_symbol", "DerivativeSpec"]
+
+
+@dataclass(frozen=True)
+class DerivativeSpec:
+    """A parsed derivative request: differentiate ``field`` along ``coords`` in order."""
+
+    field: str
+    coords: tuple[str, ...]
+
+    @property
+    def order(self) -> int:
+        return len(self.coords)
+
+    @property
+    def symbol(self) -> str:
+        return f"{self.field}_{''.join(self.coords)}" if self.coords else self.field
+
+
+def parse_symbol(symbol: str, fields: Sequence[str], coords: Sequence[str]) -> DerivativeSpec:
+    """Parse ``"u_xx"``-style symbols into a :class:`DerivativeSpec`.
+
+    Field names may themselves contain underscores as long as the suffix after
+    the final underscore consists only of coordinate names.
+    """
+    if symbol in fields:
+        return DerivativeSpec(symbol, ())
+    if "_" not in symbol:
+        raise ValueError(f"unknown symbol '{symbol}': not a field and has no derivative suffix")
+    base, _, suffix = symbol.rpartition("_")
+    if base not in fields:
+        raise ValueError(f"unknown field '{base}' in symbol '{symbol}' (fields: {list(fields)})")
+    parsed: list[str] = []
+    i = 0
+    # Coordinates may be multi-character ("t", "z", "x" here, but e.g. "xi" elsewhere);
+    # greedily match the longest coordinate name at each position.
+    sorted_coords = sorted(coords, key=len, reverse=True)
+    while i < len(suffix):
+        for c in sorted_coords:
+            if suffix.startswith(c, i):
+                parsed.append(c)
+                i += len(c)
+                break
+        else:
+            raise ValueError(f"cannot parse derivative suffix '{suffix}' of '{symbol}' with coords {list(coords)}")
+    return DerivativeSpec(base, tuple(parsed))
+
+
+@dataclass(frozen=True)
+class Term:
+    """``coefficient * prod(symbols)``."""
+
+    coefficient: float
+    symbols: tuple[str, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "symbols", tuple(self.symbols))
+
+    def evaluate(self, values: Mapping[str, Tensor]) -> Tensor:
+        out: Tensor | None = None
+        for s in self.symbols:
+            if s not in values:
+                raise KeyError(f"symbol '{s}' missing from provided values {sorted(values)}")
+            out = values[s] if out is None else ops.mul(out, values[s])
+        if out is None:
+            raise ValueError("a Term needs at least one symbol")
+        if self.coefficient != 1.0:
+            out = ops.mul(out, Tensor(np.array(float(self.coefficient))))
+        return out
+
+
+@dataclass
+class Constraint:
+    """A named PDE residual: ``sum_i coeff_i * prod_j symbol_ij = 0``."""
+
+    name: str
+    terms: list[Term]
+
+    def symbols(self) -> set[str]:
+        out: set[str] = set()
+        for t in self.terms:
+            out.update(t.symbols)
+        return out
+
+    def residual(self, values: Mapping[str, Tensor]) -> Tensor:
+        total: Tensor | None = None
+        for term in self.terms:
+            v = term.evaluate(values)
+            total = v if total is None else ops.add(total, v)
+        if total is None:
+            raise ValueError(f"constraint '{self.name}' has no terms")
+        return total
+
+
+class PDESystem:
+    """A collection of constraints over named fields and coordinates.
+
+    Parameters
+    ----------
+    fields:
+        Output channel names of the model, in channel order (e.g.
+        ``("p", "T", "u", "w")`` for Rayleigh–Bénard).
+    coords:
+        Coordinate names in the order of the query-coordinate axis (e.g.
+        ``("t", "z", "x")``).
+    constraints:
+        The PDE residuals to impose.
+    """
+
+    def __init__(self, fields: Sequence[str], coords: Sequence[str],
+                 constraints: Iterable[Constraint] = ()):
+        self.fields = tuple(fields)
+        self.coords = tuple(coords)
+        self.constraints: list[Constraint] = list(constraints)
+        if len(set(self.fields)) != len(self.fields):
+            raise ValueError("duplicate field names")
+        if len(set(self.coords)) != len(self.coords):
+            raise ValueError("duplicate coordinate names")
+
+    # ------------------------------------------------------------------ build
+    def add_constraint(self, name: str, terms: Sequence[tuple[float, Sequence[str]]]) -> Constraint:
+        """Add a constraint from ``(coefficient, symbols)`` tuples and return it."""
+        constraint = Constraint(name, [Term(c, tuple(sym)) for c, sym in terms])
+        for spec in (parse_symbol(s, self.fields, self.coords) for s in constraint.symbols()):
+            if spec.order > 2:
+                raise ValueError(
+                    f"constraint '{name}' requests order-{spec.order} derivative "
+                    f"'{spec.symbol}'; only orders 0-2 are supported"
+                )
+        self.constraints.append(constraint)
+        return constraint
+
+    # ------------------------------------------------------------------ query
+    def required_derivatives(self) -> list[DerivativeSpec]:
+        """All derivative specs (order >= 1) needed to evaluate every constraint."""
+        specs: dict[str, DerivativeSpec] = {}
+        for constraint in self.constraints:
+            for symbol in constraint.symbols():
+                spec = parse_symbol(symbol, self.fields, self.coords)
+                if spec.order >= 1:
+                    specs[spec.symbol] = spec
+        return sorted(specs.values(), key=lambda s: (s.order, s.symbol))
+
+    def required_fields(self) -> list[str]:
+        out: set[str] = set()
+        for constraint in self.constraints:
+            for symbol in constraint.symbols():
+                spec = parse_symbol(symbol, self.fields, self.coords)
+                out.add(spec.field)
+        return sorted(out)
+
+    # --------------------------------------------------------------- evaluate
+    def residuals(self, values: Mapping[str, Tensor]) -> dict[str, Tensor]:
+        """Evaluate every constraint residual from a symbol-value mapping."""
+        return {c.name: c.residual(values) for c in self.constraints}
+
+    def residuals_from_arrays(self, values: Mapping[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Numpy convenience wrapper (used when checking simulation output)."""
+        tensor_values = {k: Tensor(v) for k, v in values.items()}
+        return {k: v.data for k, v in self.residuals(tensor_values).items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        names = [c.name for c in self.constraints]
+        return f"PDESystem(fields={self.fields}, coords={self.coords}, constraints={names})"

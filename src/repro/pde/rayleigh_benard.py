@@ -1,0 +1,113 @@
+"""Rayleigh–Bénard convection PDE system (Eqns. 3a–3c of the paper).
+
+Non-dimensional Boussinesq equations for 2D convection between a hot bottom
+plate and a cold top plate::
+
+    ∇·u = 0                                            (continuity)
+    ∂T/∂t + u·∇T − P* ∇²T = 0                          (temperature)
+    ∂u/∂t + u·∇u + ∇p − T ẑ − R* ∇²u = 0               (momentum)
+
+with ``P* = (Ra·Pr)^{-1/2}`` and ``R* = (Ra/Pr)^{-1/2}``.
+
+Fields are ordered ``(p, T, u, w)`` (pressure, temperature, x-velocity,
+z-velocity) and coordinates ``(t, z, x)`` matching the data layout used by the
+rest of the library.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .expressions import PDESystem
+
+__all__ = [
+    "FIELDS",
+    "COORDS",
+    "RayleighBenard2D",
+    "rayleigh_benard_system",
+    "divergence_free_system",
+    "advection_diffusion_system",
+]
+
+FIELDS = ("p", "T", "u", "w")
+COORDS = ("t", "z", "x")
+
+
+class RayleighBenard2D(PDESystem):
+    """The full Rayleigh–Bénard constraint set used for the Equation Loss."""
+
+    def __init__(self, rayleigh: float = 1e6, prandtl: float = 1.0,
+                 include_continuity: bool = True,
+                 include_temperature: bool = True,
+                 include_momentum: bool = True):
+        super().__init__(FIELDS, COORDS)
+        if rayleigh <= 0 or prandtl <= 0:
+            raise ValueError("Rayleigh and Prandtl numbers must be positive")
+        self.rayleigh = float(rayleigh)
+        self.prandtl = float(prandtl)
+        p_star = 1.0 / math.sqrt(self.rayleigh * self.prandtl)
+        r_star = math.sqrt(self.prandtl / self.rayleigh)
+        self.p_star = p_star
+        self.r_star = r_star
+
+        if include_continuity:
+            self.add_constraint("continuity", [
+                (1.0, ["u_x"]),
+                (1.0, ["w_z"]),
+            ])
+        if include_temperature:
+            self.add_constraint("temperature", [
+                (1.0, ["T_t"]),
+                (1.0, ["u", "T_x"]),
+                (1.0, ["w", "T_z"]),
+                (-p_star, ["T_xx"]),
+                (-p_star, ["T_zz"]),
+            ])
+        if include_momentum:
+            self.add_constraint("momentum_x", [
+                (1.0, ["u_t"]),
+                (1.0, ["u", "u_x"]),
+                (1.0, ["w", "u_z"]),
+                (1.0, ["p_x"]),
+                (-r_star, ["u_xx"]),
+                (-r_star, ["u_zz"]),
+            ])
+            self.add_constraint("momentum_z", [
+                (1.0, ["w_t"]),
+                (1.0, ["u", "w_x"]),
+                (1.0, ["w", "w_z"]),
+                (1.0, ["p_z"]),
+                (-1.0, ["T"]),
+                (-r_star, ["w_xx"]),
+                (-r_star, ["w_zz"]),
+            ])
+
+
+def rayleigh_benard_system(rayleigh: float = 1e6, prandtl: float = 1.0) -> RayleighBenard2D:
+    """Factory for the full Rayleigh–Bénard PDE system."""
+    return RayleighBenard2D(rayleigh=rayleigh, prandtl=prandtl)
+
+
+def divergence_free_system() -> PDESystem:
+    """Only the incompressibility constraint (a cheap, linear constraint set)."""
+    system = PDESystem(FIELDS, COORDS)
+    system.add_constraint("continuity", [(1.0, ["u_x"]), (1.0, ["w_z"])])
+    return system
+
+
+def advection_diffusion_system(diffusivity: float = 1e-3) -> PDESystem:
+    """Temperature advection-diffusion only (no momentum coupling).
+
+    Demonstrates composing a *different* combination of constraints than the
+    paper's default, exercising the "arbitrary combinations of PDE
+    constraints" capability.
+    """
+    system = PDESystem(FIELDS, COORDS)
+    system.add_constraint("temperature", [
+        (1.0, ["T_t"]),
+        (1.0, ["u", "T_x"]),
+        (1.0, ["w", "T_z"]),
+        (-float(diffusivity), ["T_xx"]),
+        (-float(diffusivity), ["T_zz"]),
+    ])
+    return system

@@ -1,0 +1,46 @@
+"""Registry of named PDE constraint sets.
+
+Allows experiments and configuration files to request a PDE system by name,
+and users to register custom constraint combinations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .expressions import PDESystem
+from .rayleigh_benard import (
+    advection_diffusion_system,
+    divergence_free_system,
+    rayleigh_benard_system,
+)
+
+__all__ = ["register_pde_system", "make_pde_system", "available_pde_systems"]
+
+_REGISTRY: dict[str, Callable[..., PDESystem]] = {}
+
+
+def register_pde_system(name: str, factory: Callable[..., PDESystem], overwrite: bool = False) -> None:
+    """Register a factory returning a :class:`PDESystem` under ``name``."""
+    key = name.lower()
+    if key in _REGISTRY and not overwrite:
+        raise ValueError(f"PDE system '{name}' already registered")
+    _REGISTRY[key] = factory
+
+
+def make_pde_system(name: str, **kwargs) -> PDESystem:
+    """Instantiate a registered PDE system by name."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown PDE system '{name}'; available: {available_pde_systems()}")
+    return _REGISTRY[key](**kwargs)
+
+
+def available_pde_systems() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+register_pde_system("rayleigh_benard", rayleigh_benard_system)
+register_pde_system("divergence_free", divergence_free_system)
+register_pde_system("advection_diffusion", advection_diffusion_system)
+register_pde_system("none", lambda: PDESystem(("p", "T", "u", "w"), ("t", "z", "x")))

@@ -1,0 +1,21 @@
+"""Rayleigh–Bénard simulation substrate (replaces the paper's Dedalus datasets)."""
+
+from .datasets import DatasetSpec, generate_dataset, generate_ensemble, generate_rayleigh_sweep
+from .rayleigh_benard import RayleighBenardConfig, RayleighBenardSolver, simulate_rayleigh_benard
+from .result import CHANNELS, SimulationResult
+from .synthetic import SyntheticConfig, manufactured_solution, synthetic_convection
+
+__all__ = [
+    "CHANNELS",
+    "SimulationResult",
+    "RayleighBenardConfig",
+    "RayleighBenardSolver",
+    "simulate_rayleigh_benard",
+    "SyntheticConfig",
+    "synthetic_convection",
+    "manufactured_solution",
+    "DatasetSpec",
+    "generate_dataset",
+    "generate_ensemble",
+    "generate_rayleigh_sweep",
+]

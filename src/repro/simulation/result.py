@@ -1,0 +1,135 @@
+"""Container for simulation output shared by the solver and synthetic generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["SimulationResult", "CHANNELS"]
+
+#: channel order used throughout the library: pressure, temperature, x-velocity, z-velocity
+CHANNELS = ("p", "T", "u", "w")
+
+
+@dataclass
+class SimulationResult:
+    """A space-time solution of the Rayleigh–Bénard problem.
+
+    Attributes
+    ----------
+    fields:
+        Array of shape ``(nt, 4, nz, nx)`` holding ``(p, T, u, w)`` snapshots.
+    times:
+        Snapshot times, shape ``(nt,)``.
+    lx, lz:
+        Physical domain extents.
+    rayleigh, prandtl:
+        Non-dimensional parameters of the run.
+    metadata:
+        Free-form provenance (solver settings, seed, …).
+    """
+
+    fields: np.ndarray
+    times: np.ndarray
+    lx: float
+    lz: float
+    rayleigh: float
+    prandtl: float
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.fields = np.asarray(self.fields, dtype=np.float64)
+        self.times = np.asarray(self.times, dtype=np.float64)
+        if self.fields.ndim != 4 or self.fields.shape[1] != len(CHANNELS):
+            raise ValueError(
+                f"fields must have shape (nt, {len(CHANNELS)}, nz, nx); got {self.fields.shape}"
+            )
+        if self.times.shape != (self.fields.shape[0],):
+            raise ValueError("times must have one entry per snapshot")
+
+    # ---------------------------------------------------------------- access
+    @property
+    def nt(self) -> int:
+        return self.fields.shape[0]
+
+    @property
+    def nz(self) -> int:
+        return self.fields.shape[2]
+
+    @property
+    def nx(self) -> int:
+        return self.fields.shape[3]
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """Space-time resolution ``(nt, nz, nx)``."""
+        return (self.nt, self.nz, self.nx)
+
+    @property
+    def duration(self) -> float:
+        return float(self.times[-1] - self.times[0]) if self.nt > 1 else 0.0
+
+    @property
+    def channel_names(self) -> tuple[str, ...]:
+        return CHANNELS
+
+    def channel(self, name: str) -> np.ndarray:
+        """Return one physical channel as ``(nt, nz, nx)``."""
+        try:
+            idx = CHANNELS.index(name)
+        except ValueError as exc:
+            raise KeyError(f"unknown channel '{name}'; available: {CHANNELS}") from exc
+        return self.fields[:, idx]
+
+    def snapshot(self, index: int) -> dict[str, np.ndarray]:
+        """Return all channels of a single snapshot keyed by name."""
+        return {name: self.fields[index, i] for i, name in enumerate(CHANNELS)}
+
+    # ------------------------------------------------------------- transforms
+    def grid_spacing(self) -> tuple[float, float, float]:
+        """Physical spacing ``(dt, dz, dx)`` of the stored snapshots."""
+        dt = float(self.times[1] - self.times[0]) if self.nt > 1 else 1.0
+        return (dt, self.lz / self.nz, self.lx / self.nx)
+
+    def extent(self) -> tuple[float, float, float]:
+        """Physical extent ``(T, Lz, Lx)`` of the stored block."""
+        return (max(self.duration, 1e-12), self.lz, self.lx)
+
+    def subsample(self, factor_t: int = 1, factor_z: int = 1, factor_x: int = 1) -> "SimulationResult":
+        """Return a strided (decimated) copy of the result."""
+        return SimulationResult(
+            fields=self.fields[::factor_t, :, ::factor_z, ::factor_x].copy(),
+            times=self.times[::factor_t].copy(),
+            lx=self.lx,
+            lz=self.lz,
+            rayleigh=self.rayleigh,
+            prandtl=self.prandtl,
+            metadata={**self.metadata, "subsampled": (factor_t, factor_z, factor_x)},
+        )
+
+    def save(self, path) -> None:
+        """Persist to an ``.npz`` archive."""
+        np.savez_compressed(
+            path,
+            fields=self.fields,
+            times=self.times,
+            lx=self.lx,
+            lz=self.lz,
+            rayleigh=self.rayleigh,
+            prandtl=self.prandtl,
+        )
+
+    @classmethod
+    def load(cls, path) -> "SimulationResult":
+        data = np.load(path)
+        return cls(
+            fields=data["fields"],
+            times=data["times"],
+            lx=float(data["lx"]),
+            lz=float(data["lz"]),
+            rayleigh=float(data["rayleigh"]),
+            prandtl=float(data["prandtl"]),
+            metadata={"loaded_from": str(path)},
+        )

@@ -1,0 +1,116 @@
+"""Spectral (x) and finite-difference (z) derivative operators for the solver.
+
+The channel geometry of Rayleigh–Bénard convection is periodic in ``x`` and
+wall-bounded in ``z``; the solver therefore differentiates in ``x`` with FFTs
+and in ``z`` with second-order central differences using ghost cells that
+encode the wall boundary conditions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "wavenumbers",
+    "ddx",
+    "d2dx2",
+    "ddz",
+    "d2dz2",
+    "dirichlet_ghosts",
+    "neumann_ghosts",
+    "ThomasSolver",
+]
+
+
+def wavenumbers(nx: int, lx: float) -> np.ndarray:
+    """Real-FFT wavenumbers (rad / length) for a periodic axis of length ``lx``."""
+    return 2.0 * np.pi * np.fft.rfftfreq(nx, d=lx / nx)
+
+
+def ddx(f: np.ndarray, lx: float) -> np.ndarray:
+    """Spectral ∂/∂x along the last axis (periodic)."""
+    k = wavenumbers(f.shape[-1], lx)
+    return np.fft.irfft(1j * k * np.fft.rfft(f, axis=-1), n=f.shape[-1], axis=-1)
+
+
+def d2dx2(f: np.ndarray, lx: float) -> np.ndarray:
+    """Spectral ∂²/∂x² along the last axis (periodic)."""
+    k = wavenumbers(f.shape[-1], lx)
+    return np.fft.irfft(-(k**2) * np.fft.rfft(f, axis=-1), n=f.shape[-1], axis=-1)
+
+
+def dirichlet_ghosts(f: np.ndarray, bottom: float, top: float) -> tuple[np.ndarray, np.ndarray]:
+    """Ghost rows enforcing ``f = bottom`` at z=0 and ``f = top`` at z=Lz.
+
+    Cell-centred grid: the wall lies half a cell outside the first/last row,
+    so the ghost value is the linear extrapolation ``2*value - f_adjacent``.
+    """
+    return 2.0 * bottom - f[0], 2.0 * top - f[-1]
+
+
+def neumann_ghosts(f: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Ghost rows enforcing zero normal gradient at both walls."""
+    return f[0].copy(), f[-1].copy()
+
+
+def _shifted(f: np.ndarray, ghost_bottom: np.ndarray, ghost_top: np.ndarray):
+    f_minus = np.concatenate([ghost_bottom[None, :], f[:-1]], axis=0)
+    f_plus = np.concatenate([f[1:], ghost_top[None, :]], axis=0)
+    return f_minus, f_plus
+
+
+def ddz(f: np.ndarray, dz: float, ghosts: tuple[np.ndarray, np.ndarray]) -> np.ndarray:
+    """Central-difference ∂/∂z along the first axis with supplied ghost rows."""
+    f_minus, f_plus = _shifted(f, *ghosts)
+    return (f_plus - f_minus) / (2.0 * dz)
+
+
+def d2dz2(f: np.ndarray, dz: float, ghosts: tuple[np.ndarray, np.ndarray]) -> np.ndarray:
+    """Central-difference ∂²/∂z² along the first axis with supplied ghost rows."""
+    f_minus, f_plus = _shifted(f, *ghosts)
+    return (f_plus - 2.0 * f + f_minus) / (dz * dz)
+
+
+class ThomasSolver:
+    """Vectorised tridiagonal solver for the per-wavenumber Poisson problems.
+
+    Solves ``a x_{j-1} + b_j x_j + c x_{j+1} = d_j`` for many independent
+    systems at once (one per Fourier mode).  ``a`` and ``c`` are scalars; the
+    diagonal ``b`` varies per system (because of the ``-k²`` shift) and is of
+    shape ``(n_systems, n)``.
+    """
+
+    def __init__(self, a: float, b: np.ndarray, c: float):
+        self.a = float(a)
+        self.c = float(c)
+        self.b = np.array(b, dtype=np.float64)
+        if self.b.ndim != 2:
+            raise ValueError("b must have shape (n_systems, n)")
+        n_sys, n = self.b.shape
+        # Pre-compute the forward-elimination coefficients (they do not depend
+        # on the right-hand side).
+        self._cp = np.zeros((n_sys, n))
+        self._denom = np.zeros((n_sys, n))
+        cp_prev = np.zeros(n_sys)
+        for j in range(n):
+            denom = self.b[:, j] - self.a * cp_prev
+            if np.any(np.abs(denom) < 1e-14):
+                raise np.linalg.LinAlgError("tridiagonal system is singular")
+            self._denom[:, j] = denom
+            cp_prev = self.c / denom
+            self._cp[:, j] = cp_prev
+
+    def solve(self, d: np.ndarray) -> np.ndarray:
+        """Solve for right-hand sides ``d`` of shape ``(n_systems, n)`` (may be complex)."""
+        if d.shape != self.b.shape:
+            raise ValueError(f"rhs shape {d.shape} does not match diagonal shape {self.b.shape}")
+        n_sys, n = d.shape
+        dp = np.zeros_like(d)
+        dp[:, 0] = d[:, 0] / self._denom[:, 0]
+        for j in range(1, n):
+            dp[:, j] = (d[:, j] - self.a * dp[:, j - 1]) / self._denom[:, j]
+        x = np.zeros_like(d)
+        x[:, -1] = dp[:, -1]
+        for j in range(n - 2, -1, -1):
+            x[:, j] = dp[:, j] - self._cp[:, j] * x[:, j + 1]
+        return x

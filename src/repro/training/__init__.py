@@ -1,0 +1,16 @@
+"""Training loops, evaluation, checkpointing and history tracking."""
+
+from .checkpoint import load_checkpoint, save_checkpoint
+from .evaluation import evaluate_model, pointwise_errors
+from .history import TrainingHistory
+from .trainer import Trainer, TrainerConfig
+
+__all__ = [
+    "Trainer",
+    "TrainerConfig",
+    "TrainingHistory",
+    "evaluate_model",
+    "pointwise_errors",
+    "save_checkpoint",
+    "load_checkpoint",
+]

@@ -1,0 +1,62 @@
+"""Model / optimizer checkpointing to ``.npz`` archives."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..nn.module import Module
+from ..optim.optimizers import Optimizer
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+
+def save_checkpoint(path, model: Module, optimizer: Optimizer | None = None,
+                    metadata: dict | None = None) -> None:
+    """Save model parameters/buffers (and optionally optimizer state) to ``path``.
+
+    The archive is a plain ``.npz`` with JSON metadata, so it can be inspected
+    without this library.
+    """
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {}
+    for name, value in model.state_dict().items():
+        arrays[f"model/{name}"] = np.asarray(value)
+    if optimizer is not None:
+        state = optimizer.state_dict()
+        arrays["optimizer/lr"] = np.asarray(state["lr"])
+        arrays["optimizer/step_count"] = np.asarray(state["step_count"])
+        for idx, sub in state["state"].items():
+            for key, value in sub.items():
+                arrays[f"optimizer/state/{idx}/{key}"] = np.asarray(value)
+    arrays["__metadata__"] = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+
+
+def load_checkpoint(path, model: Module, optimizer: Optimizer | None = None) -> dict:
+    """Load a checkpoint saved by :func:`save_checkpoint`; return its metadata."""
+    data = np.load(Path(path) if str(path).endswith(".npz") else Path(str(path) + ".npz"))
+    model_state = {}
+    optimizer_state: dict = {"lr": None, "step_count": 0, "state": {}}
+    for key in data.files:
+        if key.startswith("model/"):
+            model_state[key[len("model/"):]] = data[key]
+        elif key == "optimizer/lr":
+            optimizer_state["lr"] = float(data[key])
+        elif key == "optimizer/step_count":
+            optimizer_state["step_count"] = int(data[key])
+        elif key.startswith("optimizer/state/"):
+            _, _, idx, name = key.split("/", 3)
+            optimizer_state["state"].setdefault(int(idx), {})[name] = data[key]
+    model.load_state_dict(model_state)
+    if optimizer is not None and optimizer_state["lr"] is not None:
+        optimizer.load_state_dict(optimizer_state)
+    raw = data.get("__metadata__")
+    if raw is None:
+        return {}
+    return json.loads(bytes(raw.tolist()).decode("utf-8"))

@@ -1,0 +1,58 @@
+"""Standalone model evaluation helpers (shared by Trainer, experiments, benchmarks)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autodiff import Tensor
+from ..data.dataset import SuperResolutionDataset
+from ..metrics.report import MetricReport, evaluate_fields
+
+__all__ = ["evaluate_model", "pointwise_errors"]
+
+
+def evaluate_model(model, dataset: SuperResolutionDataset, dataset_index: int = 0,
+                   label: str = "", chunk_size: int = 8192) -> MetricReport:
+    """Evaluate any model exposing ``predict_grid`` against the HR ground truth.
+
+    Works for :class:`~repro.core.model.MeshfreeFlowNet`, the U-Net decoder
+    baseline and the trilinear baseline (they share the ``predict_grid``
+    interface).  Fields are converted back to physical units before the
+    turbulence metrics are computed.
+    """
+    if hasattr(model, "eval"):
+        model.eval()
+    lowres, highres, _ = dataset.evaluation_pair(dataset_index)
+    hr_shape = highres.shape[1:]
+    pred = model.predict_grid(Tensor(lowres[None]), hr_shape, chunk_size=chunk_size)[0]
+    pred_fields = dataset.denormalize(np.moveaxis(pred, 0, 1), channel_axis=1)
+    true_fields = dataset.denormalize(np.moveaxis(highres, 0, 1), channel_axis=1)
+    result = dataset.results[dataset_index]
+    nu = float(np.sqrt(result.prandtl / result.rayleigh))
+    _, dz, dx = result.grid_spacing()
+    report = evaluate_fields(pred_fields, true_fields, dx=dx, dz=dz, nu=nu, label=label)
+    if hasattr(model, "train"):
+        model.train()
+    return report
+
+
+def pointwise_errors(model, dataset: SuperResolutionDataset, dataset_index: int = 0,
+                     chunk_size: int = 8192) -> dict[str, float]:
+    """Per-channel mean-absolute and RMS errors of the super-resolved fields."""
+    if hasattr(model, "eval"):
+        model.eval()
+    lowres, highres, _ = dataset.evaluation_pair(dataset_index)
+    hr_shape = highres.shape[1:]
+    pred = model.predict_grid(Tensor(lowres[None]), hr_shape, chunk_size=chunk_size)[0]
+    errors: dict[str, float] = {}
+    for i, name in enumerate(dataset.channel_names):
+        diff = pred[i] - highres[i]
+        errors[f"mae_{name}"] = float(np.mean(np.abs(diff)))
+        errors[f"rmse_{name}"] = float(np.sqrt(np.mean(diff**2)))
+    errors["mae"] = float(np.mean(np.abs(pred - highres)))
+    errors["rmse"] = float(np.sqrt(np.mean((pred - highres) ** 2)))
+    if hasattr(model, "train"):
+        model.train()
+    return errors

@@ -1,0 +1,50 @@
+"""Training history bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["TrainingHistory"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch records of the training loop (losses, learning rate, timing)."""
+
+    records: list[dict] = field(default_factory=list)
+
+    def append(self, **record: Any) -> None:
+        self.records.append(dict(record))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __getitem__(self, index: int) -> dict:
+        return self.records[index]
+
+    def series(self, key: str) -> np.ndarray:
+        """Extract one column (e.g. ``"loss"``) as an array over epochs."""
+        return np.asarray([r[key] for r in self.records if key in r], dtype=np.float64)
+
+    def last(self, key: str, default: float | None = None):
+        for record in reversed(self.records):
+            if key in record:
+                return record[key]
+        return default
+
+    def to_dict(self) -> dict:
+        return {"records": [dict(r) for r in self.records]}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TrainingHistory":
+        return cls(records=[dict(r) for r in d.get("records", [])])
+
+    def summary(self) -> str:
+        if not self.records:
+            return "TrainingHistory(empty)"
+        first, last = self.records[0], self.records[-1]
+        return (f"TrainingHistory({len(self.records)} epochs, "
+                f"loss {first.get('loss', float('nan')):.4f} -> {last.get('loss', float('nan')):.4f})")

@@ -1,0 +1,14 @@
+"""Shared utilities: seeding, timing, grid helpers."""
+
+from .seeding import seed_everything, temporary_seed
+from .timing import Timer
+from .grids import crop_slices, normalized_axis, tile_windows
+
+__all__ = [
+    "seed_everything",
+    "temporary_seed",
+    "Timer",
+    "normalized_axis",
+    "crop_slices",
+    "tile_windows",
+]

@@ -1,0 +1,47 @@
+"""Grid and cropping helpers shared by the data pipeline and experiments."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["normalized_axis", "crop_slices", "tile_windows"]
+
+
+def normalized_axis(n: int, endpoint: bool = True) -> np.ndarray:
+    """Normalised coordinates of ``n`` grid points in ``[0, 1]``."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if n == 1:
+        return np.zeros(1)
+    return np.linspace(0.0, 1.0, n, endpoint=endpoint)
+
+
+def crop_slices(full_shape: Sequence[int], crop_shape: Sequence[int],
+                start: Sequence[int]) -> tuple[slice, ...]:
+    """Slices selecting a crop of ``crop_shape`` starting at ``start``."""
+    if len(full_shape) != len(crop_shape) or len(full_shape) != len(start):
+        raise ValueError("shape rank mismatch")
+    slices = []
+    for full, crop, s in zip(full_shape, crop_shape, start):
+        if s < 0 or s + crop > full:
+            raise ValueError(f"crop [{s}, {s + crop}) exceeds axis of length {full}")
+        slices.append(slice(s, s + crop))
+    return tuple(slices)
+
+
+def tile_windows(length: int, window: int, stride: int | None = None) -> Iterator[int]:
+    """Yield start offsets tiling ``length`` with ``window``-sized windows.
+
+    The final window is shifted left if necessary so the whole axis is covered
+    (overlapping the previous one), matching the behaviour used to evaluate a
+    fully-convolutional model on domains larger than its training crop.
+    """
+    if window > length:
+        raise ValueError(f"window {window} larger than axis {length}")
+    stride = window if stride is None else stride
+    starts = list(range(0, length - window + 1, stride))
+    if starts[-1] != length - window:
+        starts.append(length - window)
+    yield from starts

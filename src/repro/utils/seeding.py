@@ -1,0 +1,28 @@
+"""Deterministic seeding helpers."""
+
+from __future__ import annotations
+
+import contextlib
+import random
+
+import numpy as np
+
+__all__ = ["seed_everything", "temporary_seed"]
+
+
+def seed_everything(seed: int) -> np.random.Generator:
+    """Seed Python's and NumPy's global RNGs and return a fresh Generator."""
+    random.seed(seed)
+    np.random.seed(seed % (2**32 - 1))
+    return np.random.default_rng(seed)
+
+
+@contextlib.contextmanager
+def temporary_seed(seed: int):
+    """Context manager that temporarily fixes the legacy NumPy global RNG state."""
+    state = np.random.get_state()
+    np.random.seed(seed % (2**32 - 1))
+    try:
+        yield
+    finally:
+        np.random.set_state(state)

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.core import MeshfreeFlowNet, MeshfreeFlowNetConfig
+from repro.data import SuperResolutionDataset
+from repro.simulation import synthetic_convection
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_config() -> MeshfreeFlowNetConfig:
+    return MeshfreeFlowNetConfig.tiny()
+
+
+@pytest.fixture
+def tiny_model(tiny_config) -> MeshfreeFlowNet:
+    return MeshfreeFlowNet(tiny_config)
+
+
+@pytest.fixture(scope="session")
+def synthetic_result():
+    """A small synthetic convection dataset shared across tests (read-only)."""
+    return synthetic_convection(nt=16, nz=16, nx=64, seed=3)
+
+
+@pytest.fixture
+def tiny_dataset(synthetic_result) -> SuperResolutionDataset:
+    return SuperResolutionDataset(
+        synthetic_result,
+        lr_factors=(2, 2, 4),
+        crop_shape_lr=(4, 4, 8),
+        n_points=32,
+        samples_per_epoch=8,
+        seed=0,
+    )
+
+
+@pytest.fixture
+def tiny_lowres(rng) -> Tensor:
+    return Tensor(rng.standard_normal((2, 4, 2, 8, 8)))
+
+
+@pytest.fixture
+def tiny_coords(rng) -> Tensor:
+    return Tensor(rng.random((2, 12, 3)), requires_grad=True)

@@ -1,0 +1,115 @@
+"""Tests for the first-order NN primitives: conv3d, pooling, upsampling."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, avg_pool3d, conv3d, gradcheck, max_pool3d, ops, upsample_nearest3d
+
+
+def t(arr):
+    return Tensor(np.asarray(arr, dtype=np.float64), requires_grad=True)
+
+
+class TestConv3d:
+    def test_output_shape_no_padding(self, rng):
+        x = t(rng.standard_normal((2, 3, 4, 6, 6)))
+        w = t(rng.standard_normal((5, 3, 3, 3, 3)))
+        out = conv3d(x, w)
+        assert out.shape == (2, 5, 2, 4, 4)
+
+    def test_output_shape_padding_stride(self, rng):
+        x = t(rng.standard_normal((1, 2, 4, 8, 8)))
+        w = t(rng.standard_normal((4, 2, 3, 3, 3)))
+        assert conv3d(x, w, padding=1).shape == (1, 4, 4, 8, 8)
+        assert conv3d(x, w, stride=2, padding=1).shape == (1, 4, 2, 4, 4)
+
+    def test_identity_kernel(self, rng):
+        x = rng.standard_normal((1, 1, 3, 3, 3))
+        w = np.zeros((1, 1, 1, 1, 1))
+        w[0, 0, 0, 0, 0] = 1.0
+        out = conv3d(t(x), t(w))
+        assert np.allclose(out.data, x)
+
+    def test_matches_direct_convolution(self, rng):
+        x = rng.standard_normal((1, 2, 3, 4, 4))
+        w = rng.standard_normal((3, 2, 2, 2, 2))
+        out = conv3d(t(x), t(w)).data
+        # brute-force reference
+        ref = np.zeros((1, 3, 2, 3, 3))
+        for co in range(3):
+            for dd in range(2):
+                for hh in range(3):
+                    for ww_ in range(3):
+                        patch = x[0, :, dd:dd+2, hh:hh+2, ww_:ww_+2]
+                        ref[0, co, dd, hh, ww_] = np.sum(patch * w[co])
+        assert np.allclose(out, ref)
+
+    def test_channel_mismatch_raises(self, rng):
+        x = t(rng.standard_normal((1, 3, 4, 4, 4)))
+        w = t(rng.standard_normal((2, 4, 3, 3, 3)))
+        with pytest.raises(ValueError):
+            conv3d(x, w)
+
+    def test_gradcheck(self, rng):
+        x = t(rng.standard_normal((2, 2, 3, 4, 4)) * 0.5)
+        w = t(rng.standard_normal((3, 2, 3, 3, 3)) * 0.5)
+        assert gradcheck(lambda a, b: ops.sum(ops.square(conv3d(a, b, padding=1))), [x, w], atol=1e-4)
+
+    def test_gradcheck_strided(self, rng):
+        x = t(rng.standard_normal((1, 2, 4, 4, 4)) * 0.5)
+        w = t(rng.standard_normal((2, 2, 2, 2, 2)) * 0.5)
+        assert gradcheck(lambda a, b: ops.sum(conv3d(a, b, stride=2)), [x, w], atol=1e-4)
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 2, 2, 4)
+        out = max_pool3d(Tensor(x), (2, 2, 2))
+        assert out.shape == (1, 1, 1, 1, 2)
+        assert np.allclose(out.data.ravel(), [13.0, 15.0])
+
+    def test_max_pool_anisotropic_kernel(self, rng):
+        x = t(rng.standard_normal((2, 3, 4, 8, 8)))
+        out = max_pool3d(x, (1, 2, 2))
+        assert out.shape == (2, 3, 4, 4, 4)
+
+    def test_max_pool_divisibility_error(self, rng):
+        with pytest.raises(ValueError):
+            max_pool3d(t(rng.standard_normal((1, 1, 3, 4, 4))), (2, 2, 2))
+
+    def test_max_pool_gradcheck(self, rng):
+        x = t(rng.standard_normal((1, 2, 2, 4, 4)))
+        assert gradcheck(lambda a: ops.sum(max_pool3d(a, (2, 2, 2))), [x])
+
+    def test_avg_pool_values(self):
+        x = np.ones((1, 1, 2, 2, 2)) * 3.0
+        assert np.allclose(avg_pool3d(Tensor(x), 2).data, 3.0)
+
+    def test_avg_pool_gradcheck(self, rng):
+        x = t(rng.standard_normal((1, 2, 4, 4, 2)))
+        assert gradcheck(lambda a: ops.sum(ops.square(avg_pool3d(a, (2, 2, 2)))), [x])
+
+    def test_max_then_upsample_shapes(self, rng):
+        x = t(rng.standard_normal((1, 2, 4, 4, 4)))
+        down = max_pool3d(x, 2)
+        up = upsample_nearest3d(down, 2)
+        assert up.shape == x.shape
+
+
+class TestUpsample:
+    def test_values_repeat(self):
+        x = np.arange(4.0).reshape(1, 1, 1, 2, 2)
+        out = upsample_nearest3d(Tensor(x), (1, 2, 2)).data
+        assert out.shape == (1, 1, 1, 4, 4)
+        assert np.allclose(out[0, 0, 0, :2, :2], 0.0)
+        assert np.allclose(out[0, 0, 0, 2:, 2:], 3.0)
+
+    def test_gradcheck(self, rng):
+        x = t(rng.standard_normal((1, 2, 2, 3, 2)))
+        assert gradcheck(lambda a: ops.sum(ops.square(upsample_nearest3d(a, (2, 1, 2)))), [x])
+
+    def test_upsample_then_avgpool_is_identity(self, rng):
+        x = rng.standard_normal((1, 3, 2, 2, 2))
+        up = upsample_nearest3d(Tensor(x), 2)
+        back = avg_pool3d(up, 2)
+        assert np.allclose(back.data, x)

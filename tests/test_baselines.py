@@ -1,0 +1,105 @@
+"""Baseline models: trilinear interpolation and U-Net + convolutional decoder."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, ops
+from repro.baselines import TrilinearBaseline, UNetDecoderBaseline, decompose_upsample_factors
+from repro.core import MeshfreeFlowNetConfig
+
+
+class TestTrilinearBaseline:
+    def test_forward_shape(self, rng):
+        model = TrilinearBaseline()
+        lowres = Tensor(rng.standard_normal((2, 4, 3, 4, 4)))
+        coords = Tensor(rng.random((2, 10, 3)))
+        out = model(lowres, coords)
+        assert out.shape == (2, 10, 4)
+
+    def test_predict_grid_shape(self, rng):
+        model = TrilinearBaseline()
+        lowres = Tensor(rng.standard_normal((1, 4, 2, 4, 4)))
+        out = model.predict_grid(lowres, (4, 8, 8))
+        assert out.shape == (1, 4, 4, 8, 8)
+
+    def test_exact_on_trilinear_field(self):
+        """Trilinear upsampling of a multilinear field is exact — Baseline I's best case."""
+        nt, nz, nx = 3, 4, 5
+        tt, zz, xx = np.meshgrid(np.linspace(0, 1, nt), np.linspace(0, 1, nz),
+                                 np.linspace(0, 1, nx), indexing="ij")
+        field = (tt + 2 * zz - xx)[None, None]
+        model = TrilinearBaseline()
+        up = model.predict_grid(Tensor(field), (2 * nt - 1, 2 * nz - 1, 2 * nx - 1))[0, 0]
+        t2, z2, x2 = np.meshgrid(np.linspace(0, 1, 2 * nt - 1), np.linspace(0, 1, 2 * nz - 1),
+                                 np.linspace(0, 1, 2 * nx - 1), indexing="ij")
+        assert np.allclose(up, t2 + 2 * z2 - x2, atol=1e-12)
+
+    def test_interface_compat(self):
+        model = TrilinearBaseline()
+        assert model.parameters() == []
+        assert model.eval() is model
+        assert model.train() is model
+
+    def test_cannot_recover_fine_scales(self):
+        """Downsampling then trilinear upsampling loses high-frequency content."""
+        x = np.linspace(0, 2 * np.pi, 33)
+        fine = np.sin(8 * x)[None, None, None, None, :].repeat(4, axis=3)  # (1, 1, 1, 4, 33)
+        coarse = fine[:, :, :, :, ::8]
+        model = TrilinearBaseline()
+        recon = model.predict_grid(Tensor(coarse), (1, 4, 33))[0]
+        error = np.abs(recon - fine[0]).mean()
+        assert error > 0.3  # the 8x-undersampled sine cannot be recovered by interpolation
+
+
+class TestDecomposeFactors:
+    def test_paper_factors(self):
+        assert decompose_upsample_factors((4, 8, 8)) == [(1, 2, 2), (2, 2, 2), (2, 2, 2)]
+
+    def test_identity(self):
+        assert decompose_upsample_factors((1, 1, 1)) == [(1, 1, 1)]
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            decompose_upsample_factors((3, 2, 2))
+
+    def test_product_equals_input(self):
+        for factors in [(2, 4, 4), (4, 8, 8), (1, 2, 8)]:
+            stages = decompose_upsample_factors(factors)
+            prod = np.prod(np.array(stages), axis=0)
+            assert tuple(prod) == factors
+
+
+class TestUNetDecoderBaseline:
+    @pytest.fixture
+    def model(self):
+        cfg = MeshfreeFlowNetConfig.tiny()
+        return UNetDecoderBaseline(cfg, upsample_factors=(2, 2, 4))
+
+    def test_decode_grid_shape(self, model, rng):
+        lowres = Tensor(rng.standard_normal((1, 4, 2, 4, 8)))
+        out = model.decode_grid(lowres)
+        assert out.shape == (1, 4, 4, 8, 32)
+
+    def test_forward_point_samples(self, model, rng):
+        lowres = Tensor(rng.standard_normal((2, 4, 2, 4, 8)))
+        coords = Tensor(rng.random((2, 6, 3)))
+        out = model(lowres, coords)
+        assert out.shape == (2, 6, 4)
+
+    def test_predict_grid_resamples_to_requested_shape(self, model, rng):
+        lowres = Tensor(rng.standard_normal((1, 4, 2, 4, 8)))
+        out = model.predict_grid(lowres, (3, 7, 29))
+        assert out.shape == (1, 4, 3, 7, 29)
+
+    def test_trainable(self, model, rng):
+        lowres = Tensor(rng.standard_normal((1, 4, 2, 4, 8)))
+        coords = Tensor(rng.random((1, 5, 3)))
+        target = Tensor(rng.standard_normal((1, 5, 4)))
+        loss = ops.l1_loss(model(lowres, coords), target)
+        loss.backward()
+        grads = [p.grad is not None for p in model.parameters()]
+        assert all(grads)
+
+    def test_shares_unet_architecture_with_mfn(self, model):
+        from repro.core import UNet3d
+        assert isinstance(model.unet, UNet3d)

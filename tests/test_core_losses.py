@@ -1,0 +1,114 @@
+"""Prediction loss, equation loss, combined loss."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.core import (
+    LossWeights,
+    MeshfreeFlowNet,
+    MeshfreeFlowNetConfig,
+    compute_losses,
+    equation_loss,
+    prediction_loss,
+)
+from repro.pde import RayleighBenard2D, divergence_free_system
+
+
+class TestPredictionLoss:
+    def test_l1_value(self, rng):
+        pred = Tensor(rng.standard_normal((2, 5, 4)))
+        target = Tensor(rng.standard_normal((2, 5, 4)))
+        expected = np.abs(pred.data - target.data).mean()
+        assert prediction_loss(pred, target, "l1").data == pytest.approx(expected)
+
+    def test_l2_value(self, rng):
+        pred = Tensor(rng.standard_normal((3, 4)))
+        target = Tensor(rng.standard_normal((3, 4)))
+        expected = ((pred.data - target.data) ** 2).mean()
+        assert prediction_loss(pred, target, "l2").data == pytest.approx(expected)
+
+    def test_zero_for_perfect_prediction(self, rng):
+        x = Tensor(rng.standard_normal((4, 4)))
+        assert prediction_loss(x, Tensor(x.data.copy())).data == pytest.approx(0.0)
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            prediction_loss(Tensor(np.zeros((2, 3))), Tensor(np.zeros((3, 2))))
+
+    def test_unknown_norm(self, rng):
+        with pytest.raises(ValueError):
+            prediction_loss(Tensor(np.zeros(2)), Tensor(np.zeros(2)), norm="linf")
+
+
+class TestEquationLoss:
+    def test_zero_residuals(self):
+        residuals = {"continuity": Tensor(np.zeros((2, 8)))}
+        assert equation_loss(residuals).data == pytest.approx(0.0)
+
+    def test_average_over_constraints(self):
+        residuals = {
+            "a": Tensor(np.full((4,), 2.0)),
+            "b": Tensor(np.full((4,), 4.0)),
+        }
+        assert equation_loss(residuals, "l1").data == pytest.approx(3.0)
+
+    def test_empty_returns_zero(self):
+        assert equation_loss({}).data == pytest.approx(0.0)
+
+    def test_l2(self):
+        residuals = {"a": Tensor(np.full((3,), 2.0))}
+        assert equation_loss(residuals, "l2").data == pytest.approx(4.0)
+
+
+class TestLossWeights:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LossWeights(gamma=-0.1)
+        with pytest.raises(ValueError):
+            LossWeights(norm="l3")
+
+    def test_defaults_match_paper(self):
+        assert LossWeights().gamma == pytest.approx(0.0125)
+
+
+class TestComputeLosses:
+    @pytest.fixture
+    def setup(self, rng):
+        model = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny())
+        lowres = Tensor(rng.standard_normal((1, 4, 2, 8, 8)))
+        coords = Tensor(rng.random((1, 8, 3)), requires_grad=True)
+        targets = Tensor(rng.standard_normal((1, 8, 4)))
+        return model, lowres, coords, targets
+
+    def test_gamma_zero_skips_equation_loss(self, setup):
+        model, lowres, coords, targets = setup
+        pde = RayleighBenard2D()
+        total, breakdown = compute_losses(model, lowres, coords, targets, pde,
+                                          LossWeights(gamma=0.0))
+        assert breakdown.equation == 0.0
+        assert breakdown.per_constraint == {}
+        assert total.data == pytest.approx(breakdown.prediction)
+
+    def test_gamma_positive_adds_weighted_equation_loss(self, setup):
+        model, lowres, coords, targets = setup
+        pde = divergence_free_system()
+        gamma = 0.25
+        total, breakdown = compute_losses(model, lowres, coords, targets, pde,
+                                          LossWeights(gamma=gamma))
+        assert breakdown.equation > 0.0
+        assert total.data == pytest.approx(breakdown.prediction + gamma * breakdown.equation)
+        assert "continuity" in breakdown.per_constraint
+
+    def test_no_pde_system(self, setup):
+        model, lowres, coords, targets = setup
+        total, breakdown = compute_losses(model, lowres, coords, targets, None,
+                                          LossWeights(gamma=0.5))
+        assert breakdown.equation == 0.0
+
+    def test_total_is_differentiable(self, setup):
+        model, lowres, coords, targets = setup
+        pde = divergence_free_system()
+        total, _ = compute_losses(model, lowres, coords, targets, pde, LossWeights(gamma=0.1))
+        total.backward()
+        assert all(p.grad is not None for p in model.parameters())

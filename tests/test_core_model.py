@@ -1,0 +1,133 @@
+"""End-to-end MeshfreeFlowNet model: forward, dense prediction, derivatives."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, ops
+from repro.core import MeshfreeFlowNet, MeshfreeFlowNetConfig
+from repro.pde import RayleighBenard2D, divergence_free_system
+
+
+@pytest.fixture
+def model():
+    return MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny())
+
+
+class TestForward:
+    def test_point_prediction_shape(self, model, tiny_lowres, tiny_coords):
+        out = model(tiny_lowres, tiny_coords)
+        assert out.shape == (2, 12, 4)
+
+    def test_latent_grid_shape(self, model, tiny_lowres):
+        grid = model.latent_grid(tiny_lowres)
+        assert grid.shape == (2, model.config.latent_channels, 2, 8, 8)
+
+    def test_decode_precomputed_grid_matches_forward(self, model, tiny_lowres, tiny_coords):
+        direct = model(tiny_lowres, tiny_coords)
+        grid = model.latent_grid(tiny_lowres)
+        decoded = model.decode(grid, tiny_coords)
+        assert np.allclose(direct.data, decoded.data)
+
+    def test_deterministic_given_seed(self, tiny_lowres, tiny_coords):
+        m1 = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny(seed=7))
+        m2 = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny(seed=7))
+        assert np.allclose(m1(tiny_lowres, tiny_coords).data, m2(tiny_lowres, tiny_coords).data)
+
+    def test_count_parameters(self, model):
+        counts = model.count_parameters()
+        assert counts["total"] == counts["unet"] + counts["imnet"]
+        assert counts["total"] > 0
+
+    def test_gradients_reach_both_subnetworks(self, model, tiny_lowres, tiny_coords):
+        out = model(tiny_lowres, tiny_coords)
+        ops.sum(ops.square(out)).backward()
+        assert all(p.grad is not None for p in model.unet.parameters())
+        assert all(p.grad is not None for p in model.imnet.parameters())
+
+
+class TestPredictGrid:
+    def test_output_shape(self, model, tiny_lowres):
+        out = model.predict_grid(tiny_lowres, (4, 16, 16), chunk_size=300)
+        assert out.shape == (2, 4, 4, 16, 16)
+        assert np.isfinite(out).all()
+
+    def test_chunking_invariance(self, model, tiny_lowres):
+        small_chunks = model.predict_grid(tiny_lowres, (2, 8, 8), chunk_size=17)
+        one_chunk = model.predict_grid(tiny_lowres, (2, 8, 8), chunk_size=10_000)
+        assert np.allclose(small_chunks, one_chunk)
+
+    def test_super_resolve_factors(self, model, tiny_lowres):
+        out = model.super_resolve(tiny_lowres, (2, 2, 2))
+        assert out.shape == (2, 4, 4, 16, 16)
+
+    def test_bad_output_shape(self, model, tiny_lowres):
+        with pytest.raises(ValueError):
+            model.predict_grid(tiny_lowres, (4, 16))
+
+
+class TestDerivatives:
+    def test_values_contains_all_symbols(self, model, tiny_lowres, tiny_coords):
+        pde = RayleighBenard2D(rayleigh=1e5)
+        _, values = model.forward_with_derivatives(tiny_lowres, tiny_coords, pde)
+        needed = {s.symbol for s in pde.required_derivatives()} | set(pde.fields)
+        assert needed <= set(values)
+        for v in values.values():
+            assert v.shape == (2, 12)
+
+    def test_first_derivative_matches_finite_difference(self, model, tiny_lowres):
+        """Autodiff derivative of the full model w.r.t. query coordinates == FD."""
+        pde = divergence_free_system()
+        coords_np = np.random.default_rng(0).random((1, 4, 3)) * 0.6 + 0.2
+        lowres = Tensor(tiny_lowres.data[:1])
+        _, values = model.forward_with_derivatives(lowres, Tensor(coords_np, requires_grad=True), pde)
+
+        eps = 1e-5
+        u_idx = model.config.field_names.index("u")
+        x_axis = model.config.coord_names.index("x")
+        plus = coords_np.copy(); plus[..., x_axis] += eps
+        minus = coords_np.copy(); minus[..., x_axis] -= eps
+        fd = (model(lowres, Tensor(plus)).data[..., u_idx]
+              - model(lowres, Tensor(minus)).data[..., u_idx]) / (2 * eps)
+        assert np.allclose(values["u_x"].data, fd, rtol=1e-4, atol=1e-6)
+
+    def test_second_derivative_matches_finite_difference(self, model, tiny_lowres):
+        pde = RayleighBenard2D(rayleigh=1e4, include_momentum=False)
+        coords_np = np.random.default_rng(1).random((1, 3, 3)) * 0.5 + 0.25
+        lowres = Tensor(tiny_lowres.data[:1])
+        _, values = model.forward_with_derivatives(lowres, Tensor(coords_np, requires_grad=True), pde)
+
+        eps = 3e-4
+        t_idx = model.config.field_names.index("T")
+        x_axis = model.config.coord_names.index("x")
+        base = model(lowres, Tensor(coords_np)).data[..., t_idx]
+        plus = coords_np.copy(); plus[..., x_axis] += eps
+        minus = coords_np.copy(); minus[..., x_axis] -= eps
+        fd2 = (model(lowres, Tensor(plus)).data[..., t_idx]
+               - 2 * base + model(lowres, Tensor(minus)).data[..., t_idx]) / eps**2
+        assert np.allclose(values["T_xx"].data, fd2, rtol=2e-3, atol=1e-4)
+
+    def test_coordinate_scaling(self, model, tiny_lowres, tiny_coords):
+        """Derivatives in physical units scale inversely with the crop extent."""
+        pde = divergence_free_system()
+        _, v1 = model.forward_with_derivatives(tiny_lowres, tiny_coords, pde, coord_scales=(1.0, 1.0, 1.0))
+        _, v2 = model.forward_with_derivatives(tiny_lowres, tiny_coords, pde, coord_scales=(1.0, 1.0, 4.0))
+        assert np.allclose(v2["u_x"].data, v1["u_x"].data / 4.0)
+        assert np.allclose(v2["w_z"].data, v1["w_z"].data)
+
+    def test_invalid_scales(self, model, tiny_lowres, tiny_coords):
+        pde = divergence_free_system()
+        with pytest.raises(ValueError):
+            model.forward_with_derivatives(tiny_lowres, tiny_coords, pde, coord_scales=(1.0, 0.0, 1.0))
+        with pytest.raises(ValueError):
+            model.forward_with_derivatives(tiny_lowres, tiny_coords, pde, coord_scales=(1.0, 1.0))
+
+    def test_equation_loss_backprop_reaches_unet(self, model, tiny_lowres, tiny_coords):
+        """The PDE residual loss must provide gradients to the encoder parameters."""
+        pde = divergence_free_system()
+        _, values = model.forward_with_derivatives(tiny_lowres, tiny_coords, pde)
+        residual = pde.residuals(values)["continuity"]
+        loss = ops.mean(ops.abs(residual))
+        loss.backward()
+        unet_grads = [p.grad for p in model.unet.parameters() if p.grad is not None]
+        assert len(unet_grads) > 0
+        assert any(np.any(g != 0) for g in unet_grads)

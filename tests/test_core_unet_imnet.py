@@ -1,0 +1,142 @@
+"""Context Generation Network (U-Net) and Continuous Decoding Network (ImNet)."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, ops
+from repro.core import ImNet, MeshfreeFlowNetConfig, ResBlock3d, UNet3d
+
+
+class TestResBlock:
+    def test_shape_preserved(self, rng):
+        block = ResBlock3d(4, 4, rng=rng)
+        out = block(Tensor(rng.standard_normal((2, 4, 2, 4, 4))))
+        assert out.shape == (2, 4, 2, 4, 4)
+
+    def test_channel_change_uses_projection(self, rng):
+        block = ResBlock3d(3, 8, rng=rng)
+        out = block(Tensor(rng.standard_normal((1, 3, 2, 4, 4))))
+        assert out.shape == (1, 8, 2, 4, 4)
+
+    def test_gradients_reach_all_parameters(self, rng):
+        block = ResBlock3d(2, 4, rng=rng)
+        x = Tensor(rng.standard_normal((1, 2, 2, 4, 4)))
+        ops.sum(block(x)).backward()
+        assert all(p.grad is not None for p in block.parameters())
+
+    def test_group_norm_variant(self, rng):
+        block = ResBlock3d(2, 4, norm="group", rng=rng)
+        out = block(Tensor(rng.standard_normal((1, 2, 2, 4, 4))))
+        assert np.isfinite(out.data).all()
+
+
+class TestUNet3d:
+    def test_latent_grid_shape(self, rng):
+        net = UNet3d(in_channels=4, latent_channels=6, base_channels=4,
+                     pool_factors=((1, 2, 2), (2, 2, 2)), rng=rng)
+        x = Tensor(rng.standard_normal((2, 4, 2, 8, 8)))
+        out = net(x)
+        assert out.shape == (2, 6, 2, 8, 8)
+
+    def test_fully_convolutional_larger_input(self, rng):
+        """The same network processes a larger domain (the key scalability claim)."""
+        net = UNet3d(in_channels=4, latent_channels=3, base_channels=4,
+                     pool_factors=((1, 2, 2),), rng=rng)
+        small = net(Tensor(rng.standard_normal((1, 4, 2, 4, 4))))
+        large = net(Tensor(rng.standard_normal((1, 4, 4, 16, 16))))
+        assert small.shape[2:] == (2, 4, 4)
+        assert large.shape[2:] == (4, 16, 16)
+
+    def test_indivisible_input_raises(self, rng):
+        net = UNet3d(in_channels=2, latent_channels=2, base_channels=2,
+                     pool_factors=((2, 2, 2),), rng=rng)
+        with pytest.raises(ValueError, match="divisible"):
+            net(Tensor(rng.standard_normal((1, 2, 3, 4, 4))))
+
+    def test_wrong_channel_count_raises(self, rng):
+        net = UNet3d(in_channels=4, latent_channels=2, base_channels=2,
+                     pool_factors=((1, 2, 2),), rng=rng)
+        with pytest.raises(ValueError, match="channels"):
+            net(Tensor(rng.standard_normal((1, 3, 2, 4, 4))))
+
+    def test_wrong_rank_raises(self, rng):
+        net = UNet3d(in_channels=4, latent_channels=2, base_channels=2, pool_factors=((1, 2, 2),), rng=rng)
+        with pytest.raises(ValueError):
+            net(Tensor(rng.standard_normal((4, 2, 4, 4))))
+
+    def test_required_divisor(self):
+        net = UNet3d(4, 2, 2, pool_factors=((1, 2, 2), (2, 2, 2), (2, 2, 2)))
+        assert net.required_divisor() == (4, 8, 8)
+
+    def test_from_config(self):
+        cfg = MeshfreeFlowNetConfig.tiny()
+        net = UNet3d.from_config(cfg)
+        assert net.latent_channels == cfg.latent_channels
+
+    def test_gradients_flow(self, rng):
+        net = UNet3d(in_channels=2, latent_channels=2, base_channels=2,
+                     pool_factors=((1, 2, 2),), rng=rng)
+        x = Tensor(rng.standard_normal((1, 2, 2, 4, 4)))
+        ops.sum(ops.square(net(x))).backward()
+        grads = [p.grad is not None for p in net.parameters()]
+        assert all(grads)
+
+
+class TestImNet:
+    def test_output_shape(self, rng):
+        net = ImNet(coord_dim=3, latent_dim=8, out_channels=4, hidden=(16, 8), rng=rng)
+        out = net(Tensor(rng.standard_normal((2, 5, 11))))
+        assert out.shape == (2, 5, 4)
+
+    def test_in_features(self):
+        net = ImNet(coord_dim=3, latent_dim=5, out_channels=2, hidden=(4,))
+        assert net.in_features == 8
+
+    def test_wrong_trailing_dim_raises(self, rng):
+        net = ImNet(coord_dim=3, latent_dim=8, out_channels=4, hidden=(8,), rng=rng)
+        with pytest.raises(ValueError):
+            net(Tensor(rng.standard_normal((2, 5, 7))))
+
+    @pytest.mark.parametrize("activation", ["softplus", "tanh", "relu", "sin"])
+    def test_activations(self, activation, rng):
+        net = ImNet(coord_dim=3, latent_dim=4, out_channels=2, hidden=(8,), activation=activation, rng=rng)
+        out = net(Tensor(rng.standard_normal((3, 7))))
+        assert np.isfinite(out.data).all()
+
+    def test_from_config(self):
+        cfg = MeshfreeFlowNetConfig.tiny()
+        net = ImNet.from_config(cfg)
+        assert net.latent_dim == cfg.latent_channels
+        assert net.out_channels == cfg.out_channels
+
+    def test_smoothness_softplus_has_nonzero_second_derivative(self, rng):
+        """Softplus decoders keep Laplacian information (unlike ReLU)."""
+        from repro.autodiff import grad
+        net = ImNet(coord_dim=1, latent_dim=0, out_channels=1, hidden=(8, 8),
+                    activation="softplus", rng=rng)
+        x = Tensor(rng.standard_normal((5, 1)), requires_grad=True)
+        y = ops.sum(net(x))
+        g1 = grad(y, x, create_graph=True)
+        g2 = grad(ops.sum(g1), x)
+        assert np.any(np.abs(g2.data) > 1e-8)
+
+
+class TestConfig:
+    def test_presets(self):
+        assert MeshfreeFlowNetConfig.paper().latent_channels == 32
+        assert MeshfreeFlowNetConfig.tiny().latent_channels < 32
+
+    def test_min_input_shape(self):
+        cfg = MeshfreeFlowNetConfig.paper()
+        assert cfg.min_input_shape() == (4, 16, 16)
+
+    def test_roundtrip_dict(self):
+        cfg = MeshfreeFlowNetConfig.small()
+        cfg2 = MeshfreeFlowNetConfig.from_dict(cfg.to_dict())
+        assert cfg2 == cfg
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MeshfreeFlowNetConfig(field_names=("a", "b"))
+        with pytest.raises(ValueError):
+            MeshfreeFlowNetConfig(interpolation="bicubic")

@@ -1,0 +1,254 @@
+"""Distributed substrate: all-reduce, communicator, sampler, DDP, performance model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.autodiff import Tensor, ops
+from repro.distributed import (
+    ClusterSpec,
+    DataParallelGroup,
+    DistributedSampler,
+    ScalingPerformanceModel,
+    SimulatedCommunicator,
+    average_gradients,
+    naive_allreduce,
+    reduce_scatter_allgather_cost,
+    ring_allreduce,
+)
+from repro.optim import SGD
+
+
+class TestAllReduce:
+    @pytest.mark.parametrize("world_size", [1, 2, 3, 4, 8])
+    def test_ring_equals_sum(self, world_size, rng):
+        buffers = [rng.standard_normal(37) for _ in range(world_size)]
+        expected = np.sum(buffers, axis=0)
+        results, stats = ring_allreduce(buffers)
+        assert all(np.allclose(r, expected) for r in results)
+        assert stats.world_size == world_size
+
+    def test_ring_average(self, rng):
+        buffers = [rng.standard_normal((3, 4)) for _ in range(4)]
+        results, _ = ring_allreduce(buffers, average=True)
+        assert np.allclose(results[0], np.mean(buffers, axis=0))
+
+    def test_naive_equals_ring(self, rng):
+        buffers = [rng.standard_normal(10) for _ in range(5)]
+        ring, _ = ring_allreduce(buffers)
+        naive, _ = naive_allreduce(buffers)
+        assert np.allclose(ring[0], naive[0])
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            ring_allreduce([rng.standard_normal(4), rng.standard_normal(5)])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ring_allreduce([])
+
+    def test_ring_bandwidth_advantage(self, rng):
+        """Per-rank traffic of the ring algorithm is ~2(N-1)/N of the buffer size."""
+        n = 8
+        buffers = [rng.standard_normal(800) for _ in range(n)]
+        _, ring_stats = ring_allreduce(buffers)
+        per_rank_ratio = ring_stats.bytes_per_rank / buffers[0].nbytes
+        assert per_rank_ratio == pytest.approx(2 * (n - 1) / n, rel=0.15)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=40))
+    def test_ring_correct_property(self, world_size, length):
+        rng = np.random.default_rng(world_size * 100 + length)
+        buffers = [rng.standard_normal(length) for _ in range(world_size)]
+        results, _ = ring_allreduce(buffers)
+        assert np.allclose(results[-1], np.sum(buffers, axis=0), atol=1e-9)
+
+    def test_analytic_cost_monotone_in_message_size(self):
+        small = reduce_scatter_allgather_cost(16, 1_000, 1e9, 1e-6)
+        large = reduce_scatter_allgather_cost(16, 1_000_000, 1e9, 1e-6)
+        assert large > small
+
+    def test_analytic_cost_zero_for_single_rank(self):
+        assert reduce_scatter_allgather_cost(1, 100, 1e9, 1e-6) == 0.0
+
+
+class TestCommunicator:
+    def test_allreduce_counts_bytes(self, rng):
+        comm = SimulatedCommunicator(4)
+        comm.allreduce([rng.standard_normal(16) for _ in range(4)])
+        assert comm.total_bytes > 0
+        assert comm.num_collectives == 1
+
+    def test_wrong_buffer_count(self, rng):
+        comm = SimulatedCommunicator(3)
+        with pytest.raises(ValueError):
+            comm.allreduce([rng.standard_normal(4)] * 2)
+
+    def test_broadcast(self, rng):
+        comm = SimulatedCommunicator(3)
+        out = comm.broadcast(rng.standard_normal(5), root=0)
+        assert len(out) == 3 and np.allclose(out[0], out[2])
+
+    def test_invalid_algorithm(self):
+        with pytest.raises(ValueError):
+            SimulatedCommunicator(2, algorithm="tree")
+
+    def test_reset_stats(self, rng):
+        comm = SimulatedCommunicator(2)
+        comm.allreduce([rng.standard_normal(4)] * 2)
+        comm.reset_stats()
+        assert comm.total_bytes == 0
+
+
+class TestDistributedSampler:
+    def test_partition_covers_all_indices(self):
+        world = 4
+        samplers = [DistributedSampler(100, world, r, shuffle=True, seed=1) for r in range(world)]
+        combined = sorted(i for s in samplers for i in s.indices())
+        assert set(combined) >= set(range(100))
+
+    def test_disjoint_without_padding(self):
+        world = 4
+        samplers = [DistributedSampler(100, world, r, shuffle=False, seed=0) for r in range(world)]
+        all_indices = [i for s in samplers for i in s.indices()]
+        assert len(all_indices) == len(set(all_indices)) == 100
+
+    def test_equal_length_per_rank(self):
+        samplers = [DistributedSampler(10, 3, r) for r in range(3)]
+        lengths = {len(s) for s in samplers}
+        assert lengths == {4}
+
+    def test_epoch_changes_permutation(self):
+        s = DistributedSampler(50, 2, 0, shuffle=True, seed=0)
+        first = s.indices()
+        s.set_epoch(1)
+        assert s.indices() != first
+
+    def test_same_permutation_across_ranks(self):
+        a = DistributedSampler(20, 2, 0, seed=3)
+        b = DistributedSampler(20, 2, 1, seed=3)
+        assert np.array_equal(a.global_permutation(), b.global_permutation())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DistributedSampler(10, 2, 5)
+        with pytest.raises(ValueError):
+            DistributedSampler(0, 1, 0)
+
+
+def _make_model_factory(seed=0):
+    def factory():
+        rng = np.random.default_rng(seed)
+        return nn.Sequential(nn.Linear(3, 8, rng=rng), nn.Tanh(), nn.Linear(8, 1, rng=rng))
+    return factory
+
+
+class TestDataParallelGroup:
+    def test_replicas_stay_in_sync(self, rng):
+        group = DataParallelGroup(_make_model_factory(), world_size=3,
+                                  optimizer_factory=lambda p: SGD(p, lr=0.05))
+        assert group.parameters_in_sync()
+        x = [Tensor(rng.standard_normal((4, 3))) for _ in range(3)]
+        y = [Tensor(rng.standard_normal((4, 1))) for _ in range(3)]
+        for _ in range(3):
+            losses = [ops.mse_loss(r(xi), yi) for r, xi, yi in zip(group.replicas, x, y)]
+            group.step(losses)
+        assert group.parameters_in_sync()
+        assert group.communication_bytes() > 0
+
+    def test_equivalent_to_large_batch_single_process(self, rng):
+        """DDP over shards == single model trained on the concatenated batch."""
+        x = rng.standard_normal((8, 3))
+        y = rng.standard_normal((8, 1))
+
+        single = _make_model_factory()()
+        opt = SGD(single.parameters(), lr=0.1)
+        opt.zero_grad()
+        ops.mse_loss(single(Tensor(x)), Tensor(y)).backward()
+        opt.step()
+
+        group = DataParallelGroup(_make_model_factory(), world_size=2,
+                                  optimizer_factory=lambda p: SGD(p, lr=0.1))
+        losses = [
+            ops.mse_loss(group.replicas[0](Tensor(x[:4])), Tensor(y[:4])),
+            ops.mse_loss(group.replicas[1](Tensor(x[4:])), Tensor(y[4:])),
+        ]
+        group.step(losses)
+
+        for p_single, p_ddp in zip(single.parameters(), group.model.parameters()):
+            assert np.allclose(p_single.data, p_ddp.data, atol=1e-10)
+
+    def test_wrong_loss_count(self, rng):
+        group = DataParallelGroup(_make_model_factory(), world_size=2,
+                                  optimizer_factory=lambda p: SGD(p, lr=0.1))
+        with pytest.raises(ValueError):
+            group.step([Tensor(np.array(1.0))])
+
+    def test_average_gradients_function(self, rng):
+        replicas = [_make_model_factory()() for _ in range(2)]
+        comm = SimulatedCommunicator(2)
+        for i, r in enumerate(replicas):
+            ops.sum(r(Tensor(rng.standard_normal((2, 3))))).backward()
+        average_gradients(replicas, comm)
+        for p0, p1 in zip(replicas[0].parameters(), replicas[1].parameters()):
+            assert np.allclose(p0.grad, p1.grad)
+
+
+class TestPerformanceModel:
+    def test_efficiency_bounds(self):
+        model = ScalingPerformanceModel()
+        for n in (1, 2, 8, 32, 128):
+            eff = model.efficiency(n)
+            assert 0.0 < eff <= 1.0 + 1e-12
+
+    def test_single_worker_is_ideal(self):
+        model = ScalingPerformanceModel()
+        assert model.efficiency(1) == pytest.approx(1.0)
+
+    def test_throughput_increases_with_workers(self):
+        model = ScalingPerformanceModel()
+        tps = [model.throughput(n) for n in (1, 2, 16, 128)]
+        assert all(b > a for a, b in zip(tps, tps[1:]))
+
+    def test_matches_paper_headline_efficiency(self):
+        """Default calibration reproduces ≈96.8% efficiency at 128 GPUs (Fig. 7a)."""
+        model = ScalingPerformanceModel()
+        assert model.efficiency(128) == pytest.approx(0.968, abs=0.015)
+
+    def test_throughput_magnitude_matches_paper(self):
+        model = ScalingPerformanceModel()
+        assert 1.7e3 < model.throughput(128) < 2.1e3
+
+    def test_overlap_improves_efficiency(self):
+        base = ScalingPerformanceModel(overlap_fraction=0.0)
+        overlapped = ScalingPerformanceModel(overlap_fraction=0.9)
+        assert overlapped.efficiency(128) > base.efficiency(128)
+
+    def test_epoch_time_decreases_with_workers(self):
+        model = ScalingPerformanceModel()
+        assert model.epoch_time(128) < model.epoch_time(1)
+        assert model.training_time(16, 100) == pytest.approx(100 * model.epoch_time(16))
+
+    def test_steps_per_epoch(self):
+        model = ScalingPerformanceModel(samples_per_epoch=3000, batch_size_per_worker=16)
+        assert model.steps_per_epoch(1) == int(np.ceil(3000 / 16))
+        assert model.steps_per_epoch(128) == 2
+
+    def test_intra_vs_inter_node_bandwidth(self):
+        spec = ClusterSpec()
+        assert spec.bandwidth(8) > spec.bandwidth(16)
+        assert spec.latency(8) < spec.latency(16)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScalingPerformanceModel(overlap_fraction=1.5)
+        with pytest.raises(ValueError):
+            ScalingPerformanceModel(n_parameters=0)
+
+    def test_evaluate_returns_points(self):
+        model = ScalingPerformanceModel()
+        points = model.evaluate([1, 2, 4])
+        assert [p.world_size for p in points] == [1, 2, 4]
+        assert all(p.step_time > 0 for p in points)

@@ -1,0 +1,102 @@
+"""Smoke tests of the experiment runners (micro scale so they stay fast)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    SCALES,
+    ExperimentScale,
+    build_dataset,
+    build_model,
+    get_scale,
+    run_ablation_allreduce,
+    run_ablation_interpolation,
+    run_fig2_simulation,
+    run_fig7_scaling,
+    run_table1_gamma_sweep,
+    simulate,
+)
+
+
+@pytest.fixture(scope="module")
+def micro_scale():
+    """An even smaller scale than 'tiny' so experiment smoke tests stay fast."""
+    return SCALES["tiny"].with_overrides(
+        hr_shape=(8, 8, 32),
+        lr_factors=(2, 2, 4),
+        crop_shape_lr=(2, 4, 8),
+        n_points=16,
+        samples_per_epoch=4,
+        epochs=1,
+        batch_size=1,
+    )
+
+
+class TestScales:
+    def test_presets_exist(self):
+        assert {"tiny", "small", "paper"} <= set(SCALES)
+
+    def test_get_scale_by_name_and_object(self):
+        assert get_scale("tiny").name == "tiny"
+        scale = ExperimentScale(name="custom")
+        assert get_scale(scale) is scale
+        assert get_scale(None).name == "tiny"
+        with pytest.raises(KeyError):
+            get_scale("gigantic")
+
+    def test_paper_scale_matches_paper_settings(self):
+        paper = SCALES["paper"]
+        assert paper.hr_shape == (400, 128, 512)
+        assert paper.lr_factors == (4, 8, 8)
+        assert paper.samples_per_epoch == 3000
+        assert paper.epochs == 100
+
+    def test_with_overrides(self):
+        scale = SCALES["tiny"].with_overrides(epochs=99)
+        assert scale.epochs == 99
+        assert SCALES["tiny"].epochs != 99
+
+    def test_build_helpers(self, micro_scale):
+        sim = simulate(micro_scale)
+        assert sim.shape == micro_scale.hr_shape
+        ds = build_dataset(micro_scale, results=sim)
+        assert ds.lr_shape == (4, 4, 8)
+        model = build_model(micro_scale)
+        assert model.config.latent_channels == 6
+
+
+class TestRunners:
+    def test_table1_structure(self, micro_scale):
+        out = run_table1_gamma_sweep(scale=micro_scale, gammas=(0.0,))
+        assert out["experiment"] == "table1_gamma_sweep"
+        assert set(out["reports"]) == {"gamma=0"}
+        assert "histories" in out
+
+    def test_fig2_structure(self, micro_scale):
+        out = run_fig2_simulation(scale=micro_scale)
+        assert set(out["fields"]) == {"p", "T", "u", "w"}
+        assert out["fields"]["T"].shape == (8, 32)
+        assert np.isfinite(out["turbulence_summary"]["Etot"])
+
+    def test_fig7_structure_without_training(self):
+        out = run_fig7_scaling(scale="tiny", world_sizes=(1, 8, 128), train_curves=False)
+        assert out["efficiency_at_max"] == pytest.approx(0.968, abs=0.02)
+        assert set(out["throughput"]) == {1, 8, 128}
+        assert out["loss_curves"] == {}
+
+    def test_fig7_loss_curves(self, micro_scale):
+        out = run_fig7_scaling(scale=micro_scale, world_sizes=(1, 2), curve_world_sizes=(1,), epochs=1)
+        assert 1 in out["loss_curves"]
+        assert len(out["loss_curves"][1]["loss"]) == 1
+        assert out["loss_curves"][1]["wall_time"][0] > 0
+
+    def test_ablation_interpolation(self, micro_scale):
+        out = run_ablation_interpolation(scale=micro_scale)
+        assert set(out["reports"]) == {"interpolation=trilinear", "interpolation=nearest"}
+
+    def test_ablation_allreduce(self):
+        out = run_ablation_allreduce(world_sizes=(1, 8, 128), overlap_fractions=(0.0, 0.9))
+        eff_no = out["results"]["overlap=0"][128]["efficiency"]
+        eff_yes = out["results"]["overlap=0.9"][128]["efficiency"]
+        assert eff_yes > eff_no
+        assert out["ring_vs_naive_comm_time"]["ring"] < out["ring_vs_naive_comm_time"]["naive"]

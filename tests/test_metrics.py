@@ -1,0 +1,220 @@
+"""Turbulence statistics, NMAE/R² and table reports."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    METRIC_NAMES,
+    MetricReport,
+    dissipation,
+    eddy_turnover_time,
+    energy_spectrum,
+    evaluate_fields,
+    format_table,
+    integral_scale,
+    kolmogorov_length,
+    kolmogorov_time,
+    mae,
+    nmae,
+    r2_score,
+    rms_velocity,
+    rmse,
+    taylor_microscale,
+    taylor_reynolds,
+    total_kinetic_energy,
+    turbulence_summary,
+    turbulence_time_series,
+    velocity_gradients,
+)
+
+
+def sinusoidal_velocity(nz=32, nx=64, lx=4.0, lz=1.0, amplitude=1.0):
+    """Single-mode velocity field with analytically known statistics."""
+    z = (np.arange(nz) + 0.5) * (lz / nz)
+    x = np.arange(nx) * (lx / nx)
+    zz, xx = np.meshgrid(z, x, indexing="ij")
+    kx = 2 * np.pi / lx
+    u = amplitude * np.sin(kx * xx)
+    w = np.zeros_like(u)
+    return u, w, lx / nx, lz / nz
+
+
+class TestBasicStatistics:
+    def test_kinetic_energy_uniform_flow(self):
+        u = np.full((8, 8), 2.0)
+        w = np.zeros((8, 8))
+        assert total_kinetic_energy(u, w) == pytest.approx(2.0)
+
+    def test_kinetic_energy_sinusoid(self):
+        u, w, dx, dz = sinusoidal_velocity(amplitude=2.0)
+        # <u^2>/2 = A^2/4
+        assert total_kinetic_energy(u, w) == pytest.approx(1.0, rel=1e-6)
+
+    def test_urms_relation(self):
+        u, w, dx, dz = sinusoidal_velocity()
+        assert rms_velocity(u, w) == pytest.approx(np.sqrt(2.0 / 3.0 * total_kinetic_energy(u, w)))
+
+    def test_dissipation_zero_for_uniform_flow(self):
+        u = np.full((16, 16), 3.0)
+        w = np.full((16, 16), -1.0)
+        assert dissipation(u, w, 0.1, 0.1, nu=1e-3) == pytest.approx(0.0, abs=1e-12)
+
+    def test_dissipation_analytic_shear(self):
+        """u = sin(kx x): ε = 2ν <(du/dx)²> = ν k² A² (since <cos²>=1/2)."""
+        u, w, dx, dz = sinusoidal_velocity(amplitude=1.0)
+        kx = 2 * np.pi / 4.0
+        nu = 0.01
+        assert dissipation(u, w, dx, dz, nu) == pytest.approx(nu * kx**2, rel=1e-6)
+
+    def test_dissipation_scales_with_nu(self):
+        u, w, dx, dz = sinusoidal_velocity()
+        assert dissipation(u, w, dx, dz, 0.02) == pytest.approx(2 * dissipation(u, w, dx, dz, 0.01))
+
+    def test_velocity_gradient_shapes(self, rng):
+        u, w = rng.standard_normal((8, 16)), rng.standard_normal((8, 16))
+        grads = velocity_gradients(u, w, 0.1, 0.1)
+        assert all(g.shape == (8, 16) for g in grads)
+
+    def test_velocity_gradients_validation(self, rng):
+        with pytest.raises(ValueError):
+            velocity_gradients(rng.standard_normal((4, 4)), rng.standard_normal((4, 5)), 0.1, 0.1)
+
+
+class TestDerivedScales:
+    def test_taylor_microscale_definition(self):
+        u, w, dx, dz = sinusoidal_velocity()
+        nu = 0.005
+        lam = taylor_microscale(u, w, dx, dz, nu)
+        eps = dissipation(u, w, dx, dz, nu)
+        assert lam == pytest.approx(np.sqrt(15 * nu * rms_velocity(u, w) ** 2 / eps))
+
+    def test_taylor_reynolds_definition(self):
+        u, w, dx, dz = sinusoidal_velocity()
+        nu = 0.005
+        re = taylor_reynolds(u, w, dx, dz, nu)
+        assert re == pytest.approx(rms_velocity(u, w) * taylor_microscale(u, w, dx, dz, nu) / nu)
+
+    def test_kolmogorov_scales(self):
+        u, w, dx, dz = sinusoidal_velocity()
+        nu = 0.01
+        eps = dissipation(u, w, dx, dz, nu)
+        assert kolmogorov_time(u, w, dx, dz, nu) == pytest.approx(np.sqrt(nu / eps))
+        assert kolmogorov_length(u, w, dx, dz, nu) == pytest.approx(nu**0.75 * eps**-0.25)
+
+    def test_eddy_turnover_relation(self):
+        u, w, dx, dz = sinusoidal_velocity()
+        assert eddy_turnover_time(u, w, dx) == pytest.approx(integral_scale(u, w, dx) / rms_velocity(u, w))
+
+
+class TestSpectrum:
+    def test_parseval(self, rng):
+        u = rng.standard_normal((16, 64))
+        w = rng.standard_normal((16, 64))
+        dx = 4.0 / 64
+        k, e_k = energy_spectrum(u, w, dx)
+        dk = k[1] - k[0]
+        mean_removed = 0.5 * np.mean((u - u.mean(axis=1, keepdims=True))**2
+                                     + (w - w.mean(axis=1, keepdims=True))**2)
+        assert np.sum(e_k) * dk == pytest.approx(mean_removed, rel=1e-10)
+
+    def test_single_mode_peak(self):
+        u, w, dx, dz = sinusoidal_velocity()
+        k, e_k = energy_spectrum(u, w, dx)
+        assert np.argmax(e_k) == 0  # lowest non-zero mode (kx = 2π/Lx)
+
+    def test_spectrum_positive(self, rng):
+        u, w = rng.standard_normal((8, 32)), rng.standard_normal((8, 32))
+        _, e_k = energy_spectrum(u, w, 0.1)
+        assert np.all(e_k >= 0)
+
+
+class TestSummaries:
+    def test_summary_keys(self, rng):
+        u, w = rng.standard_normal((8, 16)), rng.standard_normal((8, 16))
+        summary = turbulence_summary(u, w, 0.1, 0.1, 1e-3)
+        assert set(summary) == set(METRIC_NAMES)
+        assert all(np.isfinite(v) for v in summary.values())
+
+    def test_time_series_shape(self, synthetic_result):
+        series = turbulence_time_series(synthetic_result.fields, 0.0625, 0.0625, 1e-3)
+        assert set(series) == set(METRIC_NAMES)
+        assert all(len(v) == synthetic_result.nt for v in series.values())
+
+    def test_time_series_validation(self, rng):
+        with pytest.raises(ValueError):
+            turbulence_time_series(rng.standard_normal((4, 8, 8)), 0.1, 0.1, 1e-3)
+
+
+class TestRegressionMetrics:
+    def test_perfect_prediction(self, rng):
+        y = rng.standard_normal(50)
+        assert nmae(y, y) == 0.0
+        assert r2_score(y, y) == pytest.approx(1.0)
+        assert mae(y, y) == 0.0
+        assert rmse(y, y) == 0.0
+
+    def test_nmae_known_value(self):
+        target = np.array([0.0, 1.0, 2.0])
+        pred = target + 0.5
+        assert nmae(pred, target) == pytest.approx(0.25)
+
+    def test_r2_mean_predictor_is_zero(self, rng):
+        y = rng.standard_normal(100)
+        pred = np.full_like(y, y.mean())
+        assert r2_score(pred, y) == pytest.approx(0.0, abs=1e-12)
+
+    def test_r2_constant_target(self):
+        assert r2_score(np.ones(5), np.ones(5)) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nmae(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            r2_score(np.array([]), np.array([]))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.01, max_value=10, allow_nan=False))
+    def test_nmae_scale_invariant(self, scale):
+        rng = np.random.default_rng(0)
+        y = rng.standard_normal(30) + 5
+        pred = y + rng.standard_normal(30) * 0.1
+        assert nmae(pred * scale, y * scale) == pytest.approx(nmae(pred, y), rel=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=-5, max_value=5, allow_nan=False))
+    def test_r2_shift_invariant(self, shift):
+        rng = np.random.default_rng(1)
+        y = rng.standard_normal(30)
+        pred = y + rng.standard_normal(30) * 0.2
+        assert r2_score(pred + shift, y + shift) == pytest.approx(r2_score(pred, y), rel=1e-6, abs=1e-9)
+
+
+class TestReports:
+    def test_self_comparison_is_perfect(self, synthetic_result):
+        fields = synthetic_result.fields
+        report = evaluate_fields(fields, fields, dx=0.0625, dz=0.0625, nu=1e-3, label="self")
+        assert report.average_r2 == pytest.approx(1.0)
+        assert all(v == 0.0 for v in report.nmae.values())
+
+    def test_noisy_prediction_degrades(self, synthetic_result, rng):
+        fields = synthetic_result.fields
+        noisy = fields + rng.standard_normal(fields.shape) * fields.std()
+        report = evaluate_fields(noisy, fields, dx=0.0625, dz=0.0625, nu=1e-3)
+        assert report.average_r2 < 1.0
+
+    def test_shape_mismatch(self, synthetic_result):
+        with pytest.raises(ValueError):
+            evaluate_fields(synthetic_result.fields[:4], synthetic_result.fields, 0.1, 0.1, 1e-3)
+
+    def test_report_row_and_dict(self, synthetic_result):
+        report = evaluate_fields(synthetic_result.fields, synthetic_result.fields, 0.1, 0.1, 1e-3, label="x")
+        row = report.row()
+        assert "avg_r2" in row
+        assert report.as_dict()["label"] == "x"
+
+    def test_format_table_contains_labels(self, synthetic_result):
+        report = evaluate_fields(synthetic_result.fields, synthetic_result.fields, 0.1, 0.1, 1e-3, label="model_a")
+        text = format_table({"model_a": report}, title="Table X")
+        assert "Table X" in text and "model_a" in text and "Etot" in text

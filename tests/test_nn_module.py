@@ -1,0 +1,107 @@
+"""Module / Parameter registry, state dicts, train/eval modes."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autodiff import Tensor, ops
+
+
+class Toy(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = nn.Linear(3, 5, rng=np.random.default_rng(0))
+        self.fc2 = nn.Linear(5, 2, rng=np.random.default_rng(1))
+        self.register_buffer("counter", np.zeros(1))
+
+    def forward(self, x):
+        return self.fc2(ops.relu(self.fc1(x)))
+
+
+class TestModuleRegistry:
+    def test_parameters_collected_recursively(self):
+        m = Toy()
+        names = [n for n, _ in m.named_parameters()]
+        assert "fc1.weight" in names and "fc2.bias" in names
+        assert len(m.parameters()) == 4
+
+    def test_num_parameters(self):
+        m = Toy()
+        assert m.num_parameters() == 3 * 5 + 5 + 5 * 2 + 2
+
+    def test_buffers_registered(self):
+        m = Toy()
+        assert "counter" in dict(m.named_buffers())
+
+    def test_modules_iteration(self):
+        m = Toy()
+        assert len(list(m.modules())) == 3  # Toy, fc1, fc2
+
+    def test_train_eval_propagates(self):
+        m = Toy()
+        m.eval()
+        assert not m.fc1.training
+        m.train()
+        assert m.fc2.training
+
+    def test_zero_grad(self):
+        m = Toy()
+        x = Tensor(np.random.default_rng(0).standard_normal((4, 3)))
+        ops.sum(m(x)).backward()
+        assert any(p.grad is not None for p in m.parameters())
+        m.zero_grad()
+        assert all(p.grad is None for p in m.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        m1, m2 = Toy(), Toy()
+        m2.fc1.weight.data += 1.0  # make them differ
+        state = m1.state_dict()
+        m2.load_state_dict(state)
+        for (n1, p1), (n2, p2) in zip(m1.named_parameters(), m2.named_parameters()):
+            assert n1 == n2
+            assert np.allclose(p1.data, p2.data)
+
+    def test_state_dict_contains_buffers(self):
+        m = Toy()
+        assert "counter" in m.state_dict()
+
+    def test_load_buffer_value(self):
+        m1, m2 = Toy(), Toy()
+        m1.counter[...] = 7.0
+        m2.load_state_dict(m1.state_dict())
+        assert m2._buffers["counter"][0] == 7.0
+
+    def test_shape_mismatch_raises(self):
+        m = Toy()
+        state = m.state_dict()
+        state["fc1.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            m.load_state_dict(state)
+
+    def test_unexpected_key_raises_when_strict(self):
+        m = Toy()
+        state = m.state_dict()
+        state["does.not.exist"] = np.zeros(3)
+        with pytest.raises(KeyError):
+            m.load_state_dict(state)
+        m.load_state_dict(state, strict=False)  # silently ignored
+
+    def test_state_dict_is_a_copy(self):
+        m = Toy()
+        state = m.state_dict()
+        state["fc1.weight"][...] = 99.0
+        assert not np.allclose(m.fc1.weight.data, 99.0)
+
+
+class TestForwardCall:
+    def test_call_invokes_forward(self):
+        m = Toy()
+        x = Tensor(np.zeros((2, 3)))
+        out = m(x)
+        assert out.shape == (2, 2)
+
+    def test_base_forward_raises(self):
+        with pytest.raises(NotImplementedError):
+            nn.Module().forward()

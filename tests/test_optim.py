@@ -1,0 +1,169 @@
+"""Optimizer and scheduler tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autodiff import Tensor, ops
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, CosineAnnealingLR, ExponentialLR, StepLR, WarmupLR, clip_grad_norm
+
+
+def quadratic_loss(p: Parameter) -> Tensor:
+    """f(p) = sum((p - 3)^2): minimised at p = 3."""
+    return ops.sum(ops.square(ops.sub(p, Tensor(np.full(p.shape, 3.0)))))
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        assert np.allclose(p.data, 3.0, atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        losses = {}
+        for momentum in (0.0, 0.9):
+            p = Parameter(np.zeros(4))
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                loss = quadratic_loss(p)
+                loss.backward()
+                opt.step()
+            losses[momentum] = float(quadratic_loss(p).data)
+        assert losses[0.9] < losses[0.0]
+
+    def test_weight_decay_shrinks_parameters(self):
+        p = Parameter(np.ones(3))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        opt.zero_grad()
+        ops.sum(p * Tensor(np.zeros(3))).backward()  # zero data gradient
+        opt.step()
+        assert np.all(np.abs(p.data) < 1.0)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=-1.0)
+
+    def test_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, nesterov=True)
+
+    def test_skips_params_without_grad(self):
+        p = Parameter(np.ones(2))
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no backward called
+        assert np.allclose(p.data, 1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.full(3, -5.0))
+        opt = Adam([p], lr=0.2)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        assert np.allclose(p.data, 3.0, atol=1e-3)
+
+    def test_bias_correction_first_step(self):
+        p = Parameter(np.zeros(1))
+        opt = Adam([p], lr=0.1)
+        opt.zero_grad()
+        ops.sum(p * Tensor(np.array([2.0]))).backward()  # constant gradient 2
+        opt.step()
+        # With bias correction the first step should be ~ -lr * sign(grad).
+        assert p.data[0] == pytest.approx(-0.1, rel=1e-3)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.1, betas=(1.5, 0.9))
+
+    def test_trains_small_network(self, rng):
+        net = nn.Sequential(nn.Linear(2, 8, rng=rng), nn.Tanh(), nn.Linear(8, 1, rng=rng))
+        opt = Adam(net.parameters(), lr=5e-2)
+        x = Tensor(rng.standard_normal((32, 2)))
+        y = Tensor((x.data[:, :1] * 2 - x.data[:, 1:]) * 0.5)
+        first = None
+        for i in range(60):
+            opt.zero_grad()
+            loss = ops.mse_loss(net(x), y)
+            if first is None:
+                first = float(loss.data)
+            loss.backward()
+            opt.step()
+        assert float(loss.data) < 0.2 * first
+
+    def test_state_dict_roundtrip(self):
+        p = Parameter(np.zeros(2))
+        opt = Adam([p], lr=0.1)
+        opt.zero_grad()
+        quadratic_loss(p).backward()
+        opt.step()
+        state = opt.state_dict()
+        opt2 = Adam([p], lr=0.5)
+        opt2.load_state_dict(state)
+        assert opt2.lr == 0.1
+        assert opt2._step_count == 1
+        assert np.allclose(opt2.state[0]["m"], opt.state[0]["m"])
+
+
+class TestGradClipping:
+    def test_clip_reduces_norm(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0)
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_clip_noop_when_below(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.1, 0.1])
+        clip_grad_norm([p], max_norm=5.0)
+        assert np.allclose(p.grad, 0.1)
+
+
+class TestSchedulers:
+    def _opt(self):
+        return SGD([Parameter(np.zeros(1))], lr=1.0)
+
+    def test_step_lr(self):
+        opt = self._opt()
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(4)]
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_exponential_lr(self):
+        opt = self._opt()
+        sched = ExponentialLR(opt, gamma=0.5)
+        sched.step()
+        sched.step()
+        assert opt.lr == pytest.approx(0.25)
+
+    def test_cosine_annealing_endpoints(self):
+        opt = self._opt()
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.0)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-12)
+
+    def test_cosine_monotone_decrease(self):
+        opt = self._opt()
+        sched = CosineAnnealingLR(opt, t_max=5)
+        lrs = [sched.step() for _ in range(5)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_warmup(self):
+        opt = self._opt()
+        sched = WarmupLR(opt, warmup_epochs=4, target_scale=4.0)
+        lrs = [sched.step() for _ in range(5)]
+        assert lrs[0] < lrs[1] < lrs[3]
+        assert lrs[-1] == pytest.approx(4.0)

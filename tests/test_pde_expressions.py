@@ -1,0 +1,136 @@
+"""PDE expression layer: symbol parsing, constraints, residual evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.pde import (
+    Constraint,
+    PDESystem,
+    Term,
+    available_pde_systems,
+    make_pde_system,
+    parse_symbol,
+    register_pde_system,
+)
+
+FIELDS = ("p", "T", "u", "w")
+COORDS = ("t", "z", "x")
+
+
+class TestParseSymbol:
+    def test_plain_field(self):
+        spec = parse_symbol("T", FIELDS, COORDS)
+        assert spec.field == "T" and spec.coords == () and spec.order == 0
+
+    def test_first_derivative(self):
+        spec = parse_symbol("u_x", FIELDS, COORDS)
+        assert spec.field == "u" and spec.coords == ("x",) and spec.order == 1
+        assert spec.symbol == "u_x"
+
+    def test_second_derivative(self):
+        spec = parse_symbol("T_zz", FIELDS, COORDS)
+        assert spec.coords == ("z", "z") and spec.order == 2
+
+    def test_mixed_derivative(self):
+        spec = parse_symbol("w_tx", FIELDS, COORDS)
+        assert spec.coords == ("t", "x")
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(ValueError):
+            parse_symbol("q_x", FIELDS, COORDS)
+
+    def test_unknown_coord_raises(self):
+        with pytest.raises(ValueError):
+            parse_symbol("u_y", FIELDS, COORDS)
+
+    def test_bare_unknown_symbol_raises(self):
+        with pytest.raises(ValueError):
+            parse_symbol("vorticity", FIELDS, COORDS)
+
+
+class TestTermsAndConstraints:
+    def test_term_product(self):
+        term = Term(2.0, ("u", "T_x"))
+        values = {"u": Tensor(np.array([1.0, 2.0])), "T_x": Tensor(np.array([3.0, 4.0]))}
+        assert np.allclose(term.evaluate(values).data, [6.0, 16.0])
+
+    def test_term_missing_symbol(self):
+        with pytest.raises(KeyError):
+            Term(1.0, ("u",)).evaluate({})
+
+    def test_term_empty_symbols(self):
+        with pytest.raises(ValueError):
+            Term(1.0, ()).evaluate({"u": Tensor(np.zeros(2))})
+
+    def test_constraint_residual_sum(self):
+        c = Constraint("c", [Term(1.0, ("u_x",)), Term(1.0, ("w_z",))])
+        values = {"u_x": Tensor(np.array([1.0, -2.0])), "w_z": Tensor(np.array([-1.0, 2.0]))}
+        assert np.allclose(c.residual(values).data, 0.0)
+
+    def test_constraint_symbols(self):
+        c = Constraint("c", [Term(1.0, ("u", "u_x")), Term(-0.5, ("T_zz",))])
+        assert c.symbols() == {"u", "u_x", "T_zz"}
+
+
+class TestPDESystem:
+    def test_add_constraint_and_required_derivatives(self):
+        sys = PDESystem(FIELDS, COORDS)
+        sys.add_constraint("continuity", [(1.0, ["u_x"]), (1.0, ["w_z"])])
+        sys.add_constraint("diffusion", [(1.0, ["T_t"]), (-0.1, ["T_xx"]), (-0.1, ["T_zz"])])
+        symbols = [s.symbol for s in sys.required_derivatives()]
+        assert symbols == ["T_t", "u_x", "w_z", "T_xx", "T_zz"]
+        assert set(sys.required_fields()) == {"T", "u", "w"}
+
+    def test_third_order_rejected(self):
+        sys = PDESystem(FIELDS, COORDS)
+        with pytest.raises(ValueError):
+            sys.add_constraint("bad", [(1.0, ["T_xxx"])])
+
+    def test_residuals_from_arrays(self):
+        sys = PDESystem(FIELDS, COORDS)
+        sys.add_constraint("continuity", [(1.0, ["u_x"]), (1.0, ["w_z"])])
+        res = sys.residuals_from_arrays({"u_x": np.ones(4), "w_z": -np.ones(4)})
+        assert np.allclose(res["continuity"], 0.0)
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(ValueError):
+            PDESystem(("u", "u"), COORDS)
+
+    def test_duplicate_coords_rejected(self):
+        with pytest.raises(ValueError):
+            PDESystem(FIELDS, ("t", "t", "x"))
+
+    def test_residual_values_are_tensors_with_graph(self):
+        sys = PDESystem(FIELDS, COORDS)
+        sys.add_constraint("c", [(1.0, ["u", "u_x"])])
+        u = Tensor(np.ones(3), requires_grad=True)
+        ux = Tensor(np.full(3, 2.0), requires_grad=True)
+        res = sys.residuals({"u": u, "u_x": ux})["c"]
+        assert res.requires_grad
+
+
+class TestRegistry:
+    def test_builtin_systems_available(self):
+        names = available_pde_systems()
+        assert "rayleigh_benard" in names
+        assert "divergence_free" in names
+        assert "none" in names
+
+    def test_make_system(self):
+        sys = make_pde_system("divergence_free")
+        assert len(sys.constraints) == 1
+
+    def test_make_with_kwargs(self):
+        sys = make_pde_system("rayleigh_benard", rayleigh=1e4, prandtl=2.0)
+        assert sys.rayleigh == 1e4
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_pde_system("navier_stokes_3d")
+
+    def test_register_and_overwrite_guard(self):
+        register_pde_system("custom_test_system", lambda: PDESystem(FIELDS, COORDS), overwrite=True)
+        assert "custom_test_system" in available_pde_systems()
+        with pytest.raises(ValueError):
+            register_pde_system("custom_test_system", lambda: PDESystem(FIELDS, COORDS))

@@ -1,0 +1,91 @@
+"""Rayleigh–Bénard PDE system: coefficients and residuals on analytic fields."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.pde import RayleighBenard2D, advection_diffusion_system, divergence_free_system
+from repro.simulation import manufactured_solution
+
+
+class TestCoefficients:
+    def test_p_star_r_star(self):
+        sys = RayleighBenard2D(rayleigh=1e6, prandtl=1.0)
+        assert sys.p_star == pytest.approx(1e-3)
+        assert sys.r_star == pytest.approx(1e-3)
+
+    def test_prandtl_dependence(self):
+        sys = RayleighBenard2D(rayleigh=1e4, prandtl=4.0)
+        assert sys.p_star == pytest.approx(1.0 / math.sqrt(4e4))
+        assert sys.r_star == pytest.approx(math.sqrt(4.0 / 1e4))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RayleighBenard2D(rayleigh=-1.0)
+
+    def test_constraint_names(self):
+        sys = RayleighBenard2D()
+        names = [c.name for c in sys.constraints]
+        assert names == ["continuity", "temperature", "momentum_x", "momentum_z"]
+
+    def test_subset_flags(self):
+        sys = RayleighBenard2D(include_momentum=False)
+        assert [c.name for c in sys.constraints] == ["continuity", "temperature"]
+
+    def test_required_derivatives_include_laplacians(self):
+        sys = RayleighBenard2D()
+        symbols = {s.symbol for s in sys.required_derivatives()}
+        assert {"T_xx", "T_zz", "u_xx", "u_zz", "w_xx", "w_zz", "p_x", "p_z", "T_t"} <= symbols
+
+
+class TestResidualsOnAnalyticFields:
+    def test_continuity_zero_for_streamfunction_velocity(self):
+        """The manufactured solution is exactly divergence free."""
+        sim = manufactured_solution(nt=2, nz=32, nx=64)
+        lx, lz = sim.lx, sim.lz
+        kx, kz = 2 * np.pi / lx, np.pi / lz
+        t = sim.times[0]
+        z = (np.arange(sim.nz) + 0.5) * (lz / sim.nz)
+        x = np.arange(sim.nx) * (lx / sim.nx)
+        zz, xx = np.meshgrid(z, x, indexing="ij")
+        # analytic derivatives of u = kz cos(kz z) sin(kx x) cos(t), w = -kx sin(kz z) cos(kx x) cos(t)
+        u_x = kz * kx * np.cos(kz * zz) * np.cos(kx * xx) * np.cos(t)
+        w_z = -kx * kz * np.cos(kz * zz) * np.cos(kx * xx) * np.cos(t)
+        sys = divergence_free_system()
+        res = sys.residuals_from_arrays({"u_x": u_x, "w_z": w_z})
+        assert np.max(np.abs(res["continuity"])) < 1e-12
+
+    def test_advection_diffusion_nonzero_for_generic_field(self):
+        sys = advection_diffusion_system(diffusivity=0.1)
+        rng = np.random.default_rng(0)
+        values = {k: rng.standard_normal(8) for k in ("T_t", "u", "T_x", "w", "T_z", "T_xx", "T_zz")}
+        res = sys.residuals_from_arrays(values)["temperature"]
+        expected = (values["T_t"] + values["u"] * values["T_x"] + values["w"] * values["T_z"]
+                    - 0.1 * values["T_xx"] - 0.1 * values["T_zz"])
+        assert np.allclose(res, expected)
+
+    def test_momentum_z_includes_buoyancy(self):
+        sys = RayleighBenard2D(rayleigh=1e6, prandtl=1.0)
+        n = 5
+        zeros = np.zeros(n)
+        temperature = np.linspace(0, 1, n)
+        values = {s.symbol: zeros for s in sys.required_derivatives()}
+        values.update({"p": zeros, "T": temperature, "u": zeros, "w": zeros})
+        res = sys.residuals_from_arrays(values)
+        # With all derivatives zero, the z-momentum residual reduces to -T.
+        assert np.allclose(res["momentum_z"], -temperature)
+        assert np.allclose(res["momentum_x"], 0.0)
+        assert np.allclose(res["continuity"], 0.0)
+
+    def test_conduction_steady_state_satisfies_temperature_equation(self):
+        """Pure conduction (linear T(z), no flow) has zero temperature residual."""
+        sys = RayleighBenard2D(rayleigh=1e5, prandtl=1.0)
+        n = 16
+        zeros = np.zeros(n)
+        values = {s.symbol: zeros for s in sys.required_derivatives()}
+        values.update({"p": zeros, "T": np.linspace(1, 0, n), "u": zeros, "w": zeros})
+        values["T_z"] = np.full(n, -1.0)   # linear conduction profile
+        values["T_zz"] = zeros             # second derivative of a linear profile
+        res = sys.residuals_from_arrays(values)
+        assert np.allclose(res["temperature"], 0.0)

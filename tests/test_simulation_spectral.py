@@ -1,0 +1,100 @@
+"""Spectral/FD derivative operators and the vectorised tridiagonal solver."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import spectral
+
+
+class TestSpectralDerivatives:
+    def test_ddx_exact_on_sine(self):
+        lx = 4.0
+        nx = 64
+        x = np.arange(nx) * (lx / nx)
+        f = np.sin(2 * np.pi * x / lx)[None, :].repeat(3, axis=0)
+        expected = (2 * np.pi / lx) * np.cos(2 * np.pi * x / lx)
+        assert np.allclose(spectral.ddx(f, lx), expected[None, :], atol=1e-12)
+
+    def test_d2dx2_exact_on_sine(self):
+        lx = 2.0
+        nx = 32
+        x = np.arange(nx) * (lx / nx)
+        k = 2 * np.pi / lx
+        f = np.cos(k * x)[None, :]
+        assert np.allclose(spectral.d2dx2(f, lx), -(k**2) * f, atol=1e-10)
+
+    def test_ddx_constant_is_zero(self):
+        f = np.full((4, 16), 3.0)
+        assert np.allclose(spectral.ddx(f, 1.0), 0.0, atol=1e-13)
+
+    def test_wavenumbers_shape(self):
+        k = spectral.wavenumbers(16, 4.0)
+        assert k.shape == (9,)
+        assert k[0] == 0.0
+
+
+class TestZDerivatives:
+    def test_ddz_linear_profile(self):
+        nz, nx = 16, 4
+        dz = 1.0 / nz
+        z = (np.arange(nz) + 0.5) * dz
+        f = np.repeat((2.0 * z)[:, None], nx, axis=1)
+        ghosts = spectral.dirichlet_ghosts(f, 0.0, 2.0)
+        df = spectral.ddz(f, dz, ghosts)
+        assert np.allclose(df, 2.0, atol=1e-10)
+
+    def test_d2dz2_quadratic_profile(self):
+        nz, nx = 32, 3
+        dz = 1.0 / nz
+        z = (np.arange(nz) + 0.5) * dz
+        f = np.repeat((z**2)[:, None], nx, axis=1)
+        ghosts = spectral.dirichlet_ghosts(f, 0.0, 1.0)
+        d2 = spectral.d2dz2(f, dz, ghosts)
+        # interior rows are exact for a quadratic; boundary rows are affected by the
+        # ghost-cell linearisation of the Dirichlet value
+        assert np.allclose(d2[1:-1], 2.0, atol=1e-8)
+
+    def test_neumann_ghosts_zero_gradient(self):
+        f = np.random.default_rng(0).standard_normal((8, 4))
+        ghosts = spectral.neumann_ghosts(f)
+        df = spectral.ddz(f, 0.1, ghosts)
+        assert np.allclose(df[0], (f[1] - f[0]) / 0.2)
+
+    def test_dirichlet_ghost_values(self):
+        f = np.ones((4, 2))
+        bottom, top = spectral.dirichlet_ghosts(f, 3.0, -1.0)
+        assert np.allclose(bottom, 5.0)   # 2*3 - 1
+        assert np.allclose(top, -3.0)     # 2*(-1) - 1
+
+
+class TestThomasSolver:
+    def test_matches_dense_solve(self, rng):
+        n = 20
+        a, c = 1.0, 1.0
+        diag = -2.5 + rng.random((3, n)) * 0.1
+        solver = spectral.ThomasSolver(a, diag, c)
+        rhs = rng.standard_normal((3, n))
+        x = solver.solve(rhs)
+        for s in range(3):
+            mat = np.diag(diag[s]) + np.diag(np.full(n - 1, a), -1) + np.diag(np.full(n - 1, c), 1)
+            assert np.allclose(mat @ x[s], rhs[s], atol=1e-9)
+
+    def test_complex_rhs(self, rng):
+        n = 10
+        diag = np.full((2, n), -3.0)
+        solver = spectral.ThomasSolver(1.0, diag, 1.0)
+        rhs = rng.standard_normal((2, n)) + 1j * rng.standard_normal((2, n))
+        x = solver.solve(rhs)
+        mat = np.diag(np.full(n, -3.0)) + np.diag(np.ones(n - 1), -1) + np.diag(np.ones(n - 1), 1)
+        assert np.allclose(mat @ x[0], rhs[0])
+
+    def test_shape_validation(self):
+        solver = spectral.ThomasSolver(1.0, np.full((2, 5), -3.0), 1.0)
+        with pytest.raises(ValueError):
+            solver.solve(np.zeros((2, 6)))
+        with pytest.raises(ValueError):
+            spectral.ThomasSolver(1.0, np.zeros(5), 1.0)
+
+    def test_singular_diagonal_raises(self):
+        with pytest.raises(np.linalg.LinAlgError):
+            spectral.ThomasSolver(1.0, np.zeros((1, 4)), 1.0)

@@ -1,0 +1,175 @@
+"""Trainer, evaluation helpers, checkpointing, history."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import TrilinearBaseline
+from repro.core import MeshfreeFlowNet, MeshfreeFlowNetConfig
+from repro.optim import Adam
+from repro.pde import RayleighBenard2D, divergence_free_system
+from repro.training import (
+    Trainer,
+    TrainerConfig,
+    TrainingHistory,
+    evaluate_model,
+    load_checkpoint,
+    pointwise_errors,
+    save_checkpoint,
+)
+
+
+@pytest.fixture
+def trainer(tiny_dataset):
+    model = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny())
+    config = TrainerConfig(epochs=2, batch_size=2, gamma=0.0, learning_rate=5e-3,
+                           steps_per_epoch=2)
+    return Trainer(model, tiny_dataset, pde_system=None, config=config)
+
+
+class TestTrainerConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainerConfig(epochs=0)
+        with pytest.raises(ValueError):
+            TrainerConfig(optimizer="lbfgs")
+        with pytest.raises(ValueError):
+            TrainerConfig(gamma=-1.0)
+
+    def test_defaults_match_paper(self):
+        cfg = TrainerConfig()
+        assert cfg.learning_rate == pytest.approx(1e-2)
+        assert cfg.optimizer == "adam"
+        assert cfg.gamma == pytest.approx(0.0125)
+
+
+class TestTraining:
+    def test_history_recorded(self, trainer):
+        history = trainer.train()
+        assert len(history) == 2
+        assert {"loss", "prediction_loss", "equation_loss", "wall_time"} <= set(history[0])
+
+    def test_loss_decreases_on_overfit_task(self, tiny_dataset):
+        """Repeated Adam steps on one fixed batch must reduce the prediction loss."""
+        from repro.autodiff import Tensor
+        from repro.core import LossWeights, compute_losses
+
+        model = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny())
+        optimizer = Adam(model.parameters(), lr=1e-2)
+        batch = tiny_dataset.sample_batch([0, 1], epoch=0)
+        weights = LossWeights(gamma=0.0)
+        losses = []
+        for _ in range(12):
+            optimizer.zero_grad()
+            total, breakdown = compute_losses(
+                model, Tensor(batch.lowres), Tensor(batch.coords), Tensor(batch.targets),
+                None, weights, coord_scales=batch.coord_scales)
+            total.backward()
+            optimizer.step()
+            losses.append(breakdown.total)
+        assert losses[-1] < 0.7 * losses[0]
+
+    def test_equation_loss_tracked_when_gamma_positive(self, tiny_dataset):
+        model = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny())
+        config = TrainerConfig(epochs=1, batch_size=1, gamma=0.05, steps_per_epoch=1)
+        trainer = Trainer(model, tiny_dataset, pde_system=divergence_free_system(), config=config)
+        history = trainer.train()
+        assert history[0]["equation_loss"] > 0.0
+
+    def test_world_size_equivalent_to_large_batch(self, tiny_dataset):
+        """world_size=2 with batch 1 must equal world_size=1 with batch 2 (same samples).
+
+        Group normalisation is used instead of batch normalisation so that the
+        forward pass is independent of how the global batch is sharded (the
+        same caveat applies to real DistributedDataParallel training).
+        """
+        def run(world_size, batch_size):
+            model = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny(seed=3, unet_norm="group"))
+            config = TrainerConfig(epochs=1, batch_size=batch_size, world_size=world_size,
+                                   gamma=0.0, steps_per_epoch=2, learning_rate=1e-2)
+            t = Trainer(model, tiny_dataset, config=config)
+            t.train()
+            return np.concatenate([p.data.ravel() for p in model.parameters()])
+
+        params_ddp = run(world_size=2, batch_size=1)
+        params_single = run(world_size=1, batch_size=2)
+        assert np.allclose(params_ddp, params_single, atol=1e-10)
+
+    def test_continuing_training_appends_history(self, trainer):
+        trainer.train(1)
+        trainer.train(1)
+        assert len(trainer.history) == 2
+        assert trainer.history[1]["epoch"] == 1
+
+    def test_validation_loss_recorded(self, tiny_dataset):
+        model = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny())
+        config = TrainerConfig(epochs=1, batch_size=1, gamma=0.0, steps_per_epoch=1)
+        trainer = Trainer(model, tiny_dataset, config=config, val_dataset=tiny_dataset)
+        history = trainer.train()
+        assert "val_loss" in history[0]
+
+    def test_grad_clipping_path(self, tiny_dataset):
+        model = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny())
+        config = TrainerConfig(epochs=1, batch_size=1, gamma=0.0, steps_per_epoch=1, grad_clip=0.1)
+        Trainer(model, tiny_dataset, config=config).train()
+
+
+class TestEvaluation:
+    def test_trainer_evaluate_returns_report(self, trainer):
+        trainer.train(1)
+        report = trainer.evaluate(label="test")
+        assert report.label == "test"
+        assert np.isfinite(report.average_r2)
+
+    def test_evaluate_model_trilinear(self, tiny_dataset):
+        report = evaluate_model(TrilinearBaseline(), tiny_dataset, label="tri")
+        assert np.isfinite(report.average_r2)
+
+    def test_pointwise_errors_keys(self, tiny_dataset):
+        errors = pointwise_errors(TrilinearBaseline(), tiny_dataset)
+        assert {"mae", "rmse", "mae_T", "rmse_u"} <= set(errors)
+        assert errors["mae"] >= 0
+
+
+class TestHistory:
+    def test_series_and_last(self):
+        h = TrainingHistory()
+        h.append(epoch=0, loss=1.0)
+        h.append(epoch=1, loss=0.5)
+        assert np.allclose(h.series("loss"), [1.0, 0.5])
+        assert h.last("loss") == 0.5
+        assert h.last("missing", default=-1) == -1
+
+    def test_roundtrip(self):
+        h = TrainingHistory()
+        h.append(epoch=0, loss=1.0)
+        h2 = TrainingHistory.from_dict(h.to_dict())
+        assert h2[0]["loss"] == 1.0
+
+    def test_summary_string(self):
+        h = TrainingHistory()
+        assert "empty" in h.summary()
+        h.append(loss=2.0)
+        assert "1 epochs" in h.summary()
+
+
+class TestCheckpoint:
+    def test_model_roundtrip(self, tmp_path, tiny_dataset):
+        model = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny(seed=1))
+        opt = Adam(model.parameters(), lr=1e-3)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, model, opt, metadata={"epoch": 3})
+
+        model2 = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny(seed=2))
+        opt2 = Adam(model2.parameters(), lr=1.0)
+        meta = load_checkpoint(path, model2, opt2)
+        assert meta["epoch"] == 3
+        assert opt2.lr == pytest.approx(1e-3)
+        for p1, p2 in zip(model.parameters(), model2.parameters()):
+            assert np.allclose(p1.data, p2.data)
+
+    def test_checkpoint_without_optimizer(self, tmp_path):
+        model = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny())
+        path = tmp_path / "model_only.npz"
+        save_checkpoint(path, model)
+        meta = load_checkpoint(path, MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny(seed=9)))
+        assert meta == {}

@@ -1,0 +1,81 @@
+"""Utility helpers: seeding, timing, grids."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import Timer, crop_slices, normalized_axis, seed_everything, temporary_seed, tile_windows
+
+
+class TestSeeding:
+    def test_seed_everything_returns_generator(self):
+        rng = seed_everything(42)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_reproducible_draws(self):
+        a = seed_everything(7).random(5)
+        b = seed_everything(7).random(5)
+        assert np.allclose(a, b)
+
+    def test_temporary_seed_restores_state(self):
+        np.random.seed(0)
+        before = np.random.random()
+        np.random.seed(0)
+        with temporary_seed(99):
+            np.random.random()
+        after = np.random.random()
+        assert before == after
+
+
+class TestTimer:
+    def test_context_manager(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_stop_before_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0
+
+
+class TestGrids:
+    def test_normalized_axis(self):
+        assert np.allclose(normalized_axis(3), [0, 0.5, 1.0])
+        assert np.allclose(normalized_axis(1), [0.0])
+        with pytest.raises(ValueError):
+            normalized_axis(0)
+
+    def test_crop_slices(self):
+        slices = crop_slices((10, 10), (4, 5), (2, 3))
+        assert slices == (slice(2, 6), slice(3, 8))
+
+    def test_crop_slices_out_of_bounds(self):
+        with pytest.raises(ValueError):
+            crop_slices((10,), (5,), (7,))
+
+    def test_crop_slices_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            crop_slices((10, 10), (4,), (0, 0))
+
+    def test_tile_windows_covers_axis(self):
+        starts = list(tile_windows(10, 4, stride=4))
+        assert starts == [0, 4, 6]
+        covered = set()
+        for s in starts:
+            covered |= set(range(s, s + 4))
+        assert covered == set(range(10))
+
+    def test_tile_windows_exact_fit(self):
+        assert list(tile_windows(8, 4)) == [0, 4]
+
+    def test_tile_windows_too_large(self):
+        with pytest.raises(ValueError):
+            list(tile_windows(3, 5))
