@@ -8,7 +8,7 @@ the Rayleigh–Bénard solver step and the ring all-reduce.
 import numpy as np
 import pytest
 
-from repro.autodiff import Tensor, conv3d, ops
+from repro.autodiff import Tensor, conv3d, inference_mode, no_grad, ops
 from repro.core import LossWeights, MeshfreeFlowNet, MeshfreeFlowNetConfig, compute_losses
 from repro.distributed import ring_allreduce
 from repro.pde import RayleighBenard2D
@@ -78,6 +78,32 @@ def test_equation_loss_step(benchmark, model, inputs):
         total.backward()
 
     benchmark(step)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_continuous_decode_no_grad(benchmark, model, inputs):
+    """Decode baseline under no_grad (graph recording skipped at apply time)."""
+    lowres, coords, _ = inputs
+    grid = model.latent_grid(lowres)
+
+    def decode():
+        with no_grad():
+            return model.decode(grid, coords)
+
+    benchmark(decode)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_continuous_decode_inference_mode(benchmark, model, inputs):
+    """Decode under the inference-mode fast path (lean Op.apply dispatch)."""
+    lowres, coords, _ = inputs
+    grid = model.latent_grid(lowres)
+
+    def decode():
+        with inference_mode():
+            return model.decode(grid, coords)
+
+    benchmark(decode)
 
 
 @pytest.mark.benchmark(group="kernels")

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Tiled full-domain super-resolution with the InferenceEngine.
+
+The seed ``predict_grid`` path encodes the entire low-resolution domain in a
+single U-Net pass, so peak memory grows with the domain volume.  This example
+super-resolves a domain far larger than one training crop through
+``repro.inference.InferenceEngine``, which
+
+1. splits the domain into overlapping tiles aligned to the U-Net's pooling
+   windows, with overlaps covering the encoder's receptive-field halo,
+2. encodes each tile once, on demand, into a bounded LRU latent cache,
+3. decodes query points in fused batches (tiles stacked along the batch
+   axis) under the autodiff inference-mode fast path, and
+4. blends overlapping tiles with a smooth partition of unity — the result
+   matches direct (untiled) decoding to floating-point round-off.
+
+Run with ``python examples/tiled_inference.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.core import MeshfreeFlowNet, MeshfreeFlowNetConfig
+from repro.inference import InferenceEngine
+from repro.simulation import synthetic_convection
+
+
+def measure(fn):
+    """Run ``fn`` and return (result, seconds, peak_bytes)."""
+    tracemalloc.start()
+    t0 = time.time()
+    result = fn()
+    elapsed = time.time() - t0
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return result, elapsed, peak
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nt", type=int, default=8, help="low-res time steps of the domain")
+    parser.add_argument("--nz", type=int, default=32, help="low-res height of the domain")
+    parser.add_argument("--nx", type=int, default=96, help="low-res width of the domain")
+    parser.add_argument("--upsample", type=int, nargs=3, default=(2, 2, 2),
+                        metavar=("FT", "FZ", "FX"), help="upsampling factors (t, z, x)")
+    parser.add_argument("--tile", type=int, nargs=3, default=(8, 24, 24),
+                        metavar=("T", "Z", "X"), help="low-res tile shape")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    print("=== 1. Generating a large low-resolution domain ===")
+    sim = synthetic_convection(nt=args.nt, nz=args.nz, nx=args.nx, seed=args.seed)
+    lowres = np.moveaxis(sim.fields, 1, 0)[None]  # (1, C, nt, nz, nx)
+    print(f"    domain (N, C, nt, nz, nx) = {lowres.shape}")
+
+    model = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny()).eval()
+    print(f"    model parameters: {model.count_parameters()['total']}")
+    print(f"    encoder receptive halo: {model.unet.receptive_halo()}")
+
+    hr_shape = tuple(s * f for s, f in zip(lowres.shape[2:], args.upsample))
+    n_points = int(np.prod(hr_shape))
+    print(f"=== 2. Super-resolving to {hr_shape} ({n_points} query points) ===")
+
+    direct_engine = InferenceEngine(model)
+    direct, t_direct, mem_direct = measure(lambda: direct_engine.predict_grid(lowres, hr_shape))
+    print(f"    direct:  {t_direct:6.2f}s   {n_points / t_direct:10.0f} points/s   "
+          f"peak {mem_direct / 1e6:7.1f} MB")
+
+    tiled_engine = InferenceEngine(model, tile_shape=tuple(args.tile), cache_tiles=4)
+    tiled, t_tiled, mem_tiled = measure(lambda: tiled_engine.predict_grid(lowres, hr_shape))
+    print(f"    tiled:   {t_tiled:6.2f}s   {n_points / t_tiled:10.0f} points/s   "
+          f"peak {mem_tiled / 1e6:7.1f} MB")
+
+    stats = tiled_engine.cache_stats
+    print(f"=== 3. Tiling diagnostics ===")
+    print(f"    tiles encoded: {stats.misses}   cache hits: {stats.hits}   "
+          f"evictions: {stats.evictions}")
+    print(f"    max |tiled - direct| = {np.abs(tiled - direct).max():.3e}")
+    print(f"    peak-memory reduction: {mem_direct / max(mem_tiled, 1):.1f}x")
+
+
+if __name__ == "__main__":
+    main()

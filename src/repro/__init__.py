@@ -7,8 +7,10 @@ system in NumPy: the automatic-differentiation engine and neural-network
 layers, the MeshfreeFlowNet model itself (3D U-Net encoder + continuously
 queried MLP decoder), the PDE constraint layer, the Rayleigh–Bénard data
 generator that replaces Dedalus, the turbulence evaluation metrics, the
-baselines, a simulated data-parallel distributed-training stack, and the
-experiment harnesses that regenerate every table and figure of the paper.
+baselines, a simulated data-parallel distributed-training stack, the tiled
+batched inference engine for bounded-memory full-domain super-resolution
+(:mod:`repro.inference`), and the experiment harnesses that regenerate every
+table and figure of the paper.
 
 Quickstart
 ----------
@@ -28,9 +30,10 @@ from .core import (
     equation_loss,
     prediction_loss,
 )
+from .inference import InferenceEngine, TiledLatentField
 from .pde import PDESystem, RayleighBenard2D, make_pde_system
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "__version__",
@@ -38,6 +41,8 @@ __all__ = [
     "MeshfreeFlowNetConfig",
     "UNet3d",
     "ImNet",
+    "InferenceEngine",
+    "TiledLatentField",
     "PDESystem",
     "RayleighBenard2D",
     "make_pde_system",

@@ -61,14 +61,25 @@ from .ops import (
     transpose,
     var,
 )
-from .tensor import Tensor, enable_grad, ensure_tensor, grad, is_grad_enabled, no_grad
+from .tensor import (
+    Tensor,
+    enable_grad,
+    ensure_tensor,
+    grad,
+    inference_mode,
+    is_grad_enabled,
+    is_inference_mode,
+    no_grad,
+)
 
 __all__ = [
     "Tensor",
     "grad",
     "no_grad",
     "enable_grad",
+    "inference_mode",
     "is_grad_enabled",
+    "is_inference_mode",
     "ensure_tensor",
     "gradcheck",
     "numerical_gradient",

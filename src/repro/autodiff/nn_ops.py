@@ -186,12 +186,15 @@ def conv3d(x, weight, stride=1, padding=0) -> Tensor:
 
 
 def max_pool3d(x, kernel_size=2) -> Tensor:
+    """Non-overlapping 3-D max pooling with window ``kernel_size``."""
     return MaxPool3d.apply(x, kernel_size=kernel_size)
 
 
 def avg_pool3d(x, kernel_size=2) -> Tensor:
+    """Non-overlapping 3-D average pooling with window ``kernel_size``."""
     return AvgPool3d.apply(x, kernel_size=kernel_size)
 
 
 def upsample_nearest3d(x, scale_factor=2) -> Tensor:
+    """Nearest-neighbour upsampling by integer ``scale_factor``."""
     return UpsampleNearest3d.apply(x, scale_factor=scale_factor)

@@ -54,6 +54,7 @@ def sum_to_shape(t: Tensor, shape: tuple[int, ...]) -> Tensor:
 
 # --------------------------------------------------------------------------- arithmetic
 class Add(Op):
+    """Elementwise addition with broadcasting."""
     def forward(self, a, b):
         self._a_shape, self._b_shape = a.shape, b.shape
         return a + b
@@ -63,6 +64,7 @@ class Add(Op):
 
 
 class Sub(Op):
+    """Elementwise subtraction with broadcasting."""
     def forward(self, a, b):
         self._a_shape, self._b_shape = a.shape, b.shape
         return a - b
@@ -72,6 +74,7 @@ class Sub(Op):
 
 
 class Mul(Op):
+    """Elementwise multiplication with broadcasting."""
     def forward(self, a, b):
         self._a_shape, self._b_shape = a.shape, b.shape
         return a * b
@@ -84,6 +87,7 @@ class Mul(Op):
 
 
 class Div(Op):
+    """Elementwise division with broadcasting."""
     def forward(self, a, b):
         self._a_shape, self._b_shape = a.shape, b.shape
         return a / b
@@ -96,6 +100,7 @@ class Div(Op):
 
 
 class Neg(Op):
+    """Elementwise negation."""
     def forward(self, a):
         return -a
 
@@ -119,6 +124,7 @@ class Pow(Op):
 
 
 class Exp(Op):
+    """Elementwise natural exponential."""
     def forward(self, a):
         return np.exp(a)
 
@@ -128,6 +134,7 @@ class Exp(Op):
 
 
 class Log(Op):
+    """Elementwise natural logarithm."""
     def forward(self, a):
         return np.log(a)
 
@@ -137,6 +144,7 @@ class Log(Op):
 
 
 class Sin(Op):
+    """Elementwise sine."""
     def forward(self, a):
         return np.sin(a)
 
@@ -146,6 +154,7 @@ class Sin(Op):
 
 
 class Cos(Op):
+    """Elementwise cosine."""
     def forward(self, a):
         return np.cos(a)
 
@@ -155,6 +164,7 @@ class Cos(Op):
 
 
 class Tanh(Op):
+    """Elementwise hyperbolic tangent."""
     def forward(self, a):
         return np.tanh(a)
 
@@ -165,6 +175,7 @@ class Tanh(Op):
 
 
 class Sigmoid(Op):
+    """Elementwise logistic sigmoid."""
     def forward(self, a):
         out = np.empty_like(a)
         pos = a >= 0
@@ -191,6 +202,7 @@ class Softplus(Op):
 
 
 class ReLU(Op):
+    """Elementwise rectified linear unit."""
     def forward(self, a):
         self._mask = (a > 0).astype(a.dtype)
         return a * self._mask
@@ -200,6 +212,7 @@ class ReLU(Op):
 
 
 class LeakyReLU(Op):
+    """Elementwise leaky ReLU with configurable negative slope."""
     def __init__(self, negative_slope: float = 0.01):
         self.negative_slope = float(negative_slope)
 
@@ -212,6 +225,7 @@ class LeakyReLU(Op):
 
 
 class Abs(Op):
+    """Elementwise absolute value (subgradient 0 at the origin)."""
     def forward(self, a):
         self._sign = np.sign(a)
         return np.abs(a)
@@ -221,6 +235,7 @@ class Abs(Op):
 
 
 class Maximum(Op):
+    """Elementwise maximum of two tensors (ties split the gradient)."""
     def forward(self, a, b):
         self._a_shape, self._b_shape = a.shape, b.shape
         self._mask = (a >= b).astype(a.dtype)
@@ -235,6 +250,7 @@ class Maximum(Op):
 
 
 class Minimum(Op):
+    """Elementwise minimum of two tensors (ties split the gradient)."""
     def forward(self, a, b):
         self._a_shape, self._b_shape = a.shape, b.shape
         self._mask = (a <= b).astype(a.dtype)
@@ -250,6 +266,7 @@ class Minimum(Op):
 
 # --------------------------------------------------------------------------- linear algebra
 class MatMul(Op):
+    """Matrix product over the trailing two axes, with batching."""
     def forward(self, a, b):
         self._a_shape, self._b_shape = a.shape, b.shape
         return np.matmul(a, b)
@@ -263,6 +280,7 @@ class MatMul(Op):
 
 # --------------------------------------------------------------------------- reductions & shape
 class Sum(Op):
+    """Reduction by summation over the given axes."""
     def __init__(self, axis=None, keepdims: bool = False):
         self.axis = axis
         self.keepdims = keepdims
@@ -287,6 +305,7 @@ class Sum(Op):
 
 
 class BroadcastTo(Op):
+    """Broadcast to a target shape (gradient sums back)."""
     def __init__(self, shape):
         self.shape = tuple(shape)
 
@@ -299,6 +318,7 @@ class BroadcastTo(Op):
 
 
 class Reshape(Op):
+    """Shape change preserving element order."""
     def __init__(self, shape):
         self.shape = tuple(shape)
 
@@ -311,6 +331,7 @@ class Reshape(Op):
 
 
 class Transpose(Op):
+    """Axis permutation."""
     def __init__(self, axes=None):
         self.axes = tuple(axes) if axes is not None else None
 
@@ -365,6 +386,7 @@ class PutIndex(Op):
 
 
 class Concatenate(Op):
+    """Concatenation of tensors along one axis."""
     def __init__(self, axis: int = 0):
         self.axis = axis
 
@@ -402,91 +424,113 @@ class Pad(Op):
 
 # --------------------------------------------------------------------------- functional wrappers
 def add(a, b) -> Tensor:
+    """Elementwise ``a + b`` with broadcasting."""
     return Add.apply(a, b)
 
 
 def sub(a, b) -> Tensor:
+    """Elementwise ``a - b`` with broadcasting."""
     return Sub.apply(a, b)
 
 
 def mul(a, b) -> Tensor:
+    """Elementwise ``a * b`` with broadcasting."""
     return Mul.apply(a, b)
 
 
 def div(a, b) -> Tensor:
+    """Elementwise ``a / b`` with broadcasting."""
     return Div.apply(a, b)
 
 
 def neg(a) -> Tensor:
+    """Elementwise ``-a``."""
     return Neg.apply(a)
 
 
 def pow(a, exponent: float) -> Tensor:
+    """Elementwise power ``a ** exponent`` for a scalar exponent."""
     return Pow.apply(a, exponent=exponent)
 
 
 def square(a) -> Tensor:
+    """Elementwise square ``a ** 2``."""
     a = ensure_tensor(a)
     return mul(a, a)
 
 
 def exp(a) -> Tensor:
+    """Elementwise natural exponential."""
     return Exp.apply(a)
 
 
 def log(a) -> Tensor:
+    """Elementwise natural logarithm."""
     return Log.apply(a)
 
 
 def sqrt(a) -> Tensor:
+    """Elementwise square root."""
     return Pow.apply(a, exponent=0.5)
 
 
 def sin(a) -> Tensor:
+    """Elementwise sine."""
     return Sin.apply(a)
 
 
 def cos(a) -> Tensor:
+    """Elementwise cosine."""
     return Cos.apply(a)
 
 
 def tanh(a) -> Tensor:
+    """Elementwise hyperbolic tangent."""
     return Tanh.apply(a)
 
 
 def sigmoid(a) -> Tensor:
+    """Elementwise logistic sigmoid."""
     return Sigmoid.apply(a)
 
 
 def softplus(a) -> Tensor:
+    """Elementwise numerically stable softplus ``log(1 + exp(a))``."""
     return Softplus.apply(a)
 
 
 def relu(a) -> Tensor:
+    """Elementwise rectified linear unit ``max(a, 0)``."""
     return ReLU.apply(a)
 
 
 def leaky_relu(a, negative_slope: float = 0.01) -> Tensor:
+    """Elementwise leaky ReLU with the given negative slope."""
     return LeakyReLU.apply(a, negative_slope=negative_slope)
 
 
 def abs(a) -> Tensor:  # noqa: A001 - mirrors numpy naming
+    """Elementwise absolute value."""
     return Abs.apply(a)
 
 
 def maximum(a, b) -> Tensor:
+    """Elementwise maximum of ``a`` and ``b``."""
     return Maximum.apply(a, b)
 
 
 def minimum(a, b) -> Tensor:
+    """Elementwise minimum of ``a`` and ``b``."""
     return Minimum.apply(a, b)
 
 
 def clip_by_value(a, low: float, high: float) -> Tensor:
+    """Clamp ``a`` to the closed interval ``[low, high]``."""
     return minimum(maximum(a, Tensor(np.array(low))), Tensor(np.array(high)))
 
 
 def matmul(a, b) -> Tensor:
+    """Matrix product ``a @ b`` over the trailing two axes."""
     return MatMul.apply(a, b)
 
 
@@ -497,15 +541,18 @@ def dot(a, b) -> Tensor:
 
 
 def outer(a, b) -> Tensor:
+    """Outer product of two 1-D tensors."""
     a, b = ensure_tensor(a), ensure_tensor(b)
     return matmul(reshape(a, (-1, 1)), reshape(b, (1, -1)))
 
 
 def sum(a, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    """Sum of elements over the given axes (all axes by default)."""
     return Sum.apply(a, axis=axis, keepdims=keepdims)
 
 
 def mean(a, axis=None, keepdims: bool = False) -> Tensor:
+    """Arithmetic mean over the given axes (all axes by default)."""
     a = ensure_tensor(a)
     if axis is None:
         count = a.size
@@ -537,6 +584,7 @@ def norm(a, ord: float = 2.0) -> Tensor:
 
 
 def reshape(a, shape) -> Tensor:
+    """Reshape ``a`` to ``shape`` preserving element order."""
     a = ensure_tensor(a)
     shape = tuple(shape) if not isinstance(shape, int) else (shape,)
     if -1 in shape:
@@ -549,6 +597,7 @@ def reshape(a, shape) -> Tensor:
 
 
 def transpose(a, axes=None) -> Tensor:
+    """Permute axes (reverse them when ``axes`` is ``None``)."""
     return Transpose.apply(a, axes=axes)
 
 
@@ -561,32 +610,39 @@ def swap_last_axes(a) -> Tensor:
 
 
 def broadcast_to(a, shape) -> Tensor:
+    """Broadcast ``a`` to ``shape``."""
     return BroadcastTo.apply(a, shape=shape)
 
 
 def getitem(a, index) -> Tensor:
+    """Differentiable indexing/slicing ``a[index]``."""
     return GetIndex.apply(a, index=index)
 
 
 def put_index(a, index, shape) -> Tensor:
+    """Adjoint of :func:`getitem`: scatter ``a`` into zeros of ``shape``."""
     return PutIndex.apply(a, index=index, shape=shape)
 
 
 def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis``."""
     return Concatenate.apply(*tensors, axis=axis)
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis``."""
     tensors = [ensure_tensor(t) for t in tensors]
     expanded = [expand_dims(t, axis) for t in tensors]
     return concatenate(expanded, axis=axis)
 
 
 def pad(a, pad_width) -> Tensor:
+    """Zero-pad ``a`` with per-axis ``pad_width`` (numpy convention)."""
     return Pad.apply(a, pad_width=pad_width)
 
 
 def expand_dims(a, axis: int) -> Tensor:
+    """Insert a singleton axis at ``axis``."""
     a = ensure_tensor(a)
     shape = list(a.shape)
     if axis < 0:
@@ -596,6 +652,7 @@ def expand_dims(a, axis: int) -> Tensor:
 
 
 def squeeze(a, axis: Optional[int] = None) -> Tensor:
+    """Remove singleton axes (a specific one when ``axis`` is given)."""
     a = ensure_tensor(a)
     if axis is None:
         shape = tuple(d for d in a.shape if d != 1)

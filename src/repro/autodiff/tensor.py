@@ -31,17 +31,25 @@ __all__ = [
     "grad",
     "no_grad",
     "enable_grad",
+    "inference_mode",
     "is_grad_enabled",
+    "is_inference_mode",
     "ensure_tensor",
 ]
 
 
 _GRAD_ENABLED = True
+_INFERENCE_MODE = False
 
 
 def is_grad_enabled() -> bool:
     """Return whether operations currently record a computation graph."""
     return _GRAD_ENABLED
+
+
+def is_inference_mode() -> bool:
+    """Return whether the stricter :func:`inference_mode` fast path is active."""
+    return _INFERENCE_MODE
 
 
 @contextlib.contextmanager
@@ -66,12 +74,36 @@ def no_grad():
 def enable_grad():
     """Context manager that (re-)enables graph construction."""
     global _GRAD_ENABLED
+    if _INFERENCE_MODE:
+        raise RuntimeError("enable_grad() cannot be nested inside inference_mode()")
     previous = _GRAD_ENABLED
     _GRAD_ENABLED = True
     try:
         yield
     finally:
         _GRAD_ENABLED = previous
+
+
+@contextlib.contextmanager
+def inference_mode():
+    """Context manager for graph-free inference with a leaner dispatch path.
+
+    A strict superset of :func:`no_grad`: graph construction is disabled *and*
+    :meth:`Op.apply` takes a fast path that skips input coercion bookkeeping,
+    the ``requires_grad`` scan and graph-related attribute set-up on the
+    output tensor.  Inside the context, :func:`enable_grad` must not be used
+    (mirroring ``torch.inference_mode``); attempting to do so raises
+    ``RuntimeError``.  Intended for hot serving paths such as
+    :class:`repro.inference.InferenceEngine`.
+    """
+    global _GRAD_ENABLED, _INFERENCE_MODE
+    prev_grad, prev_inf = _GRAD_ENABLED, _INFERENCE_MODE
+    _GRAD_ENABLED = False
+    _INFERENCE_MODE = True
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED, _INFERENCE_MODE = prev_grad, prev_inf
 
 
 class Op:
@@ -96,6 +128,14 @@ class Op:
     @classmethod
     def apply(cls, *inputs, **kwargs) -> "Tensor":
         """Run the op on ``inputs`` and (optionally) record it in the graph."""
+        if _INFERENCE_MODE:
+            # Fast path: no graph can ever be recorded, so skip the
+            # requires_grad scan and build the output tensor directly.
+            data = cls(**kwargs).forward(
+                *(x.data if isinstance(x, Tensor) else np.asarray(x, dtype=np.float64)
+                  for x in inputs)
+            )
+            return Tensor(data)
         tensors = tuple(ensure_tensor(x) for x in inputs)
         op = cls(**kwargs)
         data = op.forward(*(t.data for t in tensors))

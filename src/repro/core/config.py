@@ -100,10 +100,12 @@ class MeshfreeFlowNetConfig:
         return tuple(factors)
 
     def to_dict(self) -> dict:
+        """Plain-``dict`` form of the configuration (JSON-serialisable)."""
         return asdict(self)
 
     @classmethod
     def from_dict(cls, d: dict) -> "MeshfreeFlowNetConfig":
+        """Rebuild a configuration from its :meth:`to_dict` representation."""
         d = dict(d)
         d["field_names"] = tuple(d.get("field_names", ("p", "T", "u", "w")))
         d["coord_names"] = tuple(d.get("coord_names", ("t", "z", "x")))

@@ -62,6 +62,7 @@ class ImNet(nn.Module):
 
     @property
     def in_features(self) -> int:
+        """Width of the decoder input: coordinates plus latent channels."""
         return self.coord_dim + self.latent_dim
 
     def forward(self, x: Tensor) -> Tensor:
@@ -76,6 +77,7 @@ class ImNet(nn.Module):
     @classmethod
     def from_config(cls, config: MeshfreeFlowNetConfig,
                     rng: Optional[np.random.Generator] = None) -> "ImNet":
+        """Build the decoder sized by a :class:`MeshfreeFlowNetConfig`."""
         return cls(
             coord_dim=len(config.coord_names),
             latent_dim=config.latent_channels,

@@ -12,12 +12,12 @@ from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
-from ..autodiff import Tensor, grad, no_grad, ops
+from ..autodiff import Tensor, grad, ops
 from .. import nn
 from ..pde import PDESystem, parse_symbol
 from .config import MeshfreeFlowNetConfig
 from .imnet import ImNet
-from .latent_grid import query_latent_grid, regular_grid_coordinates
+from .latent_grid import query_latent_grid
 from .unet import UNet3d
 
 __all__ = ["MeshfreeFlowNet"]
@@ -62,8 +62,17 @@ class MeshfreeFlowNet(nn.Module):
 
     # --------------------------------------------------------- dense sampling
     def predict_grid(self, lowres: Tensor, output_shape: Sequence[int],
-                     chunk_size: int = 4096) -> np.ndarray:
+                     chunk_size: int = 4096,
+                     tile_shape: Optional[Sequence[int]] = None,
+                     engine=None) -> np.ndarray:
         """Super-resolve onto a regular high-resolution grid.
+
+        Routed through :class:`repro.inference.InferenceEngine`.  By default
+        the engine runs in *direct* mode (one full-domain encode followed by
+        chunked decoding — the original behaviour); passing ``tile_shape``
+        switches to tiled mode, which bounds peak memory on large domains by
+        encoding overlapping crops independently and blending them with a
+        smooth partition of unity.
 
         Parameters
         ----------
@@ -73,34 +82,36 @@ class MeshfreeFlowNet(nn.Module):
             Target high-resolution grid shape ``(nt_hr, nz_hr, nx_hr)``.
         chunk_size:
             Number of query points decoded per batch to bound memory use.
+        tile_shape:
+            Optional low-resolution tile shape ``(t, z, x)`` enabling tiled
+            encoding; tiled output matches direct decoding to round-off.
+        engine:
+            Optional pre-built :class:`~repro.inference.InferenceEngine`
+            (e.g. to reuse its latent-tile cache across calls); overrides
+            ``chunk_size`` and ``tile_shape``.
 
         Returns
         -------
         ``numpy`` array of shape ``(N, C_out, nt_hr, nz_hr, nx_hr)``.
         """
-        output_shape = tuple(int(v) for v in output_shape)
-        if len(output_shape) != 3:
-            raise ValueError(f"output_shape must be (nt, nz, nx); got {output_shape}")
-        coords_np = regular_grid_coordinates(output_shape)
-        n_batch = lowres.shape[0]
-        n_points = coords_np.shape[0]
-        out = np.zeros((n_batch, n_points, self.config.out_channels))
-        with no_grad():
-            grid = self.unet(lowres)
-            for start in range(0, n_points, chunk_size):
-                stop = min(start + chunk_size, n_points)
-                chunk = np.broadcast_to(coords_np[start:stop], (n_batch, stop - start, 3)).copy()
-                pred = self.decode(grid, Tensor(chunk))
-                out[:, start:stop, :] = pred.data
-        out = out.reshape(n_batch, *output_shape, self.config.out_channels)
-        return np.moveaxis(out, -1, 1)
+        if engine is None:
+            from ..inference import InferenceEngine
+
+            engine = InferenceEngine(self, tile_shape=tile_shape, chunk_size=chunk_size)
+        return engine.predict_grid(lowres, output_shape)
 
     def super_resolve(self, lowres: Tensor, upsample_factors: Sequence[int],
-                      chunk_size: int = 4096) -> np.ndarray:
-        """Super-resolve by integer upsampling factors along ``(t, z, x)``."""
+                      chunk_size: int = 4096,
+                      tile_shape: Optional[Sequence[int]] = None,
+                      engine=None) -> np.ndarray:
+        """Super-resolve by integer upsampling factors along ``(t, z, x)``.
+
+        Accepts the same engine-routing keywords as :meth:`predict_grid`.
+        """
         factors = tuple(int(f) for f in upsample_factors)
         out_shape = tuple(s * f for s, f in zip(lowres.shape[2:], factors))
-        return self.predict_grid(lowres, out_shape, chunk_size=chunk_size)
+        return self.predict_grid(lowres, out_shape, chunk_size=chunk_size,
+                                 tile_shape=tile_shape, engine=engine)
 
     # ----------------------------------------------------------- derivatives
     def forward_with_derivatives(

@@ -56,6 +56,7 @@ class ResBlock3d(nn.Module):
             self.skip = nn.Identity()
 
     def forward(self, x: Tensor) -> Tensor:
+        """Apply the bottleneck convolutions and the residual skip path."""
         h = self.act(self.norm1(self.conv1(x)))
         h = self.act(self.norm2(self.conv2(h)))
         h = self.norm3(self.conv3(h))
@@ -117,6 +118,50 @@ class UNet3d(nn.Module):
                 div[a] *= p[a]
         return tuple(div)
 
+    def receptive_halo(self) -> tuple[int, int, int]:
+        """Per-axis half-width of the receptive field, in input voxels.
+
+        A latent vertex at position ``v`` depends only on input voxels within
+        ``v ± halo`` along each axis.  The bound is computed by walking the
+        network *backwards* from one latent vertex, propagating a dependency
+        interval through every layer: each :class:`ResBlock3d` contains
+        exactly one spatial (3×3×3, padding-1) convolution, i.e. radius 1 at
+        the resolution it operates on; a pooling window of factor ``p`` maps
+        a coarse index to ``p`` fine voxels; nearest-neighbour upsampling maps
+        a fine index back to its (alignment-dependent) coarse source.  The
+        alignment slack of pooling/upsampling is accounted for exactly, which
+        is what makes tiled encoding in
+        :class:`repro.inference.InferenceEngine` bit-reproducible away from
+        tile borders.
+        """
+        import math
+        from fractions import Fraction
+
+        halo = []
+        for axis in range(3):
+            lo = Fraction(0)
+            hi = Fraction(0)
+            # Decoder path, last layer first: a ResBlock at level i-1 followed
+            # (in reverse) by the nearest-upsampling that produced its input.
+            for i in range(1, self.num_levels + 1):
+                p = self.pool_factors[i - 1][axis]
+                lo -= 1
+                hi += 1
+                lo = (lo - (p - 1)) / p
+                hi = hi / p
+            # Encoder path in reverse: ResBlock at level i, then the pooling
+            # that fed it (a pooled index covers p consecutive fine voxels).
+            for i in range(self.num_levels, 0, -1):
+                p = self.pool_factors[i - 1][axis]
+                lo -= 1
+                hi += 1
+                lo = p * lo
+                hi = p * hi + (p - 1)
+            lo -= 1  # stem block at input resolution
+            hi += 1
+            halo.append(int(math.ceil(max(-lo, hi))))
+        return tuple(halo)
+
     def _check_input(self, x: Tensor) -> None:
         if x.ndim != 5:
             raise ValueError(f"expected 5-D input (N, C, nt, nz, nx); got shape {x.shape}")
@@ -151,6 +196,7 @@ class UNet3d(nn.Module):
     @classmethod
     def from_config(cls, config: MeshfreeFlowNetConfig,
                     rng: Optional[np.random.Generator] = None) -> "UNet3d":
+        """Build the encoder sized by a :class:`MeshfreeFlowNetConfig`."""
         return cls(
             in_channels=config.in_channels,
             latent_channels=config.latent_channels,

@@ -10,6 +10,7 @@ from ..autodiff import Tensor
 from ..baselines import TrilinearBaseline
 from ..data.dataset import SuperResolutionDataset
 from ..distributed import ScalingPerformanceModel
+from ..inference import InferenceEngine
 from ..metrics import turbulence_summary
 from ..simulation import SimulationResult
 from ..training import Trainer
@@ -66,7 +67,8 @@ def run_fig6_qualitative(scale: str | ExperimentScale = "tiny",
 
     lowres, highres, _ = dataset.evaluation_pair(0)
     hr_shape = highres.shape[1:]
-    prediction = model.predict_grid(Tensor(lowres[None]), hr_shape)[0]
+    engine = InferenceEngine(model)
+    prediction = engine.predict_grid(Tensor(lowres[None]), hr_shape)[0]
     trilinear = TrilinearBaseline().predict_grid(Tensor(lowres[None]), hr_shape)[0]
 
     # Convert everything back to physical units and pick one HR time index.

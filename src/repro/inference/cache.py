@@ -1,0 +1,82 @@
+"""Bounded LRU cache for encoded latent-grid tiles.
+
+Encoding a tile (one U-Net forward pass) is far more expensive than decoding
+a batch of query points from it, so the engine encodes each tile at most once
+per pass and keeps the most recently used latents around, bounded by a tile
+budget so total memory stays proportional to ``capacity × tile volume``
+rather than to the full domain.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+import numpy as np
+
+__all__ = ["CacheStats", "LatentTileCache"]
+
+
+@dataclass
+class CacheStats:
+    """Counters describing cache behaviour since construction (or reset)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    current_bytes: int = 0
+    peak_bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LatentTileCache:
+    """Least-recently-used cache mapping tile keys to latent-grid arrays.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached tiles; the least recently used entry is
+        evicted when a new tile would exceed it.  ``None`` disables eviction.
+    """
+
+    def __init__(self, capacity: int | None = 32):
+        if capacity is not None and capacity < 1:
+            raise ValueError("cache capacity must be at least 1 (or None for unbounded)")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, np.ndarray]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], np.ndarray]) -> np.ndarray:
+        """Return the cached array for ``key``, encoding it via ``factory`` on a miss."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+        self.stats.misses += 1
+        value = factory()
+        self._entries[key] = value
+        self.stats.current_bytes += value.nbytes
+        while self.capacity is not None and len(self._entries) > self.capacity:
+            _, evicted = self._entries.popitem(last=False)
+            self.stats.evictions += 1
+            self.stats.current_bytes -= evicted.nbytes
+        self.stats.peak_bytes = max(self.stats.peak_bytes, self.stats.current_bytes)
+        return value
+
+    def clear(self) -> None:
+        """Drop all cached tiles (statistics are kept)."""
+        self._entries.clear()
+        self.stats.current_bytes = 0

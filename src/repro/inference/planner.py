@@ -1,0 +1,245 @@
+"""Batched query planner: group query points by owning tile, pack fused batches.
+
+Decoding a point requires the latent grid of every tile whose partition-of-
+unity weight at that point is non-zero (one tile in a tile's core, up to
+eight in overlap corners).  The planner turns a chunk of global query
+coordinates into per-tile groups — each carrying tile-local coordinates and
+blend weights — and then packs those groups into *fused batches*: several
+tiles stacked along the batch axis of a single
+:func:`repro.core.latent_grid.query_latent_grid` call, so the trilinear
+gather and the ImNet MLP run vectorised across crops instead of in a Python
+loop over tiles.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from .tiling import TileLayout
+
+__all__ = ["TileGroup", "QueryPlanner", "GridQueryPlanner", "pack_groups"]
+
+
+@dataclass
+class TileGroup:
+    """Query points assigned to one tile within a planning chunk.
+
+    Attributes
+    ----------
+    tile:
+        Linear tile id in the :class:`~repro.inference.tiling.TileLayout`.
+    rows:
+        Indices of the points within the planned chunk.
+    local_coords:
+        Coordinates of those points normalised to ``[0, 1]`` over the tile
+        extent, shape ``(len(rows), 3)``.
+    weights:
+        Normalised partition-of-unity blend weights, shape ``(len(rows),)``.
+    """
+
+    tile: int
+    rows: np.ndarray
+    local_coords: np.ndarray
+    weights: np.ndarray
+
+    @property
+    def n(self) -> int:
+        """Number of points in the group."""
+        return int(self.rows.shape[0])
+
+
+class QueryPlanner:
+    """Plans tile ownership, local coordinates and blend weights for queries."""
+
+    def __init__(self, layout: TileLayout):
+        self.layout = layout
+
+    def plan(self, coords: np.ndarray) -> list[TileGroup]:
+        """Assign a chunk of global query points to covering tiles.
+
+        Parameters
+        ----------
+        coords:
+            Array of shape ``(P, 3)`` with coordinates normalised to
+            ``[0, 1]`` over the whole domain (axis order ``t, z, x``).
+
+        Returns
+        -------
+        One :class:`TileGroup` per touched tile.  Every point appears in at
+        least one group and its weights across groups sum to one.
+        """
+        coords = np.asarray(coords, dtype=np.float64)
+        if coords.ndim != 2 or coords.shape[1] != 3:
+            raise ValueError(f"coords must have shape (P, 3); got {coords.shape}")
+        layout = self.layout
+        n_points = coords.shape[0]
+
+        primary = np.empty((3, n_points), dtype=np.int64)
+        weight = np.empty((3, n_points))
+        has_secondary = np.empty((3, n_points), dtype=bool)
+        positions = np.empty((3, n_points))
+        for axis, ax in enumerate(layout.axes):
+            pos = np.clip(coords[:, axis] * max(ax.size - 1, 1), 0.0, ax.size - 1)
+            positions[axis] = pos
+            primary[axis], weight[axis], has_secondary[axis] = ax.covering(pos)
+
+        grid_shape = layout.grid_shape
+        tile_lengths = np.array([max(ax.tile - 1, 1) for ax in layout.axes], dtype=np.float64)
+        starts = [np.asarray(ax.starts, dtype=np.int64) for ax in layout.axes]
+
+        by_tile: dict[int, list[tuple[np.ndarray, np.ndarray, np.ndarray]]] = {}
+        total = np.zeros(n_points)
+        combos: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        for offsets in itertools.product((0, 1), repeat=3):
+            mask = np.ones(n_points, dtype=bool)
+            w = np.ones(n_points)
+            tile_axes = np.empty((3, n_points), dtype=np.int64)
+            for axis, offset in enumerate(offsets):
+                if offset == 0:
+                    w = w * weight[axis]
+                    tile_axes[axis] = primary[axis]
+                else:
+                    mask &= has_secondary[axis]
+                    w = w * (1.0 - weight[axis])
+                    tile_axes[axis] = primary[axis] + 1
+            mask &= w > 0.0
+            if not np.any(mask):
+                continue
+            rows = np.nonzero(mask)[0]
+            linear = np.ravel_multi_index(
+                (tile_axes[0, rows], tile_axes[1, rows], tile_axes[2, rows]), grid_shape
+            )
+            combos.append((rows, linear, w[rows]))
+            np.add.at(total, rows, w[rows])
+
+        groups: list[TileGroup] = []
+        for rows, linear, w in combos:
+            w = w / total[rows]
+            for tile in np.unique(linear):
+                sel = linear == tile
+                tile_rows = rows[sel]
+                start = np.array(
+                    [starts[a][idx] for a, idx in enumerate(self.layout.tile_index(int(tile)))],
+                    dtype=np.float64,
+                )
+                local = (positions[:, tile_rows].T - start) / tile_lengths
+                by_tile.setdefault(int(tile), []).append((tile_rows, local, w[sel]))
+        for tile, parts in sorted(by_tile.items()):
+            rows = np.concatenate([p[0] for p in parts])
+            local = np.concatenate([p[1] for p in parts], axis=0)
+            weights = np.concatenate([p[2] for p in parts])
+            groups.append(TileGroup(tile=tile, rows=rows, local_coords=local, weights=weights))
+        return groups
+
+
+class GridQueryPlanner:
+    """Separable planner for *regular* high-resolution query grids.
+
+    A dense grid query factorises: tile ownership, blend weights and local
+    coordinates along ``t``, ``z`` and ``x`` are each functions of a single
+    axis, so they are planned on the three 1-D coordinate arrays —
+    ``O(nt + nz + nx)`` memory instead of ``O(P)`` — and the 3-D point sets
+    are materialised lazily, one tile at a time, in tile-major order.  This
+    is what :meth:`repro.inference.engine.TiledLatentField.predict_grid`
+    uses, keeping planning memory independent of the output volume.
+    """
+
+    def __init__(self, layout: TileLayout):
+        self.layout = layout
+
+    def plan(self, output_shape: tuple[int, int, int]):
+        """Yield :class:`TileGroup`\\ s covering a regular grid, tile-major.
+
+        ``output_shape`` is the high-resolution grid shape ``(nt, nz, nx)``;
+        row indices refer to C-order raveling over ``(t, z, x)``, matching
+        :func:`repro.core.latent_grid.regular_grid_coordinates`.  Weights of
+        each point across the yielded groups sum to one.
+        """
+        layout = self.layout
+        output_shape = tuple(int(v) for v in output_shape)
+        # Per axis: HR sample positions in vertex units, plus for every axis
+        # tile the sample indices it covers with their blend weights.
+        axis_plan = []
+        for axis, (ax, n_hr) in enumerate(zip(layout.axes, output_shape)):
+            u = np.linspace(0.0, 1.0, n_hr) if n_hr > 1 else np.zeros(1)
+            pos = np.clip(u * max(ax.size - 1, 1), 0.0, ax.size - 1)
+            primary, weight, has_secondary = ax.covering(pos)
+            per_tile = []
+            for i in range(ax.n_tiles):
+                prim = primary == i
+                sec = has_secondary & (primary + 1 == i)
+                rows = np.concatenate([np.nonzero(prim)[0], np.nonzero(sec)[0]])
+                w = np.concatenate([weight[prim], 1.0 - weight[sec]])
+                order = np.argsort(rows, kind="stable")
+                rows = rows[order]
+                w = w[order]
+                local = (pos[rows] - ax.starts[i]) / max(ax.tile - 1, 1)
+                per_tile.append((rows, w, local))
+            axis_plan.append(per_tile)
+
+        strides = (output_shape[1] * output_shape[2], output_shape[2], 1)
+        for linear in range(layout.n_tiles):
+            tile_idx = layout.tile_index(linear)
+            per_axis_rows = []
+            per_axis_w = []
+            per_axis_local = []
+            empty = False
+            for axis, i in enumerate(tile_idx):
+                rows, w, local = axis_plan[axis][i]
+                if rows.size == 0:
+                    empty = True
+                    break
+                per_axis_rows.append(rows)
+                per_axis_w.append(w)
+                per_axis_local.append(local)
+            if empty:
+                continue
+            rt, rz, rx = per_axis_rows
+            rows3d = (rt[:, None, None] * strides[0]
+                      + rz[None, :, None] * strides[1]
+                      + rx[None, None, :] * strides[2]).ravel()
+            w3d = (per_axis_w[0][:, None, None]
+                   * per_axis_w[1][None, :, None]
+                   * per_axis_w[2][None, None, :]).ravel()
+            shape3d = (rt.size, rz.size, rx.size)
+            local3d = np.empty((rows3d.size, 3))
+            local3d[:, 0] = np.broadcast_to(per_axis_local[0][:, None, None], shape3d).ravel()
+            local3d[:, 1] = np.broadcast_to(per_axis_local[1][None, :, None], shape3d).ravel()
+            local3d[:, 2] = np.broadcast_to(per_axis_local[2][None, None, :], shape3d).ravel()
+            keep = w3d > 0.0
+            if not np.all(keep):
+                rows3d, w3d, local3d = rows3d[keep], w3d[keep], local3d[keep]
+            if rows3d.size:
+                yield TileGroup(tile=linear, rows=rows3d, local_coords=local3d, weights=w3d)
+
+
+def pack_groups(groups, budget: int):
+    """Lazily pack tile groups into fused batches bounded by padded size.
+
+    Each fused batch decodes ``len(batch) × max(group sizes)`` padded query
+    slots in one :func:`query_latent_grid` call; the greedy packing keeps
+    that product at or below ``budget`` (a batch always holds at least one
+    group, so a single oversized group still decodes alone).  ``groups`` may
+    be any iterable — batches are yielded as soon as they close, so a
+    streaming planner never has its whole output materialised.  Input order
+    is preserved: the engine feeds groups in tile-major order so that each
+    latent tile is encoded once and retired before the next is touched,
+    keeping the LRU cache effective even at capacity 1.
+    """
+    if budget < 1:
+        raise ValueError("pack budget must be positive")
+    current: list[TileGroup] = []
+    current_max = 0
+    for group in groups:
+        new_max = max(current_max, group.n)
+        if current and (len(current) + 1) * new_max > budget:
+            yield current
+            current, current_max = [], 0
+            new_max = group.n
+        current.append(group)
+        current_max = new_max
+    if current:
+        yield current

@@ -23,24 +23,28 @@ def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
 
 
 def kaiming_uniform(shape, rng: np.random.Generator, gain: float = math.sqrt(2.0)) -> np.ndarray:
+    """He/Kaiming uniform initialisation scaled by fan-in."""
     fan_in, _ = _fan_in_out(tuple(shape))
     bound = gain * math.sqrt(3.0 / max(fan_in, 1))
     return rng.uniform(-bound, bound, size=shape)
 
 
 def kaiming_normal(shape, rng: np.random.Generator, gain: float = math.sqrt(2.0)) -> np.ndarray:
+    """He/Kaiming normal initialisation scaled by fan-in."""
     fan_in, _ = _fan_in_out(tuple(shape))
     std = gain / math.sqrt(max(fan_in, 1))
     return rng.normal(0.0, std, size=shape)
 
 
 def xavier_uniform(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Xavier/Glorot uniform initialisation scaled by fan-in + fan-out."""
     fan_in, fan_out = _fan_in_out(tuple(shape))
     bound = gain * math.sqrt(6.0 / max(fan_in + fan_out, 1))
     return rng.uniform(-bound, bound, size=shape)
 
 
 def xavier_normal(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Xavier/Glorot normal initialisation scaled by fan-in + fan-out."""
     fan_in, fan_out = _fan_in_out(tuple(shape))
     std = gain * math.sqrt(2.0 / max(fan_in + fan_out, 1))
     return rng.normal(0.0, std, size=shape)
@@ -54,4 +58,5 @@ def uniform_fan_in(shape, rng: np.random.Generator) -> np.ndarray:
 
 
 def zeros(shape, rng: np.random.Generator | None = None) -> np.ndarray:
+    """All-zeros initialisation."""
     return np.zeros(shape)

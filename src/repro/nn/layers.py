@@ -187,6 +187,7 @@ class LayerNorm(Module):
 
 
 class MaxPool3d(Module):
+    """Non-overlapping 3-D max pooling layer."""
     def __init__(self, kernel_size=2):
         super().__init__()
         self.kernel_size = kernel_size
@@ -196,6 +197,7 @@ class MaxPool3d(Module):
 
 
 class AvgPool3d(Module):
+    """Non-overlapping 3-D average pooling layer."""
     def __init__(self, kernel_size=2):
         super().__init__()
         self.kernel_size = kernel_size
@@ -205,6 +207,7 @@ class AvgPool3d(Module):
 
 
 class UpsampleNearest3d(Module):
+    """Nearest-neighbour 3-D upsampling layer."""
     def __init__(self, scale_factor=2):
         super().__init__()
         self.scale_factor = scale_factor
@@ -214,11 +217,13 @@ class UpsampleNearest3d(Module):
 
 
 class ReLU(Module):
+    """Rectified linear unit activation layer."""
     def forward(self, x: Tensor) -> Tensor:
         return ops.relu(x)
 
 
 class LeakyReLU(Module):
+    """Leaky ReLU activation layer."""
     def __init__(self, negative_slope: float = 0.01):
         super().__init__()
         self.negative_slope = negative_slope
@@ -228,16 +233,19 @@ class LeakyReLU(Module):
 
 
 class Tanh(Module):
+    """Hyperbolic tangent activation layer."""
     def forward(self, x: Tensor) -> Tensor:
         return ops.tanh(x)
 
 
 class Sigmoid(Module):
+    """Logistic sigmoid activation layer."""
     def forward(self, x: Tensor) -> Tensor:
         return ops.sigmoid(x)
 
 
 class Softplus(Module):
+    """Softplus activation layer (smooth ReLU; PDE-loss friendly)."""
     def forward(self, x: Tensor) -> Tensor:
         return ops.softplus(x)
 
@@ -254,6 +262,7 @@ class Sin(Module):
 
 
 class Identity(Module):
+    """No-op layer returning its input unchanged."""
     def forward(self, x: Tensor) -> Tensor:
         return x
 

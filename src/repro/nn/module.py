@@ -48,30 +48,36 @@ class Module:
         object.__setattr__(self, name, self._buffers[name])
 
     def register_parameter(self, name: str, param: Parameter) -> None:
+        """Register a trainable parameter under ``name``."""
         self._parameters[name] = param
         object.__setattr__(self, name, param)
 
     def add_module(self, name: str, module: "Module") -> None:
+        """Register a child module under ``name``."""
         self._modules[name] = module
         object.__setattr__(self, name, module)
 
     # ----------------------------------------------------------------- access
     def parameters(self) -> list[Parameter]:
+        """All trainable parameters of this module and its children."""
         return [p for _, p in self.named_parameters()]
 
     def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs recursively."""
         for name, param in self._parameters.items():
             yield (f"{prefix}{name}", param)
         for mod_name, module in self._modules.items():
             yield from module.named_parameters(prefix=f"{prefix}{mod_name}.")
 
     def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        """Yield ``(dotted_name, buffer)`` pairs recursively."""
         for name, buf in self._buffers.items():
             yield (f"{prefix}{name}", buf)
         for mod_name, module in self._modules.items():
             yield from module.named_buffers(prefix=f"{prefix}{mod_name}.")
 
     def modules(self) -> Iterator["Module"]:
+        """Yield this module and all descendants, depth-first."""
         yield self
         for module in self._modules.values():
             yield from module.modules()
@@ -82,19 +88,23 @@ class Module:
 
     # ------------------------------------------------------------------ modes
     def train(self, mode: bool = True) -> "Module":
+        """Recursively set training mode (``True`` by default)."""
         for module in self.modules():
             object.__setattr__(module, "training", mode)
         return self
 
     def eval(self) -> "Module":
+        """Recursively switch to evaluation mode."""
         return self.train(False)
 
     def zero_grad(self) -> None:
+        """Reset the gradients of every parameter."""
         for p in self.parameters():
             p.zero_grad()
 
     # ------------------------------------------------------------ state dicts
     def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        """Copy all parameters and buffers into an ordered mapping."""
         state: "OrderedDict[str, np.ndarray]" = OrderedDict()
         for name, param in self.named_parameters():
             state[name] = param.data.copy()
@@ -103,6 +113,7 @@ class Module:
         return state
 
     def load_state_dict(self, state: dict, strict: bool = True) -> None:
+        """Load parameters/buffers from a ``state_dict`` mapping in place."""
         own_params = dict(self.named_parameters())
         own_buffers = self._named_buffer_owners()
         missing = []
@@ -133,6 +144,7 @@ class Module:
 
     # ------------------------------------------------------------------- call
     def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        """Compute the module output; must be overridden by subclasses."""
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):

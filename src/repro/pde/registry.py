@@ -37,6 +37,7 @@ def make_pde_system(name: str, **kwargs) -> PDESystem:
 
 
 def available_pde_systems() -> list[str]:
+    """Names of all registered PDE systems."""
     return sorted(_REGISTRY)
 
 

@@ -1,0 +1,367 @@
+"""Tiled batched inference engine: equivalence, caching, planning, fast path."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import (
+    Tensor,
+    enable_grad,
+    inference_mode,
+    is_grad_enabled,
+    is_inference_mode,
+    ops,
+)
+from repro.core import MeshfreeFlowNet, MeshfreeFlowNetConfig
+from repro.core.latent_grid import regular_grid_coordinates
+from repro.inference import (
+    GridQueryPlanner,
+    InferenceEngine,
+    LatentTileCache,
+    QueryPlanner,
+    TileLayout,
+    pack_groups,
+    smoothstep,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    """Eval-mode tiny model shared by the equivalence tests (read-only)."""
+    return MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny()).eval()
+
+
+@pytest.fixture(scope="module")
+def lowres():
+    """A (1, 4, 4, 24, 40) low-resolution domain, larger than one crop."""
+    rng = np.random.default_rng(42)
+    return rng.standard_normal((1, 4, 4, 24, 40))
+
+
+def tile_layout(domain=(4, 24, 40), tile=(4, 16, 16), halo=(3, 5, 5),
+                divisor=(1, 2, 2), ramp_width=2.0) -> TileLayout:
+    return TileLayout(domain, tile, halo=halo, divisor=divisor, ramp_width=ramp_width)
+
+
+# --------------------------------------------------------------------------- #
+# Tiled output == direct output                                               #
+# --------------------------------------------------------------------------- #
+class TestTiledDirectEquivalence:
+    @pytest.mark.parametrize("tile_shape,ramp_width", [
+        ((4, 16, 16), 2.0),   # tiling along z and x
+        ((4, 16, 24), 0.0),   # sharp (zero-width) hand-off
+        ((4, 18, 20), 5.0),   # wide ramp, tile not dividing the domain
+        ((4, 24, 16), 2.0),   # tiling along x only
+    ])
+    def test_predict_grid_matches_direct(self, model, lowres, tile_shape, ramp_width):
+        """Tiled dense prediction equals the untiled path within 1e-8."""
+        out_shape = (8, 32, 48)
+        direct = model.predict_grid(Tensor(lowres), out_shape)
+        tiled = model.predict_grid(Tensor(lowres), out_shape,
+                                   tile_shape=tile_shape,
+                                   engine=InferenceEngine(model, tile_shape=tile_shape,
+                                                          ramp_width=ramp_width))
+        assert tiled.shape == direct.shape
+        assert np.max(np.abs(tiled - direct)) < 1e-8
+
+    def test_time_axis_tiling(self, model):
+        """Tiles that split the time axis also reproduce the direct result."""
+        rng = np.random.default_rng(7)
+        lowres = rng.standard_normal((1, 4, 16, 8, 8))
+        direct = model.predict_grid(Tensor(lowres), (24, 12, 12))
+        engine = InferenceEngine(model, tile_shape=(10, 8, 8), ramp_width=0.0)
+        tiled = engine.predict_grid(lowres, (24, 12, 12))
+        assert engine.open(lowres).layout.grid_shape[0] > 1
+        assert np.max(np.abs(tiled - direct)) < 1e-8
+
+    def test_scattered_points_match_direct(self, model, lowres):
+        """field.query at arbitrary coordinates equals direct decoding."""
+        rng = np.random.default_rng(3)
+        coords = rng.random((500, 3))
+        direct = InferenceEngine(model).query_points(lowres, coords)
+        tiled = InferenceEngine(model, tile_shape=(4, 16, 16)).query_points(lowres, coords)
+        assert np.max(np.abs(tiled - direct)) < 1e-8
+
+    def test_batched_samples(self, model):
+        """Equivalence holds with more than one sample in the batch."""
+        rng = np.random.default_rng(11)
+        lowres = rng.standard_normal((2, 4, 4, 24, 24))
+        direct = model.predict_grid(Tensor(lowres), (4, 24, 24))
+        tiled = model.predict_grid(Tensor(lowres), (4, 24, 24), tile_shape=(4, 16, 16))
+        assert np.max(np.abs(tiled - direct)) < 1e-8
+
+    def test_larger_halo_still_exact(self, model, lowres):
+        """Halo values above the exact bound only add overlap, never error."""
+        engine = InferenceEngine(model, tile_shape=(4, 20, 20), halo=(4, 7, 7))
+        direct = model.predict_grid(Tensor(lowres), (4, 24, 40))
+        tiled = engine.predict_grid(lowres, (4, 24, 40))
+        assert np.max(np.abs(tiled - direct)) < 1e-8
+
+    def test_super_resolve_tiled(self, model, lowres):
+        direct = model.super_resolve(Tensor(lowres), (2, 2, 2))
+        tiled = model.super_resolve(Tensor(lowres), (2, 2, 2), tile_shape=(4, 16, 16))
+        assert np.max(np.abs(tiled - direct)) < 1e-8
+
+    def test_chunk_size_invariance(self, model, lowres):
+        engine_small = InferenceEngine(model, tile_shape=(4, 16, 16), chunk_size=123)
+        engine_large = InferenceEngine(model, tile_shape=(4, 16, 16), chunk_size=50_000)
+        a = engine_small.predict_grid(lowres, (4, 24, 40))
+        b = engine_large.predict_grid(lowres, (4, 24, 40))
+        assert np.allclose(a, b)
+
+    def test_group_norm_warns_and_is_marked_inexact(self):
+        cfg = MeshfreeFlowNetConfig.tiny(unet_norm="group")
+        gmodel = MeshfreeFlowNet(cfg).eval()
+        with pytest.warns(UserWarning, match="group normalisation"):
+            engine = InferenceEngine(gmodel, tile_shape=(4, 16, 16))
+        assert not engine.is_exact
+        assert InferenceEngine(gmodel).is_exact  # direct mode is always exact
+
+
+# --------------------------------------------------------------------------- #
+# Receptive-field halo                                                        #
+# --------------------------------------------------------------------------- #
+class TestReceptiveHalo:
+    @pytest.mark.parametrize("pools", [((1, 2, 2),), ((2, 2, 2),), ((1, 1, 1),)])
+    def test_halo_bounds_observed_receptive_field(self, pools):
+        """Perturbing one input voxel changes latents only within the halo."""
+        cfg = MeshfreeFlowNetConfig.tiny(unet_pool_factors=pools)
+        net = MeshfreeFlowNet(cfg).eval().unet
+        halo = net.receptive_halo()
+        div = net.required_divisor()
+        shape = tuple(int(np.ceil((4 * h + 2) / d) * d) for h, d in zip(halo, div))
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((1, cfg.in_channels, *shape))
+        centre = tuple(s // 2 for s in shape)
+        x2 = x.copy()
+        x2[(0, 0, *centre)] += 1.0
+        with inference_mode():
+            base = net(Tensor(x)).data
+            pert = net(Tensor(x2)).data
+        changed = np.argwhere(np.abs(pert - base).sum(axis=(0, 1)) > 1e-12)
+        assert changed.size > 0
+        for axis in range(3):
+            reach = np.abs(changed[:, axis] - centre[axis]).max()
+            assert reach <= halo[axis]
+
+    def test_halo_grows_with_depth(self):
+        shallow = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny()).unet.receptive_halo()
+        deep = MeshfreeFlowNet(MeshfreeFlowNetConfig.small()).unet.receptive_halo()
+        assert all(d > s for s, d in zip(shallow, deep))
+
+
+# --------------------------------------------------------------------------- #
+# LRU latent cache                                                            #
+# --------------------------------------------------------------------------- #
+class TestLatentTileCache:
+    def test_hits_misses_evictions(self):
+        cache = LatentTileCache(capacity=2)
+        make = lambda v: (lambda: np.full((2, 2), float(v)))
+        cache.get_or_create("a", make(1))
+        cache.get_or_create("b", make(2))
+        cache.get_or_create("a", make(1))          # hit, refreshes "a"
+        cache.get_or_create("c", make(3))          # evicts "b" (LRU)
+        assert "b" not in cache and "a" in cache and "c" in cache
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 3
+        assert cache.stats.evictions == 1
+        assert cache.stats.current_bytes == 2 * np.full((2, 2), 0.0).nbytes
+        assert 0 < cache.stats.hit_rate < 1
+
+    def test_unbounded_and_invalid_capacity(self):
+        cache = LatentTileCache(capacity=None)
+        for i in range(100):
+            cache.get_or_create(i, lambda: np.zeros(1))
+        assert len(cache) == 100 and cache.stats.evictions == 0
+        with pytest.raises(ValueError):
+            LatentTileCache(capacity=0)
+
+    def test_field_reuse_hits_cache(self, model, lowres):
+        """Re-querying an open field decodes from cached latents."""
+        engine = InferenceEngine(model, tile_shape=(4, 16, 16), cache_tiles=None)
+        field = engine.open(lowres)
+        field.predict_grid((4, 24, 40))
+        misses_first = engine.cache_stats.misses
+        field.predict_grid((4, 24, 40))
+        assert engine.cache_stats.misses == misses_first  # second pass: all hits
+        assert engine.cache_stats.hits > 0
+
+    def test_cross_call_reuse_on_same_array(self, model, lowres):
+        """Repeated calls with the same input array share cache entries."""
+        engine = InferenceEngine(model, tile_shape=(4, 16, 16), cache_tiles=None)
+        model.predict_grid(Tensor(lowres), (4, 24, 40), engine=engine)
+        misses_first = engine.cache_stats.misses
+        model.predict_grid(Tensor(lowres), (4, 24, 40), engine=engine)
+        assert engine.cache_stats.misses == misses_first
+        assert engine.cache_stats.hits >= misses_first
+        # A different array must not alias the cached latents.
+        other = lowres.copy()
+        out_other = engine.predict_grid(other, (4, 24, 40))
+        assert engine.cache_stats.misses == 2 * misses_first
+        assert np.allclose(out_other, engine.predict_grid(lowres, (4, 24, 40)))
+
+    def test_tile_major_order_encodes_each_tile_once(self, model, lowres):
+        """Even a capacity-1 cache encodes every tile exactly once per pass."""
+        engine = InferenceEngine(model, tile_shape=(4, 16, 16), cache_tiles=1)
+        field = engine.open(lowres)
+        field.predict_grid((4, 24, 40))
+        assert engine.cache_stats.misses == field.layout.n_tiles
+
+
+# --------------------------------------------------------------------------- #
+# Tiling and planning                                                         #
+# --------------------------------------------------------------------------- #
+class TestTilingAndPlanner:
+    def test_partition_of_unity(self):
+        layout = tile_layout()
+        planner = QueryPlanner(layout)
+        rng = np.random.default_rng(0)
+        coords = rng.random((400, 3))
+        groups = planner.plan(coords)
+        total = np.zeros(400)
+        for g in groups:
+            np.add.at(total, g.rows, g.weights)
+        assert np.allclose(total, 1.0, atol=1e-12)
+
+    def test_every_point_covered_with_local_coords_in_range(self):
+        layout = tile_layout()
+        groups = QueryPlanner(layout).plan(np.array([[0.0, 0.0, 0.0], [1.0, 1.0, 1.0],
+                                                     [0.5, 0.5, 0.5]]))
+        covered = sorted(set(int(r) for g in groups for r in g.rows))
+        assert covered == [0, 1, 2]
+        for g in groups:
+            assert g.local_coords.min() >= 0.0 and g.local_coords.max() <= 1.0
+
+    def test_grid_planner_matches_generic_planner(self):
+        layout = tile_layout()
+        shape = (6, 18, 22)
+        coords = regular_grid_coordinates(shape)
+        generic = {(g.tile, int(r)): w for g in QueryPlanner(layout).plan(coords)
+                   for r, w in zip(g.rows, g.weights)}
+        streamed = {(g.tile, int(r)): w for g in GridQueryPlanner(layout).plan(shape)
+                    for r, w in zip(g.rows, g.weights)}
+        assert set(streamed) == set(generic)
+        for key, w in streamed.items():
+            assert w == pytest.approx(generic[key], abs=1e-12)
+
+    def test_grid_planner_is_tile_major(self):
+        layout = tile_layout()
+        tiles = [g.tile for g in GridQueryPlanner(layout).plan((6, 18, 22))]
+        assert tiles == sorted(tiles)
+
+    def test_smoothstep_properties(self):
+        assert smoothstep(np.array(0.0)) == 0.0
+        assert smoothstep(np.array(1.0)) == 1.0
+        assert smoothstep(np.array(-5.0)) == 0.0 and smoothstep(np.array(7.0)) == 1.0
+        u = np.linspace(0, 1, 101)
+        s = smoothstep(u)
+        assert np.all(np.diff(s) >= 0)                        # monotone
+        assert np.allclose(s + smoothstep(1.0 - u), 1.0)      # exact complement
+
+    def test_pack_groups_budget(self):
+        layout = tile_layout()
+        groups = QueryPlanner(layout).plan(np.random.default_rng(1).random((300, 3)))
+        budget = 64
+        batches = list(pack_groups(groups, budget=budget))
+        assert sum(len(b) for b in batches) == len(groups)
+        for batch in batches:
+            width = max(g.n for g in batch)
+            assert len(batch) == 1 or len(batch) * width <= budget
+        assert [g.tile for b in batches for g in b] == [g.tile for g in groups]
+
+    def test_layout_validation_errors(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            tile_layout(domain=(4, 25, 40))                   # domain vs divisor
+        with pytest.raises(ValueError, match="not divisible"):
+            tile_layout(tile=(4, 15, 16))                     # tile vs divisor
+        with pytest.raises(ValueError, match="too small"):
+            tile_layout(tile=(4, 12, 16))                     # tile vs halo
+        with pytest.raises(ValueError, match="ramp_width"):
+            tile_layout(ramp_width=-1.0)
+
+
+# --------------------------------------------------------------------------- #
+# Engine API surface                                                          #
+# --------------------------------------------------------------------------- #
+class TestEngineAPI:
+    def test_invalid_arguments(self, model, lowres):
+        with pytest.raises(ValueError):
+            InferenceEngine(model, chunk_size=0)
+        with pytest.raises(ValueError):
+            InferenceEngine(model, tile_shape=(4, 16))
+        with pytest.raises(ValueError):
+            InferenceEngine(model).open(np.zeros((4, 8, 8)))
+        with pytest.raises(ValueError):
+            InferenceEngine(model).open(lowres).query(np.zeros((5, 2)))
+        with pytest.raises(ValueError):
+            InferenceEngine(model).predict_grid(lowres, (4, 16))
+
+    def test_direct_mode_matches_manual_decode(self, model, lowres):
+        """Direct mode reproduces encode-once + chunked-decode semantics."""
+        from repro.autodiff import no_grad
+
+        out_shape = (4, 24, 40)
+        engine_out = InferenceEngine(model).predict_grid(lowres, out_shape)
+        coords = regular_grid_coordinates(out_shape)
+        with no_grad():
+            grid = model.latent_grid(Tensor(lowres))
+            pred = model.decode(grid, Tensor(coords[None])).data
+        manual = np.moveaxis(pred.reshape(1, *out_shape, -1), -1, 1)
+        assert np.allclose(engine_out, manual)
+
+    def test_tiled_encode_restores_training_mode(self, model, lowres):
+        model.train()
+        try:
+            engine = InferenceEngine(model, tile_shape=(4, 16, 16))
+            engine.predict_grid(lowres, (4, 24, 40))
+            assert model.unet.training
+        finally:
+            model.eval()
+
+    def test_open_is_lazy(self, model, lowres):
+        engine = InferenceEngine(model, tile_shape=(4, 16, 16))
+        field = engine.open(lowres)
+        assert engine.cache_stats.misses == 0
+        assert field.n_batch == 1
+        assert field.layout.n_tiles > 1
+
+
+# --------------------------------------------------------------------------- #
+# autodiff inference_mode fast path                                           #
+# --------------------------------------------------------------------------- #
+class TestInferenceMode:
+    def test_no_graph_is_recorded(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with inference_mode():
+            y = ops.mul(x, x)
+            assert not y.requires_grad and y.is_leaf()
+        assert is_grad_enabled() and not is_inference_mode()
+
+    def test_matches_normal_forward(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.random((4, 5)), rng.random((5, 3))
+        normal = ops.matmul(Tensor(a), Tensor(b)).data
+        with inference_mode():
+            fast = ops.matmul(Tensor(a), Tensor(b)).data
+        assert np.array_equal(normal, fast)
+
+    def test_flags_and_nesting(self):
+        assert not is_inference_mode()
+        with inference_mode():
+            assert is_inference_mode() and not is_grad_enabled()
+            with inference_mode():
+                assert is_inference_mode()
+            assert is_inference_mode()
+        assert not is_inference_mode() and is_grad_enabled()
+
+    def test_enable_grad_rejected_inside(self):
+        with inference_mode():
+            with pytest.raises(RuntimeError):
+                with enable_grad():
+                    pass  # pragma: no cover
+
+    def test_model_forward_under_inference_mode(self, model, lowres):
+        coords = np.random.default_rng(5).random((1, 7, 3))
+        expected = model(Tensor(lowres), Tensor(coords)).data
+        with inference_mode():
+            fast = model(Tensor(lowres), Tensor(coords)).data
+        assert np.allclose(expected, fast)
