@@ -2,7 +2,11 @@
 
 These are conventional pytest-benchmark measurements of the hot paths:
 U-Net encoding, continuous decoding, the equation-loss derivative stack,
-the Rayleigh–Bénard solver step and the ring all-reduce.
+the Rayleigh–Bénard solver step and the ring all-reduce.  Each hot-path
+benchmark also reports rolling p50/p95/p99 round latencies (via
+:func:`repro.utils.percentiles` — the same helpers the serving telemetry
+uses) in its ``extra_info``, since tail latency is what the serving layer
+actually pays.
 """
 
 import numpy as np
@@ -13,6 +17,17 @@ from repro.core import LossWeights, MeshfreeFlowNet, MeshfreeFlowNetConfig, comp
 from repro.distributed import ring_allreduce
 from repro.pde import RayleighBenard2D
 from repro.simulation import RayleighBenardConfig, RayleighBenardSolver
+from repro.utils import percentiles
+
+
+def report_percentiles(benchmark):
+    """Attach p50/p95/p99 of the raw round timings to the benchmark report."""
+    rounds = benchmark.stats.stats.data
+    if rounds:
+        benchmark.extra_info.update({
+            f"p{p:g}_ms": round(value * 1e3, 4)
+            for p, value in percentiles(rounds).items()
+        })
 
 
 @pytest.fixture(scope="module")
@@ -42,6 +57,7 @@ def test_conv3d_forward(benchmark):
 def test_unet_encode(benchmark, model, inputs):
     lowres, _, _ = inputs
     benchmark(lambda: model.latent_grid(lowres))
+    report_percentiles(benchmark)
 
 
 @pytest.mark.benchmark(group="kernels")
@@ -49,6 +65,7 @@ def test_continuous_decode(benchmark, model, inputs):
     lowres, coords, _ = inputs
     grid = model.latent_grid(lowres)
     benchmark(lambda: model.decode(grid, coords))
+    report_percentiles(benchmark)
 
 
 @pytest.mark.benchmark(group="kernels")
@@ -104,12 +121,14 @@ def test_continuous_decode_inference_mode(benchmark, model, inputs):
             return model.decode(grid, coords)
 
     benchmark(decode)
+    report_percentiles(benchmark)
 
 
 @pytest.mark.benchmark(group="kernels")
 def test_solver_step(benchmark):
     solver = RayleighBenardSolver(RayleighBenardConfig(nz=32, nx=128, t_final=1.0, seed=0))
     benchmark(lambda: solver.step(1e-3))
+    report_percentiles(benchmark)
 
 
 @pytest.mark.benchmark(group="kernels")

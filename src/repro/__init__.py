@@ -32,6 +32,7 @@ from .core import (
 )
 from .inference import InferenceEngine, TiledLatentField
 from .pde import PDESystem, RayleighBenard2D, make_pde_system
+from .serving import ModelServer, QueryRequest, QueryResult
 
 __version__ = "0.2.0"
 
@@ -43,6 +44,9 @@ __all__ = [
     "ImNet",
     "InferenceEngine",
     "TiledLatentField",
+    "ModelServer",
+    "QueryRequest",
+    "QueryResult",
     "PDESystem",
     "RayleighBenard2D",
     "make_pde_system",

@@ -21,6 +21,7 @@ therefore first-order only.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Iterable, Optional, Sequence
 
 import numpy as np
@@ -38,50 +39,62 @@ __all__ = [
 ]
 
 
-_GRAD_ENABLED = True
-_INFERENCE_MODE = False
+class _AutogradState(threading.local):
+    """Per-thread autograd mode flags.
+
+    The grad/inference modes are *thread-local*: serving worker threads run
+    their hot paths under :func:`inference_mode` concurrently with, say, a
+    training loop on the main thread, and a save/restore race on shared
+    globals could otherwise leak a disabled-grad state across threads.
+    Every thread starts with graph recording enabled.
+    """
+
+    def __init__(self):
+        self.grad_enabled = True
+        self.inference_mode = False
+
+
+_state = _AutogradState()
 
 
 def is_grad_enabled() -> bool:
     """Return whether operations currently record a computation graph."""
-    return _GRAD_ENABLED
+    return _state.grad_enabled
 
 
 def is_inference_mode() -> bool:
     """Return whether the stricter :func:`inference_mode` fast path is active."""
-    return _INFERENCE_MODE
+    return _state.inference_mode
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager that disables graph construction.
+    """Context manager that disables graph construction (this thread only).
 
     Inside the context every new :class:`Tensor` produced by an operation is a
     leaf without history; this mirrors ``torch.no_grad`` and is used both by
     user code (e.g. evaluation loops) and internally when backward passes do
     not need to be differentiable themselves.
     """
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = _state.grad_enabled
+    _state.grad_enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _state.grad_enabled = previous
 
 
 @contextlib.contextmanager
 def enable_grad():
-    """Context manager that (re-)enables graph construction."""
-    global _GRAD_ENABLED
-    if _INFERENCE_MODE:
+    """Context manager that (re-)enables graph construction (this thread only)."""
+    if _state.inference_mode:
         raise RuntimeError("enable_grad() cannot be nested inside inference_mode()")
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = True
+    previous = _state.grad_enabled
+    _state.grad_enabled = True
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _state.grad_enabled = previous
 
 
 @contextlib.contextmanager
@@ -93,17 +106,17 @@ def inference_mode():
     the ``requires_grad`` scan and graph-related attribute set-up on the
     output tensor.  Inside the context, :func:`enable_grad` must not be used
     (mirroring ``torch.inference_mode``); attempting to do so raises
-    ``RuntimeError``.  Intended for hot serving paths such as
+    ``RuntimeError``.  The mode is per-thread, so concurrent serving workers
+    never affect other threads.  Intended for hot serving paths such as
     :class:`repro.inference.InferenceEngine`.
     """
-    global _GRAD_ENABLED, _INFERENCE_MODE
-    prev_grad, prev_inf = _GRAD_ENABLED, _INFERENCE_MODE
-    _GRAD_ENABLED = False
-    _INFERENCE_MODE = True
+    prev_grad, prev_inf = _state.grad_enabled, _state.inference_mode
+    _state.grad_enabled = False
+    _state.inference_mode = True
     try:
         yield
     finally:
-        _GRAD_ENABLED, _INFERENCE_MODE = prev_grad, prev_inf
+        _state.grad_enabled, _state.inference_mode = prev_grad, prev_inf
 
 
 class Op:
@@ -128,7 +141,7 @@ class Op:
     @classmethod
     def apply(cls, *inputs, **kwargs) -> "Tensor":
         """Run the op on ``inputs`` and (optionally) record it in the graph."""
-        if _INFERENCE_MODE:
+        if _state.inference_mode:
             # Fast path: no graph can ever be recorded, so skip the
             # requires_grad scan and build the output tensor directly.
             data = cls(**kwargs).forward(
@@ -139,7 +152,7 @@ class Op:
         tensors = tuple(ensure_tensor(x) for x in inputs)
         op = cls(**kwargs)
         data = op.forward(*(t.data for t in tensors))
-        requires_grad = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+        requires_grad = _state.grad_enabled and any(t.requires_grad for t in tensors)
         out = Tensor(data, requires_grad=requires_grad)
         if requires_grad:
             op.inputs = tensors

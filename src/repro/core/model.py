@@ -204,6 +204,42 @@ class MeshfreeFlowNet(nn.Module):
                 raise ValueError(f"unsupported derivative order {spec.order}")
         return pred, values
 
+    # -------------------------------------------------------------- replicas
+    def replicate(self, n: int, share_parameters: bool = True) -> "list[MeshfreeFlowNet]":
+        """Build ``n`` replicas of this model for concurrent inference workers.
+
+        Each replica owns a *separate module tree* — per-module state such as
+        the training/eval flag (flipped around tiled encodes) is independent,
+        which is what makes one replica per serving worker thread safe — but
+        with ``share_parameters=True`` every replica references the **same**
+        parameter and buffer arrays as ``self``: zero extra weight memory,
+        and bit-identical outputs across replicas.  Sharing is safe as long
+        as nobody trains the replicas; pass ``share_parameters=False`` to
+        deep-copy the state instead.
+
+        Returns a list of ``n`` new models, each in the same training/eval
+        mode as ``self``.
+        """
+        if n < 1:
+            raise ValueError("replicate() needs n >= 1")
+        source_params = dict(self.named_parameters())
+        source_buffers = self._named_buffer_owners()
+        replicas: list[MeshfreeFlowNet] = []
+        for _ in range(n):
+            clone = type(self)(self.config)
+            if share_parameters:
+                for name, param in clone.named_parameters():
+                    param.data = source_params[name].data
+                for name, (owner, attr) in clone._named_buffer_owners().items():
+                    src_owner, src_attr = source_buffers[name]
+                    owner._buffers[attr] = src_owner._buffers[src_attr]
+                    object.__setattr__(owner, attr, owner._buffers[attr])
+            else:
+                clone.load_state_dict(self.state_dict())
+            clone.train(self.training)
+            replicas.append(clone)
+        return replicas
+
     # ------------------------------------------------------------- utilities
     def count_parameters(self) -> dict[str, int]:
         """Parameter counts of the two sub-networks."""

@@ -1,16 +1,23 @@
-"""Bounded LRU cache for encoded latent-grid tiles.
+"""Bounded, thread-safe LRU cache for encoded latent-grid tiles.
 
 Encoding a tile (one U-Net forward pass) is far more expensive than decoding
 a batch of query points from it, so the engine encodes each tile at most once
 per pass and keeps the most recently used latents around, bounded by a tile
 budget so total memory stays proportional to ``capacity × tile volume``
 rather than to the full domain.
+
+The cache is safe for concurrent use: serving workers share one cache per
+domain, so lookups, insertions and evictions are guarded by a lock, and
+misses are *single-flight* — when several workers miss the same tile
+simultaneously, exactly one runs the encode while the others wait for its
+result instead of duplicating the U-Net pass.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Hashable
 
 import numpy as np
@@ -43,6 +50,13 @@ class LatentTileCache:
     capacity:
         Maximum number of cached tiles; the least recently used entry is
         evicted when a new tile would exceed it.  ``None`` disables eviction.
+
+    Notes
+    -----
+    All operations are thread-safe.  A waiter that blocks on another
+    thread's in-flight encode of the same key is counted as a *hit* (it was
+    served without running the factory); only the encoding thread counts a
+    miss.
     """
 
     def __init__(self, capacity: int | None = 32):
@@ -50,33 +64,82 @@ class LatentTileCache:
             raise ValueError("cache capacity must be at least 1 (or None for unbounded)")
         self.capacity = capacity
         self._entries: "OrderedDict[Hashable, np.ndarray]" = OrderedDict()
-        self.stats = CacheStats()
+        self._stats = CacheStats()
+        self._lock = threading.Lock()
+        #: In-flight encodes: key -> event set once the owner stored (or
+        #: failed to produce) the entry.
+        self._pending: "dict[Hashable, threading.Event]" = {}
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
+
+    def stats(self) -> CacheStats:
+        """A consistent snapshot of the hit/miss/eviction/byte counters."""
+        with self._lock:
+            return replace(self._stats)
 
     def get_or_create(self, key: Hashable, factory: Callable[[], np.ndarray]) -> np.ndarray:
-        """Return the cached array for ``key``, encoding it via ``factory`` on a miss."""
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return entry
-        self.stats.misses += 1
-        value = factory()
-        self._entries[key] = value
-        self.stats.current_bytes += value.nbytes
-        while self.capacity is not None and len(self._entries) > self.capacity:
-            _, evicted = self._entries.popitem(last=False)
-            self.stats.evictions += 1
-            self.stats.current_bytes -= evicted.nbytes
-        self.stats.peak_bytes = max(self.stats.peak_bytes, self.stats.current_bytes)
+        """Return the cached array for ``key``, encoding it via ``factory`` on a miss.
+
+        Concurrent misses on the same key are coalesced: one caller runs
+        ``factory`` (without holding the cache lock, so distinct tiles encode
+        in parallel) while the rest wait for its result.
+        """
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    self._stats.hits += 1
+                    return entry
+                event = self._pending.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._pending[key] = event
+                    self._stats.misses += 1
+                    break
+            # Another thread is encoding this key; wait, then retry the
+            # lookup (if the owner failed or the entry was already evicted,
+            # the loop promotes this thread to owner).
+            event.wait()
+        try:
+            value = factory()
+        except BaseException:
+            with self._lock:
+                self._pending.pop(key, None)
+            event.set()
+            raise
+        with self._lock:
+            self._entries[key] = value
+            self._stats.current_bytes += value.nbytes
+            while self.capacity is not None and len(self._entries) > self.capacity:
+                _, evicted = self._entries.popitem(last=False)
+                self._stats.evictions += 1
+                self._stats.current_bytes -= evicted.nbytes
+            self._stats.peak_bytes = max(self._stats.peak_bytes, self._stats.current_bytes)
+            self._pending.pop(key, None)
+        event.set()
         return value
+
+    def invalidate(self, match: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose key satisfies ``match``; returns the count.
+
+        Used when a domain's contents change (e.g. re-registering a domain id
+        on a server) so stale latents are never served.
+        """
+        with self._lock:
+            doomed = [key for key in self._entries if match(key)]
+            for key in doomed:
+                self._stats.current_bytes -= self._entries.pop(key).nbytes
+            return len(doomed)
 
     def clear(self) -> None:
         """Drop all cached tiles (statistics are kept)."""
-        self._entries.clear()
-        self.stats.current_bytes = 0
+        with self._lock:
+            self._entries.clear()
+            self._stats.current_bytes = 0

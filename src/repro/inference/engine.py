@@ -26,9 +26,11 @@ statistics are crop-independent.
 
 from __future__ import annotations
 
+import itertools
+import threading
 import warnings
 import weakref
-from typing import Optional, Sequence
+from typing import Hashable, Optional, Sequence
 
 import numpy as np
 
@@ -39,6 +41,12 @@ from .planner import GridQueryPlanner, QueryPlanner, TileGroup, pack_groups
 from .tiling import TileLayout
 
 __all__ = ["InferenceEngine", "TiledLatentField"]
+
+#: Anonymous domain tokens are drawn from a process-wide counter so that
+#: several engines sharing one :class:`LatentTileCache` (serving worker
+#: replicas) can never alias each other's cache entries.
+_TOKEN_COUNTER = itertools.count()
+_TOKEN_LOCK = threading.Lock()
 
 
 class InferenceEngine:
@@ -71,12 +79,18 @@ class InferenceEngine:
     plan_chunk_size:
         Number of query points planned per planning window; bounds the
         planner's transient arrays on extremely large query sets.
+    cache:
+        An existing :class:`~repro.inference.cache.LatentTileCache` to use
+        instead of constructing a private one (``cache_tiles`` is then
+        ignored).  Serving worker pools pass one shared cache to all their
+        engine replicas so a hot domain is encoded once for the whole pool.
     """
 
     def __init__(self, model, tile_shape: Optional[Sequence[int]] = None,
                  halo: Optional[Sequence[int]] = None, ramp_width: float = 2.0,
                  chunk_size: int = 4096, cache_tiles: Optional[int] = 32,
-                 plan_chunk_size: int = 1 << 20):
+                 plan_chunk_size: int = 1 << 20,
+                 cache: Optional[LatentTileCache] = None):
         if chunk_size < 1:
             raise ValueError("chunk_size must be positive")
         if plan_chunk_size < 1:
@@ -89,12 +103,12 @@ class InferenceEngine:
         self.ramp_width = float(ramp_width)
         self.chunk_size = int(chunk_size)
         self.plan_chunk_size = int(plan_chunk_size)
-        self.cache = LatentTileCache(capacity=cache_tiles)
-        self._next_token = 0
+        self.cache = cache if cache is not None else LatentTileCache(capacity=cache_tiles)
         #: (weakref-to-array, token) pairs so that re-opening the *same*
         #: array object reuses its cache entries; weak references guarantee a
         #: recycled id can never alias a dead domain's latents.
         self._open_domains: list[tuple[weakref.ref, int]] = []
+        self._domains_lock = threading.Lock()
         if self.tile_shape is not None and getattr(model.config, "unet_norm", None) == "group":
             warnings.warn(
                 "group normalisation computes statistics over the whole crop, so "
@@ -118,11 +132,11 @@ class InferenceEngine:
 
     @property
     def cache_stats(self):
-        """Hit/miss/eviction counters of the latent-tile LRU cache."""
-        return self.cache.stats
+        """Snapshot of the latent-tile LRU cache hit/miss/eviction counters."""
+        return self.cache.stats()
 
     # --------------------------------------------------------------- opening
-    def open(self, lowres) -> "TiledLatentField":
+    def open(self, lowres, key: Optional[Hashable] = None) -> "TiledLatentField":
         """Attach a low-resolution domain and return a lazily encoded field.
 
         No encoding happens here; tiles are encoded on first use by queries
@@ -132,6 +146,15 @@ class InferenceEngine:
         survive across calls up to the LRU capacity.  The cache holds the
         latents computed from the array's contents at encode time — after
         mutating the array in place, call ``engine.cache.clear()``.
+
+        Parameters
+        ----------
+        key:
+            Optional explicit cache identity for the domain.  Engines that
+            share one :class:`LatentTileCache` (serving worker replicas)
+            pass the same ``key`` so all replicas read and write the same
+            latent entries; with ``key=None`` identity is the array object
+            itself, which is private to this engine.
         """
         data = lowres.data if isinstance(lowres, Tensor) else np.asarray(lowres, dtype=np.float64)
         if data.ndim != 5:
@@ -142,25 +165,27 @@ class InferenceEngine:
             domain_shape, tile_shape, halo=self.halo,
             divisor=self.model.unet.required_divisor(), ramp_width=self.ramp_width,
         )
-        return TiledLatentField(self, data, layout, self._domain_token(data))
+        token = ("named", key) if key is not None else self._domain_token(data)
+        return TiledLatentField(self, data, layout, token)
 
     def _domain_token(self, data: np.ndarray) -> int:
         """Cache-key token for a domain array; stable across re-opens."""
-        token = None
-        alive: list[tuple[weakref.ref, int]] = []
-        for ref, tok in self._open_domains:
-            target = ref()
-            if target is None:
-                continue
-            alive.append((ref, tok))
-            if target is data:
-                token = tok
-        if token is None:
-            token = self._next_token
-            self._next_token += 1
-            alive.append((weakref.ref(data), token))
-        self._open_domains = alive
-        return token
+        with self._domains_lock:
+            token = None
+            alive: list[tuple[weakref.ref, int]] = []
+            for ref, tok in self._open_domains:
+                target = ref()
+                if target is None:
+                    continue
+                alive.append((ref, tok))
+                if target is data:
+                    token = tok
+            if token is None:
+                with _TOKEN_LOCK:
+                    token = next(_TOKEN_COUNTER)
+                alive.append((weakref.ref(data), token))
+            self._open_domains = alive
+            return token
 
     # ------------------------------------------------------------ high level
     def query_points(self, lowres, coords: np.ndarray) -> np.ndarray:

@@ -1,0 +1,204 @@
+"""Minimal stdlib HTTP/JSON gateway and synchronous client for a ModelServer.
+
+The gateway is a :class:`http.server.ThreadingHTTPServer` whose handler
+translates JSON bodies into :class:`~repro.serving.requests.QueryRequest`
+objects and blocks on the in-process :class:`~repro.serving.server.ModelServer`.
+Values round-trip losslessly: Python's ``repr``-based float serialisation is
+shortest-round-trip, so a client receives bit-identical field values to a
+direct engine call.
+
+Endpoints
+---------
+``POST /query``
+    Body: ``{"domain_id": str, "coords": [[t, z, x], ...]}`` *or*
+    ``{"domain_id": str, "output_shape": [nt, nz, nx]}``, plus optional
+    ``"priority"`` (int) and ``"timeout"`` (seconds).  Response:
+    ``{"request_id", "status", "shape", "values", "error", ...timings}``.
+``GET /stats``
+    Telemetry snapshot (see :meth:`ModelServer.stats`).
+``GET /health``
+    Liveness probe: ``{"status": "ok", "workers": N, "domains": [...]}``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.client import HTTPConnection
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+import numpy as np
+
+from .requests import QueryRequest, QueryResult
+from .scheduler import SchedulerClosedError, ServerOverloadedError
+from .server import ModelServer
+
+__all__ = ["start_http_server", "stop_http_server", "Client"]
+
+
+def _result_payload(result: QueryResult) -> dict:
+    payload = {
+        "request_id": result.request_id,
+        "status": result.status,
+        "error": result.error,
+        "queue_seconds": result.queue_seconds,
+        "service_seconds": result.service_seconds,
+        "batch_requests": result.batch_requests,
+        "shape": None,
+        "values": None,
+    }
+    if result.values is not None:
+        payload["shape"] = list(result.values.shape)
+        payload["values"] = result.values.ravel().tolist()
+    return payload
+
+
+def _make_handler(server: ModelServer):
+    class ServingHandler(BaseHTTPRequestHandler):
+        """Request handler bound to one :class:`ModelServer` instance."""
+
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, *args):  # noqa: D102 - silence default stderr log
+            pass
+
+        def _send_json(self, payload: dict, status: int = 200) -> None:
+            body = json.dumps(payload).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self):  # noqa: N802 - http.server API
+            if self.path == "/stats":
+                self._send_json(server.stats())
+            elif self.path == "/health":
+                self._send_json({"status": "ok", "workers": server.n_workers,
+                                 "domains": server.domains()})
+            else:
+                self._send_json({"error": f"unknown path {self.path}"}, status=404)
+
+        def do_POST(self):  # noqa: N802 - http.server API
+            if self.path != "/query":
+                self._send_json({"error": f"unknown path {self.path}"}, status=404)
+                return
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                body = json.loads(self.rfile.read(length) or b"{}")
+                request = QueryRequest(
+                    domain_id=body["domain_id"],
+                    coords=(np.asarray(body["coords"], dtype=np.float64)
+                            if body.get("coords") is not None else None),
+                    output_shape=(tuple(body["output_shape"])
+                                  if body.get("output_shape") is not None else None),
+                    priority=int(body.get("priority", 0)),
+                )
+                timeout = body.get("timeout")
+                if timeout is not None:
+                    timeout = float(timeout)
+            except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+                self._send_json({"error": f"bad request: {exc}"}, status=400)
+                return
+            try:
+                result = server.query(request, timeout=timeout)
+            except (ServerOverloadedError, SchedulerClosedError) as exc:
+                self._send_json({"error": str(exc), "status": "rejected"}, status=503)
+                return
+            self._send_json(_result_payload(result))
+
+    return ServingHandler
+
+
+def start_http_server(server: ModelServer, host: str = "127.0.0.1",
+                      port: int = 0) -> ThreadingHTTPServer:
+    """Serve ``server`` over HTTP in a daemon thread; returns the httpd.
+
+    ``port=0`` binds an ephemeral port — read the actual one from
+    ``httpd.server_address[1]``.  Stop with :func:`stop_http_server`.
+    """
+    httpd = ThreadingHTTPServer((host, port), _make_handler(server))
+    httpd.daemon_threads = True
+    thread = threading.Thread(target=httpd.serve_forever,
+                              name="serving-http", daemon=True)
+    httpd._serving_thread = thread  # type: ignore[attr-defined]
+    thread.start()
+    return httpd
+
+
+def stop_http_server(httpd: ThreadingHTTPServer) -> None:
+    """Stop a gateway started by :func:`start_http_server` and join its thread."""
+    httpd.shutdown()
+    httpd.server_close()
+    thread = getattr(httpd, "_serving_thread", None)
+    if thread is not None:
+        thread.join(timeout=10.0)
+
+
+class Client:
+    """Synchronous convenience client for the HTTP gateway.
+
+    Opens one connection per call (thread-safe without shared state); values
+    come back as float64 arrays bit-identical to a direct engine call.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080,
+                 timeout: Optional[float] = 60.0):
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+
+    # ---------------------------------------------------------------- plumbing
+    def _call(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = None if payload is None else json.dumps(payload)
+            headers = {} if body is None else {"Content-Type": "application/json"}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = json.loads(response.read() or b"{}")
+            if response.status >= 400:
+                raise RuntimeError(
+                    f"{method} {path} failed ({response.status}): {data.get('error')}"
+                )
+            return data
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _to_result(data: dict) -> QueryResult:
+        values = None
+        if data.get("values") is not None:
+            values = np.asarray(data["values"], dtype=np.float64).reshape(data["shape"])
+        return QueryResult(
+            request_id=data["request_id"], status=data["status"], values=values,
+            error=data.get("error"), queue_seconds=data.get("queue_seconds", 0.0),
+            service_seconds=data.get("service_seconds", 0.0),
+            batch_requests=data.get("batch_requests", 1),
+        )
+
+    # ------------------------------------------------------------------- calls
+    def query_points(self, domain_id: str, coords, priority: int = 0,
+                     timeout: Optional[float] = None) -> QueryResult:
+        """Decode values at ``(P, 3)`` coordinates of a registered domain."""
+        payload = {"domain_id": domain_id,
+                   "coords": np.asarray(coords, dtype=np.float64).tolist(),
+                   "priority": priority, "timeout": timeout}
+        return self._to_result(self._call("POST", "/query", payload))
+
+    def predict_grid(self, domain_id: str, output_shape, priority: int = 0,
+                     timeout: Optional[float] = None) -> QueryResult:
+        """Super-resolve a registered domain onto a regular grid."""
+        payload = {"domain_id": domain_id,
+                   "output_shape": [int(v) for v in output_shape],
+                   "priority": priority, "timeout": timeout}
+        return self._to_result(self._call("POST", "/query", payload))
+
+    def stats(self) -> dict:
+        """Server telemetry snapshot."""
+        return self._call("GET", "/stats")
+
+    def health(self) -> dict:
+        """Liveness probe."""
+        return self._call("GET", "/health")

@@ -1,0 +1,229 @@
+"""In-process asynchronous model server with a threaded worker pool.
+
+:class:`ModelServer` is the front end the rest of the serving stack plugs
+into.  It owns
+
+* ``n_workers`` :class:`~repro.inference.InferenceEngine` replicas, one per
+  worker thread, built from :meth:`~repro.core.model.MeshfreeFlowNet.replicate`
+  (separate module trees, shared weight arrays) and all sharing **one**
+  thread-safe :class:`~repro.inference.cache.LatentTileCache`, so a hot
+  domain is encoded once for the whole pool;
+* a :class:`~repro.serving.scheduler.MicroBatchScheduler` providing the
+  bounded pending queue (admission control / backpressure), priority
+  ordering, deadline handling and dynamic micro-batch formation;
+* :class:`~repro.serving.telemetry.ServerTelemetry` counters.
+
+Clients interact through :meth:`submit` (a ``concurrent.futures.Future``),
+:meth:`submit_async` (awaitable from any asyncio event loop) or the
+blocking convenience :meth:`query`.  The HTTP gateway in
+:mod:`repro.serving.api` is a thin JSON layer over the same calls.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import threading
+import time
+from concurrent.futures import CancelledError
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..autodiff import Tensor
+from ..inference import InferenceEngine, LatentTileCache
+from .requests import STATUS_CANCELLED, STATUS_TIMEOUT, QueryRequest, QueryResult
+from .scheduler import (
+    BatchPolicy,
+    MicroBatchScheduler,
+    SchedulerClosedError,
+    ServerOverloadedError,
+    run_batch,
+)
+from .telemetry import ServerTelemetry
+
+__all__ = ["ModelServer"]
+
+
+class ModelServer:
+    """Concurrent request front end over a pool of inference-engine replicas.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.core.model.MeshfreeFlowNet`.  The server switches
+        its replicas to eval mode — serving must not depend on batch
+        statistics of whatever crop happens to be in flight.
+    n_workers:
+        Worker threads (= engine replicas).  NumPy releases the GIL inside
+        its kernels, so workers overlap meaningfully even in one process.
+    policy:
+        Micro-batch formation policy; defaults to :class:`BatchPolicy`.
+    max_pending:
+        Bound on queued requests (admission control); submissions beyond it
+        raise :class:`~repro.serving.scheduler.ServerOverloadedError`.
+    tile_shape, cache_tiles, engine_kwargs:
+        Forwarded to every :class:`~repro.inference.InferenceEngine`
+        replica (``cache_tiles`` sizes the single shared latent cache).
+    """
+
+    def __init__(self, model, n_workers: int = 2,
+                 policy: Optional[BatchPolicy] = None,
+                 max_pending: int = 256,
+                 tile_shape: Optional[Sequence[int]] = None,
+                 cache_tiles: Optional[int] = 64,
+                 telemetry_window: int = 2048,
+                 **engine_kwargs):
+        if n_workers < 1:
+            raise ValueError("n_workers must be positive")
+        self.cache = LatentTileCache(capacity=cache_tiles)
+        replicas = model.replicate(n_workers, share_parameters=True)
+        self.engines = [
+            InferenceEngine(replica.eval(), tile_shape=tile_shape,
+                            cache=self.cache, **engine_kwargs)
+            for replica in replicas
+        ]
+        self.scheduler = MicroBatchScheduler(policy=policy, max_pending=max_pending)
+        self.telemetry = ServerTelemetry(window=telemetry_window)
+        #: domain id -> (array, generation); the generation is embedded in
+        #: cache keys so re-registration can never serve stale latents.
+        self._domains: Dict[str, tuple] = {}
+        self._domains_lock = threading.Lock()
+        self._workers = [
+            threading.Thread(target=self._worker_loop, args=(engine,),
+                             name=f"serving-worker-{i}", daemon=True)
+            for i, engine in enumerate(self.engines)
+        ]
+        self._closed = False
+        for worker in self._workers:
+            worker.start()
+
+    # ---------------------------------------------------------------- domains
+    def register_domain(self, domain_id: str, lowres) -> None:
+        """Attach a low-resolution domain array under ``domain_id``.
+
+        Re-registering an existing id replaces the array and bumps the id's
+        *generation*: cache keys embed the generation, so an in-flight encode
+        of the old array can only ever land under the old generation's keys
+        and no request against the new registration decodes stale latents.
+        The old generation's entries are also invalidated to free memory.
+        """
+        data = lowres.data if isinstance(lowres, Tensor) else np.asarray(lowres, dtype=np.float64)
+        if data.ndim != 5:
+            raise ValueError(f"lowres must be 5-D (N, C, nt, nz, nx); got shape {data.shape}")
+        with self._domains_lock:
+            replacing = domain_id in self._domains
+            generation = self._domains[domain_id][1] + 1 if replacing else 0
+            self._domains[domain_id] = (data, generation)
+        if replacing:
+            # The shared cache may also hold anonymous-token entries (an
+            # engine used directly, outside the server) whose keys are not
+            # ("named", ...) tuples — guard before subscripting.
+            self.cache.invalidate(
+                lambda key: isinstance(key[0], tuple) and key[0][0] == "named"
+                and key[0][1][0] == domain_id and key[0][1][1] < generation
+            )
+
+    def domains(self) -> "list[str]":
+        """Ids of all registered domains."""
+        with self._domains_lock:
+            return sorted(self._domains)
+
+    def _resolve_domain(self, domain_id: str):
+        """Return ``(array, cache_key)`` for a domain id (KeyError if unknown)."""
+        with self._domains_lock:
+            data, generation = self._domains[domain_id]
+        return data, (domain_id, generation)
+
+    # ------------------------------------------------------------- submission
+    def submit(self, request: QueryRequest, timeout: Optional[float] = None):
+        """Enqueue a request; returns a ``concurrent.futures.Future``.
+
+        ``timeout`` (seconds, relative) sets the deadline on a *copy* of the
+        request (the caller's object is never mutated, so it can be resubmitted
+        with a fresh timeout).  Raises :class:`ServerOverloadedError` under
+        backpressure and :class:`SchedulerClosedError` after :meth:`close` —
+        both count as rejected admissions in the telemetry.
+        """
+        if timeout is not None:
+            request = dataclasses.replace(
+                request, deadline=time.monotonic() + float(timeout))
+        try:
+            future = self.scheduler.submit(request)
+        except (ServerOverloadedError, SchedulerClosedError):
+            self.telemetry.record_admission(False)
+            raise
+        self.telemetry.record_admission(True)
+        return future
+
+    async def submit_async(self, request: QueryRequest,
+                           timeout: Optional[float] = None) -> QueryResult:
+        """Awaitable submission for asyncio front ends (e.g. HTTP handlers)."""
+        return await asyncio.wrap_future(self.submit(request, timeout=timeout))
+
+    def query(self, request: QueryRequest, timeout: Optional[float] = None) -> QueryResult:
+        """Blocking convenience: submit and wait for the result.
+
+        With ``timeout`` set, a request that cannot be served in time
+        resolves to ``status="timeout"`` (cancelled before execution where
+        possible) instead of raising.
+        """
+        future = self.submit(request, timeout=timeout)
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeoutError:
+            future.cancel()
+            return QueryResult(request_id=request.request_id, status=STATUS_TIMEOUT,
+                               error="client wait timed out")
+        except CancelledError:
+            return QueryResult(request_id=request.request_id, status=STATUS_CANCELLED,
+                               error="request cancelled")
+
+    # ---------------------------------------------------------------- workers
+    def _worker_loop(self, engine: InferenceEngine) -> None:
+        while True:
+            batch = self.scheduler.next_batch()
+            if batch is None:
+                return
+            if batch:
+                run_batch(engine, batch, self._resolve_domain, telemetry=self.telemetry)
+
+    # ------------------------------------------------------------------ stats
+    def stats(self) -> dict:
+        """Telemetry snapshot including queue depth and shared-cache counters."""
+        return self.telemetry.snapshot(queue_depth=len(self.scheduler),
+                                       cache_stats=self.cache.stats())
+
+    @property
+    def n_workers(self) -> int:
+        """Number of worker threads / engine replicas."""
+        return len(self.engines)
+
+    # --------------------------------------------------------------- shutdown
+    def close(self, drain: bool = True, timeout: Optional[float] = 30.0) -> None:
+        """Gracefully shut down: stop admissions, finish or cancel the queue.
+
+        With ``drain=True`` (default) queued requests are still served
+        before the workers exit; with ``drain=False`` they complete
+        immediately with ``status="cancelled"``.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.scheduler.close()
+        if not drain:
+            for item in self.scheduler.drain_pending():
+                result = QueryResult(request_id=item.request.request_id,
+                                     status=STATUS_CANCELLED, error="server shut down")
+                if item.future.set_running_or_notify_cancel():
+                    item.future.set_result(result)
+                self.telemetry.record_result(result)
+        for worker in self._workers:
+            worker.join(timeout=timeout)
+
+    def __enter__(self) -> "ModelServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,139 @@
+"""Rolling serving telemetry: throughput, queue depth, latency percentiles.
+
+The server records every admission decision, executed micro-batch and
+completed request here; :meth:`ServerTelemetry.snapshot` folds the counters
+into the flat dictionary exposed by ``GET /stats`` and
+:func:`format_stats_table` renders it as the human-readable table the
+serving demo prints.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Mapping, Optional
+
+from ..utils.timing import LatencyWindow
+
+__all__ = ["ServerTelemetry", "format_stats_table"]
+
+
+class ServerTelemetry:
+    """Thread-safe rolling counters for one model server.
+
+    Parameters
+    ----------
+    window:
+        Number of most-recent samples retained by each latency window (the
+        percentiles are rolling, not lifetime).
+    """
+
+    def __init__(self, window: int = 2048):
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        # Admission / completion counters (lifetime).
+        self.accepted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.timed_out = 0
+        self.cancelled = 0
+        self.errors = 0
+        # Micro-batch counters.
+        self.batches = 0
+        self.batched_requests = 0
+        self.coalesced_requests = 0  # requests that shared a batch with others
+        self.points_decoded = 0
+        # Rolling latency windows (seconds).
+        self.queue_wait = LatencyWindow(window)
+        self.latency = LatencyWindow(window)
+
+    # -------------------------------------------------------------- recording
+    def record_admission(self, accepted: bool) -> None:
+        """Count one admission decision (rejected = backpressure drop)."""
+        with self._lock:
+            if accepted:
+                self.accepted += 1
+            else:
+                self.rejected += 1
+
+    def record_batch(self, n_requests: int, n_points: int) -> None:
+        """Count one executed micro-batch of ``n_requests`` / ``n_points``."""
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += n_requests
+            if n_requests > 1:
+                self.coalesced_requests += n_requests
+            self.points_decoded += n_points
+
+    def record_result(self, result) -> None:
+        """Count one finished :class:`~repro.serving.requests.QueryResult`."""
+        from .requests import STATUS_CANCELLED, STATUS_OK, STATUS_TIMEOUT
+
+        with self._lock:
+            if result.status == STATUS_OK:
+                self.completed += 1
+            elif result.status == STATUS_TIMEOUT:
+                self.timed_out += 1
+            elif result.status == STATUS_CANCELLED:
+                self.cancelled += 1
+            else:
+                self.errors += 1
+        if result.status == STATUS_OK:
+            self.queue_wait.record(result.queue_seconds)
+            self.latency.record(result.queue_seconds + result.service_seconds)
+
+    # -------------------------------------------------------------- reporting
+    def snapshot(self, queue_depth: Optional[int] = None,
+                 cache_stats=None) -> "dict":
+        """Flat dictionary of counters, rates and rolling percentiles.
+
+        ``queue_depth`` and ``cache_stats`` (a
+        :class:`~repro.inference.cache.CacheStats`) are gauges owned by the
+        server/cache and are merged in when provided.
+        """
+        with self._lock:
+            elapsed = max(time.monotonic() - self._started, 1e-9)
+            snap = {
+                "uptime_seconds": elapsed,
+                "accepted": self.accepted,
+                "rejected": self.rejected,
+                "completed": self.completed,
+                "timed_out": self.timed_out,
+                "cancelled": self.cancelled,
+                "errors": self.errors,
+                "batches": self.batches,
+                "points_decoded": self.points_decoded,
+                "requests_per_batch": (self.batched_requests / self.batches
+                                       if self.batches else 0.0),
+                "coalesced_requests": self.coalesced_requests,
+                "requests_per_second": self.completed / elapsed,
+                "points_per_second": self.points_decoded / elapsed,
+            }
+        latency = self.latency.summary()
+        snap.update({f"latency_{k}": v for k, v in latency.items() if k != "count"})
+        queue_wait = self.queue_wait.summary()
+        snap.update({f"queue_wait_{k}": v for k, v in queue_wait.items() if k != "count"})
+        if queue_depth is not None:
+            snap["queue_depth"] = queue_depth
+        if cache_stats is not None:
+            snap["cache_hits"] = cache_stats.hits
+            snap["cache_misses"] = cache_stats.misses
+            snap["cache_evictions"] = cache_stats.evictions
+            snap["cache_hit_rate"] = cache_stats.hit_rate
+        return snap
+
+
+def format_stats_table(snapshot: Mapping[str, float]) -> str:
+    """Render a telemetry snapshot as an aligned two-column text table."""
+    rows = []
+    for key, value in snapshot.items():
+        if isinstance(value, float):
+            if key.startswith(("latency_", "queue_wait_")) and not key.endswith("count"):
+                shown = f"{value * 1e3:.3f} ms"
+            else:
+                shown = f"{value:.3f}"
+        else:
+            shown = str(value)
+        rows.append((key, shown))
+    width = max(len(k) for k, _ in rows)
+    return "\n".join(f"{k.ljust(width)}  {v}" for k, v in rows)

@@ -1,13 +1,16 @@
 """Shared utilities: seeding, timing, grid helpers."""
 
 from .seeding import seed_everything, temporary_seed
-from .timing import Timer
+from .timing import LatencyWindow, Timer, percentile, percentiles
 from .grids import crop_slices, normalized_axis, tile_windows
 
 __all__ = [
     "seed_everything",
     "temporary_seed",
     "Timer",
+    "LatencyWindow",
+    "percentile",
+    "percentiles",
     "normalized_axis",
     "crop_slices",
     "tile_windows",

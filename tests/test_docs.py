@@ -31,6 +31,12 @@ METHOD_COVERAGE_MODULES = (
     "repro.inference.tiling",
     "repro.inference.cache",
     "repro.nn.module",
+    "repro.serving.requests",
+    "repro.serving.scheduler",
+    "repro.serving.server",
+    "repro.serving.telemetry",
+    "repro.serving.api",
+    "repro.utils.timing",
 )
 
 

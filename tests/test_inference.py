@@ -161,17 +161,17 @@ class TestLatentTileCache:
         cache.get_or_create("a", make(1))          # hit, refreshes "a"
         cache.get_or_create("c", make(3))          # evicts "b" (LRU)
         assert "b" not in cache and "a" in cache and "c" in cache
-        assert cache.stats.hits == 1
-        assert cache.stats.misses == 3
-        assert cache.stats.evictions == 1
-        assert cache.stats.current_bytes == 2 * np.full((2, 2), 0.0).nbytes
-        assert 0 < cache.stats.hit_rate < 1
+        assert cache.stats().hits == 1
+        assert cache.stats().misses == 3
+        assert cache.stats().evictions == 1
+        assert cache.stats().current_bytes == 2 * np.full((2, 2), 0.0).nbytes
+        assert 0 < cache.stats().hit_rate < 1
 
     def test_unbounded_and_invalid_capacity(self):
         cache = LatentTileCache(capacity=None)
         for i in range(100):
             cache.get_or_create(i, lambda: np.zeros(1))
-        assert len(cache) == 100 and cache.stats.evictions == 0
+        assert len(cache) == 100 and cache.stats().evictions == 0
         with pytest.raises(ValueError):
             LatentTileCache(capacity=0)
 
@@ -365,3 +365,143 @@ class TestInferenceMode:
         with inference_mode():
             fast = model(Tensor(lowres), Tensor(coords)).data
         assert np.allclose(expected, fast)
+
+
+# --------------------------------------------------------------------------- #
+# Concurrent engine use (serving workers share the engine and cache)          #
+# --------------------------------------------------------------------------- #
+class TestConcurrentEngineUse:
+    def test_cache_single_flight_under_contention(self):
+        """Concurrent misses on one key run the factory exactly once."""
+        import threading
+
+        cache = LatentTileCache(capacity=4)
+        calls = []
+        gate = threading.Barrier(8)
+
+        def factory():
+            calls.append(1)
+            return np.zeros(3)
+
+        def worker():
+            gate.wait()
+            cache.get_or_create("tile", factory)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(calls) == 1
+        stats = cache.stats()
+        assert stats.misses == 1 and stats.hits == 7
+
+    def test_cache_factory_failure_releases_waiters(self):
+        """A failing encode does not deadlock waiters; the key stays absent."""
+        cache = LatentTileCache(capacity=4)
+        with pytest.raises(RuntimeError):
+            cache.get_or_create("bad", lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+        assert "bad" not in cache
+        assert np.array_equal(cache.get_or_create("bad", lambda: np.ones(2)), np.ones(2))
+
+    def test_cache_invalidate(self):
+        cache = LatentTileCache(capacity=None)
+        cache.get_or_create(("a", 0), lambda: np.zeros(2))
+        cache.get_or_create(("a", 1), lambda: np.zeros(2))
+        cache.get_or_create(("b", 0), lambda: np.zeros(2))
+        assert cache.invalidate(lambda key: key[0] == "a") == 2
+        assert ("a", 0) not in cache and ("b", 0) in cache
+        assert cache.stats().current_bytes == np.zeros(2).nbytes
+
+    @pytest.mark.parametrize("tile_shape", [None, (4, 16, 16)])
+    def test_threaded_queries_match_single_threaded(self, model, lowres, tile_shape):
+        """Multi-threaded clients on one shared engine reproduce serial results."""
+        import threading
+
+        engine = InferenceEngine(model, tile_shape=tile_shape, cache_tiles=None)
+        rng = np.random.default_rng(11)
+        point_sets = [rng.random((17, 3)) for _ in range(6)]
+        grid_shape = (4, 24, 40)
+        expected_points = [engine.query_points(lowres, c) for c in point_sets]
+        expected_grid = engine.predict_grid(lowres, grid_shape)
+
+        results = [None] * len(point_sets)
+        grids = [None] * 2
+        errors = []
+
+        def point_client(i):
+            try:
+                results[i] = engine.query_points(lowres, point_sets[i])
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        def grid_client(i):
+            try:
+                grids[i] = engine.predict_grid(lowres, grid_shape)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=point_client, args=(i,))
+                   for i in range(len(point_sets))]
+        threads += [threading.Thread(target=grid_client, args=(i,)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for got, want in zip(results, expected_points):
+            assert np.array_equal(got, want)
+        for got in grids:
+            assert np.array_equal(got, expected_grid)
+
+    def test_shared_cache_across_engine_replicas(self, model, lowres):
+        """Replica engines sharing a cache reuse latents via a named key."""
+        from repro.inference import LatentTileCache as Cache
+
+        shared = Cache(capacity=None)
+        replicas = model.replicate(2)
+        engines = [InferenceEngine(r, tile_shape=(4, 16, 16), cache=shared)
+                   for r in replicas]
+        coords = np.random.default_rng(3).random((9, 3))
+        first = engines[0].open(lowres, key="dom").query(coords)
+        misses = shared.stats().misses
+        second = engines[1].open(lowres, key="dom").query(coords)
+        assert shared.stats().misses == misses  # replica 2 decoded from cache
+        assert np.array_equal(first, second)
+
+    def test_replicate_shares_weight_arrays(self, model):
+        """Shared-parameter replicas alias the source arrays exactly."""
+        (replica,) = model.replicate(1)
+        source = dict(model.named_parameters())
+        for name, param in replica.named_parameters():
+            assert param.data is source[name].data
+        copy, = model.replicate(1, share_parameters=False)
+        for name, param in copy.named_parameters():
+            assert param.data is not source[name].data
+            assert np.array_equal(param.data, source[name].data)
+
+    def test_inference_mode_is_thread_local(self):
+        """A worker's inference_mode must not leak into other threads."""
+        import threading
+
+        entered = threading.Event()
+        release = threading.Event()
+        observed = {}
+
+        def worker():
+            with inference_mode():
+                entered.set()
+                release.wait(timeout=10)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        try:
+            assert entered.wait(timeout=10)
+            observed["inference"] = is_inference_mode()
+            observed["grad"] = is_grad_enabled()
+        finally:
+            release.set()
+            thread.join()
+        assert observed == {"inference": False, "grad": True}
+        # And the worker's exit leaves this thread's state untouched.
+        assert not is_inference_mode() and is_grad_enabled()

@@ -1,0 +1,457 @@
+"""Serving subsystem: requests, scheduler, coalescing exactness, server, HTTP."""
+
+import asyncio
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import MeshfreeFlowNet, MeshfreeFlowNetConfig
+from repro.inference import InferenceEngine
+from repro.serving import (
+    STATUS_CANCELLED,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    BatchPolicy,
+    Client,
+    MicroBatchScheduler,
+    ModelServer,
+    QueryRequest,
+    QueryResult,
+    SchedulerClosedError,
+    ServerOverloadedError,
+    ServerTelemetry,
+    format_stats_table,
+    start_http_server,
+    stop_http_server,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    """Eval-mode tiny model shared by all serving tests (read-only)."""
+    return MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny()).eval()
+
+
+@pytest.fixture(scope="module")
+def domain():
+    """A (1, 4, 4, 16, 16) low-resolution domain."""
+    rng = np.random.default_rng(7)
+    return rng.standard_normal((1, 4, 4, 16, 16))
+
+
+@pytest.fixture(scope="module")
+def big_domain():
+    """A (1, 4, 4, 24, 40) domain large enough for multi-tile layouts."""
+    rng = np.random.default_rng(8)
+    return rng.standard_normal((1, 4, 4, 24, 40))
+
+
+def make_server(model, **kwargs):
+    kwargs.setdefault("n_workers", 2)
+    kwargs.setdefault("policy", BatchPolicy(max_wait=0.002))
+    return ModelServer(model, **kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# Request / result dataclasses                                                #
+# --------------------------------------------------------------------------- #
+class TestQueryRequest:
+    def test_point_request(self):
+        request = QueryRequest("d", coords=[[0.1, 0.2, 0.3], [0.4, 0.5, 0.6]])
+        assert not request.is_grid and request.n_points == 2
+        assert request.coords.dtype == np.float64
+        assert request.request_id.startswith("req-")
+
+    def test_grid_request(self):
+        request = QueryRequest("d", output_shape=(2, 4, 8))
+        assert request.is_grid and request.n_points == 64
+
+    def test_exactly_one_payload(self):
+        with pytest.raises(ValueError):
+            QueryRequest("d")
+        with pytest.raises(ValueError):
+            QueryRequest("d", coords=np.zeros((1, 3)), output_shape=(1, 1, 1))
+
+    def test_bad_shapes(self):
+        with pytest.raises(ValueError):
+            QueryRequest("d", coords=np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            QueryRequest("d", coords=np.zeros((0, 3)))
+        with pytest.raises(ValueError):
+            QueryRequest("d", output_shape=(1, 2))
+        with pytest.raises(ValueError):
+            QueryRequest("d", output_shape=(0, 2, 2))
+
+    def test_deadline_helpers(self):
+        request = QueryRequest("d", coords=np.zeros((1, 3)))
+        assert not request.expired()
+        request.with_timeout(1e-9)
+        time.sleep(0.002)
+        assert request.expired()
+        assert QueryRequest("d", coords=np.zeros((1, 3))).with_timeout(None).deadline is None
+
+    def test_result_raise_for_status(self):
+        ok = QueryResult(request_id="r", status=STATUS_OK)
+        assert ok.ok and ok.raise_for_status() is ok
+        with pytest.raises(RuntimeError, match="timeout"):
+            QueryResult(request_id="r", status=STATUS_TIMEOUT).raise_for_status()
+
+
+# --------------------------------------------------------------------------- #
+# Micro-batching scheduler                                                    #
+# --------------------------------------------------------------------------- #
+class TestScheduler:
+    def coords(self, n=4):
+        return np.random.default_rng(0).random((n, 3))
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(max_requests=0)
+        with pytest.raises(ValueError):
+            BatchPolicy(max_points=0)
+        with pytest.raises(ValueError):
+            BatchPolicy(max_wait=-1.0)
+
+    def test_priority_order(self):
+        scheduler = MicroBatchScheduler(BatchPolicy(max_requests=1, max_wait=0.0))
+        for priority in (0, 5, 1):
+            scheduler.submit(QueryRequest("d", coords=self.coords(), priority=priority))
+        drained = [scheduler.next_batch()[0].request.priority for _ in range(3)]
+        assert drained == [5, 1, 0]
+
+    def test_fifo_within_priority(self):
+        scheduler = MicroBatchScheduler(BatchPolicy(max_requests=8, max_wait=0.0))
+        ids = [scheduler.submit(QueryRequest("d", coords=self.coords())) and None
+               for _ in range(3)]
+        assert ids == [None, None, None]
+        batch = scheduler.next_batch()
+        seqs = [item.seq for item in batch]
+        assert seqs == sorted(seqs)
+
+    def test_max_requests_bound(self):
+        scheduler = MicroBatchScheduler(BatchPolicy(max_requests=2, max_wait=0.0))
+        for _ in range(5):
+            scheduler.submit(QueryRequest("d", coords=self.coords()))
+        assert len(scheduler.next_batch()) == 2
+        assert len(scheduler) == 3
+
+    def test_max_points_bound(self):
+        scheduler = MicroBatchScheduler(BatchPolicy(max_points=10, max_wait=0.0))
+        for _ in range(3):
+            scheduler.submit(QueryRequest("d", coords=self.coords(4)))
+        # 4 + 4 fits the 10-point budget; the third request would exceed it.
+        assert len(scheduler.next_batch()) == 2
+        # A single oversized request still forms a batch alone.
+        scheduler.submit(QueryRequest("d", coords=self.coords(64)))
+        scheduler.next_batch()  # drain the leftover small request
+        assert len(scheduler.next_batch()) == 1
+
+    def test_linger_collects_late_arrivals(self):
+        scheduler = MicroBatchScheduler(BatchPolicy(max_requests=4, max_wait=0.25))
+        scheduler.submit(QueryRequest("d", coords=self.coords()))
+
+        def late_submit():
+            time.sleep(0.02)
+            scheduler.submit(QueryRequest("d", coords=self.coords()))
+
+        thread = threading.Thread(target=late_submit)
+        thread.start()
+        batch = scheduler.next_batch()
+        thread.join()
+        assert len(batch) == 2  # the linger window caught the late request
+
+    def test_backpressure_and_close(self):
+        scheduler = MicroBatchScheduler(BatchPolicy(), max_pending=1)
+        scheduler.submit(QueryRequest("d", coords=self.coords()))
+        with pytest.raises(ServerOverloadedError):
+            scheduler.submit(QueryRequest("d", coords=self.coords()))
+        scheduler.close()
+        assert scheduler.closed
+        with pytest.raises(SchedulerClosedError):
+            scheduler.submit(QueryRequest("d", coords=self.coords()))
+        # Queued work is still drained, then the exit signal follows.
+        assert len(scheduler.next_batch()) == 1
+        assert scheduler.next_batch() is None
+
+    def test_empty_timeout_returns_empty_list(self):
+        scheduler = MicroBatchScheduler()
+        assert scheduler.next_batch(timeout=0.01) == []
+
+
+# --------------------------------------------------------------------------- #
+# Coalescing exactness: server results == direct engine results               #
+# --------------------------------------------------------------------------- #
+class TestCoalescingExactness:
+    def test_concurrent_point_queries_bit_identical(self, model, domain):
+        """8 clients' coalesced point queries equal solo engine calls exactly."""
+        engine = InferenceEngine(model)
+        rng = np.random.default_rng(1)
+        point_sets = [rng.random((15, 3)) for _ in range(8)]
+        expected = [engine.query_points(domain, coords) for coords in point_sets]
+        with make_server(model) as server:
+            server.register_domain("dom", domain)
+            futures = [server.submit(QueryRequest("dom", coords=c)) for c in point_sets]
+            results = [f.result(timeout=60) for f in futures]
+        for result, want in zip(results, expected):
+            assert result.status == STATUS_OK
+            assert np.array_equal(result.values, want)
+
+    def test_tiled_mode_coalescing_bit_identical(self, model, big_domain):
+        """Cross-request coalescing stays exact with a multi-tile layout."""
+        engine = InferenceEngine(model, tile_shape=(4, 16, 16))
+        rng = np.random.default_rng(2)
+        point_sets = [rng.random((11, 3)) for _ in range(6)]
+        expected = [engine.query_points(big_domain, coords) for coords in point_sets]
+        with make_server(model, tile_shape=(4, 16, 16)) as server:
+            server.register_domain("dom", big_domain)
+            futures = [server.submit(QueryRequest("dom", coords=c)) for c in point_sets]
+            for future, want in zip(futures, expected):
+                assert np.array_equal(future.result(timeout=60).values, want)
+
+    def test_grid_request_bit_identical(self, model, domain):
+        engine = InferenceEngine(model)
+        expected = engine.predict_grid(domain, (4, 16, 16))
+        with make_server(model) as server:
+            server.register_domain("dom", domain)
+            result = server.query(QueryRequest("dom", output_shape=(4, 16, 16)))
+        assert result.status == STATUS_OK
+        assert np.array_equal(result.values, expected)
+
+    def test_mixed_domains_in_one_batch(self, model, domain):
+        """Requests against different domains in one batch stay separated."""
+        other = domain + 1.0
+        engine = InferenceEngine(model)
+        coords = np.random.default_rng(3).random((9, 3))
+        want_a = engine.query_points(domain, coords)
+        want_b = engine.query_points(other, coords)
+        assert not np.array_equal(want_a, want_b)
+        with make_server(model) as server:
+            server.register_domain("a", domain)
+            server.register_domain("b", other)
+            fut_a = server.submit(QueryRequest("a", coords=coords))
+            fut_b = server.submit(QueryRequest("b", coords=coords))
+            assert np.array_equal(fut_a.result(60).values, want_a)
+            assert np.array_equal(fut_b.result(60).values, want_b)
+
+
+# --------------------------------------------------------------------------- #
+# Server lifecycle, errors, backpressure, async front end                     #
+# --------------------------------------------------------------------------- #
+class TestModelServer:
+    def test_unknown_domain_is_error_result(self, model, domain):
+        with make_server(model) as server:
+            result = server.query(QueryRequest("nope", coords=np.random.random((3, 3))))
+        assert result.status == STATUS_ERROR and "unknown domain" in result.error
+
+    def test_register_domain_validation(self, model):
+        with make_server(model) as server:
+            with pytest.raises(ValueError):
+                server.register_domain("bad", np.zeros((4, 4, 4)))
+
+    def test_reregister_invalidates_cached_latents(self, model, domain):
+        """Re-registering a domain id must not serve stale latents."""
+        coords = np.random.default_rng(4).random((6, 3))
+        engine = InferenceEngine(model)
+        with make_server(model) as server:
+            server.register_domain("dom", domain)
+            first = server.query(QueryRequest("dom", coords=coords))
+            changed = domain * 2.0
+            server.register_domain("dom", changed)
+            second = server.query(QueryRequest("dom", coords=coords))
+        assert np.array_equal(first.values, engine.query_points(domain, coords))
+        assert np.array_equal(second.values, engine.query_points(changed, coords))
+
+    def test_submit_does_not_mutate_caller_request(self, model, domain):
+        """A timeout is applied to a copy; the caller's request stays reusable."""
+        with make_server(model) as server:
+            server.register_domain("dom", domain)
+            request = QueryRequest("dom", coords=np.random.random((3, 3)))
+            first = server.query(request, timeout=30.0)
+            assert request.deadline is None  # caller object untouched
+            second = server.query(request)   # resubmit without timeout
+        assert first.status == STATUS_OK and second.status == STATUS_OK
+
+    def test_reregister_bumps_cache_generation(self, model, domain):
+        """New registrations use new cache keys, immune to in-flight encodes."""
+        with make_server(model) as server:
+            server.register_domain("dom", domain)
+            _, key_before = server._resolve_domain("dom")
+            server.register_domain("dom", domain * 2.0)
+            _, key_after = server._resolve_domain("dom")
+        assert key_before != key_after
+
+    def test_reregister_tolerates_anonymous_cache_keys(self, model, domain):
+        """Direct engine use leaves non-named cache keys; invalidation survives."""
+        with make_server(model, n_workers=1) as server:
+            server.engines[0].query_points(domain, np.random.random((3, 3)))
+            server.register_domain("dom", domain)
+            server.register_domain("dom", domain * 2.0)  # must not raise
+
+    def test_expired_deadline_times_out_without_decoding(self, model, domain):
+        with make_server(model) as server:
+            server.register_domain("dom", domain)
+            request = QueryRequest("dom", coords=np.random.random((4, 3)),
+                                   deadline=time.monotonic() - 1.0)
+            result = server.submit(request).result(timeout=60)
+        assert result.status == STATUS_TIMEOUT and result.values is None
+
+    def test_submit_async_front_end(self, model, domain):
+        engine = InferenceEngine(model)
+        coords = np.random.default_rng(5).random((8, 3))
+        expected = engine.query_points(domain, coords)
+
+        async def main(server):
+            results = await asyncio.gather(*[
+                server.submit_async(QueryRequest("dom", coords=coords))
+                for _ in range(4)
+            ])
+            return results
+
+        with make_server(model) as server:
+            server.register_domain("dom", domain)
+            results = asyncio.run(main(server))
+        assert all(np.array_equal(r.values, expected) for r in results)
+
+    def test_backpressure_rejects_and_counts(self, model, domain):
+        # One-worker server with a tiny queue and slow-ish grid requests.
+        server = ModelServer(model, n_workers=1, max_pending=2,
+                             policy=BatchPolicy(max_requests=1, max_wait=0.0))
+        try:
+            server.register_domain("dom", domain)
+            rejected = 0
+            futures = []
+            for _ in range(40):
+                try:
+                    futures.append(server.submit(
+                        QueryRequest("dom", output_shape=(4, 16, 16))))
+                except ServerOverloadedError:
+                    rejected += 1
+            assert rejected > 0
+            assert server.stats()["rejected"] == rejected
+            for future in futures:
+                assert future.result(timeout=120).status == STATUS_OK
+        finally:
+            server.close()
+
+    def test_graceful_shutdown_drains_queue(self, model, domain):
+        server = make_server(model)
+        server.register_domain("dom", domain)
+        futures = [server.submit(QueryRequest("dom", coords=np.random.random((5, 3))))
+                   for _ in range(12)]
+        server.close(drain=True)
+        assert all(f.result(timeout=1).status == STATUS_OK for f in futures)
+        with pytest.raises(SchedulerClosedError):
+            server.submit(QueryRequest("dom", coords=np.random.random((2, 3))))
+
+    def test_close_without_drain_cancels_pending(self, model, domain):
+        server = ModelServer(model, n_workers=1,
+                             policy=BatchPolicy(max_requests=1, max_wait=0.0))
+        server.register_domain("dom", domain)
+        futures = [server.submit(QueryRequest("dom", output_shape=(4, 16, 16)))
+                   for _ in range(10)]
+        server.close(drain=False)
+        statuses = set()
+        for future in futures:
+            if future.cancelled():
+                statuses.add(STATUS_CANCELLED)
+            else:
+                statuses.add(future.result(timeout=60).status)
+        assert statuses <= {STATUS_OK, STATUS_CANCELLED}
+        assert STATUS_CANCELLED in statuses  # at least the tail was cancelled
+        assert server.stats()["cancelled"] > 0  # counted in the telemetry
+
+    def test_stats_snapshot_shape(self, model, domain):
+        with make_server(model) as server:
+            server.register_domain("dom", domain)
+            server.query(QueryRequest("dom", coords=np.random.random((4, 3))))
+            stats = server.stats()
+        for key in ("accepted", "completed", "queue_depth", "cache_hit_rate",
+                    "latency_p50", "latency_p95", "latency_p99",
+                    "requests_per_second", "points_per_second", "requests_per_batch"):
+            assert key in stats
+        assert stats["completed"] == 1 and stats["accepted"] == 1
+        table = format_stats_table(stats)
+        assert "latency_p99" in table and "completed" in table
+
+    def test_n_workers_validation(self, model):
+        with pytest.raises(ValueError):
+            ModelServer(model, n_workers=0)
+
+
+# --------------------------------------------------------------------------- #
+# Telemetry unit behaviour                                                    #
+# --------------------------------------------------------------------------- #
+class TestTelemetry:
+    def test_counters_and_percentiles(self):
+        telemetry = ServerTelemetry(window=16)
+        telemetry.record_admission(True)
+        telemetry.record_admission(False)
+        telemetry.record_batch(n_requests=3, n_points=30)
+        for seconds in (0.001, 0.002, 0.003):
+            telemetry.record_result(QueryResult(
+                request_id="r", status=STATUS_OK,
+                queue_seconds=0.0005, service_seconds=seconds))
+        telemetry.record_result(QueryResult(request_id="r", status=STATUS_TIMEOUT))
+        snap = telemetry.snapshot(queue_depth=2)
+        assert snap["accepted"] == 1 and snap["rejected"] == 1
+        assert snap["completed"] == 3 and snap["timed_out"] == 1
+        assert snap["requests_per_batch"] == 3.0
+        assert snap["coalesced_requests"] == 3
+        assert snap["queue_depth"] == 2
+        assert snap["latency_p50"] > 0.0
+
+
+# --------------------------------------------------------------------------- #
+# HTTP gateway + synchronous client                                           #
+# --------------------------------------------------------------------------- #
+class TestHTTPGateway:
+    @pytest.fixture()
+    def serving_stack(self, model, domain):
+        server = make_server(model)
+        server.register_domain("dom", domain)
+        httpd = start_http_server(server)
+        client = Client(port=httpd.server_address[1])
+        yield server, client
+        stop_http_server(httpd)
+        server.close()
+
+    def test_point_query_round_trip_exact(self, serving_stack, model, domain):
+        server, client = serving_stack
+        coords = np.random.default_rng(6).random((7, 3))
+        expected = InferenceEngine(model).query_points(domain, coords)
+        result = client.query_points("dom", coords)
+        assert result.status == STATUS_OK
+        # JSON float serialisation is shortest-round-trip: bit-identical.
+        assert np.array_equal(result.values, expected)
+        assert result.values.shape == expected.shape
+
+    def test_grid_query_round_trip_exact(self, serving_stack, model, domain):
+        _, client = serving_stack
+        expected = InferenceEngine(model).predict_grid(domain, (4, 16, 16))
+        result = client.predict_grid("dom", (4, 16, 16))
+        assert np.array_equal(result.values, expected)
+
+    def test_health_and_stats(self, serving_stack):
+        _, client = serving_stack
+        health = client.health()
+        assert health["status"] == "ok" and health["domains"] == ["dom"]
+        assert "latency_p99" in client.stats()
+
+    def test_unknown_domain_surfaces_error_status(self, serving_stack):
+        _, client = serving_stack
+        result = client.query_points("missing", np.random.random((2, 3)))
+        assert result.status == STATUS_ERROR
+
+    def test_bad_request_raises(self, serving_stack):
+        _, client = serving_stack
+        with pytest.raises(RuntimeError, match="400|bad request"):
+            client._call("POST", "/query", {"domain_id": "dom"})  # no payload
+        with pytest.raises(RuntimeError, match="400|bad request"):
+            client._call("POST", "/query", {"domain_id": "dom",
+                                            "coords": [[0.1, 0.2, 0.3]],
+                                            "timeout": "not-a-number"})
+        with pytest.raises(RuntimeError, match="404|unknown path"):
+            client._call("GET", "/nope")

@@ -5,7 +5,17 @@ import time
 import numpy as np
 import pytest
 
-from repro.utils import Timer, crop_slices, normalized_axis, seed_everything, temporary_seed, tile_windows
+from repro.utils import (
+    LatencyWindow,
+    Timer,
+    crop_slices,
+    normalized_axis,
+    percentile,
+    percentiles,
+    seed_everything,
+    temporary_seed,
+    tile_windows,
+)
 
 
 class TestSeeding:
@@ -44,6 +54,60 @@ class TestTimer:
             pass
         t.reset()
         assert t.elapsed == 0.0
+
+
+class TestPercentiles:
+    def test_percentile_matches_numpy(self):
+        data = np.arange(101, dtype=np.float64)
+        assert percentile(data, 50) == pytest.approx(50.0)
+        assert percentile(data, 95) == pytest.approx(95.0)
+        assert percentile(data, 0) == 0.0 and percentile(data, 100) == 100.0
+
+    def test_percentiles_dict(self):
+        out = percentiles([1.0, 2.0, 3.0, 4.0], ps=(50, 99))
+        assert set(out) == {50.0, 99.0}
+        assert out[50.0] == pytest.approx(2.5)
+
+    def test_empty_and_out_of_range_raise(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestLatencyWindow:
+    def test_rolling_summary(self):
+        window = LatencyWindow(maxlen=4)
+        for v in (1.0, 2.0, 3.0, 4.0, 5.0):  # 1.0 falls out of the window
+            window.record(v)
+        assert len(window) == 4 and window.count == 5
+        summary = window.summary()
+        assert summary["count"] == 5
+        assert summary["max"] == 5.0
+        assert summary["p50"] == pytest.approx(3.5)
+        assert window.percentile(50) == pytest.approx(3.5)
+
+    def test_empty_summary_is_zeros(self):
+        summary = LatencyWindow().summary()
+        assert summary["count"] == 0 and summary["p99"] == 0.0
+
+    def test_thread_safe_recording(self):
+        import threading
+
+        window = LatencyWindow(maxlen=10_000)
+        def worker():
+            for _ in range(500):
+                window.record(0.001)
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert window.count == 2000
+
+    def test_invalid_maxlen(self):
+        with pytest.raises(ValueError):
+            LatencyWindow(maxlen=0)
 
 
 class TestGrids:
