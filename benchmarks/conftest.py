@@ -5,14 +5,93 @@ Every table/figure benchmark runs its experiment at a CPU-friendly scale (the
 of these benchmarks is to *regenerate* the paper's tables and figures and
 report how long that takes, not to micro-profile a hot loop.  The
 micro-benchmarks in ``test_microbenchmarks.py`` use normal multi-round timing.
+
+Benchmarks that want their numbers tracked *across PRs* record entries
+through the ``bench_artifact`` fixture; at session end the collected
+entries are written to ``BENCH_pr3.json`` at the repository root — a
+machine-readable artifact (throughput, latency percentiles, peak memory,
+dtype) that CI and future PRs can diff against.
 """
 
 from __future__ import annotations
+
+import json
+import tracemalloc
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.experiments import SCALES
+
+#: Schema version of the BENCH_pr3.json artifact.
+BENCH_ARTIFACT_SCHEMA = "repro-bench/1"
+BENCH_ARTIFACT_NAME = "BENCH_pr3.json"
+
+_artifact_entries: list[dict] = []
+
+
+@pytest.fixture
+def bench_artifact():
+    """Record one machine-readable benchmark entry for ``BENCH_pr3.json``.
+
+    Call as ``bench_artifact(name, dtype=..., throughput=..., ...)``; every
+    keyword lands verbatim in the artifact entry.  Recommended keys:
+    ``dtype``, ``throughput`` + ``throughput_unit``, ``latency_ms``
+    (mapping with ``p50``/``p95``/``p99``), ``peak_bytes``.
+    """
+
+    def record(name: str, **fields) -> None:
+        _artifact_entries.append({"name": str(name), **fields})
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Merge collected benchmark entries into the repo-root artifact file.
+
+    Entries recorded this session replace same-named entries from previous
+    runs; everything else is kept, so a partial benchmark run (one file)
+    never silently drops the other benchmarks' data points.
+    """
+    if not _artifact_entries:
+        return
+    path = Path(str(session.config.rootpath)) / BENCH_ARTIFACT_NAME
+    merged = {}
+    if path.exists():
+        try:
+            previous = json.loads(path.read_text())
+            if previous.get("schema") == BENCH_ARTIFACT_SCHEMA:
+                merged = {e["name"]: e for e in previous.get("entries", [])}
+        except (json.JSONDecodeError, KeyError, TypeError):
+            merged = {}
+    merged.update({e["name"]: e for e in _artifact_entries})
+    payload = {
+        "schema": BENCH_ARTIFACT_SCHEMA,
+        "entries": sorted(merged.values(), key=lambda e: e["name"]),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture
+def run_traced():
+    """Run a callable and return ``(result, peak_traced_bytes)``.
+
+    Shared tracemalloc wrapper for the peak-memory acceptance gates
+    (inference engine, precision microbenchmark, serving fleet), so the
+    measurement protocol stays identical across them.
+    """
+
+    def _run(fn):
+        tracemalloc.start()
+        try:
+            result = fn()
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        return result, peak
+
+    return _run
 
 
 @pytest.fixture(scope="session")

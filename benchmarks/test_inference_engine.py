@@ -15,8 +15,6 @@ Throughput (points/sec) of both paths is recorded in the benchmark extra
 info for trend tracking.
 """
 
-import tracemalloc
-
 import numpy as np
 import pytest
 
@@ -39,19 +37,8 @@ def lowres():
     return rng.standard_normal((1, 4, *DOMAIN_SHAPE))
 
 
-def run_traced(fn):
-    """Run ``fn`` and return ``(result, peak_traced_bytes)``."""
-    tracemalloc.start()
-    try:
-        result = fn()
-        _, peak = tracemalloc.get_traced_memory()
-    finally:
-        tracemalloc.stop()
-    return result, peak
-
-
 @pytest.mark.benchmark(group="inference-engine")
-def test_tiled_vs_direct_memory_and_throughput(benchmark, model, lowres):
+def test_tiled_vs_direct_memory_and_throughput(benchmark, model, lowres, run_traced):
     """Tiled inference halves peak memory on a domain ≥ 4x one tile."""
     domain_volume = int(np.prod(DOMAIN_SHAPE))
     tile_volume = int(np.prod(TILE_SHAPE))
@@ -67,7 +54,7 @@ def test_tiled_vs_direct_memory_and_throughput(benchmark, model, lowres):
         return tiled_engine.predict_grid(lowres, OUTPUT_SHAPE)
 
     tiled, tiled_peak = run_traced(tiled_run)
-    timing = benchmark.pedantic(tiled_run, rounds=1, iterations=1)
+    benchmark.pedantic(tiled_run, rounds=1, iterations=1)
 
     n_points = int(np.prod(OUTPUT_SHAPE))
     tiled_pps = n_points / benchmark.stats.stats.mean

@@ -9,12 +9,15 @@ uses) in its ``extra_info``, since tail latency is what the serving layer
 actually pays.
 """
 
+import time
+
 import numpy as np
 import pytest
 
-from repro.autodiff import Tensor, conv3d, inference_mode, no_grad, ops
+from repro.autodiff import Tensor, conv3d, inference_mode, no_grad
 from repro.core import LossWeights, MeshfreeFlowNet, MeshfreeFlowNetConfig, compute_losses
 from repro.distributed import ring_allreduce
+from repro.inference import InferenceEngine
 from repro.pde import RayleighBenard2D
 from repro.simulation import RayleighBenardConfig, RayleighBenardSolver
 from repro.utils import percentiles
@@ -122,6 +125,75 @@ def test_continuous_decode_inference_mode(benchmark, model, inputs):
 
     benchmark(decode)
     report_percentiles(benchmark)
+
+
+@pytest.mark.benchmark(group="precision")
+def test_float32_inference_speedup_and_memory(benchmark, bench_artifact, run_traced):
+    """Float32 policy on the inference hot path: ≥1.5x throughput, ≥1.8x memory cut.
+
+    Runs the same full-domain encode + fused decode workload through a
+    float64 engine and a weight-cast float32 engine (fresh engines per
+    measured pass, so every pass pays encode + decode), asserting the PR's
+    precision acceptance criteria and recording both data points in the
+    ``BENCH_pr3.json`` artifact.
+    """
+    domain_shape = (4, 32, 64)
+    output_shape = (8, 64, 128)
+    # Large fused decode batches: at 4096 slots both dtypes fit in cache and
+    # only the BLAS width differs (~1.5x); at 16k slots the float64 working
+    # set spills L3, which is exactly the memory-bandwidth cost the float32
+    # serving path exists to halve.
+    chunk_size = 16384
+    rng = np.random.default_rng(0)
+    lowres = rng.standard_normal((1, 4, *domain_shape))
+    model64 = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny()).eval()
+    model32 = model64.replicate(1, share_parameters=False)[0].astype("float32")
+    n_points = int(np.prod(output_shape))
+
+    def run(model):
+        engine = InferenceEngine(model, chunk_size=chunk_size)  # cold cache
+        return engine.predict_grid(lowres, output_shape)
+
+    # Interleave the timed passes so drift in background load hits both
+    # dtypes symmetrically; gate on the fastest round of each.
+    t64 = t32 = np.inf
+    for _ in range(3):
+        start = time.perf_counter()
+        out64 = run(model64)
+        t64 = min(t64, time.perf_counter() - start)
+        start = time.perf_counter()
+        out32 = run(model32)
+        t32 = min(t32, time.perf_counter() - start)
+
+    peak64 = run_traced(lambda: run(model64))[1]
+    peak32 = run_traced(lambda: run(model32))[1]
+    benchmark.pedantic(lambda: run(model32), rounds=1, iterations=1)
+
+    assert out64.dtype == np.float64 and out32.dtype == np.float32
+    assert np.max(np.abs(out64 - out32)) < 1e-4  # float32-tolerance agreement
+
+    speedup = t64 / t32
+    memory_cut = peak64 / max(peak32, 1)
+    for dtype, seconds, peak in (("float64", t64, peak64), ("float32", t32, peak32)):
+        bench_artifact(
+            f"inference_predict_grid[{dtype}]", dtype=dtype,
+            throughput=round(n_points / seconds), throughput_unit="points/s",
+            latency_ms={"p50": round(seconds * 1e3, 3)}, peak_bytes=int(peak),
+        )
+    benchmark.extra_info.update({
+        "float32_speedup": round(speedup, 2),
+        "float32_memory_cut": round(memory_cut, 2),
+        "float64_points_per_sec": round(n_points / t64),
+        "float32_points_per_sec": round(n_points / t32),
+    })
+    assert speedup >= 1.5, (
+        f"float32 throughput gain {speedup:.2f}x below the 1.5x acceptance bar "
+        f"(float64 {t64 * 1e3:.0f} ms vs float32 {t32 * 1e3:.0f} ms)"
+    )
+    assert memory_cut >= 1.8, (
+        f"float32 peak-memory cut {memory_cut:.2f}x below the 1.8x acceptance bar "
+        f"(float64 {peak64 / 1e6:.1f} MB vs float32 {peak32 / 1e6:.1f} MB)"
+    )
 
 
 @pytest.mark.benchmark(group="kernels")

@@ -23,6 +23,7 @@ import pytest
 from repro.core import MeshfreeFlowNet, MeshfreeFlowNetConfig
 from repro.inference import InferenceEngine
 from repro.serving import BatchPolicy, ModelServer, QueryRequest
+from repro.utils import percentiles
 
 N_CLIENTS = 8
 REQUESTS_PER_CLIENT = 12
@@ -118,3 +119,86 @@ def test_coalescing_beats_serial_2x(benchmark, model, domain, request_coords):
     )
     # The scheduler must actually have coalesced cross-client requests.
     assert stats["requests_per_batch"] > 1.5
+
+
+@pytest.mark.benchmark(group="serving")
+def test_float32_fleet_speedup_and_memory(benchmark, model, domain, bench_artifact, run_traced):
+    """A float32 replica fleet: ≥1.5x served throughput, ≥1.8x peak-memory cut.
+
+    One server hosts a float64 and a float32 fleet side by side
+    (``precisions=("float64", "float32")``, shared latent cache with
+    per-dtype keys).  Identical grid workloads — decode-bound, warm latent
+    cache — are pushed through each fleet; the float32 pass must clear the
+    PR's precision acceptance bars against the float64 pass.  Both data
+    points are recorded in the ``BENCH_pr3.json`` artifact.
+    """
+    grid_shape = (8, 64, 64)
+    n_requests = 4
+    n_points = n_requests * int(np.prod(grid_shape))
+    server = ModelServer(
+        model, n_workers=2, precisions=("float64", "float32"),
+        policy=BatchPolicy(max_requests=8, max_points=1 << 22, max_wait=0.002),
+        chunk_size=16384,
+    )
+    try:
+        server.register_domain("dom", domain)
+
+        def fleet_pass(dtype):
+            futures = [server.submit(QueryRequest("dom", output_shape=grid_shape,
+                                                  dtype=dtype))
+                       for _ in range(n_requests)]
+            return [f.result(timeout=120) for f in futures]
+
+        # Warm both fleets: encodes land in the shared cache (per-dtype
+        # keys), so the measured passes isolate the decode hot path.
+        ref64 = fleet_pass("float64")
+        ref32 = fleet_pass("float32")
+
+        t64 = t32 = float("inf")
+        lat64, lat32 = [], []
+        for _ in range(3):
+            start = time.perf_counter()
+            r64 = fleet_pass("float64")
+            t64 = min(t64, time.perf_counter() - start)
+            lat64 += [r.queue_seconds + r.service_seconds for r in r64]
+            start = time.perf_counter()
+            r32 = fleet_pass("float32")
+            t32 = min(t32, time.perf_counter() - start)
+            lat32 += [r.queue_seconds + r.service_seconds for r in r32]
+
+        peak64 = run_traced(lambda: fleet_pass("float64"))[1]
+        peak32 = run_traced(lambda: fleet_pass("float32"))[1]
+        benchmark.pedantic(lambda: fleet_pass("float32"), rounds=1, iterations=1)
+    finally:
+        server.close()
+
+    for results, dtype in ((ref64, "float64"), (ref32, "float32")):
+        for r in results:
+            assert r.ok
+            assert r.values.dtype == np.dtype(dtype)
+    # float32 fleet agrees with the float64 fleet to float32 tolerance.
+    assert np.max(np.abs(ref64[0].values - ref32[0].values)) < 1e-4
+
+    speedup = t64 / t32
+    memory_cut = peak64 / max(peak32, 1)
+    for dtype, seconds, peak, lats in (("float64", t64, peak64, lat64),
+                                       ("float32", t32, peak32, lat32)):
+        bench_artifact(
+            f"serving_grid_fleet[{dtype}]", dtype=dtype,
+            throughput=round(n_points / seconds), throughput_unit="points/s",
+            latency_ms={f"p{p:g}": round(v * 1e3, 3)
+                        for p, v in percentiles(lats).items()},
+            peak_bytes=int(peak),
+        )
+    benchmark.extra_info.update({
+        "float32_speedup": round(speedup, 2),
+        "float32_memory_cut": round(memory_cut, 2),
+    })
+    assert speedup >= 1.5, (
+        f"float32 fleet throughput gain {speedup:.2f}x below the 1.5x bar "
+        f"(float64 {t64 * 1e3:.0f} ms vs float32 {t32 * 1e3:.0f} ms per pass)"
+    )
+    assert memory_cut >= 1.8, (
+        f"float32 fleet peak-memory cut {memory_cut:.2f}x below the 1.8x bar "
+        f"(float64 {peak64 / 1e6:.1f} MB vs float32 {peak32 / 1e6:.1f} MB)"
+    )

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import argparse
 
-import numpy as np
 
 from repro.autodiff import Tensor
 from repro.core import LossWeights, MeshfreeFlowNet, MeshfreeFlowNetConfig, compute_losses

@@ -46,7 +46,6 @@ def main() -> None:
           f"grid {config.nz}x{config.nx}, P*={config.p_star:.2e}, R*={config.r_star:.2e}")
 
     t0 = time.time()
-    monitor_every = max(args.snapshots // 8, 1)
 
     def progress(iteration: int, t: float) -> None:
         if iteration % 200 == 0:

@@ -9,8 +9,9 @@ queried MLP decoder), the PDE constraint layer, the Rayleigh–Bénard data
 generator that replaces Dedalus, the turbulence evaluation metrics, the
 baselines, a simulated data-parallel distributed-training stack, the tiled
 batched inference engine for bounded-memory full-domain super-resolution
-(:mod:`repro.inference`), and the experiment harnesses that regenerate every
-table and figure of the paper.
+(:mod:`repro.inference`), a precision-aware compute backend with a
+thread-local float32/float64 policy (:mod:`repro.backend`), and the
+experiment harnesses that regenerate every table and figure of the paper.
 
 Quickstart
 ----------
@@ -20,6 +21,7 @@ Quickstart
 See ``examples/quickstart.py`` for an end-to-end train/evaluate loop.
 """
 
+from .backend import precision
 from .core import (
     ImNet,
     LossWeights,
@@ -38,6 +40,7 @@ __version__ = "0.2.0"
 
 __all__ = [
     "__version__",
+    "precision",
     "MeshfreeFlowNet",
     "MeshfreeFlowNetConfig",
     "UNet3d",

@@ -1,49 +1,98 @@
-"""Numerical gradient checking utilities used by the test-suite."""
+"""Numerical gradient checking utilities used by the test-suite.
+
+Tolerances are *dtype-aware*: the defaults for ``eps`` / ``atol`` / ``rtol``
+come from :data:`repro.backend.GRADCHECK_TOLERANCES`, resolved from the
+lowest-precision floating dtype among the checked inputs (the least precise
+participant bounds the achievable gradient accuracy).  For central differences the optimal
+step is ``eps ~ machine_eps ** (1/3)`` (balancing ``O(eps^2)`` truncation
+against ``O(machine_eps / eps)`` round-off), which gives per-dtype defaults
+of roughly
+
+========  =======  =======  =======
+dtype     eps      atol     rtol
+========  =======  =======  =======
+float64   1e-5     1e-5     1e-4
+float32   3e-3     1e-2     1e-2
+========  =======  =======  =======
+
+so float32 graphs can be gradchecked without hand-tuning every call site.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from ..backend import gradcheck_tolerances
 from .tensor import Tensor, grad
 
 __all__ = ["numerical_gradient", "gradcheck"]
+
+
+def _check_dtype(inputs: Sequence[Tensor]) -> np.dtype:
+    """Tolerance-deciding dtype: the *lowest* precision among the inputs.
+
+    Gradient error is governed by the least precise participant — a float64
+    probe through float32 weights still carries float32-level error — so
+    the check keys its tolerances on the narrowest floating dtype rather
+    than the promoted one.
+    """
+    dtypes = [t.dtype for t in inputs if np.issubdtype(t.dtype, np.floating)]
+    if not dtypes:
+        return np.dtype(np.float64)
+    return min(dtypes, key=lambda d: np.finfo(d).precision)
 
 
 def numerical_gradient(
     fn: Callable[..., Tensor],
     inputs: Sequence[Tensor],
     index: int,
-    eps: float = 1e-5,
+    eps: Optional[float] = None,
 ) -> np.ndarray:
-    """Central finite-difference gradient of ``sum(fn(*inputs))`` w.r.t. ``inputs[index]``."""
+    """Central finite-difference gradient of ``sum(fn(*inputs))`` w.r.t. ``inputs[index]``.
+
+    ``eps`` defaults to the dtype-appropriate step from
+    :data:`repro.backend.GRADCHECK_TOLERANCES`; for inputs of magnitude far
+    from 1 pass an explicit step instead.  The probe sums are accumulated in
+    float64 regardless of the input dtype so the *difference* of the two
+    probes does not lose the low-order bits the check is trying to measure.
+    """
     target = inputs[index]
+    if eps is None:
+        eps = gradcheck_tolerances(_check_dtype(inputs))["eps"]
     flat = target.data.reshape(-1)
-    num_grad = np.zeros_like(flat)
+    num_grad = np.zeros(flat.size, dtype=np.float64)
     for i in range(flat.size):
         original = flat[i]
         flat[i] = original + eps
-        plus = float(fn(*inputs).data.sum())
+        plus = float(fn(*inputs).data.sum(dtype=np.float64))
         flat[i] = original - eps
-        minus = float(fn(*inputs).data.sum())
+        minus = float(fn(*inputs).data.sum(dtype=np.float64))
         flat[i] = original
         num_grad[i] = (plus - minus) / (2.0 * eps)
-    return num_grad.reshape(target.shape)
+    return num_grad.reshape(target.shape).astype(target.data.dtype)
 
 
 def gradcheck(
     fn: Callable[..., Tensor],
     inputs: Sequence[Tensor],
-    eps: float = 1e-5,
-    atol: float = 1e-5,
-    rtol: float = 1e-4,
+    eps: Optional[float] = None,
+    atol: Optional[float] = None,
+    rtol: Optional[float] = None,
 ) -> bool:
     """Compare analytic and numerical gradients for every input that requires grad.
 
-    Raises ``AssertionError`` with a diagnostic message on mismatch; returns
-    ``True`` otherwise so it can be used directly inside ``assert``.
+    ``eps`` / ``atol`` / ``rtol`` default per the lowest-precision dtype
+    among the inputs (see the module docstring), so the same call works for
+    float64 and float32 graphs.  Raises ``AssertionError`` with a diagnostic message
+    on mismatch; returns ``True`` otherwise so it can be used directly
+    inside ``assert``.
     """
+    defaults = gradcheck_tolerances(_check_dtype(inputs))
+    eps = defaults["eps"] if eps is None else eps
+    atol = defaults["atol"] if atol is None else atol
+    rtol = defaults["rtol"] if rtol is None else rtol
     out = fn(*inputs)
     ones = Tensor(np.ones_like(out.data))
     analytic = grad(out, list(inputs), grad_outputs=[ones], allow_unused=True)
@@ -56,7 +105,8 @@ def gradcheck(
         if not np.allclose(a_arr, n_arr, atol=atol, rtol=rtol):
             max_err = np.max(np.abs(a_arr - n_arr))
             raise AssertionError(
-                f"gradcheck failed for input {idx}: max abs error {max_err:.3e}\n"
+                f"gradcheck failed for input {idx} (dtype {inp.dtype}, eps={eps:g}, "
+                f"atol={atol:g}, rtol={rtol:g}): max abs error {max_err:.3e}\n"
                 f"analytic:\n{a_arr}\nnumerical:\n{n_arr}"
             )
     return True

@@ -11,7 +11,6 @@ encoder only ever sees first-order gradients).
 
 from __future__ import annotations
 
-from typing import Sequence
 
 import numpy as np
 

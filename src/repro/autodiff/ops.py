@@ -11,11 +11,11 @@ The functions are exposed both as free functions (``ops.add``, ``ops.matmul``,
 
 from __future__ import annotations
 
-import math
 from typing import Optional, Sequence
 
 import numpy as np
 
+from ..backend import get_backend
 from .tensor import Op, Tensor, ensure_tensor
 
 __all__ = [
@@ -57,7 +57,7 @@ class Add(Op):
     """Elementwise addition with broadcasting."""
     def forward(self, a, b):
         self._a_shape, self._b_shape = a.shape, b.shape
-        return a + b
+        return get_backend().add(a, b)
 
     def backward(self, grad):
         return sum_to_shape(grad, self._a_shape), sum_to_shape(grad, self._b_shape)
@@ -67,7 +67,7 @@ class Sub(Op):
     """Elementwise subtraction with broadcasting."""
     def forward(self, a, b):
         self._a_shape, self._b_shape = a.shape, b.shape
-        return a - b
+        return get_backend().subtract(a, b)
 
     def backward(self, grad):
         return sum_to_shape(grad, self._a_shape), sum_to_shape(neg(grad), self._b_shape)
@@ -77,7 +77,7 @@ class Mul(Op):
     """Elementwise multiplication with broadcasting."""
     def forward(self, a, b):
         self._a_shape, self._b_shape = a.shape, b.shape
-        return a * b
+        return get_backend().multiply(a, b)
 
     def backward(self, grad):
         a, b = self.inputs
@@ -90,7 +90,7 @@ class Div(Op):
     """Elementwise division with broadcasting."""
     def forward(self, a, b):
         self._a_shape, self._b_shape = a.shape, b.shape
-        return a / b
+        return get_backend().divide(a, b)
 
     def backward(self, grad):
         a, b = self.inputs
@@ -102,7 +102,7 @@ class Div(Op):
 class Neg(Op):
     """Elementwise negation."""
     def forward(self, a):
-        return -a
+        return get_backend().negative(a)
 
     def backward(self, grad):
         return (neg(grad),)
@@ -115,18 +115,18 @@ class Pow(Op):
         self.exponent = float(exponent)
 
     def forward(self, a):
-        return a ** self.exponent
+        return get_backend().power(a, self.exponent)
 
     def backward(self, grad):
         (a,) = self.inputs
         p = self.exponent
-        return (mul(grad, mul(Tensor(np.array(p)), pow(a, p - 1.0))),)
+        return (mul(grad, mul(pow(a, p - 1.0), p)),)
 
 
 class Exp(Op):
     """Elementwise natural exponential."""
     def forward(self, a):
-        return np.exp(a)
+        return get_backend().exp(a)
 
     def backward(self, grad):
         (a,) = self.inputs
@@ -136,7 +136,7 @@ class Exp(Op):
 class Log(Op):
     """Elementwise natural logarithm."""
     def forward(self, a):
-        return np.log(a)
+        return get_backend().log(a)
 
     def backward(self, grad):
         (a,) = self.inputs
@@ -146,7 +146,7 @@ class Log(Op):
 class Sin(Op):
     """Elementwise sine."""
     def forward(self, a):
-        return np.sin(a)
+        return get_backend().sin(a)
 
     def backward(self, grad):
         (a,) = self.inputs
@@ -156,7 +156,7 @@ class Sin(Op):
 class Cos(Op):
     """Elementwise cosine."""
     def forward(self, a):
-        return np.cos(a)
+        return get_backend().cos(a)
 
     def backward(self, grad):
         (a,) = self.inputs
@@ -166,12 +166,12 @@ class Cos(Op):
 class Tanh(Op):
     """Elementwise hyperbolic tangent."""
     def forward(self, a):
-        return np.tanh(a)
+        return get_backend().tanh(a)
 
     def backward(self, grad):
         (a,) = self.inputs
         t = tanh(a)
-        return (mul(grad, sub(Tensor(np.array(1.0)), mul(t, t))),)
+        return (mul(grad, sub(1.0, mul(t, t))),)
 
 
 class Sigmoid(Op):
@@ -187,7 +187,7 @@ class Sigmoid(Op):
     def backward(self, grad):
         (a,) = self.inputs
         s = sigmoid(a)
-        return (mul(grad, mul(s, sub(Tensor(np.array(1.0)), s))),)
+        return (mul(grad, mul(s, sub(1.0, s))),)
 
 
 class Softplus(Op):
@@ -239,7 +239,7 @@ class Maximum(Op):
     def forward(self, a, b):
         self._a_shape, self._b_shape = a.shape, b.shape
         self._mask = (a >= b).astype(a.dtype)
-        return np.maximum(a, b)
+        return get_backend().maximum(a, b)
 
     def backward(self, grad):
         mask = Tensor(np.broadcast_to(self._mask, grad.shape).copy())
@@ -254,7 +254,7 @@ class Minimum(Op):
     def forward(self, a, b):
         self._a_shape, self._b_shape = a.shape, b.shape
         self._mask = (a <= b).astype(a.dtype)
-        return np.minimum(a, b)
+        return get_backend().minimum(a, b)
 
     def backward(self, grad):
         mask = Tensor(np.broadcast_to(self._mask, grad.shape).copy())
@@ -269,7 +269,7 @@ class MatMul(Op):
     """Matrix product over the trailing two axes, with batching."""
     def forward(self, a, b):
         self._a_shape, self._b_shape = a.shape, b.shape
-        return np.matmul(a, b)
+        return get_backend().matmul(a, b)
 
     def backward(self, grad):
         a, b = self.inputs
@@ -287,7 +287,7 @@ class Sum(Op):
 
     def forward(self, a):
         self._in_shape = a.shape
-        return np.sum(a, axis=self.axis, keepdims=self.keepdims)
+        return get_backend().sum(a, axis=self.axis, keepdims=self.keepdims)
 
     def backward(self, grad):
         if self.axis is None:
@@ -526,7 +526,7 @@ def minimum(a, b) -> Tensor:
 
 def clip_by_value(a, low: float, high: float) -> Tensor:
     """Clamp ``a`` to the closed interval ``[low, high]``."""
-    return minimum(maximum(a, Tensor(np.array(low))), Tensor(np.array(high)))
+    return minimum(maximum(a, float(low)), float(high))
 
 
 def matmul(a, b) -> Tensor:
@@ -561,7 +561,7 @@ def mean(a, axis=None, keepdims: bool = False) -> Tensor:
         count = 1
         for ax in axes:
             count *= a.shape[ax]
-    return mul(sum(a, axis=axis, keepdims=keepdims), Tensor(np.array(1.0 / count)))
+    return mul(sum(a, axis=axis, keepdims=keepdims), 1.0 / count)
 
 
 def var(a, axis=None, keepdims: bool = False) -> Tensor:
@@ -675,14 +675,14 @@ def mse_loss(pred, target) -> Tensor:
 # --------------------------------------------------------------------------- Tensor operator plumbing
 def _binary_left(fn):
     def method(self, other):
-        return fn(self, ensure_tensor(other))
+        return fn(self, other)
 
     return method
 
 
 def _binary_right(fn):
     def method(self, other):
-        return fn(ensure_tensor(other), self)
+        return fn(other, self)
 
     return method
 

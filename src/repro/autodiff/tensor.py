@@ -26,6 +26,8 @@ from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
+from ..backend import SUPPORTED_DTYPES, canonical_dtype, default_dtype, get_backend, operand_dtype
+
 __all__ = [
     "Tensor",
     "Op",
@@ -140,16 +142,24 @@ class Op:
 
     @classmethod
     def apply(cls, *inputs, **kwargs) -> "Tensor":
-        """Run the op on ``inputs`` and (optionally) record it in the graph."""
+        """Run the op on ``inputs`` and (optionally) record it in the graph.
+
+        Non-tensor operands are coerced under the backend promotion rule:
+        operands that already carry a floating dtype (arrays, NumPy
+        scalars) keep it, while *weak* operands (Python scalars, lists,
+        integer arrays) adopt the promoted dtype of the strong operands —
+        or the policy default when there is none — so a scalar never
+        upcasts a float32 graph to float64.
+        """
         if _state.inference_mode:
             # Fast path: no graph can ever be recorded, so skip the
             # requires_grad scan and build the output tensor directly.
-            data = cls(**kwargs).forward(
-                *(x.data if isinstance(x, Tensor) else np.asarray(x, dtype=np.float64)
-                  for x in inputs)
-            )
-            return Tensor(data)
-        tensors = tuple(ensure_tensor(x) for x in inputs)
+            if all(isinstance(x, Tensor) for x in inputs):
+                arrays = tuple(x.data for x in inputs)
+            else:
+                arrays = tuple(t.data for t in _coerce_operands(inputs))
+            return Tensor(cls(**kwargs).forward(*arrays))
+        tensors = _coerce_operands(inputs)
         op = cls(**kwargs)
         data = op.forward(*(t.data for t in tensors))
         requires_grad = _state.grad_enabled and any(t.requires_grad for t in tensors)
@@ -166,19 +176,31 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like initial value.  Stored as ``float64`` by default for
-        numerical robustness of gradient checks and PDE residuals.
+        Array-like initial value.  Data that already carries a floating
+        dtype (an ndarray or another tensor) keeps it; dtype-less data
+        (Python scalars/lists, integer arrays) materialises as the active
+        :func:`repro.backend.precision` policy dtype — ``float64`` by
+        default, for numerical robustness of gradient checks and PDE
+        residuals.
     requires_grad:
         Whether gradients should be accumulated for this tensor when calling
         :meth:`backward` / :func:`grad`.
+    dtype:
+        Explicit dtype override; beats both the data's own dtype and the
+        policy.
     """
 
     __slots__ = ("data", "requires_grad", "grad", "_op", "name")
 
-    def __init__(self, data, requires_grad: bool = False, dtype=np.float64, name: str | None = None):
+    def __init__(self, data, requires_grad: bool = False, dtype=None, name: str | None = None):
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=dtype)
+        if dtype is None:
+            src = getattr(data, "dtype", None)
+            # NB: explicit None guard — ``np.dtype('float64') == None`` is
+            # truthy because NumPy coerces None to float64 in comparisons.
+            dtype = src if (src is not None and src in SUPPORTED_DTYPES) else default_dtype()
+        self.data = get_backend().asarray(data, dtype=dtype)
         self.requires_grad = bool(requires_grad)
         self.grad: Optional[np.ndarray] = None
         self._op: Optional[Op] = None
@@ -219,6 +241,16 @@ class Tensor:
         """Return a new tensor sharing data but cut off from the graph."""
         return Tensor(self.data, requires_grad=False)
 
+    def astype(self, dtype) -> "Tensor":
+        """Return a leaf copy of this tensor cast to ``dtype``.
+
+        The cast is graph-cutting (like :meth:`detach`): precision changes
+        are a deployment decision, not a differentiable op.  ``requires_grad``
+        is preserved so cast parameters remain trainable leaves.
+        """
+        return Tensor(self.data.astype(canonical_dtype(dtype), copy=True),
+                      requires_grad=self.requires_grad, name=self.name)
+
     def copy(self) -> "Tensor":
         return Tensor(self.data.copy(), requires_grad=self.requires_grad)
 
@@ -248,11 +280,36 @@ class Tensor:
                     node.grad = node.grad + arr
 
 
-def ensure_tensor(x) -> Tensor:
-    """Coerce scalars / arrays / tensors into a :class:`Tensor`."""
+def ensure_tensor(x, dtype=None) -> Tensor:
+    """Coerce scalars / arrays / tensors into a :class:`Tensor`.
+
+    ``dtype`` names the dtype that *weak* (dtype-less) data — Python
+    scalars, lists, integer arrays — should materialise as; data already
+    carrying a floating dtype keeps it.  With ``dtype=None`` weak data
+    falls back to the active precision policy.  Tensors pass through
+    unchanged either way (this function never casts).
+    """
     if isinstance(x, Tensor):
         return x
-    return Tensor(x, requires_grad=False)
+    xd = getattr(x, "dtype", None)
+    if dtype is not None and xd is not None and xd in SUPPORTED_DTYPES:
+        dtype = None  # strong operand: keep its own dtype
+    return Tensor(x, requires_grad=False, dtype=dtype)
+
+
+def _coerce_operands(inputs) -> tuple[Tensor, ...]:
+    """Coerce an op's operand list to tensors under the promotion rule.
+
+    Strong operands (tensors, floating arrays/scalars) keep their dtype;
+    weak operands adopt :func:`repro.backend.operand_dtype` of the whole
+    operand list, so ``float32_tensor * 2.0`` stays float32 instead of
+    minting a float64 constant (which NumPy 2 promotion would then spread
+    over the result).
+    """
+    if all(isinstance(x, Tensor) for x in inputs):
+        return tuple(inputs)
+    weak = operand_dtype(inputs)
+    return tuple(ensure_tensor(x, dtype=weak) for x in inputs)
 
 
 def _topological_order(roots: Iterable[Tensor]) -> list[Tensor]:

@@ -1,0 +1,58 @@
+"""Compute-policy layer: precision policy, promotion rules, array dispatch.
+
+The ROADMAP's "as fast as the hardware allows / multi-backend" goal needs a
+single owner for two decisions the seed code smeared across ~15 modules as
+hard-coded ``np.float64``:
+
+* **which dtype** an array materialises as — owned by the thread-local
+  precision policy in :mod:`repro.backend.policy` (:func:`precision`,
+  :func:`default_dtype`, :func:`resolve_dtype`) with *strong-array /
+  weak-scalar* promotion (:func:`operand_dtype`);
+* **which array implementation** runs an op — owned by the
+  :class:`ArrayBackend` dispatch in :mod:`repro.backend.numpy_backend`
+  (:func:`get_backend`), NumPy today with a registry seam for accelerator
+  backends.
+
+The default policy is float64, bit-identical to the seed; ``float32``
+halves memory/bandwidth on the inference and serving hot paths:
+
+>>> from repro.backend import precision
+>>> with precision("float32"):
+...     model32 = MeshfreeFlowNet(config)       # float32 parameters
+"""
+
+from .numpy_backend import (
+    ArrayBackend,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from .policy import (
+    GRADCHECK_TOLERANCES,
+    SUPPORTED_DTYPES,
+    canonical_dtype,
+    default_dtype,
+    gradcheck_tolerances,
+    operand_dtype,
+    precision,
+    promote_dtypes,
+    resolve_dtype,
+)
+
+__all__ = [
+    "SUPPORTED_DTYPES",
+    "GRADCHECK_TOLERANCES",
+    "canonical_dtype",
+    "default_dtype",
+    "precision",
+    "resolve_dtype",
+    "promote_dtypes",
+    "operand_dtype",
+    "gradcheck_tolerances",
+    "ArrayBackend",
+    "NumpyBackend",
+    "get_backend",
+    "register_backend",
+    "available_backends",
+]

@@ -1,0 +1,178 @@
+"""The NumPy array backend and the (tiny) backend registry.
+
+The autodiff ops and the inference engine do not call ``numpy`` directly for
+array *construction* and for the dispatched elementwise/linear-algebra
+kernels — they go through the active :class:`ArrayBackend`.  This keeps the
+dtype policy in one place (every constructor resolves its dtype through
+:mod:`repro.backend.policy`) and gives future accelerator backends a single
+seam to plug into: a subclass overriding the kernel methods (and
+``from_host`` / ``to_host``) is enough for the op layer, because every
+``Op.forward`` consumes and returns backend arrays only.
+
+Only the NumPy backend ships today; the registry exists so an alternative
+can be registered and selected without touching call sites.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+import numpy as np
+
+from .policy import resolve_dtype
+
+__all__ = ["ArrayBackend", "NumpyBackend", "get_backend", "register_backend", "available_backends"]
+
+
+class ArrayBackend:
+    """Interface of an array backend: constructors + dispatched kernels.
+
+    Constructors (``asarray``, ``zeros``, ...) resolve ``dtype=None``
+    through the active precision policy.  Kernel methods take and return
+    backend-native arrays; the base class provides NumPy-compatible
+    implementations via ``self.xp`` so a duck-typed array module (CuPy
+    style) only needs to replace that attribute.
+    """
+
+    #: Registry name of the backend.
+    name = "abstract"
+    #: The array-API module the default kernel implementations delegate to.
+    xp = np
+
+    # ------------------------------------------------------------ constructors
+    def asarray(self, data, dtype=None):
+        """``asarray`` with the policy default for ``dtype=None``."""
+        return self.xp.asarray(data, dtype=resolve_dtype(dtype))
+
+    def ascontiguous(self, data, dtype=None):
+        """C-contiguous ``asarray`` with the policy default dtype."""
+        return self.xp.ascontiguousarray(data, dtype=resolve_dtype(dtype))
+
+    def zeros(self, shape, dtype=None):
+        """Policy-dtype zeros."""
+        return self.xp.zeros(shape, dtype=resolve_dtype(dtype))
+
+    def ones(self, shape, dtype=None):
+        """Policy-dtype ones."""
+        return self.xp.ones(shape, dtype=resolve_dtype(dtype))
+
+    def empty(self, shape, dtype=None):
+        """Policy-dtype uninitialised array."""
+        return self.xp.empty(shape, dtype=resolve_dtype(dtype))
+
+    # ------------------------------------------------------- host round-trips
+    def from_host(self, array: np.ndarray):
+        """Move a host (NumPy) array onto the backend's device."""
+        return array
+
+    def to_host(self, array) -> np.ndarray:
+        """Move a backend array back to host memory as a NumPy array."""
+        return np.asarray(array)
+
+    # ------------------------------------------------------------ kernels
+    # Elementwise / reduction / linear-algebra kernels used by the autodiff
+    # primitive ops.  All preserve the input dtype (NumPy semantics).
+    def add(self, a, b):
+        """Elementwise ``a + b``."""
+        return self.xp.add(a, b)
+
+    def subtract(self, a, b):
+        """Elementwise ``a - b``."""
+        return self.xp.subtract(a, b)
+
+    def multiply(self, a, b):
+        """Elementwise ``a * b``."""
+        return self.xp.multiply(a, b)
+
+    def divide(self, a, b):
+        """Elementwise ``a / b``."""
+        return self.xp.divide(a, b)
+
+    def negative(self, a):
+        """Elementwise ``-a``."""
+        return self.xp.negative(a)
+
+    def power(self, a, exponent):
+        """Elementwise ``a ** exponent``."""
+        return self.xp.power(a, exponent)
+
+    def exp(self, a):
+        """Elementwise natural exponential."""
+        return self.xp.exp(a)
+
+    def log(self, a):
+        """Elementwise natural logarithm."""
+        return self.xp.log(a)
+
+    def sin(self, a):
+        """Elementwise sine."""
+        return self.xp.sin(a)
+
+    def cos(self, a):
+        """Elementwise cosine."""
+        return self.xp.cos(a)
+
+    def tanh(self, a):
+        """Elementwise hyperbolic tangent."""
+        return self.xp.tanh(a)
+
+    def abs(self, a):
+        """Elementwise absolute value."""
+        return self.xp.abs(a)
+
+    def sign(self, a):
+        """Elementwise sign."""
+        return self.xp.sign(a)
+
+    def maximum(self, a, b):
+        """Elementwise maximum."""
+        return self.xp.maximum(a, b)
+
+    def minimum(self, a, b):
+        """Elementwise minimum."""
+        return self.xp.minimum(a, b)
+
+    def matmul(self, a, b):
+        """Batched matrix product over the trailing two axes."""
+        return self.xp.matmul(a, b)
+
+    def sum(self, a, axis=None, keepdims=False):
+        """Summation over ``axis``."""
+        return self.xp.sum(a, axis=axis, keepdims=keepdims)
+
+
+class NumpyBackend(ArrayBackend):
+    """The reference CPU backend: plain NumPy."""
+
+    name = "numpy"
+    xp = np
+
+
+_REGISTRY: dict[str, Callable[[], ArrayBackend]] = {"numpy": NumpyBackend}
+_REGISTRY_LOCK = threading.Lock()
+_ACTIVE: ArrayBackend = NumpyBackend()
+
+
+def register_backend(name: str, factory: Callable[[], ArrayBackend]) -> None:
+    """Register an :class:`ArrayBackend` factory under ``name``."""
+    with _REGISTRY_LOCK:
+        _REGISTRY[name] = factory
+
+
+def available_backends() -> list[str]:
+    """Names of all registered backends."""
+    with _REGISTRY_LOCK:
+        return sorted(_REGISTRY)
+
+
+def get_backend(name: Optional[str] = None) -> ArrayBackend:
+    """The active backend, or a fresh instance of the named one."""
+    if name is None:
+        return _ACTIVE
+    with _REGISTRY_LOCK:
+        factory = _REGISTRY.get(name)
+        registered = sorted(_REGISTRY)
+    if factory is None:
+        raise ValueError(f"unknown backend '{name}'; registered: {registered}")
+    return factory()

@@ -1,0 +1,158 @@
+"""Precision policy: dtype canonicalisation, promotion rules and the
+thread-local :func:`precision` context manager.
+
+Every array-materialising decision in the stack (autodiff tensor creation,
+parameter/buffer construction, inference scratch buffers) routes through this
+module instead of hard-coding ``np.float64``:
+
+* :func:`canonical_dtype` maps user-facing dtype spellings (``"float32"``,
+  ``np.float64``, ``"f4"``, ...) to a canonical ``np.dtype``;
+* :func:`default_dtype` returns the active policy dtype for the calling
+  thread (``float64`` unless changed — the bit-identical training and
+  verification default);
+* :func:`precision` scopes a different policy dtype to a ``with`` block,
+  thread-locally, exactly like :func:`repro.autodiff.inference_mode`;
+* :func:`operand_dtype` implements the promotion rule used by
+  ``Op.apply`` / ``ensure_tensor``: *array operands are strong, Python
+  scalars are weak*.  A scalar operand adopts the promoted dtype of the
+  tensor operands instead of minting a ``float64`` constant, so a float32
+  graph is never silently upcast by ``x * 2.0`` (NumPy 2 / NEP 50 would
+  upcast on a 0-d ``float64`` array, which is what the seed code created).
+
+The process-wide initial policy can be set with the ``REPRO_DEFAULT_DTYPE``
+environment variable (used by CI to run the suite under float32).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+from typing import Iterable, Optional
+
+import numpy as np
+
+__all__ = [
+    "SUPPORTED_DTYPES",
+    "GRADCHECK_TOLERANCES",
+    "canonical_dtype",
+    "default_dtype",
+    "precision",
+    "resolve_dtype",
+    "promote_dtypes",
+    "operand_dtype",
+    "gradcheck_tolerances",
+]
+
+#: Dtypes the compute policy accepts.  float16 is deliberately excluded: the
+#: PDE equation loss differentiates twice and half precision underflows the
+#: finite-difference verification long before it pays off on CPU.
+SUPPORTED_DTYPES: tuple[np.dtype, ...] = (np.dtype(np.float32), np.dtype(np.float64))
+
+#: Per-dtype finite-difference gradcheck defaults (see
+#: :func:`repro.autodiff.gradcheck.gradcheck`).  ``eps`` follows the usual
+#: cube-root-of-machine-epsilon rule for central differences: the optimal
+#: step balances truncation error (``O(eps^2)``) against round-off
+#: (``O(eps_machine / eps)``), giving ``eps ~ eps_machine ** (1/3)`` —
+#: ``~6e-6`` for float64 and ``~5e-3`` for float32; ``atol``/``rtol`` leave
+#: an order of magnitude of headroom over the resulting gradient error.
+GRADCHECK_TOLERANCES: dict[np.dtype, dict[str, float]] = {
+    np.dtype(np.float64): {"eps": 1e-5, "atol": 1e-5, "rtol": 1e-4},
+    np.dtype(np.float32): {"eps": 3e-3, "atol": 1e-2, "rtol": 1e-2},
+}
+
+
+def canonical_dtype(dtype) -> np.dtype:
+    """Canonicalise any accepted dtype spelling to a ``np.dtype``.
+
+    Accepts ``"float32"`` / ``"float64"`` (and NumPy aliases such as
+    ``"f4"``), ``np.float32`` / ``np.float64``, ``np.dtype`` instances and
+    Python's ``float`` (an alias for float64).  Raises ``TypeError`` /
+    ``ValueError`` for anything else, including unsupported precisions.
+    """
+    try:
+        dt = np.dtype(dtype)
+    except TypeError as exc:
+        raise TypeError(f"not a dtype: {dtype!r}") from exc
+    if dt not in SUPPORTED_DTYPES:
+        supported = ", ".join(d.name for d in SUPPORTED_DTYPES)
+        raise ValueError(f"unsupported precision '{dt.name}'; choose one of: {supported}")
+    return dt
+
+
+def _initial_dtype() -> np.dtype:
+    spec = os.environ.get("REPRO_DEFAULT_DTYPE")
+    return canonical_dtype(spec) if spec else np.dtype(np.float64)
+
+
+_PROCESS_DEFAULT = _initial_dtype()
+
+
+class _PolicyState(threading.local):
+    """Per-thread policy dtype (serving threads must not leak policies)."""
+
+    def __init__(self):
+        self.dtype = _PROCESS_DEFAULT
+
+
+_state = _PolicyState()
+
+
+def default_dtype() -> np.dtype:
+    """The active policy dtype for this thread (``float64`` by default)."""
+    return _state.dtype
+
+
+@contextlib.contextmanager
+def precision(dtype):
+    """Context manager scoping the policy dtype to a block (this thread only).
+
+    Inside the context, every tensor materialised from dtype-less data
+    (Python scalars/lists, integer arrays) and every policy-following
+    component (``Parameter`` construction, buffer registration, inference
+    scratch buffers of engines built without an explicit ``dtype``) uses
+    the given precision.  Arrays that already carry a floating dtype keep
+    it — the policy never silently down-casts an explicit float64 input.
+
+    >>> with precision("float32"):
+    ...     t = Tensor([1.0, 2.0])   # float32 leaf
+    """
+    new = canonical_dtype(dtype)
+    previous = _state.dtype
+    _state.dtype = new
+    try:
+        yield new
+    finally:
+        _state.dtype = previous
+
+
+def resolve_dtype(dtype=None) -> np.dtype:
+    """Canonicalise ``dtype``, falling back to the active policy on ``None``."""
+    return default_dtype() if dtype is None else canonical_dtype(dtype)
+
+
+def promote_dtypes(dtypes: Iterable[np.dtype]) -> Optional[np.dtype]:
+    """Promote floating dtypes numpy-style; ``None`` when none are floating."""
+    result: Optional[np.dtype] = None
+    for dt in dtypes:
+        if not np.issubdtype(dt, np.floating):
+            continue
+        result = np.dtype(dt) if result is None else np.promote_types(result, dt)
+    return result
+
+
+def operand_dtype(operands: Iterable[object]) -> np.dtype:
+    """Dtype that *weak* (dtype-less) operands of an op should materialise as.
+
+    The promoted floating dtype of all strong operands (tensors, arrays and
+    NumPy scalars), or the policy default when no operand carries one.
+    """
+    strong = promote_dtypes(
+        d for d in (getattr(x, "dtype", None) for x in operands) if d is not None
+    )
+    return strong if strong is not None else default_dtype()
+
+
+def gradcheck_tolerances(dtype) -> dict[str, float]:
+    """Finite-difference ``{eps, atol, rtol}`` defaults for ``dtype``."""
+    return dict(GRADCHECK_TOLERANCES[canonical_dtype(dtype)])

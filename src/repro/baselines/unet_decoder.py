@@ -15,10 +15,10 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..autodiff import Tensor, no_grad, ops
+from ..autodiff import Tensor, no_grad
 from .. import nn
 from ..core.config import MeshfreeFlowNetConfig
-from ..core.latent_grid import query_latent_grid, regular_grid_coordinates
+from ..core.latent_grid import query_latent_grid
 from ..core.unet import ResBlock3d, UNet3d
 from ..data.interpolation import upsample_trilinear
 

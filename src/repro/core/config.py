@@ -2,8 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, asdict
-from typing import Optional, Sequence
+from dataclasses import dataclass, asdict
 
 __all__ = ["MeshfreeFlowNetConfig"]
 

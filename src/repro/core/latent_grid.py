@@ -20,6 +20,7 @@ from typing import Callable
 import numpy as np
 
 from ..autodiff import Tensor, ops
+from ..backend import resolve_dtype
 
 __all__ = ["query_latent_grid", "regular_grid_coordinates", "trilinear_weights_numpy"]
 
@@ -63,6 +64,9 @@ def query_latent_grid(
 
     n_batch, n_points, _ = coords.shape
     sizes = grid.shape[2:]
+    # All scratch arrays/constants inherit the query dtype so a float32
+    # grid+coords pair decodes end-to-end in float32.
+    dt = np.promote_types(grid.dtype, coords.dtype)
 
     # (N, nt, nz, nx, C) layout so that gathering vertices yields (N, P, C).
     grid_last = ops.transpose(grid, (0, 2, 3, 4, 1))
@@ -71,41 +75,38 @@ def query_latent_grid(
     frac: list[Tensor] = []
     for axis in range(3):
         n = sizes[axis]
-        pos = ops.mul(coords[:, :, axis], Tensor(np.array(float(max(n - 1, 1)))))
+        pos = ops.mul(coords[:, :, axis], float(max(n - 1, 1)))
         if n == 1:
             idx = np.zeros((n_batch, n_points), dtype=np.int64)
         else:
             idx = np.clip(np.floor(pos.data).astype(np.int64), 0, n - 2)
         cell_index.append(idx)
-        frac.append(ops.sub(pos, Tensor(idx.astype(np.float64))))
+        frac.append(ops.sub(pos, Tensor(idx.astype(dt))))
 
     batch_index = np.broadcast_to(np.arange(n_batch)[:, None], (n_batch, n_points))
 
     if interpolation == "nearest":
-        corners = [tuple(int(round(float(np.clip(f.data.mean(), 0, 1)))) for f in frac)]
-        # For "nearest" we decode from the per-point nearest vertex instead of a
-        # fixed corner: recompute per-axis nearest offsets.
+        # Decode from the per-point nearest vertex: per-axis nearest offsets.
         offsets = [np.where(f.data >= 0.5, 1, 0) for f in frac]
         vertex_index = []
         for axis in range(3):
             vertex_index.append(np.clip(cell_index[axis] + offsets[axis], 0, sizes[axis] - 1))
         latent = ops.getitem(grid_last, (batch_index, *vertex_index))
         rel = ops.stack(
-            [ops.sub(frac[a], Tensor(offsets[a].astype(np.float64))) for a in range(3)], axis=-1
+            [ops.sub(frac[a], Tensor(offsets[a].astype(dt))) for a in range(3)], axis=-1
         )
         return decoder(ops.concatenate([rel, latent], axis=-1))
 
     output: Tensor | None = None
-    one = Tensor(np.array(1.0))
     for offsets in itertools.product((0, 1), repeat=3):
         weight: Tensor | None = None
         rel_components: list[Tensor] = []
         vertex_index: list[np.ndarray] = []
         for axis, offset in enumerate(offsets):
             f = frac[axis]
-            w_axis = f if offset == 1 else ops.sub(one, f)
+            w_axis = f if offset == 1 else ops.sub(1.0, f)
             weight = w_axis if weight is None else ops.mul(weight, w_axis)
-            rel_components.append(ops.sub(f, Tensor(np.array(float(offset)))))
+            rel_components.append(ops.sub(f, float(offset)))
             vertex_index.append(np.clip(cell_index[axis] + offset, 0, sizes[axis] - 1))
         latent = ops.getitem(grid_last, (batch_index, *vertex_index))  # (N, P, C)
         rel = ops.stack(rel_components, axis=-1)  # (N, P, 3)
@@ -115,13 +116,14 @@ def query_latent_grid(
     return output
 
 
-def regular_grid_coordinates(shape: tuple[int, int, int], dtype=np.float64) -> np.ndarray:
+def regular_grid_coordinates(shape: tuple[int, int, int], dtype=None) -> np.ndarray:
     """Normalised coordinates of a regular (t, z, x) grid, shape ``(nt*nz*nx, 3)``.
 
     Coordinates span ``[0, 1]`` inclusive along each axis (a single point maps
     to 0).  The ordering is C-order over ``(t, z, x)`` so that
     ``values.reshape(nt, nz, nx)`` recovers the grid layout.
     """
+    dtype = resolve_dtype(dtype)
     axes = []
     for n in shape:
         axes.append(np.linspace(0.0, 1.0, n, dtype=dtype) if n > 1 else np.zeros(1, dtype=dtype))

@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Optional, Sequence
 
-import numpy as np
 
 from ..autodiff import Tensor, ops
 from ..pde import PDESystem
@@ -39,12 +38,12 @@ def prediction_loss(pred: Tensor, target: Tensor, norm: str = "l1") -> Tensor:
 def equation_loss(residuals: Mapping[str, Tensor], norm: str = "l1") -> Tensor:
     """Equation loss L_e: mean norm over all constraint residuals and points."""
     if not residuals:
-        return Tensor(np.array(0.0))
+        return Tensor(0.0)
     total: Tensor | None = None
     for res in residuals.values():
         term = _norm(res, norm)
         total = term if total is None else ops.add(total, term)
-    return ops.mul(total, Tensor(np.array(1.0 / len(residuals))))
+    return ops.mul(total, 1.0 / len(residuals))
 
 
 @dataclass
@@ -95,12 +94,12 @@ def compute_losses(
         per_constraint = {k: float(ops.mean(ops.abs(v)).data) for k, v in residuals.items()}
     else:
         pred = model(lowres, coords)
-        le = Tensor(np.array(0.0))
+        le = Tensor(0.0)
         per_constraint = {}
 
     lp = prediction_loss(pred, targets, norm=weights.norm)
     if use_equation:
-        total = ops.add(lp, ops.mul(le, Tensor(np.array(float(weights.gamma)))))
+        total = ops.add(lp, ops.mul(le, float(weights.gamma)))
     else:
         total = lp
     breakdown = LossBreakdown(

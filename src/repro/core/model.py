@@ -8,13 +8,14 @@ spatio-temporal derivatives required by the PDE equation loss.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from ..autodiff import Tensor, grad, ops
+from ..backend import precision
 from .. import nn
-from ..pde import PDESystem, parse_symbol
+from ..pde import PDESystem
 from .config import MeshfreeFlowNetConfig
 from .imnet import ImNet
 from .latent_grid import query_latent_grid
@@ -64,7 +65,7 @@ class MeshfreeFlowNet(nn.Module):
     def predict_grid(self, lowres: Tensor, output_shape: Sequence[int],
                      chunk_size: int = 4096,
                      tile_shape: Optional[Sequence[int]] = None,
-                     engine=None) -> np.ndarray:
+                     engine=None, dtype=None) -> np.ndarray:
         """Super-resolve onto a regular high-resolution grid.
 
         Routed through :class:`repro.inference.InferenceEngine`.  By default
@@ -89,6 +90,9 @@ class MeshfreeFlowNet(nn.Module):
             Optional pre-built :class:`~repro.inference.InferenceEngine`
             (e.g. to reuse its latent-tile cache across calls); overrides
             ``chunk_size`` and ``tile_shape``.
+        dtype:
+            Precision of the inference compute path; must match the model's
+            parameter dtype (see ``Module.astype``).  Defaults to it.
 
         Returns
         -------
@@ -97,13 +101,14 @@ class MeshfreeFlowNet(nn.Module):
         if engine is None:
             from ..inference import InferenceEngine
 
-            engine = InferenceEngine(self, tile_shape=tile_shape, chunk_size=chunk_size)
+            engine = InferenceEngine(self, tile_shape=tile_shape, chunk_size=chunk_size,
+                                     dtype=dtype)
         return engine.predict_grid(lowres, output_shape)
 
     def super_resolve(self, lowres: Tensor, upsample_factors: Sequence[int],
                       chunk_size: int = 4096,
                       tile_shape: Optional[Sequence[int]] = None,
-                      engine=None) -> np.ndarray:
+                      engine=None, dtype=None) -> np.ndarray:
         """Super-resolve by integer upsampling factors along ``(t, z, x)``.
 
         Accepts the same engine-routing keywords as :meth:`predict_grid`.
@@ -111,7 +116,7 @@ class MeshfreeFlowNet(nn.Module):
         factors = tuple(int(f) for f in upsample_factors)
         out_shape = tuple(s * f for s, f in zip(lowres.shape[2:], factors))
         return self.predict_grid(lowres, out_shape, chunk_size=chunk_size,
-                                 tile_shape=tile_shape, engine=engine)
+                                 tile_shape=tile_shape, engine=engine, dtype=dtype)
 
     # ----------------------------------------------------------- derivatives
     def forward_with_derivatives(
@@ -192,14 +197,14 @@ class MeshfreeFlowNet(nn.Module):
                 axis = coord_names.index(spec.coords[0])
                 d = first(spec.field)[:, :, axis]
                 scale = scales[axis]
-                values[spec.symbol] = ops.mul(d, Tensor(np.array(1.0 / scale)))
+                values[spec.symbol] = ops.mul(d, float(1.0 / scale))
             elif spec.order == 2:
                 c1, c2 = spec.coords
                 axis1 = coord_names.index(c1)
                 axis2 = coord_names.index(c2)
                 d2 = second(spec.field, c1)[:, :, axis2]
                 scale = scales[axis1] * scales[axis2]
-                values[spec.symbol] = ops.mul(d2, Tensor(np.array(1.0 / scale)))
+                values[spec.symbol] = ops.mul(d2, float(1.0 / scale))
             else:  # pragma: no cover - guarded by PDESystem.add_constraint
                 raise ValueError(f"unsupported derivative order {spec.order}")
         return pred, values
@@ -226,7 +231,12 @@ class MeshfreeFlowNet(nn.Module):
         source_buffers = self._named_buffer_owners()
         replicas: list[MeshfreeFlowNet] = []
         for _ in range(n):
-            clone = type(self)(self.config)
+            # Construct under the source model's own precision so replicas
+            # preserve its dtype regardless of the ambient policy (a clone
+            # built at the wrong policy would silently re-materialise the
+            # weights at that policy when share_parameters=False).
+            with precision(self.dtype):
+                clone = type(self)(self.config)
             if share_parameters:
                 for name, param in clone.named_parameters():
                     param.data = source_params[name].data

@@ -10,7 +10,7 @@ against the algorithm actually implemented.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

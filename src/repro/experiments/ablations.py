@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
 
 from ..distributed import ScalingPerformanceModel
 from ..metrics.report import MetricReport

@@ -15,10 +15,9 @@ provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
-import numpy as np
 
 from ..core.config import MeshfreeFlowNetConfig
 from ..core.model import MeshfreeFlowNet

@@ -8,13 +8,11 @@ import numpy as np
 
 from ..autodiff import Tensor
 from ..baselines import TrilinearBaseline
-from ..data.dataset import SuperResolutionDataset
 from ..distributed import ScalingPerformanceModel
 from ..inference import InferenceEngine
 from ..metrics import turbulence_summary
-from ..simulation import SimulationResult
 from ..training import Trainer
-from .common import ExperimentScale, build_dataset, build_model, get_scale, simulate, train_model
+from .common import ExperimentScale, build_dataset, get_scale, simulate, train_model
 
 __all__ = ["run_fig2_simulation", "run_fig6_qualitative", "run_fig7_scaling"]
 

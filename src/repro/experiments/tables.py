@@ -8,14 +8,14 @@ plus experiment-specific extras (training histories, configuration).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from ..baselines import TrilinearBaseline, UNetDecoderBaseline
 from ..metrics.report import MetricReport, format_table
 from ..training import Trainer, evaluate_model
-from .common import ExperimentScale, build_dataset, build_model, get_scale, simulate, train_model
+from .common import ExperimentScale, build_dataset, get_scale, simulate, train_model
 
 __all__ = ["run_table1_gamma_sweep", "run_table2_baselines",
            "run_table3_unseen_ic", "run_table4_rayleigh_transfer"]

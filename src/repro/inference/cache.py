@@ -11,6 +11,11 @@ domain, so lookups, insertions and evictions are guarded by a lock, and
 misses are *single-flight* — when several workers miss the same tile
 simultaneously, exactly one runs the encode while the others wait for its
 result instead of duplicating the U-Net pass.
+
+Keys are opaque to the cache; the engine embeds the compute precision in
+them (``(domain_token, tile, dtype_name)``), so float32 and float64
+engines can share one cache — and one byte budget — without ever aliasing
+each other's latents.
 """
 
 from __future__ import annotations

@@ -35,6 +35,7 @@ from typing import Hashable, Optional, Sequence
 import numpy as np
 
 from ..autodiff import Tensor, inference_mode
+from ..backend import canonical_dtype, precision
 from ..core.latent_grid import query_latent_grid, regular_grid_coordinates
 from .cache import LatentTileCache
 from .planner import GridQueryPlanner, QueryPlanner, TileGroup, pack_groups
@@ -84,18 +85,33 @@ class InferenceEngine:
         instead of constructing a private one (``cache_tiles`` is then
         ignored).  Serving worker pools pass one shared cache to all their
         engine replicas so a hot domain is encoded once for the whole pool.
+    dtype:
+        Precision of the engine's compute path (inputs, latent tiles,
+        decode scratch and outputs).  ``None`` (default) follows the
+        model's parameter dtype; an explicit value must *match* the model
+        (cast the model first with ``model.astype``) and exists so serving
+        fleets can state their precision contract.  Latent-cache keys
+        embed the dtype, so float32 and float64 engines sharing one cache
+        never alias each other's tiles.
     """
 
     def __init__(self, model, tile_shape: Optional[Sequence[int]] = None,
                  halo: Optional[Sequence[int]] = None, ramp_width: float = 2.0,
                  chunk_size: int = 4096, cache_tiles: Optional[int] = 32,
                  plan_chunk_size: int = 1 << 20,
-                 cache: Optional[LatentTileCache] = None):
+                 cache: Optional[LatentTileCache] = None,
+                 dtype=None):
         if chunk_size < 1:
             raise ValueError("chunk_size must be positive")
         if plan_chunk_size < 1:
             raise ValueError("plan_chunk_size must be positive")
         self.model = model
+        self._dtype = None if dtype is None else canonical_dtype(dtype)
+        if self._dtype is not None and self._dtype != model.dtype:
+            raise ValueError(
+                f"engine dtype {self._dtype.name} does not match model parameter dtype "
+                f"{model.dtype.name}; cast the model first with model.astype({self._dtype.name!r})"
+            )
         self.tile_shape = None if tile_shape is None else tuple(int(v) for v in tile_shape)
         if self.tile_shape is not None and len(self.tile_shape) != 3:
             raise ValueError(f"tile_shape must have 3 entries (t, z, x); got {self.tile_shape}")
@@ -117,6 +133,11 @@ class InferenceEngine:
             )
 
     # ------------------------------------------------------------------ info
+    @property
+    def dtype(self) -> np.dtype:
+        """Precision the engine computes in (the model's parameter dtype)."""
+        return self._dtype if self._dtype is not None else self.model.dtype
+
     @property
     def is_exact(self) -> bool:
         """Whether tiled output provably matches direct decoding to round-off.
@@ -156,17 +177,21 @@ class InferenceEngine:
             latent entries; with ``key=None`` identity is the array object
             itself, which is private to this engine.
         """
-        data = lowres.data if isinstance(lowres, Tensor) else np.asarray(lowres, dtype=np.float64)
-        if data.ndim != 5:
-            raise ValueError(f"lowres must be 5-D (N, C, nt, nz, nx); got shape {data.shape}")
-        domain_shape = data.shape[2:]
+        dt = self.dtype
+        source = lowres.data if isinstance(lowres, Tensor) else np.asarray(lowres)
+        if source.ndim != 5:
+            raise ValueError(f"lowres must be 5-D (N, C, nt, nz, nx); got shape {source.shape}")
+        domain_shape = source.shape[2:]
         tile_shape = self.tile_shape if self.tile_shape is not None else domain_shape
         layout = TileLayout(
             domain_shape, tile_shape, halo=self.halo,
             divisor=self.model.unet.required_divisor(), ramp_width=self.ramp_width,
         )
-        token = ("named", key) if key is not None else self._domain_token(data)
-        return TiledLatentField(self, data, layout, token)
+        # Token identity is the *caller's* array object, before any precision
+        # cast, so re-opening the same domain reuses cache entries even when
+        # the engine casts a fresh float32 copy each time.
+        token = ("named", key) if key is not None else self._domain_token(source)
+        return TiledLatentField(self, source, layout, token, dt)
 
     def _domain_token(self, data: np.ndarray) -> int:
         """Cache-key token for a domain array; stable across re-opens."""
@@ -223,11 +248,14 @@ class TiledLatentField:
     """
 
     def __init__(self, engine: InferenceEngine, lowres: np.ndarray,
-                 layout: TileLayout, token: int):
+                 layout: TileLayout, token: int, dtype: np.dtype):
         self.engine = engine
         self.lowres = lowres
         self.layout = layout
         self.token = token
+        #: Precision of the compute path; crops are cast tile-by-tile at
+        #: encode time so no full-domain copy is ever materialised.
+        self.dtype = np.dtype(dtype)
         self.planner = QueryPlanner(layout)
 
     # ---------------------------------------------------------------- encode
@@ -244,23 +272,25 @@ class TiledLatentField:
         :func:`~repro.autodiff.inference_mode` (in eval mode when tiling, so
         normalisation statistics do not depend on the crop).
         """
-        return self.engine.cache.get_or_create((self.token, tile), lambda: self._encode(tile))
+        return self.engine.cache.get_or_create(
+            (self.token, tile, self.dtype.name), lambda: self._encode(tile))
 
     def _encode(self, tile: int) -> np.ndarray:
         model = self.engine.model
         slices = self.layout.tile_slices(tile)
-        crop = self.lowres[(slice(None), slice(None), *slices)]
+        crop = np.ascontiguousarray(
+            self.lowres[(slice(None), slice(None), *slices)], dtype=self.dtype)
         if self.layout.is_single_tile:
             # Direct mode mirrors the seed path bit-for-bit, including its
             # use of the model's current training/eval mode.
-            with inference_mode():
-                return model.latent_grid(Tensor(np.ascontiguousarray(crop))).data
+            with precision(self.dtype), inference_mode():
+                return model.latent_grid(Tensor(crop)).data
         modules = list(model.unet.modules())
         previous = [m.training for m in modules]
         model.unet.eval()
         try:
-            with inference_mode():
-                return model.latent_grid(Tensor(np.ascontiguousarray(crop))).data
+            with precision(self.dtype), inference_mode():
+                return model.latent_grid(Tensor(crop)).data
         finally:
             for module, mode in zip(modules, previous):
                 object.__setattr__(module, "training", mode)
@@ -283,7 +313,7 @@ class TiledLatentField:
         per-tile outputs are blended with the planner's partition-of-unity
         weights.
         """
-        coords = np.asarray(coords, dtype=np.float64)
+        coords = np.asarray(coords, dtype=self.dtype)
         if coords.ndim != 2 or coords.shape[1] != 3:
             raise ValueError(f"coords must have shape (P, 3); got {coords.shape}")
         engine = self.engine
@@ -291,11 +321,11 @@ class TiledLatentField:
         n_batch = self.n_batch
         n_points = coords.shape[0]
         out_channels = model.config.out_channels
-        out = np.zeros((n_batch, n_points, out_channels))
+        out = np.zeros((n_batch, n_points, out_channels), dtype=self.dtype)
         chunk = engine.chunk_size
         if self.layout.is_single_tile:
             grid = Tensor(self.latent_tile(0))
-            with inference_mode():
+            with precision(self.dtype), inference_mode():
                 for start in range(0, n_points, chunk):
                     stop = min(start + chunk, n_points)
                     block = np.broadcast_to(coords[start:stop], (n_batch, stop - start, 3)).copy()
@@ -338,16 +368,17 @@ class TiledLatentField:
         n_batch = self.n_batch
         width = max(g.n for g in fused)
         grids = np.concatenate([self.latent_tile(g.tile) for g in fused], axis=0)
-        block = np.zeros((len(fused), width, 3))
+        block = np.zeros((len(fused), width, 3), dtype=self.dtype)
         for slot, g in enumerate(fused):
             block[slot, : g.n] = g.local_coords
         block = np.repeat(block, n_batch, axis=0)
-        with inference_mode():
+        with precision(self.dtype), inference_mode():
             pred = query_latent_grid(Tensor(grids), Tensor(block), model.imnet,
                                      interpolation=model.config.interpolation)
         for slot, g in enumerate(fused):
             values = pred.data[slot * n_batch:(slot + 1) * n_batch, : g.n]
-            out_view[:, g.rows, :] += g.weights[None, :, None] * values
+            weights = g.weights.astype(self.dtype, copy=False)
+            out_view[:, g.rows, :] += weights[None, :, None] * values
 
     # ------------------------------------------------------------ dense grid
     def predict_grid(self, output_shape: Sequence[int]) -> np.ndarray:
@@ -365,10 +396,11 @@ class TiledLatentField:
         if len(output_shape) != 3:
             raise ValueError(f"output_shape must be (nt, nz, nx); got {output_shape}")
         if self.layout.is_single_tile:
-            out = self.query(regular_grid_coordinates(output_shape))
+            out = self.query(regular_grid_coordinates(output_shape, dtype=self.dtype))
         else:
             n_points = int(np.prod(output_shape))
-            out = np.zeros((self.n_batch, n_points, self.engine.model.config.out_channels))
+            out = np.zeros((self.n_batch, n_points, self.engine.model.config.out_channels),
+                           dtype=self.dtype)
             self._decode_tile_major(GridQueryPlanner(self.layout).plan(output_shape), out)
         out = out.reshape(self.n_batch, *output_shape, -1)
         return np.moveaxis(out, -1, 1)

@@ -8,7 +8,7 @@ a pair of high-resolution field blocks into exactly that row.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
 import numpy as np

@@ -20,8 +20,6 @@ definitions is the non-dimensional ``R* = sqrt(Pr/Ra)`` of the simulation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Mapping
 
 import numpy as np
 

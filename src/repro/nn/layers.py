@@ -127,7 +127,7 @@ class BatchNorm3d(Module):
         else:
             mu = Tensor(self.running_mean.reshape(1, -1, 1, 1, 1))
             v = Tensor(self.running_var.reshape(1, -1, 1, 1, 1))
-        x_hat = ops.div(ops.sub(x, mu), ops.sqrt(ops.add(v, Tensor(np.array(self.eps)))))
+        x_hat = ops.div(ops.sub(x, mu), ops.sqrt(ops.add(v, self.eps)))
         if self.affine:
             w = ops.reshape(self.weight, (1, self.num_features, 1, 1, 1))
             b = ops.reshape(self.bias, (1, self.num_features, 1, 1, 1))
@@ -156,7 +156,7 @@ class GroupNorm3d(Module):
         xg = ops.reshape(x, (n, g, c // g, d, h, w))
         mu = ops.mean(xg, axis=(2, 3, 4, 5), keepdims=True)
         v = ops.var(xg, axis=(2, 3, 4, 5), keepdims=True)
-        x_hat = ops.div(ops.sub(xg, mu), ops.sqrt(ops.add(v, Tensor(np.array(self.eps)))))
+        x_hat = ops.div(ops.sub(xg, mu), ops.sqrt(ops.add(v, self.eps)))
         x_hat = ops.reshape(x_hat, (n, c, d, h, w))
         if self.affine:
             wpar = ops.reshape(self.weight, (1, c, 1, 1, 1))
@@ -180,7 +180,7 @@ class LayerNorm(Module):
     def forward(self, x: Tensor) -> Tensor:
         mu = ops.mean(x, axis=-1, keepdims=True)
         v = ops.var(x, axis=-1, keepdims=True)
-        x_hat = ops.div(ops.sub(x, mu), ops.sqrt(ops.add(v, Tensor(np.array(self.eps)))))
+        x_hat = ops.div(ops.sub(x, mu), ops.sqrt(ops.add(v, self.eps)))
         if self.affine:
             x_hat = ops.add(ops.mul(x_hat, self.weight), self.bias)
         return x_hat
@@ -258,7 +258,7 @@ class Sin(Module):
         self.w0 = float(w0)
 
     def forward(self, x: Tensor) -> Tensor:
-        return ops.sin(ops.mul(x, Tensor(np.array(self.w0))))
+        return ops.sin(ops.mul(x, self.w0))
 
 
 class Identity(Module):
@@ -280,7 +280,7 @@ class Dropout(Module):
     def forward(self, x: Tensor) -> Tensor:
         if not self.training or self.p == 0.0:
             return x
-        mask = (self._rng.random(x.shape) >= self.p).astype(np.float64) / (1.0 - self.p)
+        mask = (self._rng.random(x.shape) >= self.p).astype(x.dtype) / (1.0 - self.p)
         return ops.mul(x, Tensor(mask))
 
 

@@ -3,20 +3,30 @@
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterator, Optional
+from typing import Iterator
 
 import numpy as np
 
 from ..autodiff import Tensor
+from ..backend import canonical_dtype, default_dtype
 
 __all__ = ["Parameter", "Module"]
 
 
 class Parameter(Tensor):
-    """A :class:`Tensor` that is registered as a trainable module attribute."""
+    """A :class:`Tensor` that is registered as a trainable module attribute.
 
-    def __init__(self, data, requires_grad: bool = True, name: str | None = None):
-        super().__init__(data, requires_grad=requires_grad, name=name)
+    Unlike plain tensors (which preserve the dtype of floating input
+    arrays), parameters *follow the precision policy* at construction
+    unless ``dtype`` is given explicitly: building a module under
+    ``precision("float32")`` yields float32 weights even though the
+    initialiser RNG emits float64 draws.  Use :meth:`Module.astype` to
+    re-cast an existing module.
+    """
+
+    def __init__(self, data, requires_grad: bool = True, dtype=None, name: str | None = None):
+        super().__init__(data, requires_grad=requires_grad,
+                         dtype=dtype if dtype is not None else default_dtype(), name=name)
 
 
 class Module:
@@ -43,8 +53,13 @@ class Module:
         object.__setattr__(self, name, value)
 
     def register_buffer(self, name: str, value: np.ndarray) -> None:
-        """Register non-trainable persistent state (e.g. running statistics)."""
-        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        """Register non-trainable persistent state (e.g. running statistics).
+
+        Buffers follow the precision policy at registration time (like
+        :class:`Parameter`), so a module built under ``precision("float32")``
+        keeps float32 running statistics.
+        """
+        self._buffers[name] = np.asarray(value, dtype=default_dtype())
         object.__setattr__(self, name, self._buffers[name])
 
     def register_parameter(self, name: str, param: Parameter) -> None:
@@ -85,6 +100,48 @@ class Module:
     def num_parameters(self) -> int:
         """Total number of trainable scalar parameters."""
         return int(sum(p.size for p in self.parameters()))
+
+    # -------------------------------------------------------------- precision
+    @property
+    def dtype(self) -> np.dtype:
+        """Dtype of the module's parameters (first parameter's dtype).
+
+        Modules are expected to be precision-homogeneous: construction
+        under one policy and :meth:`astype` both guarantee it.
+        """
+        for p in self.parameters():
+            return p.data.dtype
+        return default_dtype()
+
+    def astype(self, dtype) -> "Module":
+        """Cast every parameter and buffer to ``dtype`` in place; returns self.
+
+        Casting to a *different* dtype re-materialises the underlying
+        arrays, so a module whose parameters were shared with another
+        module tree (see ``MeshfreeFlowNet.replicate``) stops sharing
+        them — cast first, replicate after.  A same-dtype cast is a no-op
+        that keeps existing sharing intact.  Gradients are reset (a
+        float64 gradient against float32 weights is meaningless).
+        """
+        dt = canonical_dtype(dtype)
+        for module in self.modules():
+            for name, param in module._parameters.items():
+                if param is None:
+                    continue
+                param.data = param.data.astype(dt, copy=False)
+                param.grad = None
+            for name, buf in module._buffers.items():
+                module._buffers[name] = np.asarray(buf).astype(dt, copy=False)
+                object.__setattr__(module, name, module._buffers[name])
+        return self
+
+    def float(self) -> "Module":
+        """Cast the module to float32 in place (alias for ``astype``)."""
+        return self.astype(np.float32)
+
+    def double(self) -> "Module":
+        """Cast the module to float64 in place (alias for ``astype``)."""
+        return self.astype(np.float64)
 
     # ------------------------------------------------------------------ modes
     def train(self, mode: bool = True) -> "Module":

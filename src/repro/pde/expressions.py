@@ -91,7 +91,7 @@ class Term:
         if out is None:
             raise ValueError("a Term needs at least one symbol")
         if self.coefficient != 1.0:
-            out = ops.mul(out, Tensor(np.array(float(self.coefficient))))
+            out = ops.mul(out, float(self.coefficient))
         return out
 
 

@@ -22,7 +22,10 @@ concurrent* requests cheap by coalescing them onto that machinery:
   synchronous :class:`Client`.
 
 Coalesced results are bit-identical to issuing each request alone through
-the :class:`~repro.inference.InferenceEngine`.
+the :class:`~repro.inference.InferenceEngine`.  A server can host replica
+fleets at several precisions (``ModelServer(precisions=("float64",
+"float32"))``); requests pick one per call via ``QueryRequest.dtype`` and
+batches are coalesced within each ``(domain, dtype)`` group.
 
 Quickstart
 ----------

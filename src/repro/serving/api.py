@@ -12,8 +12,10 @@ Endpoints
 ``POST /query``
     Body: ``{"domain_id": str, "coords": [[t, z, x], ...]}`` *or*
     ``{"domain_id": str, "output_shape": [nt, nz, nx]}``, plus optional
-    ``"priority"`` (int) and ``"timeout"`` (seconds).  Response:
-    ``{"request_id", "status", "shape", "values", "error", ...timings}``.
+    ``"priority"`` (int), ``"timeout"`` (seconds) and ``"dtype"``
+    (``"float32"`` / ``"float64"`` — a precision the server was built to
+    serve).  Response: ``{"request_id", "status", "shape", "dtype",
+    "values", "error", ...timings}``.
 ``GET /stats``
     Telemetry snapshot (see :meth:`ModelServer.stats`).
 ``GET /health``
@@ -50,6 +52,7 @@ def _result_payload(result: QueryResult) -> dict:
     }
     if result.values is not None:
         payload["shape"] = list(result.values.shape)
+        payload["dtype"] = result.values.dtype.name
         payload["values"] = result.values.ravel().tolist()
     return payload
 
@@ -94,6 +97,7 @@ def _make_handler(server: ModelServer):
                     output_shape=(tuple(body["output_shape"])
                                   if body.get("output_shape") is not None else None),
                     priority=int(body.get("priority", 0)),
+                    dtype=body.get("dtype"),
                 )
                 timeout = body.get("timeout")
                 if timeout is not None:
@@ -103,6 +107,9 @@ def _make_handler(server: ModelServer):
                 return
             try:
                 result = server.query(request, timeout=timeout)
+            except ValueError as exc:
+                self._send_json({"error": str(exc)}, status=400)
+                return
             except (ServerOverloadedError, SchedulerClosedError) as exc:
                 self._send_json({"error": str(exc), "status": "rejected"}, status=503)
                 return
@@ -140,7 +147,8 @@ class Client:
     """Synchronous convenience client for the HTTP gateway.
 
     Opens one connection per call (thread-safe without shared state); values
-    come back as float64 arrays bit-identical to a direct engine call.
+    come back in the served precision (float64 by default), bit-identical
+    to a direct engine call at that precision.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8080,
@@ -170,7 +178,8 @@ class Client:
     def _to_result(data: dict) -> QueryResult:
         values = None
         if data.get("values") is not None:
-            values = np.asarray(data["values"], dtype=np.float64).reshape(data["shape"])
+            values = np.asarray(data["values"],
+                                dtype=data.get("dtype", "float64")).reshape(data["shape"])
         return QueryResult(
             request_id=data["request_id"], status=data["status"], values=values,
             error=data.get("error"), queue_seconds=data.get("queue_seconds", 0.0),
@@ -180,19 +189,21 @@ class Client:
 
     # ------------------------------------------------------------------- calls
     def query_points(self, domain_id: str, coords, priority: int = 0,
-                     timeout: Optional[float] = None) -> QueryResult:
+                     timeout: Optional[float] = None,
+                     dtype: Optional[str] = None) -> QueryResult:
         """Decode values at ``(P, 3)`` coordinates of a registered domain."""
         payload = {"domain_id": domain_id,
                    "coords": np.asarray(coords, dtype=np.float64).tolist(),
-                   "priority": priority, "timeout": timeout}
+                   "priority": priority, "timeout": timeout, "dtype": dtype}
         return self._to_result(self._call("POST", "/query", payload))
 
     def predict_grid(self, domain_id: str, output_shape, priority: int = 0,
-                     timeout: Optional[float] = None) -> QueryResult:
+                     timeout: Optional[float] = None,
+                     dtype: Optional[str] = None) -> QueryResult:
         """Super-resolve a registered domain onto a regular grid."""
         payload = {"domain_id": domain_id,
                    "output_shape": [int(v) for v in output_shape],
-                   "priority": priority, "timeout": timeout}
+                   "priority": priority, "timeout": timeout, "dtype": dtype}
         return self._to_result(self._call("POST", "/query", payload))
 
     def stats(self) -> dict:

@@ -18,6 +18,8 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..backend import canonical_dtype
+
 __all__ = [
     "QueryRequest",
     "QueryResult",
@@ -59,6 +61,11 @@ class QueryRequest:
         Regular high-resolution grid shape ``(nt, nz, nx)``.
     priority:
         Higher values are scheduled first within the pending queue.
+    dtype:
+        Requested compute precision (``"float32"`` / ``"float64"``); the
+        server routes the request to an engine replica of that precision
+        and the result values come back in that dtype.  ``None`` uses the
+        server's default precision.
     deadline:
         Absolute :func:`time.monotonic` instant after which the request
         should not be served (it completes with ``status="timeout"``).
@@ -73,13 +80,18 @@ class QueryRequest:
     output_shape: Optional[Tuple[int, int, int]] = None
     priority: int = 0
     deadline: Optional[float] = None
+    dtype: Optional[str] = None
     request_id: str = field(default_factory=_next_request_id)
 
     def __post_init__(self):
         if (self.coords is None) == (self.output_shape is None):
             raise ValueError("exactly one of coords / output_shape must be given")
+        if self.dtype is not None:
+            self.dtype = canonical_dtype(self.dtype).name
         if self.coords is not None:
             self.coords = np.asarray(self.coords, dtype=np.float64)
+            # Coordinates stay float64 here; the engine casts them to the
+            # request's compute precision at decode time.
             if self.coords.ndim != 2 or self.coords.shape[1] != 3:
                 raise ValueError(f"coords must have shape (P, 3); got {self.coords.shape}")
             if self.coords.shape[0] == 0:

@@ -27,7 +27,7 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Mapping, Optional
 
 import numpy as np
 
@@ -207,25 +207,39 @@ class MicroBatchScheduler:
 
 def run_batch(engine, items: List[_PendingItem],
               resolve_domain: "Callable[[str], tuple]",
-              telemetry=None) -> None:
+              telemetry=None, default_dtype: Optional[str] = None) -> None:
     """Execute one micro-batch on ``engine``, resolving every item's future.
+
+    ``engine`` is either a single :class:`~repro.inference.InferenceEngine`
+    or a mapping from dtype name (``"float32"`` / ``"float64"``) to an
+    engine replica of that precision; requests carrying a ``dtype`` are
+    routed to the matching replica (``default_dtype`` names the fallback
+    for requests that leave it unset — it defaults to the single engine /
+    first mapping entry).
 
     ``resolve_domain`` maps a domain id to ``(lowres_array, cache_key)``
     (raising ``KeyError`` for unknown ids); the key is passed to
     ``engine.open`` so all workers share the same latent cache entries.
 
-    Requests are grouped by domain; per domain, all point queries are
-    concatenated into one engine ``query`` call (cross-request tile
-    coalescing — see the module docstring for why results stay exact) and
-    grid queries run through ``predict_grid`` individually, still sharing
-    the latent-tile cache.  Expired requests complete with
+    Requests are grouped by ``(domain, dtype)``; per group, all point
+    queries are concatenated into one engine ``query`` call (cross-request
+    tile coalescing — see the module docstring for why results stay exact)
+    and grid queries run through ``predict_grid`` individually, still
+    sharing the latent-tile cache.  Expired requests complete with
     ``status="timeout"`` without decoding; cancelled futures are skipped;
-    per-domain failures resolve that domain's items with
-    ``status="error"`` without poisoning the rest of the batch.
+    per-group failures resolve that group's items with ``status="error"``
+    without poisoning the rest of the batch.
     """
+    if isinstance(engine, Mapping):
+        engines = dict(engine)
+    else:
+        engines = {getattr(engine, "dtype", np.dtype(np.float64)).name: engine}
+    if default_dtype is None:
+        default_dtype = next(iter(engines))
+
     start = time.monotonic()
     n_batch_requests = len(items)
-    live: "dict[str, list[_PendingItem]]" = {}
+    live: "dict[tuple[str, str], list[_PendingItem]]" = {}
     executed_points = 0
     executed_requests = 0
 
@@ -248,9 +262,10 @@ def run_batch(engine, items: List[_PendingItem],
                 batch_requests=n_batch_requests,
                 error="deadline expired before execution"))
             continue
-        live.setdefault(item.request.domain_id, []).append(item)
+        dtype_name = item.request.dtype or default_dtype
+        live.setdefault((item.request.domain_id, dtype_name), []).append(item)
 
-    for domain_id, domain_items in live.items():
+    for (domain_id, dtype_name), domain_items in live.items():
         try:
             lowres, domain_key = resolve_domain(domain_id)
         except KeyError:
@@ -261,8 +276,18 @@ def run_batch(engine, items: List[_PendingItem],
                     batch_requests=n_batch_requests,
                     error=f"unknown domain '{domain_id}'"))
             continue
+        group_engine = engines.get(dtype_name)
+        if group_engine is None:
+            for item in domain_items:
+                resolve(item, QueryResult(
+                    request_id=item.request.request_id, status=STATUS_ERROR,
+                    queue_seconds=start - item.enqueued_at,
+                    batch_requests=n_batch_requests,
+                    error=f"no engine replica serves precision '{dtype_name}' "
+                          f"(available: {sorted(engines)})"))
+            continue
         try:
-            field = engine.open(lowres, key=domain_key)
+            field = group_engine.open(lowres, key=domain_key)
             point_items = [i for i in domain_items if not i.request.is_grid]
             grid_items = [i for i in domain_items if i.request.is_grid]
             outputs: "list[tuple[_PendingItem, np.ndarray]]" = []

@@ -32,6 +32,7 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from ..autodiff import Tensor
+from ..backend import canonical_dtype
 from ..inference import InferenceEngine, LatentTileCache
 from .requests import STATUS_CANCELLED, STATUS_TIMEOUT, QueryRequest, QueryResult
 from .scheduler import (
@@ -63,9 +64,18 @@ class ModelServer:
     max_pending:
         Bound on queued requests (admission control); submissions beyond it
         raise :class:`~repro.serving.scheduler.ServerOverloadedError`.
+    precisions:
+        Dtype names this server serves (e.g. ``("float64", "float32")``);
+        the first entry is the default for requests that do not set
+        :attr:`QueryRequest.dtype`.  For every non-default precision the
+        server keeps one cast copy of the weights, shared by that
+        precision's per-worker engine replicas, so a float32 fleet serves
+        alongside the float64 one at +half the weight memory.  Defaults to
+        the model's own parameter dtype only.
     tile_shape, cache_tiles, engine_kwargs:
         Forwarded to every :class:`~repro.inference.InferenceEngine`
-        replica (``cache_tiles`` sizes the single shared latent cache).
+        replica (``cache_tiles`` sizes the single shared latent cache;
+        cache keys embed the precision, so fleets never alias tiles).
     """
 
     def __init__(self, model, n_workers: int = 2,
@@ -74,16 +84,38 @@ class ModelServer:
                  tile_shape: Optional[Sequence[int]] = None,
                  cache_tiles: Optional[int] = 64,
                  telemetry_window: int = 2048,
+                 precisions: Optional[Sequence] = None,
                  **engine_kwargs):
         if n_workers < 1:
             raise ValueError("n_workers must be positive")
         self.cache = LatentTileCache(capacity=cache_tiles)
-        replicas = model.replicate(n_workers, share_parameters=True)
-        self.engines = [
-            InferenceEngine(replica.eval(), tile_shape=tile_shape,
-                            cache=self.cache, **engine_kwargs)
-            for replica in replicas
-        ]
+        if precisions is None:
+            precisions = (model.dtype,)
+        names = [canonical_dtype(p).name for p in precisions]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate precisions: {names}")
+        self._precisions = tuple(names)
+        # One weight set per precision: the model itself for its native
+        # dtype, a single cast copy otherwise (shared by all replicas of
+        # that precision).
+        bases = {}
+        for name in names:
+            if name == model.dtype.name:
+                bases[name] = model
+            else:
+                bases[name] = model.replicate(1, share_parameters=False)[0].astype(name)
+        self._worker_engines = []
+        for _ in range(n_workers):
+            engines = {
+                name: InferenceEngine(base.replicate(1, share_parameters=True)[0].eval(),
+                                      tile_shape=tile_shape, cache=self.cache,
+                                      dtype=name, **engine_kwargs)
+                for name, base in bases.items()
+            }
+            self._worker_engines.append(engines)
+        #: Default-precision engine replicas, one per worker (back-compat
+        #: convenience for introspection and tests).
+        self.engines = [engines[self._precisions[0]] for engines in self._worker_engines]
         self.scheduler = MicroBatchScheduler(policy=policy, max_pending=max_pending)
         self.telemetry = ServerTelemetry(window=telemetry_window)
         #: domain id -> (array, generation); the generation is embedded in
@@ -91,9 +123,9 @@ class ModelServer:
         self._domains: Dict[str, tuple] = {}
         self._domains_lock = threading.Lock()
         self._workers = [
-            threading.Thread(target=self._worker_loop, args=(engine,),
+            threading.Thread(target=self._worker_loop, args=(engines,),
                              name=f"serving-worker-{i}", daemon=True)
-            for i, engine in enumerate(self.engines)
+            for i, engines in enumerate(self._worker_engines)
         ]
         self._closed = False
         for worker in self._workers:
@@ -109,7 +141,7 @@ class ModelServer:
         and no request against the new registration decodes stale latents.
         The old generation's entries are also invalidated to free memory.
         """
-        data = lowres.data if isinstance(lowres, Tensor) else np.asarray(lowres, dtype=np.float64)
+        data = lowres.data if isinstance(lowres, Tensor) else np.asarray(lowres)
         if data.ndim != 5:
             raise ValueError(f"lowres must be 5-D (N, C, nt, nz, nx); got shape {data.shape}")
         with self._domains_lock:
@@ -146,6 +178,11 @@ class ModelServer:
         backpressure and :class:`SchedulerClosedError` after :meth:`close` —
         both count as rejected admissions in the telemetry.
         """
+        if request.dtype is not None and request.dtype not in self._precisions:
+            raise ValueError(
+                f"request precision '{request.dtype}' is not served; this server "
+                f"offers {list(self._precisions)} (see ModelServer(precisions=...))"
+            )
         if timeout is not None:
             request = dataclasses.replace(
                 request, deadline=time.monotonic() + float(timeout))
@@ -181,19 +218,27 @@ class ModelServer:
                                error="request cancelled")
 
     # ---------------------------------------------------------------- workers
-    def _worker_loop(self, engine: InferenceEngine) -> None:
+    def _worker_loop(self, engines: "dict[str, InferenceEngine]") -> None:
         while True:
             batch = self.scheduler.next_batch()
             if batch is None:
                 return
             if batch:
-                run_batch(engine, batch, self._resolve_domain, telemetry=self.telemetry)
+                run_batch(engines, batch, self._resolve_domain,
+                          telemetry=self.telemetry, default_dtype=self._precisions[0])
 
     # ------------------------------------------------------------------ stats
     def stats(self) -> dict:
         """Telemetry snapshot including queue depth and shared-cache counters."""
-        return self.telemetry.snapshot(queue_depth=len(self.scheduler),
-                                       cache_stats=self.cache.stats())
+        snapshot = self.telemetry.snapshot(queue_depth=len(self.scheduler),
+                                           cache_stats=self.cache.stats())
+        snapshot["precisions"] = list(self._precisions)
+        return snapshot
+
+    @property
+    def precisions(self) -> tuple:
+        """Dtype names served, default first."""
+        return self._precisions
 
     @property
     def n_workers(self) -> int:

@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-import numpy as np
 
 from .rayleigh_benard import RayleighBenardConfig, RayleighBenardSolver
 from .result import SimulationResult

@@ -32,7 +32,7 @@ resolutions that fit a single CPU core.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 import numpy as np
@@ -196,7 +196,6 @@ class RayleighBenardSolver:
         cfg = self.config
         ug = self._noslip_ghosts(self.u)
         wg = self._noslip_ghosts(self.w)
-        tg = self._temperature_ghosts(self.T)
         adv_u = -(self.u * spectral.ddx(self.u, cfg.lx) + self.w * spectral.ddz(self.u, self.dz, ug))
         adv_w = -(self.u * spectral.ddx(self.w, cfg.lx) + self.w * spectral.ddz(self.w, self.dz, wg)) + self.T
         rhs = spectral.ddx(adv_u, cfg.lx) + spectral.ddz(adv_w, self.dz, spectral.neumann_ghosts(adv_w))

@@ -12,15 +12,14 @@ exercised separately in :mod:`repro.distributed`).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from ..autodiff import Tensor
 from ..core.losses import LossWeights, compute_losses
 from ..data.dataset import Batch, SuperResolutionDataset
-from ..distributed.sampler import DistributedSampler
 from ..metrics.report import MetricReport, evaluate_fields
 from ..nn.module import Module
 from ..optim import Adam, Optimizer, SGD, clip_grad_norm
@@ -109,7 +108,7 @@ class Trainer:
             total, breakdown = self._loss_for_batch(batch)
             # Average gradients across workers: scale each worker's loss by 1/world_size
             # before backward so the accumulated gradient equals the DDP average.
-            scaled = total * Tensor(np.array(1.0 / cfg.world_size))
+            scaled = total * (1.0 / cfg.world_size)
             scaled.backward()
             losses.append(breakdown.total)
             pred_losses.append(breakdown.prediction)

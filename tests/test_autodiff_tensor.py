@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.backend import default_dtype
 from repro.autodiff import Tensor, enable_grad, grad, is_grad_enabled, no_grad, ops
 
 
@@ -10,7 +11,7 @@ class TestTensorBasics:
     def test_construction_from_list(self):
         x = Tensor([1.0, 2.0, 3.0])
         assert x.shape == (3,)
-        assert x.dtype == np.float64
+        assert x.dtype == default_dtype()  # dtype-less data follows the policy
         assert not x.requires_grad
 
     def test_construction_from_tensor(self):

@@ -1,0 +1,356 @@
+"""Tests for the precision-aware compute backend (repro.backend).
+
+Covers the thread-local precision policy, the strong-array / weak-scalar
+promotion rule (a Python scalar must never upcast a float32 graph — the
+PR's regression satellite), module casting, and the dtype threading
+through the inference engine and the serving stack.
+"""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autodiff import Tensor, grad, inference_mode, ops
+from repro.backend import (
+    NumpyBackend,
+    available_backends,
+    canonical_dtype,
+    default_dtype,
+    get_backend,
+    operand_dtype,
+    precision,
+)
+from repro.core import MeshfreeFlowNet, MeshfreeFlowNetConfig
+from repro.inference import InferenceEngine, LatentTileCache
+from repro.serving import ModelServer, QueryRequest
+
+
+#: The process-wide initial policy (float64 unless the REPRO_DEFAULT_DTYPE
+#: environment variable — e.g. the float32 CI leg — says otherwise).
+PROCESS_DEFAULT = canonical_dtype(os.environ.get("REPRO_DEFAULT_DTYPE") or "float64")
+
+
+# --------------------------------------------------------------------- policy
+class TestPolicy:
+    def test_default_matches_process_policy(self):
+        assert default_dtype() == PROCESS_DEFAULT
+
+    def test_precision_scopes_and_restores(self):
+        initial = default_dtype()
+        with precision("float32"):
+            assert default_dtype() == np.dtype(np.float32)
+            with precision("float64"):
+                assert default_dtype() == np.dtype(np.float64)
+            assert default_dtype() == np.dtype(np.float32)
+        assert default_dtype() == initial
+
+    def test_precision_restored_on_error(self):
+        initial = default_dtype()
+        with pytest.raises(RuntimeError):
+            with precision("float32"):
+                raise RuntimeError("boom")
+        assert default_dtype() == initial
+
+    def test_precision_is_thread_local(self):
+        seen = {}
+
+        def worker():
+            seen["worker"] = default_dtype()
+
+        other = "float32" if PROCESS_DEFAULT == np.dtype(np.float64) else "float64"
+        with precision(other):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert seen["worker"] == PROCESS_DEFAULT
+
+    @pytest.mark.parametrize("spec, expected", [
+        ("float32", np.float32), ("float64", np.float64), ("f4", np.float32),
+        (np.float32, np.float32), (np.dtype(np.float64), np.float64),
+        (float, np.float64),
+    ])
+    def test_canonical_dtype_spellings(self, spec, expected):
+        assert canonical_dtype(spec) == np.dtype(expected)
+
+    @pytest.mark.parametrize("bad", ["float16", np.int64, "complex128"])
+    def test_canonical_dtype_rejects_unsupported(self, bad):
+        with pytest.raises(ValueError):
+            canonical_dtype(bad)
+
+    def test_canonical_dtype_rejects_non_dtype(self):
+        with pytest.raises(TypeError):
+            canonical_dtype(object())
+
+    def test_operand_dtype_scalars_are_weak(self):
+        t32 = Tensor(np.ones(2, dtype=np.float32))
+        assert operand_dtype([t32, 2.0]) == np.dtype(np.float32)
+        assert operand_dtype([2.0, 3]) == default_dtype()
+
+    def test_operand_dtype_promotes_strong_operands(self):
+        t32 = Tensor(np.ones(2, dtype=np.float32))
+        t64 = Tensor(np.ones(2, dtype=np.float64))
+        assert operand_dtype([t32, t64]) == np.dtype(np.float64)
+
+    def test_backend_registry(self):
+        assert "numpy" in available_backends()
+        assert isinstance(get_backend(), NumpyBackend)
+        assert isinstance(get_backend("numpy"), NumpyBackend)
+        with pytest.raises(ValueError):
+            get_backend("nonexistent")
+
+    def test_backend_constructors_follow_policy(self):
+        b = get_backend()
+        with precision("float32"):
+            assert b.zeros((2,)).dtype == np.float32
+            assert b.ones((2,)).dtype == np.float32
+            assert b.asarray([1, 2]).dtype == np.float32
+        assert b.zeros((2,)).dtype == default_dtype()
+
+
+# --------------------------------------------------------------------- tensor
+class TestTensorDtype:
+    def test_float_arrays_keep_their_dtype(self):
+        assert Tensor(np.ones(3, dtype=np.float32)).dtype == np.float32
+        assert Tensor(np.ones(3, dtype=np.float64)).dtype == np.float64
+
+    def test_weak_data_follows_policy(self):
+        assert Tensor(1.0).dtype == default_dtype()
+        assert Tensor([1, 2, 3]).dtype == default_dtype()
+        with precision("float32"):
+            assert Tensor(1.0).dtype == np.float32
+            assert Tensor([1, 2, 3]).dtype == np.float32
+            # strong float arrays are never down-cast by the policy
+            assert Tensor(np.ones(3, dtype=np.float64)).dtype == np.float64
+
+    def test_explicit_dtype_wins(self):
+        with precision("float32"):
+            assert Tensor(np.ones(3, dtype=np.float64), dtype=np.float32).dtype == np.float32
+
+    def test_astype_round_trip(self):
+        t = Tensor(np.arange(3.0), requires_grad=True)
+        t32 = t.astype("float32")
+        assert t32.dtype == np.float32 and t32.requires_grad
+        assert np.allclose(t32.numpy(), t.numpy())
+        assert t.dtype == np.float64  # original untouched
+
+    # ----------------------- the promotion-regression satellite -------------
+    @pytest.mark.parametrize("expr", [
+        lambda t: t * 2.0, lambda t: 2.0 * t, lambda t: t + 1, lambda t: 1 - t,
+        lambda t: t / 3.0, lambda t: 3.0 / t, lambda t: -t, lambda t: t ** 2,
+        lambda t: ops.mul(t, 0.5), lambda t: ops.maximum(t, 0.0),
+        lambda t: ops.clip_by_value(t, -1.0, 1.0), lambda t: ops.mean(t),
+    ])
+    def test_python_scalar_does_not_upcast_float32(self, expr):
+        t = Tensor(np.linspace(0.1, 1.0, 8, dtype=np.float32))
+        assert expr(t).dtype == np.float32
+
+    def test_scalar_promotion_in_inference_mode(self):
+        t = Tensor(np.ones(4, dtype=np.float32))
+        with inference_mode():
+            assert (t * 2.0).dtype == np.float32
+
+    def test_float64_scalars_still_float64(self):
+        t = Tensor(np.ones(4))
+        assert (t * 2.0).dtype == np.float64
+
+    def test_gradients_inherit_graph_dtype(self):
+        x = Tensor(np.linspace(0.1, 1.0, 5, dtype=np.float32), requires_grad=True)
+        y = ops.sum(ops.mul(ops.sin(x), 2.0))
+        g = grad(y, x, create_graph=True)
+        assert g.dtype == np.float32
+        g2 = grad(ops.sum(g), x)
+        assert g2.dtype == np.float32
+
+    def test_backward_seed_inherits_dtype(self):
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        ops.sum(ops.square(x)).backward()
+        assert x.grad.dtype == np.float32
+
+
+# -------------------------------------------------------------------- modules
+class TestModulePrecision:
+    def test_parameters_follow_policy_at_construction(self):
+        with precision("float32"):
+            layer = nn.Linear(4, 3)
+        assert layer.weight.dtype == np.float32
+        assert layer.bias.dtype == np.float32
+
+    def test_astype_casts_parameters_and_buffers(self):
+        bn = nn.BatchNorm3d(4)
+        bn.astype("float32")
+        assert bn.weight.dtype == np.float32
+        assert bn.running_mean.dtype == np.float32
+        assert bn.dtype == np.float32
+        bn.double()
+        assert bn.running_var.dtype == np.float64
+
+    def test_astype_resets_gradients(self):
+        layer = nn.Linear(2, 2)
+        x = Tensor(np.ones((1, 2)))
+        ops.sum(layer(x)).backward()
+        assert layer.weight.grad is not None
+        layer.float()
+        assert layer.weight.grad is None
+
+    def test_float32_model_forward_and_second_order(self):
+        with precision("float32"):
+            model = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny())
+        rng = np.random.default_rng(0)
+        lowres = Tensor(rng.standard_normal((1, 4, 2, 8, 8)).astype(np.float32))
+        coords = Tensor(rng.random((1, 6, 3)).astype(np.float32), requires_grad=True)
+        out = model(lowres, coords)
+        assert out.dtype == np.float32
+        g = grad(ops.sum(out), coords, create_graph=True)
+        assert g.dtype == np.float32
+        g2 = grad(ops.sum(g[:, :, 0]), coords)
+        assert g2.dtype == np.float32
+
+    def test_replicate_preserves_source_dtype_under_foreign_policy(self):
+        with precision("float32"):
+            model32 = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny())
+        # Deep-copy replication under the (different) ambient policy must
+        # not re-materialise the weights at that policy.
+        clone = model32.replicate(1, share_parameters=False)[0]
+        assert clone.dtype == np.float32
+        with precision("float32"):
+            model64 = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny()).double()
+            clone64 = model64.replicate(1, share_parameters=False)[0]
+        assert clone64.dtype == np.float64
+
+    def test_cast_model_close_to_float64_reference(self):
+        with precision("float64"):
+            model = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny()).eval()
+        model32 = model.replicate(1, share_parameters=False)[0].astype("float32")
+        rng = np.random.default_rng(1)
+        lowres = rng.standard_normal((1, 4, 2, 8, 8))
+        coords = rng.random((1, 16, 3))
+        out64 = model(Tensor(lowres), Tensor(coords)).data
+        out32 = model32(Tensor(lowres.astype(np.float32)),
+                        Tensor(coords.astype(np.float32))).data
+        assert out32.dtype == np.float32
+        assert np.max(np.abs(out64 - out32)) < 1e-4
+
+
+# --------------------------------------------------------------------- engine
+@pytest.fixture(scope="module")
+def shared_models():
+    with precision("float64"):
+        model = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny()).eval()
+        model32 = model.replicate(1, share_parameters=False)[0].astype("float32")
+    return model, model32
+
+
+@pytest.fixture(scope="module")
+def lowres():
+    return np.random.default_rng(7).standard_normal((1, 4, 4, 16, 32))
+
+
+class TestEnginePrecision:
+    def test_engine_infers_model_dtype(self, shared_models):
+        model, model32 = shared_models
+        assert InferenceEngine(model).dtype == np.float64
+        assert InferenceEngine(model32).dtype == np.float32
+
+    def test_engine_rejects_dtype_model_mismatch(self, shared_models):
+        model, _ = shared_models
+        with pytest.raises(ValueError, match="does not match model parameter dtype"):
+            InferenceEngine(model, dtype="float32")
+
+    def test_float32_outputs_and_accuracy(self, shared_models, lowres):
+        model, model32 = shared_models
+        out64 = InferenceEngine(model).predict_grid(lowres, (8, 32, 64))
+        out32 = InferenceEngine(model32, dtype="float32").predict_grid(lowres, (8, 32, 64))
+        assert out64.dtype == np.float64 and out32.dtype == np.float32
+        assert np.max(np.abs(out64 - out32)) < 1e-4
+
+    def test_float32_tiled_matches_direct_within_tolerance(self, shared_models, lowres):
+        _, model32 = shared_models
+        direct = InferenceEngine(model32).predict_grid(lowres, (8, 32, 64))
+        tiled = InferenceEngine(model32, tile_shape=(4, 16, 16),
+                                cache_tiles=4).predict_grid(lowres, (8, 32, 64))
+        assert tiled.dtype == np.float32
+        assert np.max(np.abs(tiled - direct)) < 1e-5
+
+    def test_query_points_dtype(self, shared_models, lowres):
+        _, model32 = shared_models
+        coords = np.random.default_rng(3).random((50, 3))
+        values = InferenceEngine(model32).query_points(lowres, coords)
+        assert values.dtype == np.float32
+
+    def test_shared_cache_separates_precisions(self, shared_models, lowres):
+        model, model32 = shared_models
+        cache = LatentTileCache(capacity=16)
+        e64 = InferenceEngine(model, cache=cache)
+        e32 = InferenceEngine(model32, cache=cache)
+        l64 = e64.open(lowres, key="dom").latent_tile(0)
+        l32 = e32.open(lowres, key="dom").latent_tile(0)
+        assert l64.dtype == np.float64 and l32.dtype == np.float32
+        assert len(cache) == 2  # same domain key, distinct per-dtype entries
+        assert np.max(np.abs(l64 - l32)) < 1e-3
+
+    def test_float32_latents_halve_cache_bytes(self, shared_models, lowres):
+        model, model32 = shared_models
+        c64, c32 = LatentTileCache(), LatentTileCache()
+        InferenceEngine(model, cache=c64).open(lowres).latent_tile(0)
+        InferenceEngine(model32, cache=c32).open(lowres).latent_tile(0)
+        assert c32.stats().current_bytes * 2 == c64.stats().current_bytes
+
+    def test_model_predict_grid_dtype_passthrough(self, shared_models, lowres):
+        _, model32 = shared_models
+        out = model32.predict_grid(Tensor(lowres.astype(np.float32)), (8, 32, 64),
+                                   dtype="float32")
+        assert out.dtype == np.float32
+
+
+# -------------------------------------------------------------------- serving
+class TestServingPrecision:
+    @pytest.fixture(scope="class")
+    def server(self):
+        with precision("float64"):
+            model = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny()).eval()
+        server = ModelServer(model, n_workers=2, precisions=("float64", "float32"))
+        server.register_domain("dom", np.random.default_rng(5).standard_normal((1, 4, 4, 16, 16)))
+        yield server
+        server.close()
+
+    def test_default_precision_is_first(self, server):
+        assert server.precisions == ("float64", "float32")
+        coords = np.random.default_rng(0).random((16, 3))
+        result = server.query(QueryRequest("dom", coords=coords))
+        assert result.ok and result.values.dtype == np.float64
+
+    def test_float32_requests_served_in_float32(self, server):
+        coords = np.random.default_rng(1).random((16, 3))
+        r64 = server.query(QueryRequest("dom", coords=coords))
+        r32 = server.query(QueryRequest("dom", coords=coords, dtype="float32"))
+        assert r32.ok and r32.values.dtype == np.float32
+        assert np.max(np.abs(r64.values - r32.values)) < 1e-4
+
+    def test_mixed_precision_batch(self, server):
+        coords = np.random.default_rng(2).random((8, 3))
+        futures = [server.submit(QueryRequest("dom", coords=coords,
+                                              dtype=("float32" if i % 2 else "float64")))
+                   for i in range(8)]
+        results = [f.result(timeout=60) for f in futures]
+        assert all(r.ok for r in results)
+        assert {r.values.dtype.name for r in results} == {"float32", "float64"}
+
+    def test_unserved_precision_rejected_at_submit(self, server):
+        with precision("float64"):
+            model = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny()).eval()
+        with ModelServer(model, n_workers=1) as f64_only:
+            with pytest.raises(ValueError, match="not served"):
+                f64_only.submit(QueryRequest("dom", coords=np.zeros((1, 3)),
+                                             dtype="float32"))
+
+    def test_request_dtype_canonicalised(self):
+        req = QueryRequest("dom", coords=np.zeros((1, 3)), dtype=np.float32)
+        assert req.dtype == "float32"
+        with pytest.raises(ValueError):
+            QueryRequest("dom", coords=np.zeros((1, 3)), dtype="float16")
+
+    def test_stats_report_precisions(self, server):
+        assert server.stats()["precisions"] == ["float64", "float32"]

@@ -1,0 +1,115 @@
+"""Gradient checking under float32 (dtype-aware tolerances).
+
+Float32 central differences cannot reach the float64 defaults
+(``atol=1e-5``): the optimal step ``eps ~ machine_eps ** (1/3) ~ 5e-3``
+leaves a residual gradient error of order 1e-4..1e-3 for O(1) functions.
+:func:`repro.autodiff.gradcheck` therefore resolves per-dtype defaults from
+:data:`repro.backend.GRADCHECK_TOLERANCES` (float32: ``eps=3e-3``,
+``atol=1e-2``, ``rtol=1e-2``); these tests pin that behaviour and exercise
+representative primitives, layers and a second-order path in float32.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autodiff import Tensor, gradcheck, numerical_gradient, ops
+from repro.backend import GRADCHECK_TOLERANCES, gradcheck_tolerances, precision
+
+
+def t32(rng, shape, lo=0.1, hi=1.0, requires_grad=True):
+    data = rng.uniform(lo, hi, size=shape).astype(np.float32)
+    return Tensor(data, requires_grad=requires_grad)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestToleranceTable:
+    def test_documented_defaults(self):
+        tol64 = gradcheck_tolerances("float64")
+        tol32 = gradcheck_tolerances("float32")
+        assert tol64 == {"eps": 1e-5, "atol": 1e-5, "rtol": 1e-4}
+        assert tol32 == {"eps": 3e-3, "atol": 1e-2, "rtol": 1e-2}
+        assert set(GRADCHECK_TOLERANCES) == {np.dtype(np.float32), np.dtype(np.float64)}
+
+    def test_float32_eps_near_cbrt_machine_eps(self):
+        # eps ~ machine_eps ** (1/3): the optimal central-difference step.
+        optimal = float(np.finfo(np.float32).eps) ** (1.0 / 3.0)
+        eps = gradcheck_tolerances("float32")["eps"]
+        assert optimal / 3 < eps < optimal * 3
+
+    def test_float64_defaults_would_reject_float32(self, rng):
+        """The float64 tolerances are genuinely too tight for float32 graphs."""
+        x = t32(rng, (64,))
+        with pytest.raises(AssertionError):
+            gradcheck(lambda t: ops.exp(ops.sin(ops.mul(t, t))), [x],
+                      eps=1e-5, atol=1e-5, rtol=1e-4)
+
+
+class TestFloat32Primitives:
+    @pytest.mark.parametrize("name, fn", [
+        ("mul", lambda a, b: ops.mul(a, b)),
+        ("div", lambda a, b: ops.div(a, b)),
+        ("matmul", lambda a, b: ops.matmul(a, b)),
+        ("maximum", lambda a, b: ops.maximum(a, b)),
+    ])
+    def test_binary_ops(self, rng, name, fn):
+        a, b = t32(rng, (4, 4)), t32(rng, (4, 4), lo=0.5, hi=1.5)
+        assert gradcheck(fn, [a, b])
+
+    @pytest.mark.parametrize("name, fn", [
+        ("exp", ops.exp), ("log", ops.log), ("sqrt", ops.sqrt),
+        ("sin", ops.sin), ("cos", ops.cos), ("tanh", ops.tanh),
+        ("sigmoid", ops.sigmoid), ("softplus", ops.softplus),
+        ("square", ops.square), ("mean", ops.mean),
+        ("norm", lambda t: ops.norm(t)),
+    ])
+    def test_unary_ops(self, rng, name, fn):
+        x = t32(rng, (16,))
+        assert gradcheck(fn, [x])
+
+    def test_scalar_mixed_expression_stays_float32(self, rng):
+        x = t32(rng, (8,))
+        out = ops.mul(ops.add(x, 1.0), 0.5)
+        assert out.dtype == np.float32
+        assert gradcheck(lambda t: ops.mul(ops.add(t, 1.0), 0.5), [x])
+
+    def test_second_order_float32(self, rng):
+        x = t32(rng, (8,))
+
+        def first_grad_sum(t):
+            from repro.autodiff import grad
+            y = ops.sum(ops.mul(ops.sin(t), t))
+            return ops.sum(grad(y, t, create_graph=True))
+
+        assert gradcheck(first_grad_sum, [x])
+
+    def test_numerical_gradient_accumulates_in_float64(self, rng):
+        x = t32(rng, (4,))
+        num = numerical_gradient(lambda t: ops.sum(ops.square(t)), [x], 0)
+        assert num.dtype == np.float32  # cast back to the input dtype
+        assert np.allclose(num, 2 * x.data, atol=1e-2)
+
+
+class TestFloat32Modules:
+    def test_linear_layer(self, rng):
+        with precision("float32"):
+            layer = nn.Linear(5, 3)
+        x = t32(rng, (4, 5))
+        assert layer.weight.dtype == np.float32
+        assert gradcheck(lambda t, w, b: layer(t), [x, layer.weight, layer.bias])
+
+    def test_layernorm(self, rng):
+        with precision("float32"):
+            ln = nn.LayerNorm(6)
+        x = t32(rng, (3, 6))
+        assert gradcheck(lambda t: ln(t), [x])
+
+    def test_conv3d_first_order(self, rng):
+        with precision("float32"):
+            conv = nn.Conv3d(2, 2, kernel_size=3, padding=1)
+        x = t32(rng, (1, 2, 3, 4, 4))
+        assert gradcheck(lambda t, w: conv(t), [x, conv.weight])

@@ -45,6 +45,7 @@ def tile_layout(domain=(4, 24, 40), tile=(4, 16, 16), halo=(3, 5, 5),
 # --------------------------------------------------------------------------- #
 # Tiled output == direct output                                               #
 # --------------------------------------------------------------------------- #
+@pytest.mark.float64_default
 class TestTiledDirectEquivalence:
     @pytest.mark.parametrize("tile_shape,ramp_width", [
         ((4, 16, 16), 2.0),   # tiling along z and x
@@ -231,6 +232,7 @@ class TestTilingAndPlanner:
         for g in groups:
             assert g.local_coords.min() >= 0.0 and g.local_coords.max() <= 1.0
 
+    @pytest.mark.float64_default
     def test_grid_planner_matches_generic_planner(self):
         layout = tile_layout()
         shape = (6, 18, 22)
@@ -295,6 +297,7 @@ class TestEngineAPI:
         with pytest.raises(ValueError):
             InferenceEngine(model).predict_grid(lowres, (4, 16))
 
+    @pytest.mark.float64_default
     def test_direct_mode_matches_manual_decode(self, model, lowres):
         """Direct mode reproduces encode-once + chunked-decode semantics."""
         from repro.autodiff import no_grad

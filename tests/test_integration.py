@@ -15,7 +15,7 @@ from repro.data import SuperResolutionDataset, downsample_fields
 from repro.metrics import evaluate_fields
 from repro.optim import Adam
 from repro.pde import RayleighBenard2D, divergence_free_system
-from repro.simulation import simulate_rayleigh_benard, synthetic_convection
+from repro.simulation import simulate_rayleigh_benard
 from repro.training import Trainer, TrainerConfig, evaluate_model, save_checkpoint, load_checkpoint
 
 
@@ -71,6 +71,7 @@ class TestFullPipeline:
             residuals.append(breakdown.equation)
         assert residuals[-1] < residuals[0]
 
+    @pytest.mark.float64_default
     def test_consistent_prediction_between_interfaces(self, tiny_dataset):
         """predict_grid and forward agree when queried on the same grid points."""
         model = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny())

@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.metrics import (
     METRIC_NAMES,
-    MetricReport,
     dissipation,
     eddy_turnover_time,
     energy_spectrum,

@@ -6,7 +6,7 @@ import pytest
 from repro.baselines import TrilinearBaseline
 from repro.core import MeshfreeFlowNet, MeshfreeFlowNetConfig
 from repro.optim import Adam
-from repro.pde import RayleighBenard2D, divergence_free_system
+from repro.pde import divergence_free_system
 from repro.training import (
     Trainer,
     TrainerConfig,
