@@ -8,9 +8,10 @@ micro-benchmarks in ``test_microbenchmarks.py`` use normal multi-round timing.
 
 Benchmarks that want their numbers tracked *across PRs* record entries
 through the ``bench_artifact`` fixture; at session end the collected
-entries are written to ``BENCH_pr3.json`` at the repository root — a
-machine-readable artifact (throughput, latency percentiles, peak memory,
-dtype) that CI and future PRs can diff against.
+entries are written to per-PR artifact files at the repository root
+(``BENCH_pr3.json`` for the precision/serving gates, ``BENCH_pr4.json``
+for the training gates) — machine-readable artifacts (throughput, latency
+percentiles, peak memory, dtype) that CI and future PRs can diff against.
 """
 
 from __future__ import annotations
@@ -24,53 +25,57 @@ import pytest
 
 from repro.experiments import SCALES
 
-#: Schema version of the BENCH_pr3.json artifact.
+#: Schema version of the BENCH_*.json artifacts.
 BENCH_ARTIFACT_SCHEMA = "repro-bench/1"
+#: Default artifact file for entries recorded without an explicit target.
 BENCH_ARTIFACT_NAME = "BENCH_pr3.json"
 
-_artifact_entries: list[dict] = []
+_artifact_entries: dict[str, list[dict]] = {}
 
 
 @pytest.fixture
 def bench_artifact():
-    """Record one machine-readable benchmark entry for ``BENCH_pr3.json``.
+    """Record one machine-readable benchmark entry for a ``BENCH_*.json`` file.
 
     Call as ``bench_artifact(name, dtype=..., throughput=..., ...)``; every
     keyword lands verbatim in the artifact entry.  Recommended keys:
     ``dtype``, ``throughput`` + ``throughput_unit``, ``latency_ms``
-    (mapping with ``p50``/``p95``/``p99``), ``peak_bytes``.
+    (mapping with ``p50``/``p95``/``p99``), ``peak_bytes``.  Pass
+    ``artifact="BENCH_pr4.json"`` to target a different artifact file than
+    the default ``BENCH_pr3.json``.
     """
 
-    def record(name: str, **fields) -> None:
-        _artifact_entries.append({"name": str(name), **fields})
+    def record(name: str, artifact: str = BENCH_ARTIFACT_NAME, **fields) -> None:
+        _artifact_entries.setdefault(artifact, []).append({"name": str(name), **fields})
 
     return record
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Merge collected benchmark entries into the repo-root artifact file.
+    """Merge collected benchmark entries into the repo-root artifact files.
 
     Entries recorded this session replace same-named entries from previous
     runs; everything else is kept, so a partial benchmark run (one file)
     never silently drops the other benchmarks' data points.
     """
-    if not _artifact_entries:
-        return
-    path = Path(str(session.config.rootpath)) / BENCH_ARTIFACT_NAME
-    merged = {}
-    if path.exists():
-        try:
-            previous = json.loads(path.read_text())
-            if previous.get("schema") == BENCH_ARTIFACT_SCHEMA:
-                merged = {e["name"]: e for e in previous.get("entries", [])}
-        except (json.JSONDecodeError, KeyError, TypeError):
-            merged = {}
-    merged.update({e["name"]: e for e in _artifact_entries})
-    payload = {
-        "schema": BENCH_ARTIFACT_SCHEMA,
-        "entries": sorted(merged.values(), key=lambda e: e["name"]),
-    }
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    for artifact, entries in _artifact_entries.items():
+        if not entries:
+            continue
+        path = Path(str(session.config.rootpath)) / artifact
+        merged = {}
+        if path.exists():
+            try:
+                previous = json.loads(path.read_text())
+                if previous.get("schema") == BENCH_ARTIFACT_SCHEMA:
+                    merged = {e["name"]: e for e in previous.get("entries", [])}
+            except (json.JSONDecodeError, KeyError, TypeError):
+                merged = {}
+        merged.update({e["name"]: e for e in entries})
+        payload = {
+            "schema": BENCH_ARTIFACT_SCHEMA,
+            "entries": sorted(merged.values(), key=lambda e: e["name"]),
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture

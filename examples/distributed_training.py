@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Data-parallel training with sharding, ring all-reduce and bit-identical resume.
+
+This example
+
+1. trains MeshfreeFlowNet with ``DistributedTrainer`` — ``--world-size``
+   workers over sharded samplers, grouped on ``--nodes`` simulated nodes,
+   gradients averaged with the bucketed ring all-reduce,
+2. interrupts the run halfway, checkpoints, restores into a *fresh*
+   trainer and continues,
+3. verifies the resumed run is bit-identical to an uninterrupted one and
+   prints the per-epoch loss / learning-rate / communication telemetry.
+
+Run with ``python examples/distributed_training.py`` (seconds on one CPU
+core); add ``--float32 --master-weights`` for the mixed-precision recipe.
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.backend import precision
+from repro.core import MeshfreeFlowNet, MeshfreeFlowNetConfig
+from repro.data import SuperResolutionDataset
+from repro.simulation import synthetic_convection
+from repro.training import DistributedTrainer, TrainerConfig
+
+
+def build(args):
+    result = synthetic_convection(nt=16, nz=16, nx=64, seed=args.seed)
+    dataset = SuperResolutionDataset(
+        result, lr_factors=(2, 2, 4), crop_shape_lr=(4, 4, 8),
+        n_points=64, samples_per_epoch=32, seed=args.seed,
+    )
+    dtype = "float32" if args.float32 else "float64"
+    with precision(dtype):
+        model = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny(unet_norm="group"))
+    config = TrainerConfig(
+        epochs=args.epochs, batch_size=args.batch_size,
+        world_size=args.world_size, nodes=args.nodes,
+        gamma=0.0, learning_rate=5e-3,
+        scheduler="exponential", scheduler_kwargs={"gamma": 0.9},
+        master_weights=args.master_weights, seed=args.seed,
+    )
+    return DistributedTrainer(model, dataset, config=config), dataset, config
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=6)
+    parser.add_argument("--batch-size", type=int, default=1)
+    parser.add_argument("--world-size", type=int, default=4)
+    parser.add_argument("--nodes", type=int, default=2)
+    parser.add_argument("--float32", action="store_true", help="train under the float32 policy")
+    parser.add_argument("--master-weights", action="store_true",
+                        help="keep float64 master weights in the optimizer")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    # Uninterrupted reference run.
+    straight, _, _ = build(args)
+    straight.train()
+
+    # Interrupted run: train half, checkpoint, resume into a fresh trainer.
+    half = args.epochs // 2
+    first, _, _ = build(args)
+    first.train(half)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "checkpoint.npz"
+        first.save(path)
+        resumed, _, _ = build(args)
+        resumed.resume(path)
+        resumed.train(args.epochs - half)
+
+    print(f"workers={args.world_size} nodes={resumed.nodes} "
+          f"dtype={resumed.model.dtype.name} master={args.master_weights}")
+    print(f"{'epoch':>5} {'loss':>10} {'lr':>10} {'comm MB':>8} {'collectives':>11}")
+    for record in resumed.history.records:
+        print(f"{record['epoch']:5d} {record['loss']:10.5f} {record['lr']:10.2e} "
+              f"{record['comm_bytes'] / 2**20:8.2f} {record['collectives']:11d}")
+
+    identical = all(
+        np.array_equal(a.data, b.data)
+        for a, b in zip(straight.model.parameters(), resumed.model.parameters())
+    )
+    print(f"\nresumed parameters bit-identical to the uninterrupted run: {identical}")
+    if not identical:
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,7 @@ from .losses import (
     compute_losses,
     equation_loss,
     prediction_loss,
+    uses_equation_loss,
 )
 from .model import MeshfreeFlowNet
 from .unet import ResBlock3d, UNet3d
@@ -24,6 +25,7 @@ __all__ = [
     "trilinear_weights_numpy",
     "prediction_loss",
     "equation_loss",
+    "uses_equation_loss",
     "compute_losses",
     "LossWeights",
     "LossBreakdown",

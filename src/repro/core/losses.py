@@ -17,7 +17,18 @@ from ..autodiff import Tensor, ops
 from ..pde import PDESystem
 from .model import MeshfreeFlowNet
 
-__all__ = ["prediction_loss", "equation_loss", "LossWeights", "compute_losses", "LossBreakdown"]
+__all__ = ["prediction_loss", "equation_loss", "uses_equation_loss", "LossWeights",
+           "compute_losses", "LossBreakdown"]
+
+
+def uses_equation_loss(pde_system: Optional["PDESystem"], weights: "LossWeights") -> bool:
+    """Whether :func:`compute_losses` will evaluate the equation loss.
+
+    The single source of truth for the gate — callers that prepare inputs
+    (e.g. the trainer deciding whether query coordinates need gradients)
+    must agree with :func:`compute_losses` on it.
+    """
+    return bool(weights.gamma > 0 and pde_system is not None and pde_system.constraints)
 
 
 def _norm(residual: Tensor, kind: str) -> Tensor:
@@ -86,7 +97,7 @@ def compute_losses(
     (expensive) higher-order derivative computation is skipped entirely and
     only the prediction loss is evaluated, matching the γ=0 rows of Table 1.
     """
-    use_equation = weights.gamma > 0 and pde_system is not None and pde_system.constraints
+    use_equation = uses_equation_loss(pde_system, weights)
     if use_equation:
         pred, values = model.forward_with_derivatives(lowres, coords, pde_system, coord_scales)
         residuals = pde_system.residuals(values)

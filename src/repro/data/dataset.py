@@ -235,9 +235,16 @@ class SuperResolutionDataset:
 class DataLoader:
     """Iterates a :class:`SuperResolutionDataset` in mini-batches.
 
-    A ``sampler`` (sequence of sample indices) can be supplied to restrict the
-    loader to a subset of the epoch — this is how the distributed data-parallel
-    simulation shards data across ranks.
+    A ``sampler`` can be supplied to restrict the loader to a subset of the
+    epoch.  It may be a plain sequence of sample indices (snapshotted once)
+    or a *live* sampler object such as
+    :class:`repro.distributed.DistributedSampler`: anything exposing
+    ``set_epoch`` is kept by reference, advanced by :meth:`set_epoch`, and
+    re-queried for its indices on every iteration, so one loader per rank
+    walks that rank's shard of each epoch's global permutation.  (This is
+    the sharding surface for *external* training loops;
+    :class:`repro.training.DistributedTrainer` drives its samplers
+    directly because it also manages per-rank shard-order RNG streams.)
     """
 
     def __init__(self, dataset: SuperResolutionDataset, batch_size: int = 4,
@@ -246,17 +253,26 @@ class DataLoader:
             raise ValueError("batch_size must be >= 1")
         self.dataset = dataset
         self.batch_size = int(batch_size)
-        self.sampler = list(sampler) if sampler is not None else None
+        if sampler is None or hasattr(sampler, "set_epoch"):
+            self.sampler = sampler
+        else:
+            self.sampler = list(sampler)
         self.drop_last = bool(drop_last)
         self.epoch = 0
 
     def set_epoch(self, epoch: int) -> None:
-        """Change the epoch used to seed the deterministic crop sampling."""
+        """Change the epoch used to seed the deterministic crop sampling.
+
+        Propagated to a live (``set_epoch``-capable) sampler so its shard
+        follows the epoch's global permutation.
+        """
         self.epoch = int(epoch)
+        if hasattr(self.sampler, "set_epoch"):
+            self.sampler.set_epoch(self.epoch)
 
     def _indices(self) -> list[int]:
         if self.sampler is not None:
-            return list(self.sampler)
+            return [int(i) for i in self.sampler]
         return list(range(len(self.dataset)))
 
     def __len__(self) -> int:

@@ -1,6 +1,7 @@
 """Simulated data-parallel distributed training (the NCCL / DDP substitute)."""
 
 from .allreduce import AllReduceStats, naive_allreduce, reduce_scatter_allgather_cost, ring_allreduce
+from .buckets import GradientBuckets
 from .comm import SimulatedCommunicator
 from .ddp import DataParallelGroup, average_gradients
 from .perf_model import ClusterSpec, ScalingPerformanceModel, ScalingPoint
@@ -11,6 +12,7 @@ __all__ = [
     "naive_allreduce",
     "reduce_scatter_allgather_cost",
     "AllReduceStats",
+    "GradientBuckets",
     "SimulatedCommunicator",
     "DistributedSampler",
     "DataParallelGroup",

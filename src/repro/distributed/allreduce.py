@@ -14,6 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..backend import promote_dtypes
+
 __all__ = ["AllReduceStats", "ring_allreduce", "naive_allreduce", "reduce_scatter_allgather_cost"]
 
 
@@ -31,25 +33,38 @@ class AllReduceStats:
 
 
 def _validate(buffers: list[np.ndarray]) -> list[np.ndarray]:
+    """Copy the per-rank buffers onto a common floating dtype (shape-checked).
+
+    The collective runs in the *promoted* floating dtype of its inputs —
+    float32 gradients are reduced in float32 (as NCCL would) instead of
+    being silently upcast to float64; non-floating inputs are promoted to
+    float64 as before.
+    """
     if not buffers:
         raise ValueError("need at least one rank buffer")
-    shape = buffers[0].shape
+    arrays = [np.asarray(b) for b in buffers]
+    dtype = promote_dtypes(a.dtype for a in arrays) or np.dtype(np.float64)
+    shape = arrays[0].shape
     out = []
-    for i, b in enumerate(buffers):
-        arr = np.asarray(b, dtype=np.float64)
+    for i, arr in enumerate(arrays):
         if arr.shape != shape:
             raise ValueError(f"rank {i} buffer shape {arr.shape} != rank 0 shape {shape}")
-        out.append(arr.copy())
+        out.append(arr.astype(dtype, copy=True))
     return out
 
 
 def naive_allreduce(buffers: list[np.ndarray], average: bool = False) -> tuple[list[np.ndarray], AllReduceStats]:
-    """Gather-to-root + broadcast all-reduce (O(N) bandwidth at the root)."""
+    """Gather-to-root + broadcast all-reduce (O(N) bandwidth at the root).
+
+    Only the ``n - 1`` non-root contributions count as transfers — the
+    root's own buffer never crosses a link, so a single-rank "collective"
+    reports zero traffic (matching :func:`ring_allreduce`).
+    """
     bufs = _validate(buffers)
     n = len(bufs)
     stats = AllReduceStats(world_size=n)
-    total = np.zeros_like(bufs[0])
-    for b in bufs:
+    total = bufs[0]  # _validate already returned a private copy
+    for b in bufs[1:]:
         total += b
         stats.steps += 1
         stats.bytes_per_rank += b.nbytes

@@ -1,0 +1,99 @@
+"""Gradient bucketing for collective communication (DDP-style).
+
+Real data-parallel frameworks do not all-reduce each parameter tensor
+individually: launching one collective per tensor would pay the per-message
+latency hundreds of times per step.  Instead gradients are packed, in
+reverse registration order of the parameters, into fixed-byte *buckets*
+(PyTorch DDP defaults to 25 MB) and one collective is issued per bucket —
+which also enables overlapping communication of early buckets with the
+still-running backward pass on real hardware.
+
+:class:`GradientBuckets` implements the packing half of that protocol for
+the in-process simulation: it precomputes a bucket layout from the
+parameter list, flattens per-rank gradient sets into per-bucket contiguous
+buffers, and scatters reduced buffers back onto the parameters' ``.grad``
+fields.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..backend import promote_dtypes
+
+__all__ = ["GradientBuckets"]
+
+
+class GradientBuckets:
+    """Fixed-byte bucket layout over a parameter list.
+
+    Parameters
+    ----------
+    params:
+        The parameters (or any objects with ``.data`` NumPy arrays) whose
+        gradients will be communicated.  The layout is computed once from
+        their sizes and dtypes; gradients passed later must match.
+    bucket_bytes:
+        Capacity of one bucket.  A parameter larger than the capacity gets
+        a bucket of its own (buckets never split a single parameter).
+    """
+
+    def __init__(self, params: Sequence, bucket_bytes: int = 25 * 2**20):
+        if bucket_bytes <= 0:
+            raise ValueError("bucket_bytes must be positive")
+        self.dtype = promote_dtypes(p.data.dtype for p in params) or np.dtype(np.float64)
+        itemsize = self.dtype.itemsize
+        self.shapes = [tuple(p.data.shape) for p in params]
+        #: per-parameter (bucket index, start, end) slices into the flat buckets
+        self.layout: list[tuple[int, int, int]] = []
+        self.bucket_sizes: list[int] = []
+        fill = 0
+        for shape in self.shapes:
+            size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            if not self.bucket_sizes or (fill + size) * itemsize > bucket_bytes and fill > 0:
+                self.bucket_sizes.append(0)
+                fill = 0
+            bucket = len(self.bucket_sizes) - 1
+            self.layout.append((bucket, fill, fill + size))
+            fill += size
+            self.bucket_sizes[bucket] = fill
+
+    @property
+    def num_buckets(self) -> int:
+        """Number of buckets in the layout."""
+        return len(self.bucket_sizes)
+
+    def flatten(self, grads: Sequence[Optional[np.ndarray]]) -> list[np.ndarray]:
+        """Pack one rank's gradients into contiguous per-bucket buffers.
+
+        ``grads[i]`` corresponds to the ``i``-th parameter of the layout;
+        ``None`` entries (parameters that did not participate in the
+        backward pass) are packed as zeros so every rank communicates the
+        same layout.
+        """
+        if len(grads) != len(self.layout):
+            raise ValueError(f"expected {len(self.layout)} gradients, got {len(grads)}")
+        buffers = [np.zeros(n, dtype=self.dtype) for n in self.bucket_sizes]
+        for (bucket, start, end), shape, grad in zip(self.layout, self.shapes, grads):
+            if grad is None:
+                continue
+            if tuple(np.shape(grad)) != shape:
+                raise ValueError(f"gradient shape {np.shape(grad)} != parameter shape {shape}")
+            buffers[bucket][start:end] = np.asarray(grad, dtype=self.dtype).reshape(-1)
+        return buffers
+
+    def unflatten(self, buffers: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Slice per-bucket buffers back into parameter-shaped gradient views."""
+        if len(buffers) != self.num_buckets:
+            raise ValueError(f"expected {self.num_buckets} buckets, got {len(buffers)}")
+        grads = []
+        for (bucket, start, end), shape in zip(self.layout, self.shapes):
+            grads.append(np.asarray(buffers[bucket])[start:end].reshape(shape))
+        return grads
+
+    def assign(self, params: Sequence, buffers: Sequence[np.ndarray]) -> None:
+        """Write reduced bucket buffers onto ``params[i].grad`` in layout order."""
+        for p, grad in zip(params, self.unflatten(buffers)):
+            p.grad = grad

@@ -169,27 +169,59 @@ class Module:
             state[name] = np.asarray(buf).copy()
         return state
 
-    def load_state_dict(self, state: dict, strict: bool = True) -> None:
-        """Load parameters/buffers from a ``state_dict`` mapping in place."""
+    def load_state_dict(self, state: dict, strict: bool = True,
+                        strict_dtype: bool = False) -> None:
+        """Load parameters/buffers from a ``state_dict`` mapping in place.
+
+        Loading is **dtype-preserving**: each value is cast into the
+        receiving parameter/buffer's existing dtype, so restoring a float64
+        checkpoint into a float32-cast module keeps the module float32 (and
+        vice versa) instead of silently mixing precisions.  Pass
+        ``strict_dtype=True`` to forbid the cast and raise on any dtype
+        mismatch instead.  With ``strict=True`` (the default) unexpected
+        *and* missing keys both raise ``KeyError``.  All validation happens
+        **before** anything is written, so a failed load never leaves the
+        module half-overwritten.
+        """
         own_params = dict(self.named_parameters())
         own_buffers = self._named_buffer_owners()
-        missing = []
+        unexpected = []
+        writes: list[tuple[np.ndarray, np.ndarray]] = []
+        buffer_owners: list[tuple["Module", str]] = []
         for name, value in state.items():
+            value = np.asarray(value)
             if name in own_params:
-                param = own_params[name]
-                if param.shape != np.shape(value):
-                    raise ValueError(
-                        f"shape mismatch for {name}: {param.shape} vs {np.shape(value)}"
-                    )
-                param.data[...] = value
+                target = own_params[name].data
             elif name in own_buffers:
                 owner, attr = own_buffers[name]
-                owner._buffers[attr][...] = value
-                object.__setattr__(owner, attr, owner._buffers[attr])
+                target = owner._buffers[attr]
+                buffer_owners.append((owner, attr))
             else:
-                missing.append(name)
-        if strict and missing:
-            raise KeyError(f"unexpected keys in state_dict: {missing}")
+                unexpected.append(name)
+                continue
+            if target.shape != value.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {target.shape} vs {value.shape}"
+                )
+            if strict_dtype and value.dtype != target.dtype:
+                raise ValueError(
+                    f"dtype mismatch for {name}: module holds {target.dtype}, "
+                    f"state_dict holds {value.dtype} (strict_dtype=True)"
+                )
+            writes.append((target, value))
+        if strict:
+            missing = [n for n in (*own_params, *own_buffers) if n not in state]
+            problems = []
+            if unexpected:
+                problems.append(f"unexpected keys in state_dict: {unexpected}")
+            if missing:
+                problems.append(f"keys missing from state_dict: {missing}")
+            if problems:
+                raise KeyError("; ".join(problems))
+        for target, value in writes:
+            target[...] = value
+        for owner, attr in buffer_owners:
+            object.__setattr__(owner, attr, owner._buffers[attr])
 
     def _named_buffer_owners(self, prefix: str = ""):
         owners = {}

@@ -1,7 +1,15 @@
 """Optimizers and learning-rate schedulers."""
 
 from .optimizers import SGD, Adam, Optimizer, clip_grad_norm
-from .schedulers import CosineAnnealingLR, ExponentialLR, LRScheduler, StepLR, WarmupLR
+from .schedulers import (
+    SCHEDULERS,
+    CosineAnnealingLR,
+    ExponentialLR,
+    LRScheduler,
+    StepLR,
+    WarmupLR,
+    build_scheduler,
+)
 
 __all__ = [
     "Optimizer",
@@ -13,4 +21,6 @@ __all__ = [
     "ExponentialLR",
     "CosineAnnealingLR",
     "WarmupLR",
+    "SCHEDULERS",
+    "build_scheduler",
 ]

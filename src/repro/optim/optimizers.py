@@ -1,12 +1,22 @@
-"""Gradient-descent optimizers (SGD, Adam) operating on module parameters."""
+"""Gradient-descent optimizers (SGD, Adam) operating on module parameters.
+
+Both optimizers support *master weights* for mixed-precision training: with
+``master_dtype="float64"`` the optimizer keeps a float64 copy of every
+parameter (plus float64 momentum/moment state), applies the update in
+float64 and writes the result back into the parameter's own (e.g. float32)
+storage **in place** — so parameter sharing across model replicas
+(``MeshfreeFlowNet.replicate``) survives the update.  This is the
+float32-forward/float64-update recipe used by the data-parallel trainer.
+"""
 
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
+from ..backend import canonical_dtype
 from ..nn.module import Parameter
 
 __all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm"]
@@ -15,24 +25,60 @@ __all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm"]
 class Optimizer:
     """Base optimizer holding a list of parameters and per-parameter state."""
 
-    def __init__(self, params: Iterable[Parameter], lr: float):
+    def __init__(self, params: Iterable[Parameter], lr: float,
+                 master_dtype=None):
         self.params: list[Parameter] = list(params)
         if not self.params:
             raise ValueError("optimizer received an empty parameter list")
         if lr <= 0:
             raise ValueError(f"learning rate must be positive, got {lr}")
         self.lr = float(lr)
+        self.master_dtype: Optional[np.dtype] = (
+            canonical_dtype(master_dtype) if master_dtype is not None else None
+        )
         self.state: dict[int, dict] = {}
         self._step_count = 0
 
     def zero_grad(self) -> None:
+        """Reset the gradient of every managed parameter."""
         for p in self.params:
             p.zero_grad()
 
     def step(self) -> None:  # pragma: no cover - abstract
+        """Apply one optimization step; must be overridden by subclasses."""
         raise NotImplementedError
 
+    # ------------------------------------------------------------ mixed precision
+    def _update_target(self, index: int, param: Parameter) -> np.ndarray:
+        """The array the update is applied to: the param data, or its master copy.
+
+        With ``master_dtype`` set, the first step lazily materialises a
+        master copy of the parameter in that dtype (stored under the
+        ``"master"`` state key so it round-trips through checkpoints).
+        """
+        if self.master_dtype is None:
+            return param.data
+        st = self.state.setdefault(index, {})
+        master = st.get("master")
+        if master is None or master.shape != param.data.shape:
+            master = param.data.astype(self.master_dtype, copy=True)
+            st["master"] = master
+        return master
+
+    def _gradient(self, param: Parameter, target: np.ndarray) -> np.ndarray:
+        """The parameter's gradient, cast to the update target's dtype."""
+        if param.grad.dtype == target.dtype:
+            return param.grad
+        return param.grad.astype(target.dtype)
+
+    def _write_back(self, param: Parameter, target: np.ndarray) -> None:
+        """Copy an updated master back into the parameter's own storage."""
+        if target is not param.data:
+            np.copyto(param.data, target)
+
+    # ---------------------------------------------------------------- state dict
     def state_dict(self) -> dict:
+        """Snapshot the optimizer hyper-state and per-parameter arrays."""
         return {
             "lr": self.lr,
             "step_count": self._step_count,
@@ -42,17 +88,41 @@ class Optimizer:
         }
 
     def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot, preserving parameter dtypes.
+
+        Loaded floating-point state arrays are cast to the dtype the
+        optimizer actually computes in (the master dtype when master
+        weights are enabled, the parameter's own dtype otherwise) — a
+        float64 checkpoint loaded into a float32-cast model no longer
+        silently re-introduces float64 into every subsequent update.
+        """
         self.lr = float(state["lr"])
         self._step_count = int(state["step_count"])
-        self.state = {int(i): dict(s) for i, s in state["state"].items()}
+        loaded: dict[int, dict] = {}
+        for i, sub in state["state"].items():
+            i = int(i)
+            if i >= len(self.params):
+                loaded[i] = dict(sub)
+                continue
+            target = (self.master_dtype if self.master_dtype is not None
+                      else self.params[i].data.dtype)
+            cast = {}
+            for key, value in sub.items():
+                if isinstance(value, np.ndarray) and np.issubdtype(value.dtype, np.floating):
+                    cast[key] = value.astype(target, copy=False)
+                else:
+                    cast[key] = value
+            loaded[i] = cast
+        self.state = loaded
 
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
 
     def __init__(self, params, lr: float = 1e-2, momentum: float = 0.0,
-                 weight_decay: float = 0.0, nesterov: bool = False):
-        super().__init__(params, lr)
+                 weight_decay: float = 0.0, nesterov: bool = False,
+                 master_dtype=None):
+        super().__init__(params, lr, master_dtype=master_dtype)
         self.momentum = float(momentum)
         self.weight_decay = float(weight_decay)
         self.nesterov = bool(nesterov)
@@ -60,13 +130,15 @@ class SGD(Optimizer):
             raise ValueError("nesterov momentum requires momentum > 0")
 
     def step(self) -> None:
+        """Apply one (momentum) SGD update to every parameter with a gradient."""
         self._step_count += 1
         for i, p in enumerate(self.params):
             if p.grad is None:
                 continue
-            g = p.grad
+            target = self._update_target(i, p)
+            g = self._gradient(p, target)
             if self.weight_decay:
-                g = g + self.weight_decay * p.data
+                g = g + self.weight_decay * target
             if self.momentum:
                 buf = self.state.setdefault(i, {}).get("momentum")
                 if buf is None:
@@ -75,15 +147,16 @@ class SGD(Optimizer):
                     buf = self.momentum * buf + g
                 self.state[i]["momentum"] = buf
                 g = g + self.momentum * buf if self.nesterov else buf
-            p.data -= self.lr * g
+            target -= self.lr * g
+            self._write_back(p, target)
 
 
 class Adam(Optimizer):
     """Adam optimizer (Kingma & Ba), the optimizer used in the paper's experiments."""
 
     def __init__(self, params, lr: float = 1e-3, betas: tuple[float, float] = (0.9, 0.999),
-                 eps: float = 1e-8, weight_decay: float = 0.0):
-        super().__init__(params, lr)
+                 eps: float = 1e-8, weight_decay: float = 0.0, master_dtype=None):
+        super().__init__(params, lr, master_dtype=master_dtype)
         if not (0.0 <= betas[0] < 1.0 and 0.0 <= betas[1] < 1.0):
             raise ValueError(f"invalid betas {betas}")
         self.betas = (float(betas[0]), float(betas[1]))
@@ -91,6 +164,7 @@ class Adam(Optimizer):
         self.weight_decay = float(weight_decay)
 
     def step(self) -> None:
+        """Apply one bias-corrected Adam update to every parameter with a gradient."""
         self._step_count += 1
         b1, b2 = self.betas
         t = self._step_count
@@ -99,21 +173,23 @@ class Adam(Optimizer):
         for i, p in enumerate(self.params):
             if p.grad is None:
                 continue
-            g = p.grad
+            target = self._update_target(i, p)
+            g = self._gradient(p, target)
             if self.weight_decay:
-                g = g + self.weight_decay * p.data
+                g = g + self.weight_decay * target
             st = self.state.setdefault(i, {})
             m = st.get("m")
             v = st.get("v")
             if m is None:
-                m = np.zeros_like(p.data)
-                v = np.zeros_like(p.data)
+                m = np.zeros_like(target)
+                v = np.zeros_like(target)
             m = b1 * m + (1 - b1) * g
             v = b2 * v + (1 - b2) * (g * g)
             st["m"], st["v"] = m, v
             m_hat = m / bias_c1
             v_hat = v / bias_c2
-            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            target -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            self._write_back(p, target)
 
 
 def clip_grad_norm(params: Sequence[Parameter], max_norm: float) -> float:

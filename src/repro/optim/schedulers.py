@@ -1,4 +1,4 @@
-"""Learning-rate schedulers."""
+"""Learning-rate schedulers and the name-based factory used by the Trainer."""
 
 from __future__ import annotations
 
@@ -6,7 +6,8 @@ import math
 
 from .optimizers import Optimizer
 
-__all__ = ["LRScheduler", "StepLR", "ExponentialLR", "CosineAnnealingLR", "WarmupLR"]
+__all__ = ["LRScheduler", "StepLR", "ExponentialLR", "CosineAnnealingLR", "WarmupLR",
+           "SCHEDULERS", "build_scheduler"]
 
 
 class LRScheduler:
@@ -25,6 +26,16 @@ class LRScheduler:
         lr = self.get_lr()
         self.optimizer.lr = lr
         return lr
+
+    def state_dict(self) -> dict:
+        """Snapshot the scheduler position (epoch counter and base rate)."""
+        return {"last_epoch": self.last_epoch, "base_lr": self.base_lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot and re-derive the optimizer lr."""
+        self.last_epoch = int(state["last_epoch"])
+        self.base_lr = float(state["base_lr"])
+        self.optimizer.lr = self.get_lr()
 
 
 class StepLR(LRScheduler):
@@ -81,3 +92,28 @@ class WarmupLR(LRScheduler):
             return self.base_lr * self.target_scale
         frac = self.last_epoch / self.warmup_epochs
         return self.base_lr * (1.0 + frac * (self.target_scale - 1.0))
+
+
+#: Scheduler spellings accepted by :func:`build_scheduler` and
+#: ``TrainerConfig.scheduler``.
+SCHEDULERS: dict[str, type[LRScheduler]] = {
+    "step": StepLR,
+    "exponential": ExponentialLR,
+    "cosine": CosineAnnealingLR,
+    "warmup": WarmupLR,
+}
+
+
+def build_scheduler(name: str, optimizer: Optimizer, **kwargs) -> LRScheduler:
+    """Construct a scheduler by name (``"step"``, ``"exponential"``, ...).
+
+    ``kwargs`` are forwarded to the scheduler constructor (e.g.
+    ``step_size``/``gamma`` for ``"step"``, ``t_max`` for ``"cosine"``);
+    a missing required argument surfaces as a ``TypeError`` naming it.
+    """
+    try:
+        cls = SCHEDULERS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCHEDULERS))
+        raise ValueError(f"unknown scheduler '{name}' (expected one of: {known})") from None
+    return cls(optimizer, **kwargs)

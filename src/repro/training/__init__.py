@@ -1,16 +1,20 @@
-"""Training loops, evaluation, checkpointing and history tracking."""
+"""Training loops (serial + data-parallel), evaluation, checkpointing, history."""
 
-from .checkpoint import load_checkpoint, save_checkpoint
-from .evaluation import evaluate_model, pointwise_errors
+from .checkpoint import load_checkpoint, read_metadata, save_checkpoint
+from .distributed import DistributedTrainer
+from .evaluation import eval_mode, evaluate_model, pointwise_errors
 from .history import TrainingHistory
 from .trainer import Trainer, TrainerConfig
 
 __all__ = [
     "Trainer",
     "TrainerConfig",
+    "DistributedTrainer",
     "TrainingHistory",
+    "eval_mode",
     "evaluate_model",
     "pointwise_errors",
     "save_checkpoint",
     "load_checkpoint",
+    "read_metadata",
 ]

@@ -1,4 +1,4 @@
-"""Model / optimizer checkpointing to ``.npz`` archives."""
+"""Model / optimizer / scheduler checkpointing to ``.npz`` archives."""
 
 from __future__ import annotations
 
@@ -9,16 +9,23 @@ import numpy as np
 
 from ..nn.module import Module
 from ..optim.optimizers import Optimizer
+from ..optim.schedulers import LRScheduler
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = ["save_checkpoint", "load_checkpoint", "read_metadata"]
+
+
+def _resolve(path) -> Path:
+    return Path(path) if str(path).endswith(".npz") else Path(str(path) + ".npz")
 
 
 def save_checkpoint(path, model: Module, optimizer: Optimizer | None = None,
+                    scheduler: LRScheduler | None = None,
                     metadata: dict | None = None) -> None:
-    """Save model parameters/buffers (and optionally optimizer state) to ``path``.
+    """Save model parameters/buffers (and optionally optimizer/scheduler state).
 
     The archive is a plain ``.npz`` with JSON metadata, so it can be inspected
-    without this library.
+    without this library.  Arrays keep their exact dtypes, which is what makes
+    bit-identical resume possible.
     """
     path = Path(path)
     arrays: dict[str, np.ndarray] = {}
@@ -31,6 +38,9 @@ def save_checkpoint(path, model: Module, optimizer: Optimizer | None = None,
         for idx, sub in state["state"].items():
             for key, value in sub.items():
                 arrays[f"optimizer/state/{idx}/{key}"] = np.asarray(value)
+    if scheduler is not None:
+        for key, value in scheduler.state_dict().items():
+            arrays[f"scheduler/{key}"] = np.asarray(value)
     arrays["__metadata__"] = np.frombuffer(
         json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
     )
@@ -38,25 +48,54 @@ def save_checkpoint(path, model: Module, optimizer: Optimizer | None = None,
     np.savez_compressed(path, **arrays)
 
 
-def load_checkpoint(path, model: Module, optimizer: Optimizer | None = None) -> dict:
-    """Load a checkpoint saved by :func:`save_checkpoint`; return its metadata."""
-    data = np.load(Path(path) if str(path).endswith(".npz") else Path(str(path) + ".npz"))
-    model_state = {}
-    optimizer_state: dict = {"lr": None, "step_count": 0, "state": {}}
-    for key in data.files:
-        if key.startswith("model/"):
-            model_state[key[len("model/"):]] = data[key]
-        elif key == "optimizer/lr":
-            optimizer_state["lr"] = float(data[key])
-        elif key == "optimizer/step_count":
-            optimizer_state["step_count"] = int(data[key])
-        elif key.startswith("optimizer/state/"):
-            _, _, idx, name = key.split("/", 3)
-            optimizer_state["state"].setdefault(int(idx), {})[name] = data[key]
-    model.load_state_dict(model_state)
-    if optimizer is not None and optimizer_state["lr"] is not None:
-        optimizer.load_state_dict(optimizer_state)
+def _decode_metadata(data) -> dict:
     raw = data.get("__metadata__")
     if raw is None:
         return {}
     return json.loads(bytes(raw.tolist()).decode("utf-8"))
+
+
+def load_checkpoint(path, model: Module, optimizer: Optimizer | None = None,
+                    scheduler: LRScheduler | None = None,
+                    strict_dtype: bool = False) -> dict:
+    """Load a checkpoint saved by :func:`save_checkpoint`; return its metadata.
+
+    The archive file handle is closed before returning.  Model loading is
+    dtype-preserving (see :meth:`Module.load_state_dict`); pass
+    ``strict_dtype=True`` to instead raise when the checkpoint and module
+    precisions differ.  Optimizer state is likewise cast back to the
+    precision the optimizer computes in (see
+    :meth:`Optimizer.load_state_dict`).
+    """
+    with np.load(_resolve(path)) as data:
+        model_state = {}
+        optimizer_state: dict = {"lr": None, "step_count": 0, "state": {}}
+        scheduler_state: dict = {}
+        for key in data.files:
+            if key.startswith("model/"):
+                model_state[key[len("model/"):]] = data[key]
+            elif key == "optimizer/lr":
+                optimizer_state["lr"] = float(data[key])
+            elif key == "optimizer/step_count":
+                optimizer_state["step_count"] = int(data[key])
+            elif key.startswith("optimizer/state/"):
+                _, _, idx, name = key.split("/", 3)
+                optimizer_state["state"].setdefault(int(idx), {})[name] = data[key]
+            elif key.startswith("scheduler/"):
+                scheduler_state[key[len("scheduler/"):]] = data[key]
+        metadata = _decode_metadata(data)
+    model.load_state_dict(model_state, strict_dtype=strict_dtype)
+    if optimizer is not None and optimizer_state["lr"] is not None:
+        optimizer.load_state_dict(optimizer_state)
+    if scheduler is not None and scheduler_state:
+        scheduler.load_state_dict({
+            key: value.item() if value.ndim == 0 else value
+            for key, value in scheduler_state.items()
+        })
+    return metadata
+
+
+def read_metadata(path) -> dict:
+    """Read only the JSON metadata of a checkpoint (cheap; no state is loaded)."""
+    with np.load(_resolve(path)) as data:
+        return _decode_metadata(data)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import contextlib
 
 import numpy as np
 
@@ -9,7 +10,26 @@ from ..autodiff import Tensor
 from ..data.dataset import SuperResolutionDataset
 from ..metrics.report import MetricReport, evaluate_fields
 
-__all__ = ["evaluate_model", "pointwise_errors"]
+__all__ = ["eval_mode", "evaluate_model", "pointwise_errors"]
+
+
+@contextlib.contextmanager
+def eval_mode(model):
+    """Temporarily put ``model`` in eval mode; restores the prior mode on exit.
+
+    Tolerates models without train/eval switches (e.g. the trilinear
+    baseline).  This is the one place the save/restore dance lives — the
+    seed's evaluation helpers each unconditionally called ``.train()`` on
+    the way out, clobbering models that were already in eval mode.
+    """
+    was_training = getattr(model, "training", False)
+    if hasattr(model, "eval"):
+        model.eval()
+    try:
+        yield model
+    finally:
+        if hasattr(model, "train"):
+            model.train(was_training)
 
 
 def evaluate_model(model, dataset: SuperResolutionDataset, dataset_index: int = 0,
@@ -19,32 +39,29 @@ def evaluate_model(model, dataset: SuperResolutionDataset, dataset_index: int = 
     Works for :class:`~repro.core.model.MeshfreeFlowNet`, the U-Net decoder
     baseline and the trilinear baseline (they share the ``predict_grid``
     interface).  Fields are converted back to physical units before the
-    turbulence metrics are computed.
+    turbulence metrics are computed.  The model's training/eval mode is
+    saved and restored (previously it was unconditionally left in training
+    mode).
     """
-    if hasattr(model, "eval"):
-        model.eval()
-    lowres, highres, _ = dataset.evaluation_pair(dataset_index)
-    hr_shape = highres.shape[1:]
-    pred = model.predict_grid(Tensor(lowres[None]), hr_shape, chunk_size=chunk_size)[0]
-    pred_fields = dataset.denormalize(np.moveaxis(pred, 0, 1), channel_axis=1)
-    true_fields = dataset.denormalize(np.moveaxis(highres, 0, 1), channel_axis=1)
-    result = dataset.results[dataset_index]
-    nu = float(np.sqrt(result.prandtl / result.rayleigh))
-    _, dz, dx = result.grid_spacing()
-    report = evaluate_fields(pred_fields, true_fields, dx=dx, dz=dz, nu=nu, label=label)
-    if hasattr(model, "train"):
-        model.train()
-    return report
+    with eval_mode(model):
+        lowres, highres, _ = dataset.evaluation_pair(dataset_index)
+        hr_shape = highres.shape[1:]
+        pred = model.predict_grid(Tensor(lowres[None]), hr_shape, chunk_size=chunk_size)[0]
+        pred_fields = dataset.denormalize(np.moveaxis(pred, 0, 1), channel_axis=1)
+        true_fields = dataset.denormalize(np.moveaxis(highres, 0, 1), channel_axis=1)
+        result = dataset.results[dataset_index]
+        nu = float(np.sqrt(result.prandtl / result.rayleigh))
+        _, dz, dx = result.grid_spacing()
+        return evaluate_fields(pred_fields, true_fields, dx=dx, dz=dz, nu=nu, label=label)
 
 
 def pointwise_errors(model, dataset: SuperResolutionDataset, dataset_index: int = 0,
                      chunk_size: int = 8192) -> dict[str, float]:
     """Per-channel mean-absolute and RMS errors of the super-resolved fields."""
-    if hasattr(model, "eval"):
-        model.eval()
-    lowres, highres, _ = dataset.evaluation_pair(dataset_index)
-    hr_shape = highres.shape[1:]
-    pred = model.predict_grid(Tensor(lowres[None]), hr_shape, chunk_size=chunk_size)[0]
+    with eval_mode(model):
+        lowres, highres, _ = dataset.evaluation_pair(dataset_index)
+        hr_shape = highres.shape[1:]
+        pred = model.predict_grid(Tensor(lowres[None]), hr_shape, chunk_size=chunk_size)[0]
     errors: dict[str, float] = {}
     for i, name in enumerate(dataset.channel_names):
         diff = pred[i] - highres[i]
@@ -52,6 +69,4 @@ def pointwise_errors(model, dataset: SuperResolutionDataset, dataset_index: int 
         errors[f"rmse_{name}"] = float(np.sqrt(np.mean(diff**2)))
     errors["mae"] = float(np.mean(np.abs(pred - highres)))
     errors["rmse"] = float(np.sqrt(np.mean((pred - highres) ** 2)))
-    if hasattr(model, "train"):
-        model.train()
     return errors

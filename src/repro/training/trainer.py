@@ -2,31 +2,44 @@
 
 Implements the training pipeline of Fig. 3: draw low-resolution crops and
 random query points from the dataset, evaluate the prediction and equation
-losses, backpropagate and update with Adam.  Synchronous data-parallel
-training with ``world_size`` workers is simulated by averaging gradients over
-``world_size`` per-worker micro-batches before each update — mathematically
-identical to DistributedDataParallel with NCCL all-reduce (whose numerics are
-exercised separately in :mod:`repro.distributed`).
+losses, backpropagate and update with Adam.  :class:`Trainer` is the
+single-process reference loop (synchronous data-parallel training is
+*simulated* by averaging gradients over ``world_size`` per-worker
+micro-batches before each update); the genuinely sharded, ring-allreduce
+based subsystem lives in :class:`repro.training.DistributedTrainer`.
+
+Both trainers share first-class checkpoint/resume: :meth:`Trainer.save`
+captures model, optimizer (including mixed-precision master weights),
+scheduler, epoch counter, history, dtype policy and the per-worker RNG
+streams, and :meth:`Trainer.resume` restores them such that a resumed run
+is bit-identical to an uninterrupted one.
 """
 
 from __future__ import annotations
 
+import json
 import time
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Optional
 
 import numpy as np
 
 from ..autodiff import Tensor
-from ..core.losses import LossWeights, compute_losses
+from ..core.losses import LossWeights, compute_losses, uses_equation_loss
 from ..data.dataset import Batch, SuperResolutionDataset
-from ..metrics.report import MetricReport, evaluate_fields
+from ..metrics.report import MetricReport
 from ..nn.module import Module
-from ..optim import Adam, Optimizer, SGD, clip_grad_norm
+from ..optim import Adam, LRScheduler, Optimizer, SGD, build_scheduler, clip_grad_norm
+from ..optim.schedulers import SCHEDULERS
 from ..pde import PDESystem
+from .checkpoint import load_checkpoint, read_metadata, save_checkpoint
+from .evaluation import eval_mode, evaluate_model
 from .history import TrainingHistory
 
 __all__ = ["TrainerConfig", "Trainer"]
+
+#: Version tag of the trainer checkpoint layout (stored in the metadata).
+CHECKPOINT_FORMAT = 2
 
 
 @dataclass
@@ -38,10 +51,18 @@ class TrainerConfig:
     learning_rate: float = 1e-2          #: the paper uses Adam with lr = 1e-2
     optimizer: str = "adam"
     weight_decay: float = 0.0
+    momentum: float = 0.9                 #: SGD momentum (ignored by Adam)
+    scheduler: Optional[str] = None       #: LR schedule name (see ``optim.SCHEDULERS``)
+    scheduler_kwargs: dict = field(default_factory=dict)
+    master_weights: bool = False          #: float64 master copies in the optimizer
     gamma: float = 0.0125                 #: equation-loss weight γ (γ* in the paper)
     loss_norm: str = "l1"
     grad_clip: Optional[float] = None
-    world_size: int = 1                   #: simulated number of data-parallel workers
+    world_size: int = 1                   #: number of data-parallel workers
+    nodes: Optional[int] = None           #: DistributedTrainer: simulated nodes (default: one per worker)
+    accumulate_steps: int = 1             #: DistributedTrainer: micro-batches accumulated per step
+    bucket_mb: float = 25.0               #: DistributedTrainer: all-reduce bucket capacity (MB)
+    allreduce_algorithm: str = "ring"     #: DistributedTrainer: "ring" (bandwidth-optimal) or "naive"
     steps_per_epoch: Optional[int] = None #: defaults to len(dataset) / global batch
     seed: int = 0
     verbose: bool = False
@@ -53,6 +74,24 @@ class TrainerConfig:
             raise ValueError("optimizer must be 'adam' or 'sgd'")
         if self.gamma < 0:
             raise ValueError("gamma must be non-negative")
+        if not 0.0 <= self.momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if self.scheduler is not None and self.scheduler not in SCHEDULERS:
+            known = ", ".join(sorted(SCHEDULERS))
+            raise ValueError(f"unknown scheduler '{self.scheduler}' (expected one of: {known})")
+        if self.accumulate_steps < 1:
+            raise ValueError("accumulate_steps must be >= 1")
+        if self.bucket_mb <= 0:
+            raise ValueError("bucket_mb must be positive")
+        if self.allreduce_algorithm not in ("ring", "naive"):
+            raise ValueError("allreduce_algorithm must be 'ring' or 'naive'")
+        if self.nodes is not None:
+            if self.nodes < 1:
+                raise ValueError("nodes must be >= 1")
+            if self.world_size % self.nodes != 0:
+                raise ValueError(
+                    f"world_size {self.world_size} must be divisible by nodes {self.nodes}"
+                )
 
 
 class Trainer:
@@ -69,15 +108,25 @@ class Trainer:
         self.config = config if config is not None else TrainerConfig()
         self.weights = LossWeights(gamma=self.config.gamma, norm=self.config.loss_norm)
         self.optimizer = self._build_optimizer()
+        self.scheduler = self._build_scheduler()
         self.history = TrainingHistory()
         self._epoch = 0
 
     def _build_optimizer(self) -> Optimizer:
         cfg = self.config
         params = self.model.parameters()
+        master = np.float64 if cfg.master_weights else None
         if cfg.optimizer == "adam":
-            return Adam(params, lr=cfg.learning_rate, weight_decay=cfg.weight_decay)
-        return SGD(params, lr=cfg.learning_rate, momentum=0.9, weight_decay=cfg.weight_decay)
+            return Adam(params, lr=cfg.learning_rate, weight_decay=cfg.weight_decay,
+                        master_dtype=master)
+        return SGD(params, lr=cfg.learning_rate, momentum=cfg.momentum,
+                   weight_decay=cfg.weight_decay, master_dtype=master)
+
+    def _build_scheduler(self) -> Optional[LRScheduler]:
+        cfg = self.config
+        if cfg.scheduler is None:
+            return None
+        return build_scheduler(cfg.scheduler, self.optimizer, **cfg.scheduler_kwargs)
 
     # ---------------------------------------------------------------- batches
     def _steps_per_epoch(self) -> int:
@@ -86,10 +135,23 @@ class Trainer:
         global_batch = self.config.batch_size * self.config.world_size
         return max(1, len(self.dataset) // global_batch)
 
+    def _use_equation_loss(self) -> bool:
+        return uses_equation_loss(self.pde_system, self.weights)
+
     def _loss_for_batch(self, batch: Batch):
-        lowres = Tensor(batch.lowres)
-        coords = Tensor(batch.coords, requires_grad=True)
-        targets = Tensor(batch.targets)
+        """Combined loss of one micro-batch, cast to the model's precision.
+
+        Batch arrays are cast to the model dtype (a no-op under the default
+        float64 policy), and query coordinates only carry ``requires_grad``
+        when the equation loss actually differentiates with respect to them
+        — the seed loop unconditionally requested coordinate gradients and
+        paid for an unused interpolation backward on every γ=0 step.
+        """
+        dt = self.model.dtype
+        lowres = Tensor(np.asarray(batch.lowres, dtype=dt))
+        coords = Tensor(np.asarray(batch.coords, dtype=dt),
+                        requires_grad=self._use_equation_loss())
+        targets = Tensor(np.asarray(batch.targets, dtype=dt))
         return compute_losses(
             self.model, lowres, coords, targets,
             self.pde_system, self.weights, coord_scales=batch.coord_scales,
@@ -122,15 +184,29 @@ class Trainer:
             "equation_loss": float(np.mean(eq_losses)),
         }
 
+    # ------------------------------------------------------------------ hooks
+    def _begin_epoch(self, epoch: int) -> None:
+        """Per-epoch setup hook (sampler re-sharding in the distributed trainer)."""
+
+    def _epoch_extras(self) -> dict:
+        """Extra per-epoch history fields (communication telemetry, ...)."""
+        return {}
+
     # ------------------------------------------------------------------ train
     def train(self, epochs: Optional[int] = None) -> TrainingHistory:
-        """Run the training loop; returns (and stores) the per-epoch history."""
+        """Run the training loop; returns (and stores) the per-epoch history.
+
+        When ``config.scheduler`` is set, the scheduler is stepped once at
+        the end of every epoch; the ``lr`` recorded for an epoch is the rate
+        that was actually used during that epoch.
+        """
         cfg = self.config
         n_epochs = cfg.epochs if epochs is None else int(epochs)
         steps = self._steps_per_epoch()
         self.model.train()
         for _ in range(n_epochs):
             epoch = self._epoch
+            self._begin_epoch(epoch)
             t0 = time.perf_counter()
             step_records = [self.train_step(s, epoch) for s in range(steps)]
             elapsed = time.perf_counter() - t0
@@ -144,33 +220,128 @@ class Trainer:
                 "world_size": cfg.world_size,
                 "wall_time": elapsed,
             }
+            record.update(self._epoch_extras())
             if self.val_dataset is not None:
                 record["val_loss"] = self.validation_loss()
             self.history.append(**record)
             self._epoch += 1
+            if self.scheduler is not None:
+                self.scheduler.step()
             if cfg.verbose:
                 print(f"[epoch {epoch:3d}] loss={record['loss']:.5f} "
                       f"(pred={record['prediction_loss']:.5f}, eq={record['equation_loss']:.5f})")
         return self.history
 
+    # -------------------------------------------------------- checkpoint/resume
+    def _rng_state(self):
+        """Serializable per-worker RNG stream state (none for the serial loop)."""
+        return []
+
+    def _set_rng_state(self, states) -> None:
+        """Restore per-worker RNG stream state captured by :meth:`_rng_state`."""
+
+    def save(self, path) -> None:
+        """Checkpoint the complete training state to ``path`` (an ``.npz``).
+
+        Captures model parameters/buffers, optimizer state (including
+        float64 master weights), scheduler position, epoch counter, history,
+        the model's dtype policy and the per-worker RNG streams — everything
+        needed for :meth:`resume` to continue bit-identically.
+        """
+        metadata = {
+            "format": CHECKPOINT_FORMAT,
+            "epoch": self._epoch,
+            "history": self.history.to_dict(),
+            "dtype": self.model.dtype.name,
+            "config": asdict(self.config),
+            "rng": self._rng_state(),
+        }
+        save_checkpoint(path, self.model, self.optimizer, scheduler=self.scheduler,
+                        metadata=metadata)
+
+    def _validate_checkpoint(self, metadata: dict) -> None:
+        """Reject an incompatible checkpoint *before* any state is mutated.
+
+        Bit-identical continuation is impossible when the optimizer update
+        rule, the LR schedule, the data-parallel layout or the sampling
+        recipe differs from the run that produced the checkpoint, so every
+        config field except ``epochs`` (training longer or shorter after a
+        resume is legitimate) and ``verbose`` must match — a mismatch
+        raises instead of silently degrading (e.g. float64 masters being
+        cast down and then ignored, or Adam moments sitting unused in SGD
+        state).  Checkpoints from a newer format version are rejected.
+        """
+        fmt = metadata.get("format", CHECKPOINT_FORMAT)
+        if fmt > CHECKPOINT_FORMAT:
+            raise ValueError(
+                f"checkpoint format {fmt} is newer than this trainer "
+                f"understands (format {CHECKPOINT_FORMAT})"
+            )
+        saved_config = metadata.get("config", {})
+        current = asdict(self.config)
+        for key, saved in saved_config.items():
+            if key in ("epochs", "verbose") or key not in current:
+                continue
+            # JSON has no tuples and only string keys; normalise before comparing.
+            expected = json.loads(json.dumps(current[key]))
+            if saved != expected:
+                raise ValueError(
+                    f"checkpoint was trained with {key}={saved!r}, "
+                    f"trainer is configured with {key}={expected!r}"
+                )
+
+    def _after_restore(self) -> None:
+        """Hook run after a checkpoint is fully restored (dtype may have changed)."""
+
+    def resume(self, path) -> dict:
+        """Restore a :meth:`save` checkpoint in place; returns its metadata.
+
+        The checkpoint's dtype policy wins: a trainer holding a float64
+        model resuming a float32 run casts the model to float32 first (and
+        vice versa), so the continued run reproduces the original
+        precision exactly.  An incompatible checkpoint (e.g. a different
+        worker count) raises before any trainer state is touched.
+        """
+        meta = read_metadata(path)
+        self._validate_checkpoint(meta)
+        saved_dtype = meta.get("dtype")
+        if saved_dtype and self.model.dtype != np.dtype(saved_dtype):
+            self.model.astype(saved_dtype)
+        meta = load_checkpoint(path, self.model, self.optimizer, scheduler=self.scheduler)
+        self._epoch = int(meta.get("epoch", 0))
+        if "history" in meta:
+            self.history = TrainingHistory.from_dict(meta["history"])
+        if meta.get("rng"):
+            self._set_rng_state(meta["rng"])
+        self._after_restore()
+        return meta
+
     # ------------------------------------------------------------- evaluation
     def validation_loss(self, n_batches: int = 2) -> float:
-        """Prediction-only loss on the validation dataset (cheap)."""
+        """Prediction-only loss on the validation dataset (cheap).
+
+        The model's training/eval mode is saved and restored around the
+        evaluation, so calling this on a model already in eval mode no
+        longer silently flips it back to training mode.
+        """
         assert self.val_dataset is not None
-        self.model.eval()
+        dt = self.model.dtype
         losses = []
         weights = LossWeights(gamma=0.0, norm=self.config.loss_norm)
-        for b in range(n_batches):
-            batch = self.val_dataset.sample_batch(
-                list(range(b * self.config.batch_size, (b + 1) * self.config.batch_size)),
-                epoch=10_000 + self._epoch,
-            )
-            total, _ = compute_losses(
-                self.model, Tensor(batch.lowres), Tensor(batch.coords), Tensor(batch.targets),
-                None, weights, coord_scales=batch.coord_scales,
-            )
-            losses.append(float(total.data))
-        self.model.train()
+        with eval_mode(self.model):
+            for b in range(n_batches):
+                batch = self.val_dataset.sample_batch(
+                    list(range(b * self.config.batch_size, (b + 1) * self.config.batch_size)),
+                    epoch=10_000 + self._epoch,
+                )
+                total, _ = compute_losses(
+                    self.model,
+                    Tensor(np.asarray(batch.lowres, dtype=dt)),
+                    Tensor(np.asarray(batch.coords, dtype=dt)),
+                    Tensor(np.asarray(batch.targets, dtype=dt)),
+                    None, weights, coord_scales=batch.coord_scales,
+                )
+                losses.append(float(total.data))
         return float(np.mean(losses))
 
     def evaluate(self, dataset: Optional[SuperResolutionDataset] = None,
@@ -181,17 +352,9 @@ class Trainer:
         Super-resolves the full low-resolution field of ``dataset`` onto the
         high-resolution grid, converts back to physical units and computes the
         NMAE / R² of the nine turbulence metrics (one row of Tables 1–4).
+        The model's training/eval mode is saved and restored.  Delegates to
+        :func:`repro.training.evaluate_model`.
         """
         dataset = dataset if dataset is not None else self.dataset
-        self.model.eval()
-        lowres, highres, _ = dataset.evaluation_pair(dataset_index)
-        hr_shape = highres.shape[1:]
-        pred = self.model.predict_grid(Tensor(lowres[None]), hr_shape, chunk_size=chunk_size)[0]
-        pred_fields = dataset.denormalize(np.moveaxis(pred, 0, 1), channel_axis=1)
-        true_fields = dataset.denormalize(np.moveaxis(highres, 0, 1), channel_axis=1)
-        result = dataset.results[dataset_index]
-        nu = np.sqrt(result.prandtl / result.rayleigh)
-        _, dz, dx = result.grid_spacing()
-        report = evaluate_fields(pred_fields, true_fields, dx=dx, dz=dz, nu=nu, label=label)
-        self.model.train()
-        return report
+        return evaluate_model(self.model, dataset, dataset_index=dataset_index,
+                              label=label, chunk_size=chunk_size)

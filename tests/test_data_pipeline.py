@@ -234,3 +234,27 @@ class TestDataLoader:
     def test_invalid_batch_size(self, tiny_dataset):
         with pytest.raises(ValueError):
             DataLoader(tiny_dataset, batch_size=0)
+
+    def test_live_distributed_sampler(self, tiny_dataset):
+        """A DistributedSampler is kept live: set_epoch propagates and the
+        loader re-queries the shard for each epoch's global permutation."""
+        from repro.distributed import DistributedSampler
+
+        sampler = DistributedSampler(len(tiny_dataset), world_size=2, rank=0,
+                                     shuffle=True, seed=3)
+        loader = DataLoader(tiny_dataset, batch_size=2, sampler=sampler)
+        assert len(loader) == 2  # 8 samples / 2 ranks / batch 2
+        assert len(list(loader)) == 2
+
+        epoch0_shard = sampler.indices()
+        loader.set_epoch(1)
+        assert sampler.epoch == 1  # propagated to the live sampler
+        assert sampler.indices() != epoch0_shard
+
+        # Per-rank loaders over the same epoch tile the global permutation.
+        other = DataLoader(tiny_dataset, batch_size=2,
+                           sampler=DistributedSampler(len(tiny_dataset), 2, 1,
+                                                      shuffle=True, seed=3))
+        other.set_epoch(1)
+        combined = sorted(loader._indices() + other._indices())
+        assert combined == list(range(len(tiny_dataset)))

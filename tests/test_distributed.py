@@ -11,6 +11,7 @@ from repro.distributed import (
     ClusterSpec,
     DataParallelGroup,
     DistributedSampler,
+    GradientBuckets,
     ScalingPerformanceModel,
     SimulatedCommunicator,
     average_gradients,
@@ -18,6 +19,7 @@ from repro.distributed import (
     reduce_scatter_allgather_cost,
     ring_allreduce,
 )
+from repro.nn.module import Parameter
 from repro.optim import SGD
 
 
@@ -40,6 +42,13 @@ class TestAllReduce:
         ring, _ = ring_allreduce(buffers)
         naive, _ = naive_allreduce(buffers)
         assert np.allclose(ring[0], naive[0])
+
+    @pytest.mark.parametrize("fn", [ring_allreduce, naive_allreduce])
+    def test_single_rank_moves_no_bytes(self, fn, rng):
+        """A world of one never crosses a link, whichever algorithm runs."""
+        results, stats = fn([rng.standard_normal(12)])
+        assert stats.bytes_per_rank == 0
+        assert len(results) == 1
 
     def test_shape_mismatch_raises(self, rng):
         with pytest.raises(ValueError):
@@ -72,6 +81,24 @@ class TestAllReduce:
 
     def test_analytic_cost_zero_for_single_rank(self):
         assert reduce_scatter_allgather_cost(1, 100, 1e9, 1e-6) == 0.0
+
+    def test_float32_buffers_stay_float32(self, rng):
+        """The collective runs in the gradients' own precision (as NCCL would)."""
+        buffers = [rng.standard_normal(16).astype(np.float32) for _ in range(3)]
+        results, _ = ring_allreduce(buffers, average=True)
+        assert all(r.dtype == np.float32 for r in results)
+        naive, _ = naive_allreduce(buffers)
+        assert naive[0].dtype == np.float32
+
+    def test_mixed_dtypes_promote(self, rng):
+        buffers = [rng.standard_normal(8).astype(np.float32), rng.standard_normal(8)]
+        results, _ = ring_allreduce(buffers)
+        assert results[0].dtype == np.float64
+
+    def test_integer_buffers_promote_to_float64(self):
+        results, _ = ring_allreduce([np.arange(6), np.arange(6)])
+        assert results[0].dtype == np.float64
+        assert np.allclose(results[0], 2 * np.arange(6))
 
 
 class TestCommunicator:
@@ -136,6 +163,79 @@ class TestDistributedSampler:
             DistributedSampler(10, 2, 5)
         with pytest.raises(ValueError):
             DistributedSampler(0, 1, 0)
+
+
+class TestGradientBuckets:
+    def _params(self, rng, shapes):
+        return [Parameter(rng.standard_normal(s)) for s in shapes]
+
+    def _grads(self, rng, params):
+        """Gradients in the parameters' own (policy-dependent) dtype."""
+        return [rng.standard_normal(p.shape).astype(p.data.dtype) for p in params]
+
+    def test_roundtrip(self, rng):
+        params = self._params(rng, [(3, 4), (7,), (2, 2, 2)])
+        buckets = GradientBuckets(params)
+        grads = self._grads(rng, params)
+        flat = buckets.flatten(grads)
+        back = buckets.unflatten(flat)
+        for g, b in zip(grads, back):
+            assert np.array_equal(g, b)
+
+    def test_small_capacity_creates_multiple_buckets(self, rng):
+        params = self._params(rng, [(64,), (64,), (64,)])
+        itemsize = params[0].data.dtype.itemsize
+        buckets = GradientBuckets(params, bucket_bytes=64 * itemsize)
+        assert buckets.num_buckets == 3
+
+    def test_parameter_never_split_across_buckets(self, rng):
+        params = self._params(rng, [(100,), (8,)])
+        buckets = GradientBuckets(params, bucket_bytes=16)  # smaller than one param
+        assert buckets.num_buckets == 2
+        bucket, start, end = buckets.layout[0]
+        assert (start, end) == (0, 100)
+
+    def test_none_gradients_pack_as_zeros(self, rng):
+        params = self._params(rng, [(4,), (5,)])
+        buckets = GradientBuckets(params)
+        flat = buckets.flatten([None, np.ones(5)])
+        assert np.allclose(flat[0][:4], 0.0)
+        assert np.allclose(flat[0][4:], 1.0)
+
+    def test_assign_writes_grads(self, rng):
+        params = self._params(rng, [(4,), (2, 3)])
+        buckets = GradientBuckets(params)
+        grads = self._grads(rng, params)
+        buckets.assign(params, buckets.flatten(grads))
+        for p, g in zip(params, grads):
+            assert np.array_equal(p.grad, g)
+
+    def test_float32_params_give_float32_buckets(self, rng):
+        params = [Parameter(rng.standard_normal(6), dtype="float32")]
+        buckets = GradientBuckets(params)
+        assert buckets.dtype == np.float32
+
+    def test_allreduce_through_buckets_matches_mean(self, rng):
+        params = self._params(rng, [(33,), (9,)])
+        buckets = GradientBuckets(params, bucket_bytes=128)
+        per_rank = [[rng.standard_normal(p.shape) for p in params] for _ in range(3)]
+        flats = [buckets.flatten(g) for g in per_rank]
+        reduced = [ring_allreduce([f[b] for f in flats], average=True)[0][0]
+                   for b in range(buckets.num_buckets)]
+        got = buckets.unflatten(reduced)
+        for i in range(len(params)):
+            want = np.mean([per_rank[r][i] for r in range(3)], axis=0)
+            assert np.allclose(got[i], want, atol=1e-12)
+
+    def test_shape_mismatch_raises(self, rng):
+        params = self._params(rng, [(4,)])
+        buckets = GradientBuckets(params)
+        with pytest.raises(ValueError):
+            buckets.flatten([np.zeros(5)])
+        with pytest.raises(ValueError):
+            buckets.flatten([np.zeros(4), np.zeros(4)])
+        with pytest.raises(ValueError):
+            GradientBuckets(params, bucket_bytes=0)
 
 
 def _make_model_factory(seed=0):

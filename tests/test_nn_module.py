@@ -80,6 +80,33 @@ class TestStateDict:
         with pytest.raises(ValueError):
             m.load_state_dict(state)
 
+    def test_buffer_shape_mismatch_raises(self):
+        """A broadcastable but wrong-shape buffer must not load silently."""
+        m = Toy()
+        state = m.state_dict()
+        state["counter"] = np.asarray(7.0)  # shape () broadcasts into shape (1,)
+        with pytest.raises(ValueError):
+            m.load_state_dict(state)
+
+    def test_failed_load_mutates_nothing(self):
+        """Validation runs before any write: a rejected load leaves the module intact."""
+        m = Toy()
+        before = m.state_dict()
+        bad = m.state_dict()
+        bad["fc1.weight"] = bad["fc1.weight"] + 1.0
+        bad["fc2.bias"] = np.zeros((3, 3))  # shape mismatch triggers rejection
+        with pytest.raises(ValueError):
+            m.load_state_dict(bad)
+        for key, value in m.state_dict().items():
+            assert np.array_equal(value, before[key])
+
+        missing = dict(before)
+        missing["fc1.weight"] = before["fc1.weight"] + 1.0
+        del missing["counter"]  # strict missing-key rejection
+        with pytest.raises(KeyError):
+            m.load_state_dict(missing)
+        assert np.array_equal(m.fc1.weight.data, before["fc1.weight"])
+
     def test_unexpected_key_raises_when_strict(self):
         m = Toy()
         state = m.state_dict()

@@ -6,7 +6,16 @@ import pytest
 from repro import nn
 from repro.autodiff import Tensor, ops
 from repro.nn.module import Parameter
-from repro.optim import SGD, Adam, CosineAnnealingLR, ExponentialLR, StepLR, WarmupLR, clip_grad_norm
+from repro.optim import (
+    SGD,
+    Adam,
+    CosineAnnealingLR,
+    ExponentialLR,
+    StepLR,
+    WarmupLR,
+    build_scheduler,
+    clip_grad_norm,
+)
 
 
 def quadratic_loss(p: Parameter) -> Tensor:
@@ -116,6 +125,77 @@ class TestAdam:
         assert np.allclose(opt2.state[0]["m"], opt.state[0]["m"])
 
 
+class TestMasterWeights:
+    """Mixed precision: float32 parameters updated through float64 masters."""
+
+    def _step(self, opt, p, grad):
+        opt.zero_grad()
+        p.grad = np.asarray(grad, dtype=p.data.dtype)
+        opt.step()
+
+    def test_sgd_master_keeps_param_dtype(self):
+        p = Parameter(np.zeros(4), dtype="float32")
+        opt = SGD([p], lr=0.1, momentum=0.9, master_dtype="float64")
+        self._step(opt, p, np.ones(4))
+        assert p.data.dtype == np.float32
+        assert opt.state[0]["master"].dtype == np.float64
+        assert opt.state[0]["momentum"].dtype == np.float64
+
+    def test_adam_master_accumulates_below_float32_resolution(self):
+        """Master weights must capture updates a float32 weight would drop.
+
+        With w = 1.0 and per-step update ~1e-8 (below float32 eps), 1000
+        plain float32 SGD steps leave the weight exactly 1.0; the float64
+        master accumulates them.
+        """
+        def run(master_dtype):
+            p = Parameter(np.ones(1), dtype="float32")
+            opt = SGD([p], lr=1e-8, master_dtype=master_dtype)
+            for _ in range(1000):
+                self._step(opt, p, np.ones(1))
+            master = opt.state.get(0, {}).get("master")
+            return float(master[0]) if master is not None else float(p.data[0])
+
+        assert run(None) == pytest.approx(1.0)  # float32 swallows the updates
+        assert run("float64") == pytest.approx(1.0 - 1e-5, rel=1e-6)
+
+    def test_master_state_dict_roundtrip(self):
+        p = Parameter(np.full(3, 2.0), dtype="float32")
+        opt = Adam([p], lr=0.1, master_dtype="float64")
+        self._step(opt, p, np.ones(3))
+        state = opt.state_dict()
+
+        p2 = Parameter(np.full(3, 2.0), dtype="float32")
+        opt2 = Adam([p2], lr=0.1, master_dtype="float64")
+        opt2.load_state_dict(state)
+        assert opt2.state[0]["master"].dtype == np.float64
+        assert np.array_equal(opt2.state[0]["master"], opt.state[0]["master"])
+
+    def test_load_casts_state_to_param_dtype_without_master(self):
+        """Float64 checkpoint state loaded into a float32 run is cast down."""
+        p64 = Parameter(np.zeros(2))
+        opt64 = Adam([p64], lr=0.1)
+        self._step(opt64, p64, np.ones(2))
+        state = opt64.state_dict()
+
+        p32 = Parameter(np.zeros(2), dtype="float32")
+        opt32 = Adam([p32], lr=0.1)
+        opt32.load_state_dict(state)
+        assert opt32.state[0]["m"].dtype == np.float32
+        self._step(opt32, p32, np.ones(2))
+        assert p32.data.dtype == np.float32
+
+    def test_shared_replica_sees_master_updates(self):
+        """In-place write-back keeps parameter sharing across replicas intact."""
+        storage = np.ones(3, dtype=np.float32)
+        p = Parameter(storage.copy(), dtype="float32")
+        alias = p.data  # simulated replica sharing the same array
+        opt = SGD([p], lr=0.5, master_dtype="float64")
+        self._step(opt, p, np.ones(3))
+        assert alias is p.data
+        assert np.allclose(alias, 0.5)
+
+
 class TestGradClipping:
     def test_clip_reduces_norm(self):
         p = Parameter(np.zeros(4))
@@ -167,3 +247,37 @@ class TestSchedulers:
         lrs = [sched.step() for _ in range(5)]
         assert lrs[0] < lrs[1] < lrs[3]
         assert lrs[-1] == pytest.approx(4.0)
+
+    def test_state_dict_roundtrip(self):
+        opt = self._opt()
+        sched = ExponentialLR(opt, gamma=0.5)
+        sched.step()
+        sched.step()
+        state = sched.state_dict()
+
+        opt2 = self._opt()
+        sched2 = ExponentialLR(opt2, gamma=0.5)
+        sched2.load_state_dict(state)
+        assert sched2.last_epoch == 2
+        assert opt2.lr == pytest.approx(0.25)
+        assert sched2.step() == pytest.approx(0.125)
+
+    def test_load_epoch_zero_restores_base_lr(self):
+        """Loading a fresh (epoch-0) snapshot must undo a decayed optimizer lr."""
+        opt = self._opt()
+        sched = ExponentialLR(opt, gamma=0.5)
+        fresh = sched.state_dict()
+        sched.step()
+        sched.step()
+        assert opt.lr == pytest.approx(0.25)
+        sched.load_state_dict(fresh)
+        assert opt.lr == pytest.approx(1.0)
+
+    def test_build_scheduler_factory(self):
+        opt = self._opt()
+        sched = build_scheduler("step", opt, step_size=2, gamma=0.1)
+        assert isinstance(sched, StepLR)
+        with pytest.raises(ValueError):
+            build_scheduler("nope", opt)
+        with pytest.raises(TypeError):
+            build_scheduler("cosine", opt)  # t_max is required

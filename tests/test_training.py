@@ -1,11 +1,15 @@
 """Trainer, evaluation helpers, checkpointing, history."""
 
+import gc
+import warnings
+
 import numpy as np
 import pytest
 
+from repro.backend import precision
 from repro.baselines import TrilinearBaseline
 from repro.core import MeshfreeFlowNet, MeshfreeFlowNetConfig
-from repro.optim import Adam
+from repro.optim import Adam, ExponentialLR
 from repro.pde import divergence_free_system
 from repro.training import (
     Trainer,
@@ -14,6 +18,7 @@ from repro.training import (
     evaluate_model,
     load_checkpoint,
     pointwise_errors,
+    read_metadata,
     save_checkpoint,
 )
 
@@ -75,12 +80,16 @@ class TestTraining:
         history = trainer.train()
         assert history[0]["equation_loss"] > 0.0
 
+    @pytest.mark.float64_default
     def test_world_size_equivalent_to_large_batch(self, tiny_dataset):
         """world_size=2 with batch 1 must equal world_size=1 with batch 2 (same samples).
 
         Group normalisation is used instead of batch normalisation so that the
         forward pass is independent of how the global batch is sharded (the
         same caveat applies to real DistributedDataParallel training).
+        Pinned at float64 round-off (1e-10): under a float32 policy the
+        forward genuinely runs in float32 (batches are cast to the model
+        dtype) and shard-order rounding is of order 1e-7 instead.
         """
         def run(world_size, batch_size):
             model = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny(seed=3, unet_norm="group"))
@@ -152,6 +161,69 @@ class TestHistory:
         assert "1 epochs" in h.summary()
 
 
+class TestSchedulerWiring:
+    def test_scheduler_steps_each_epoch(self, tiny_dataset):
+        """config.scheduler drives the optimizer lr; history records the used lr."""
+        model = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny())
+        config = TrainerConfig(epochs=3, batch_size=1, gamma=0.0, steps_per_epoch=1,
+                               learning_rate=1e-2, scheduler="exponential",
+                               scheduler_kwargs={"gamma": 0.5})
+        trainer = Trainer(model, tiny_dataset, config=config)
+        history = trainer.train()
+        assert [r["lr"] for r in history.records] == pytest.approx([1e-2, 5e-3, 2.5e-3])
+
+    def test_step_scheduler(self, tiny_dataset):
+        model = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny())
+        config = TrainerConfig(epochs=4, batch_size=1, gamma=0.0, steps_per_epoch=1,
+                               learning_rate=1.0, scheduler="step",
+                               scheduler_kwargs={"step_size": 2, "gamma": 0.1})
+        history = Trainer(model, tiny_dataset, config=config).train()
+        assert [r["lr"] for r in history.records] == pytest.approx([1.0, 1.0, 0.1, 0.1])
+
+    def test_no_scheduler_keeps_lr_constant(self, trainer):
+        history = trainer.train()
+        assert len({r["lr"] for r in history.records}) == 1
+
+
+class TestOptimizerConfig:
+    def test_momentum_is_configurable(self, tiny_dataset):
+        model = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny())
+        config = TrainerConfig(optimizer="sgd", momentum=0.3)
+        trainer = Trainer(model, tiny_dataset, config=config)
+        assert trainer.optimizer.momentum == pytest.approx(0.3)
+
+    def test_momentum_default_matches_seed(self, tiny_dataset):
+        model = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny())
+        trainer = Trainer(model, tiny_dataset, config=TrainerConfig(optimizer="sgd"))
+        assert trainer.optimizer.momentum == pytest.approx(0.9)
+
+
+class TestModeRestore:
+    def test_evaluate_preserves_eval_mode(self, trainer):
+        trainer.model.eval()
+        trainer.evaluate()
+        assert not trainer.model.training
+
+    def test_evaluate_preserves_train_mode(self, trainer):
+        trainer.model.train()
+        trainer.evaluate()
+        assert trainer.model.training
+
+    def test_validation_loss_preserves_eval_mode(self, tiny_dataset):
+        model = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny())
+        config = TrainerConfig(epochs=1, batch_size=1, gamma=0.0, steps_per_epoch=1)
+        trainer = Trainer(model, tiny_dataset, config=config, val_dataset=tiny_dataset)
+        model.eval()
+        trainer.validation_loss()
+        assert not model.training
+
+    def test_evaluate_model_helper_preserves_mode(self, tiny_dataset):
+        model = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny())
+        model.eval()
+        evaluate_model(model, tiny_dataset)
+        assert not model.training
+
+
 class TestCheckpoint:
     def test_model_roundtrip(self, tmp_path, tiny_dataset):
         model = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny(seed=1))
@@ -173,3 +245,61 @@ class TestCheckpoint:
         save_checkpoint(path, model)
         meta = load_checkpoint(path, MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny(seed=9)))
         assert meta == {}
+
+    def test_load_preserves_model_dtype(self, tmp_path):
+        """A float64 checkpoint loaded into a float32-cast model stays float32."""
+        model = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny(seed=1))
+        opt = Adam(model.parameters(), lr=1e-3)
+        for p in model.parameters():
+            p.grad = np.ones_like(p.data)
+        opt.step()  # materialise float64 Adam moments in the checkpoint
+        path = tmp_path / "f64.npz"
+        save_checkpoint(path, model, opt)
+
+        model32 = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny(seed=2)).astype("float32")
+        opt32 = Adam(model32.parameters(), lr=1e-3)
+        load_checkpoint(path, model32, opt32)
+        assert all(p.data.dtype == np.float32 for p in model32.parameters())
+        # the float64 checkpoint moments are cast to the parameter precision
+        assert all(s["m"].dtype == np.float32 for s in opt32.state.values())
+
+    def test_strict_dtype_rejects_mismatch(self, tmp_path):
+        with precision("float64"):  # explicit: the policy may default to float32 in CI
+            model = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny(seed=1))
+        path = tmp_path / "f64b.npz"
+        save_checkpoint(path, model)
+        model32 = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny(seed=2)).astype("float32")
+        with pytest.raises(ValueError):
+            load_checkpoint(path, model32, strict_dtype=True)
+
+    def test_scheduler_state_roundtrip(self, tmp_path):
+        model = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny(seed=1))
+        opt = Adam(model.parameters(), lr=1e-2)
+        sched = ExponentialLR(opt, gamma=0.5)
+        sched.step()
+        sched.step()
+        path = tmp_path / "sched.npz"
+        save_checkpoint(path, model, opt, scheduler=sched)
+
+        model2 = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny(seed=2))
+        opt2 = Adam(model2.parameters(), lr=1e-2)
+        sched2 = ExponentialLR(opt2, gamma=0.5)
+        load_checkpoint(path, model2, opt2, scheduler=sched2)
+        assert sched2.last_epoch == 2
+        assert opt2.lr == pytest.approx(2.5e-3)
+
+    def test_archive_handle_is_closed(self, tmp_path):
+        """load_checkpoint must close the .npz archive (the seed leaked it)."""
+        model = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny())
+        path = tmp_path / "closed.npz"
+        save_checkpoint(path, model)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ResourceWarning)
+            load_checkpoint(path, model)
+            gc.collect()
+
+    def test_read_metadata_only(self, tmp_path):
+        model = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny())
+        path = tmp_path / "meta.npz"
+        save_checkpoint(path, model, metadata={"epoch": 12, "note": "x"})
+        assert read_metadata(path) == {"epoch": 12, "note": "x"}
