@@ -10,8 +10,9 @@ Benchmarks that want their numbers tracked *across PRs* record entries
 through the ``bench_artifact`` fixture; at session end the collected
 entries are written to per-PR artifact files at the repository root
 (``BENCH_pr3.json`` for the precision/serving gates, ``BENCH_pr4.json``
-for the training gates) — machine-readable artifacts (throughput, latency
-percentiles, peak memory, dtype) that CI and future PRs can diff against.
+for the training gates, ``BENCH_pr5.json`` for the compiled-decode
+gates) — machine-readable artifacts (throughput, latency percentiles,
+peak memory, dtype) that CI and future PRs can diff against.
 """
 
 from __future__ import annotations

@@ -196,6 +196,154 @@ def test_float32_inference_speedup_and_memory(benchmark, bench_artifact, run_tra
     )
 
 
+def _interleaved_best(fn_a, fn_b, rounds):
+    """Fastest round of two callables timed alternately (drift-symmetric)."""
+    best_a = best_b = np.inf
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn_a()
+        best_a = min(best_a, time.perf_counter() - start)
+        start = time.perf_counter()
+        fn_b()
+        best_b = min(best_b, time.perf_counter() - start)
+    return best_a, best_b
+
+
+@pytest.mark.benchmark(group="compile")
+def test_compiled_decode_speedup_and_equivalence(benchmark, bench_artifact):
+    """Compiled ImNet decode: ≥1.5x on the derivative stack, bit-identical.
+
+    The PR 5 acceptance gate, on the two decode workloads the paper's hot
+    loop runs:
+
+    * the **second-order derivative stack** (``forward_with_derivatives``
+      pattern feeding the PDE equation loss) — where graph capture
+      genuinely changes the cost model: the eager tape applies ~100
+      primitives and walks two backward graphs per evaluation, while the
+      compiled plan replays ~30 fused ops after dead-code elimination.
+      Enforced at **≥1.5x** (measured ≈3–4.5x steady-state);
+    * the plain **forward decode**, which is transcendental-bound
+      (softplus), so removing Python dispatch and allocations yields a
+      steadier ≈1.2x — sanity-gated at ≥1.05x so the fused executor can
+      never regress below eager, and recorded for both precisions.
+
+    All timings are interleaved min-of-rounds in a warmed process (both
+    paths run once before timing), so allocator warm-up and background
+    drift hit eager and compiled symmetrically.  Outputs are asserted
+    bit-identical and plans fully lowered (zero fallback allocations).
+    """
+    from repro import compile as rc
+    from repro.autodiff import grad, ops
+    from repro.backend import precision
+
+    model64 = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny()).eval()
+    model32 = model64.replicate(1, share_parameters=False)[0].astype("float32")
+    batch, n_points = 2, 4096
+    rng = np.random.default_rng(0)
+    block = rng.standard_normal((batch, n_points, model64.imnet.in_features))
+
+    # ---------------------------------------------------- forward decode
+    forward_speedups = {}
+    for name, model in (("float64", model64), ("float32", model32)):
+        with precision(name):
+            x = Tensor(block.astype(model.dtype))
+            compiled = rc.compile(model.imnet, copy_outputs=False)
+            with inference_mode():
+                out_eager, out_compiled = model.imnet(x), compiled(x)  # warm both
+                assert np.array_equal(out_eager.data, out_compiled.data)
+                t_eager, t_compiled = _interleaved_best(
+                    lambda: model.imnet(x), lambda: compiled(x), rounds=10)
+        stats = compiled.plans[0].stats
+        assert stats.n_fallback == 0 and compiled.plans[0].runtime_allocs == 0
+        forward_speedups[name] = t_eager / t_compiled
+        for mode, seconds in (("eager", t_eager), ("compiled", t_compiled)):
+            bench_artifact(
+                f"imnet_decode[{name},{mode}]", artifact="BENCH_pr5.json",
+                dtype=name, mode=mode,
+                throughput=round(batch * n_points / seconds), throughput_unit="points/s",
+                latency_ms={"p50": round(seconds * 1e3, 3)},
+            )
+        benchmark.extra_info[f"{name}_forward_speedup"] = round(forward_speedups[name], 2)
+
+    # ----------------------------------------- second-order derivative stack
+    imnet = model64.imnet
+
+    def derivative_stack(xin):
+        y = imnet(xin)
+        g1 = grad(ops.sum(y), xin, create_graph=True)
+        d_dt = ops.getitem(g1, (slice(None), slice(None), 0))
+        g2 = grad(ops.sum(d_dt), xin, create_graph=True)
+        return y, g1, g2
+
+    xg = Tensor(block[:, :1024], requires_grad=True)
+    compiled_stack = rc.compile_fn(derivative_stack, copy_outputs=False)
+    eager_out, compiled_out = derivative_stack(xg), compiled_stack(xg)  # warm both
+    for e, c in zip(eager_out, compiled_out):
+        assert np.array_equal(e.data, c.data)
+    assert compiled_stack.plans[0].runtime_allocs == 0
+    t_eager, t_compiled = _interleaved_best(
+        lambda: derivative_stack(xg), lambda: compiled_stack(xg), rounds=7)
+    derivative_speedup = t_eager / t_compiled
+    for mode, seconds in (("eager", t_eager), ("compiled", t_compiled)):
+        bench_artifact(
+            f"imnet_decode_derivatives[float64,{mode}]", artifact="BENCH_pr5.json",
+            dtype="float64", mode=mode,
+            throughput=round(batch * 1024 / seconds), throughput_unit="points/s",
+            latency_ms={"p50": round(seconds * 1e3, 3)},
+        )
+    benchmark.extra_info["derivative_stack_speedup"] = round(derivative_speedup, 2)
+    benchmark.pedantic(lambda: compiled_stack(xg), rounds=1, iterations=1)
+
+    assert derivative_speedup >= 1.5, (
+        f"compiled derivative-stack decode gain {derivative_speedup:.2f}x below "
+        f"the 1.5x acceptance bar"
+    )
+    assert forward_speedups["float64"] >= 1.05, (
+        f"compiled forward decode {forward_speedups['float64']:.2f}x regressed "
+        f"below eager (sanity floor 1.05x)"
+    )
+
+
+@pytest.mark.benchmark(group="compile")
+def test_compiled_engine_decode_end_to_end(benchmark, bench_artifact):
+    """Engine-level compiled decode: bit-identical, throughput recorded.
+
+    The full ``predict_grid`` pipeline (gather + decode + blend) with the
+    decode batches running through compiled plans.  Only the MLP portion
+    compiles — the gather stays eager NumPy — so this records the
+    end-to-end gain without gating on it (the enforced bar lives on the
+    decode kernel above).
+    """
+    model = MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny()).eval()
+    rng = np.random.default_rng(0)
+    lowres = rng.standard_normal((1, 4, 4, 16, 32))
+    out_shape = (8, 32, 64)
+    n_points = int(np.prod(out_shape))
+    eager = InferenceEngine(model)
+    compiled = InferenceEngine(model, compile=True)
+    out_e = eager.predict_grid(lowres, out_shape)
+    out_c = compiled.predict_grid(lowres, out_shape)
+    assert np.array_equal(out_e, out_c)
+    t_eager = t_compiled = np.inf
+    for _ in range(3):
+        start = time.perf_counter()
+        eager.predict_grid(lowres, out_shape)
+        t_eager = min(t_eager, time.perf_counter() - start)
+        start = time.perf_counter()
+        compiled.predict_grid(lowres, out_shape)
+        t_compiled = min(t_compiled, time.perf_counter() - start)
+    for mode, seconds in (("eager", t_eager), ("compiled", t_compiled)):
+        bench_artifact(
+            f"engine_predict_grid[{mode}]", artifact="BENCH_pr5.json",
+            dtype="float64", mode=mode,
+            throughput=round(n_points / seconds), throughput_unit="points/s",
+            latency_ms={"p50": round(seconds * 1e3, 3)},
+        )
+    benchmark.extra_info["end_to_end_speedup"] = round(t_eager / t_compiled, 2)
+    benchmark.pedantic(lambda: compiled.predict_grid(lowres, out_shape),
+                       rounds=1, iterations=1)
+
+
 @pytest.mark.benchmark(group="kernels")
 def test_solver_step(benchmark):
     solver = RayleighBenardSolver(RayleighBenardConfig(nz=32, nx=128, t_final=1.0, seed=0))

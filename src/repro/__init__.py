@@ -10,8 +10,10 @@ generator that replaces Dedalus, the turbulence evaluation metrics, the
 baselines, a simulated data-parallel distributed-training stack, the tiled
 batched inference engine for bounded-memory full-domain super-resolution
 (:mod:`repro.inference`), a precision-aware compute backend with a
-thread-local float32/float64 policy (:mod:`repro.backend`), and the
-experiment harnesses that regenerate every table and figure of the paper.
+thread-local float32/float64 policy (:mod:`repro.backend`), a
+graph-capture fused executor that traces, fuses and buffer-reuses the
+autodiff hot paths (:mod:`repro.compile`), and the experiment harnesses
+that regenerate every table and figure of the paper.
 
 Quickstart
 ----------

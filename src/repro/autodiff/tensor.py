@@ -54,9 +54,36 @@ class _AutogradState(threading.local):
     def __init__(self):
         self.grad_enabled = True
         self.inference_mode = False
+        #: Active graph tracer (``repro.compile``) or ``None``.  When set,
+        #: every :meth:`Op.apply` reports ``(op, input tensors, output
+        #: tensor)`` so the compile subsystem can capture a linear program
+        #: of primitives.  Thread-local like the mode flags, so a serving
+        #: worker compiling a plan never records ops from other threads.
+        self.tracer = None
 
 
 _state = _AutogradState()
+
+
+def is_tracing() -> bool:
+    """Whether a :mod:`repro.compile` tracer is recording on this thread."""
+    return _state.tracer is not None
+
+
+@contextlib.contextmanager
+def tracing(tracer):
+    """Install ``tracer`` as this thread's op recorder for the context.
+
+    Used by :mod:`repro.compile` during graph capture; nesting is rejected
+    because a trace-within-a-trace would double-record every primitive.
+    """
+    if _state.tracer is not None:
+        raise RuntimeError("op tracing cannot be nested")
+    _state.tracer = tracer
+    try:
+        yield tracer
+    finally:
+        _state.tracer = None
 
 
 def is_grad_enabled() -> bool:
@@ -151,7 +178,7 @@ class Op:
         or the policy default when there is none — so a scalar never
         upcasts a float32 graph to float64.
         """
-        if _state.inference_mode:
+        if _state.inference_mode and _state.tracer is None:
             # Fast path: no graph can ever be recorded, so skip the
             # requires_grad scan and build the output tensor directly.
             if all(isinstance(x, Tensor) for x in inputs):
@@ -167,6 +194,8 @@ class Op:
         if requires_grad:
             op.inputs = tensors
             out._op = op
+        if _state.tracer is not None:
+            _state.tracer.record(op, tensors, out)
         return out
 
 

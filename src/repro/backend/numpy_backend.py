@@ -73,73 +73,108 @@ class ArrayBackend:
     # ------------------------------------------------------------ kernels
     # Elementwise / reduction / linear-algebra kernels used by the autodiff
     # primitive ops.  All preserve the input dtype (NumPy semantics).
-    def add(self, a, b):
+    #
+    # Every kernel accepts an optional ``out=`` destination array (NumPy
+    # ufunc semantics: ``out=None`` allocates a fresh result).  The ``out=``
+    # forms are the **in-place kernel registry** the compiled executor
+    # (:mod:`repro.compile`) is built on: a fused plan evaluates a whole
+    # elementwise chain through these calls into arena-owned buffers, so
+    # steady-state execution allocates nothing.  A backend that cannot
+    # write in place may ignore ``out`` and return a fresh array — the
+    # executor always uses the *returned* array — at the cost of losing
+    # the zero-allocation property.
+    def add(self, a, b, out=None):
         """Elementwise ``a + b``."""
-        return self.xp.add(a, b)
+        return self.xp.add(a, b, out=out)
 
-    def subtract(self, a, b):
+    def subtract(self, a, b, out=None):
         """Elementwise ``a - b``."""
-        return self.xp.subtract(a, b)
+        return self.xp.subtract(a, b, out=out)
 
-    def multiply(self, a, b):
+    def multiply(self, a, b, out=None):
         """Elementwise ``a * b``."""
-        return self.xp.multiply(a, b)
+        return self.xp.multiply(a, b, out=out)
 
-    def divide(self, a, b):
+    def divide(self, a, b, out=None):
         """Elementwise ``a / b``."""
-        return self.xp.divide(a, b)
+        return self.xp.divide(a, b, out=out)
 
-    def negative(self, a):
+    def negative(self, a, out=None):
         """Elementwise ``-a``."""
-        return self.xp.negative(a)
+        return self.xp.negative(a, out=out)
 
-    def power(self, a, exponent):
+    def power(self, a, exponent, out=None):
         """Elementwise ``a ** exponent``."""
-        return self.xp.power(a, exponent)
+        return self.xp.power(a, exponent, out=out)
 
-    def exp(self, a):
+    def exp(self, a, out=None):
         """Elementwise natural exponential."""
-        return self.xp.exp(a)
+        return self.xp.exp(a, out=out)
 
-    def log(self, a):
+    def log(self, a, out=None):
         """Elementwise natural logarithm."""
-        return self.xp.log(a)
+        return self.xp.log(a, out=out)
 
-    def sin(self, a):
+    def log1p(self, a, out=None):
+        """Elementwise ``log(1 + a)`` (numerically stable near zero)."""
+        return self.xp.log1p(a, out=out)
+
+    def sqrt(self, a, out=None):
+        """Elementwise square root."""
+        return self.xp.sqrt(a, out=out)
+
+    def sin(self, a, out=None):
         """Elementwise sine."""
-        return self.xp.sin(a)
+        return self.xp.sin(a, out=out)
 
-    def cos(self, a):
+    def cos(self, a, out=None):
         """Elementwise cosine."""
-        return self.xp.cos(a)
+        return self.xp.cos(a, out=out)
 
-    def tanh(self, a):
+    def tanh(self, a, out=None):
         """Elementwise hyperbolic tangent."""
-        return self.xp.tanh(a)
+        return self.xp.tanh(a, out=out)
 
-    def abs(self, a):
+    def abs(self, a, out=None):
         """Elementwise absolute value."""
-        return self.xp.abs(a)
+        return self.xp.abs(a, out=out)
 
-    def sign(self, a):
+    def sign(self, a, out=None):
         """Elementwise sign."""
-        return self.xp.sign(a)
+        return self.xp.sign(a, out=out)
 
-    def maximum(self, a, b):
+    def maximum(self, a, b, out=None):
         """Elementwise maximum."""
-        return self.xp.maximum(a, b)
+        return self.xp.maximum(a, b, out=out)
 
-    def minimum(self, a, b):
+    def minimum(self, a, b, out=None):
         """Elementwise minimum."""
-        return self.xp.minimum(a, b)
+        return self.xp.minimum(a, b, out=out)
 
-    def matmul(self, a, b):
+    def matmul(self, a, b, out=None):
         """Batched matrix product over the trailing two axes."""
-        return self.xp.matmul(a, b)
+        return self.xp.matmul(a, b, out=out)
 
-    def sum(self, a, axis=None, keepdims=False):
+    def sum(self, a, axis=None, keepdims=False, out=None):
         """Summation over ``axis``."""
-        return self.xp.sum(a, axis=axis, keepdims=keepdims)
+        return self.xp.sum(a, axis=axis, keepdims=keepdims, out=out)
+
+    def greater(self, a, b, out=None):
+        """Elementwise ``a > b`` (boolean, or ``out``'s dtype with ``out=``)."""
+        return self.xp.greater(a, b, out=out)
+
+    def greater_equal(self, a, b, out=None):
+        """Elementwise ``a >= b`` (boolean result)."""
+        return self.xp.greater_equal(a, b, out=out)
+
+    def copyto(self, dst, src, where=True):
+        """Copy ``src`` into ``dst`` with broadcasting; returns ``dst``.
+
+        ``where`` optionally masks the copy (NumPy ``copyto`` semantics),
+        which the compiled executor uses for branchless piecewise kernels.
+        """
+        self.xp.copyto(dst, src, where=where)
+        return dst
 
 
 class NumpyBackend(ArrayBackend):

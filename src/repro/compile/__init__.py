@@ -1,0 +1,50 @@
+"""Graph-capture fused executor for the autodiff hot paths.
+
+The eager tape pays one ``Op.apply`` — graph bookkeeping, operand
+coercion and a freshly allocated output array — per primitive.  On this
+single-core target that Python-side overhead, not FLOPs, dominates the
+ImNet decode and derivative stacks.  This subsystem removes it:
+
+1. **Trace** (:mod:`~repro.compile.tracer`) — run a module or function
+   once under a thread-local hook on ``Op.apply``, capturing a linear
+   program of primitives.  Backward passes built with
+   ``grad(create_graph=True)`` are ops too, so derivative graphs trace
+   the same way.
+2. **Optimize** (:mod:`~repro.compile.passes`) — constant folding,
+   dead-code elimination and alias/liveness analysis.
+3. **Execute** (:mod:`~repro.compile.executor`) — a flat step list over
+   the backend's ``out=`` in-place kernel registry: elementwise chains
+   are fused through shared arena buffers and steady-state execution
+   allocates nothing.
+4. **Cache** (:mod:`~repro.compile.api`) — plans keyed by (module
+   fingerprint, input shapes/dtypes, precision policy), with automatic
+   eager fallback whenever replay could be wrong (gradients without
+   ``backward=True``, trace failure, fingerprint change).
+
+Entry points: :func:`compile` for modules (the inference engine, model
+server and distributed trainer opt in through it) and :func:`compile_fn`
+for free functions of tensors.
+
+>>> from repro import compile as rcompile
+>>> fast_decoder = rcompile.compile(model.imnet)
+>>> y = fast_decoder(x)                      # traces once, replays after
+"""
+
+from .api import CompiledFunction, CompiledModule, compile, compile_fn
+from .executor import CompiledPlan, PlanStats, compile_program
+from .tracer import Node, Program, Tracer, Value, trace
+
+__all__ = [
+    "compile",
+    "compile_fn",
+    "CompiledFunction",
+    "CompiledModule",
+    "CompiledPlan",
+    "PlanStats",
+    "compile_program",
+    "trace",
+    "Tracer",
+    "Program",
+    "Node",
+    "Value",
+]

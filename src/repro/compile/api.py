@@ -1,0 +1,397 @@
+"""Public compile API: plan caching, eager fallback, training support.
+
+:func:`compile` wraps an ``nn.Module`` (and :func:`compile_fn` a free
+function of tensors) in a callable that traces the computation once per
+``(input shapes/dtypes, precision policy)`` key, optimizes and lowers it
+to a :class:`~repro.compile.executor.CompiledPlan`, and replays the plan
+on subsequent calls.  Plans are additionally guarded by a **module
+fingerprint** (parameter/buffer array identities, dtypes and training
+flags): an ``astype`` cast or a parameter rebind invalidates every cached
+plan, while in-place weight updates flow through without a re-trace
+because constants hold array references.
+
+Fallback to eager execution is automatic whenever replaying a plan could
+be wrong or lossy:
+
+* gradients are required and the wrapper was not built with
+  ``backward=True`` — the module runs eagerly so the graph is recorded;
+* with ``backward=True``, first-order gradients run through a traced
+  forward + VJP plan pair (activation rematerialization: the VJP plan
+  recomputes forward intermediates, trading a few extra fused kernels for
+  zero Python graph bookkeeping); *second*-order differentiation raises —
+  compiled training is for first-order paths such as the prediction loss,
+  never for ``forward_with_derivatives``;
+* a trace or lowering failure for a given key permanently falls back for
+  that key (recorded in :attr:`CompiledFunction.fallback_keys`).
+
+Thread affinity: a compiled wrapper owns mutable plan state and arena
+buffers — use one wrapper per thread (serving workers already build one
+engine, and therefore one wrapper, each).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+import numpy as np
+
+from ..autodiff import grad as _grad
+from ..autodiff import ops as _ops  # noqa: F401 - ensures all primitives are registered
+from ..autodiff.tensor import Op, Tensor, is_grad_enabled, is_inference_mode, is_tracing
+from ..backend import default_dtype
+from .executor import CompiledPlan, compile_program
+from .tracer import trace
+
+__all__ = ["compile", "compile_fn", "CompiledFunction", "CompiledModule"]
+
+
+def _check_compilable(module) -> None:
+    """Reject modules whose forward is impure under replay."""
+    from .. import nn
+
+    for sub in module.modules():
+        if isinstance(sub, nn.Dropout) and sub.training and sub.p > 0.0:
+            raise ValueError(
+                "cannot compile a module containing an active Dropout layer: "
+                "the sampled mask would be baked into the plan; call .eval() first"
+            )
+        if isinstance(sub, nn.BatchNorm3d) and sub.training and sub.track_running_stats:
+            raise ValueError(
+                "cannot compile a module containing a training-mode BatchNorm3d: "
+                "running-statistic updates are a side effect plans do not replay; "
+                "call .eval() first"
+            )
+
+
+class CompiledFunction:
+    """A function of tensors with per-shape compiled plans.
+
+    Parameters
+    ----------
+    fn:
+        Callable taking :class:`Tensor` positional arguments and returning
+        a tensor or a flat sequence of tensors.  The computation must be
+        expressible as a fixed program for fixed input shapes: Python
+        control flow is baked in at trace time and any value produced
+        outside the op layer is captured as a constant.
+    copy_outputs:
+        When ``True`` (default) results are copied out of the plan's arena
+        so they remain valid indefinitely.  ``False`` returns arena-owned
+        arrays — valid only until the next call — for allocation-free hot
+        loops that consume results immediately (the inference engine).
+    max_plans:
+        LRU bound on cached plans (one per input-signature/policy key).
+    pinned_provider:
+        Optional zero-argument callable returning arrays whose *live*
+        values must keep flowing into replays (module weights/buffers);
+        constant folding will not snapshot anything sharing their memory.
+    """
+
+    def __init__(self, fn, copy_outputs: bool = True, max_plans: int = 16,
+                 pinned_provider=None):
+        self._fn = fn
+        self._copy_outputs = bool(copy_outputs)
+        self._max_plans = int(max_plans)
+        self._pinned_provider = pinned_provider
+        self._plans: "OrderedDict[tuple, tuple[CompiledPlan, object]]" = OrderedDict()
+        #: Keys that failed to trace/lower and permanently run eagerly.
+        self.fallback_keys: set = set()
+        #: Calls served by a compiled plan / eagerly.
+        self.plan_hits = 0
+        self.eager_calls = 0
+
+    # ----------------------------------------------------------------- keys
+    def _key(self, tensors) -> tuple:
+        # requires_grad flags are part of the signature: they decide which
+        # internal grad() calls of a traced function produce real programs.
+        return (
+            default_dtype().str,
+            tuple((t.shape, t.dtype.str, t.requires_grad) for t in tensors),
+        )
+
+    def _compile(self, key, tensors):
+        """Trace + lower a new plan; returns the trace call's own result.
+
+        The trace *is* a full eager evaluation, so its result serves the
+        cache-miss call directly — a fresh key costs one execution, not
+        two.  Returns ``None`` (and records a permanent fallback key) when
+        the computation cannot be captured.
+        """
+        try:
+            pinned = self._pinned_provider() if self._pinned_provider is not None else ()
+            program, structure, result = trace(self._fn, *tensors)
+            plan = compile_program(program, pinned=pinned)
+        except Exception:
+            self.fallback_keys.add(key)
+            return None
+        self._plans[key] = (plan, structure)
+        if len(self._plans) > self._max_plans:
+            self._plans.popitem(last=False)
+        return result
+
+    # ---------------------------------------------------------------- calls
+    def _eager(self, tensors):
+        self.eager_calls += 1
+        return self._fn(*tensors)
+
+    def __call__(self, *args):
+        """Run the compiled (or, on a fallback key, eager) function.
+
+        Compiled execution never records an autodiff graph: outputs are
+        leaves even for ``requires_grad`` inputs — those flags only feed
+        the *internal* ``grad()`` calls of the traced function.  Wrap a
+        module with :func:`compile` instead when callers differentiate
+        *through* the result.
+        """
+        if is_tracing():
+            # Someone else's trace is recording: replaying a plan would
+            # capture our output as a frozen constant in *their* program.
+            # Run eagerly so our primitives are recorded like any others.
+            return self._fn(*args)
+        tensors = [a if isinstance(a, Tensor) else Tensor(a) for a in args]
+        key = self._key(tensors)
+        entry = self._plans.get(key)
+        if entry is None:
+            if key in self.fallback_keys:
+                return self._eager(tensors)
+            result = self._compile(key, tensors)
+            if result is None:
+                return self._eager(tensors)
+            # Detached so miss and hit calls have identical (leaf) semantics.
+            if isinstance(result, Tensor):
+                return result.detach()
+            return tuple(None if t is None else t.detach() for t in result)
+        self._plans.move_to_end(key)
+        plan, structure = entry
+        outs = plan.run(*(t.data for t in tensors))
+        if self._copy_outputs:
+            outs = [o.copy() for o in outs]
+        self.plan_hits += 1
+        if structure == "single":
+            return Tensor(outs[0])
+        return tuple(None if slot is None else Tensor(outs[slot]) for slot in structure)
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def plans(self) -> list[CompiledPlan]:
+        """Currently cached plans (most recently used last)."""
+        return [plan for plan, _ in self._plans.values()]
+
+    def stats(self) -> dict:
+        """Aggregate cache / fusion statistics for telemetry and tests."""
+        return {
+            "n_plans": len(self._plans),
+            "plan_hits": self.plan_hits,
+            "eager_calls": self.eager_calls,
+            "n_fallback_keys": len(self.fallback_keys),
+            "runtime_allocs": sum(p.runtime_allocs for p in self.plans),
+            "arena_bytes": sum(p.stats.arena_bytes for p in self.plans),
+        }
+
+    def clear(self) -> None:
+        """Drop every cached plan (and permanent-fallback record)."""
+        self._plans.clear()
+        self.fallback_keys.clear()
+
+
+class _PlanOp(Op):
+    """Graph node executing a compiled forward plan with a compiled VJP.
+
+    ``runner`` carries the plan pair; inputs are ``(x, *parameters)`` so
+    gradients reach the module's weights.  Outputs are copied out of the
+    plans' arenas — several applications of the same plan can be in
+    flight in one graph (e.g. the eight vertex decodes of a trilinear
+    query), so returned arrays must not alias reused buffers.
+    """
+
+    def __init__(self, runner: "_GradRunner"):
+        self.runner = runner
+
+    def forward(self, *arrays):
+        return self.runner.fwd_plan.run(*arrays)[0].copy()
+
+    def backward(self, grad_output):
+        if is_grad_enabled():
+            raise RuntimeError(
+                "compiled modules support first-order gradients only; "
+                "double backward (create_graph=True) through a compiled module "
+                "is not representable — disable compilation for this path"
+            )
+        arrays = [t.data for t in self.inputs] + [grad_output.data]
+        outs = self.runner.vjp_plan.run(*arrays)
+        grads = []
+        for slot in self.runner.structure:
+            grads.append(None if slot is None else Tensor(outs[slot].copy()))
+        return tuple(grads)
+
+
+class _GradRunner:
+    """Forward + VJP plan pair for one input signature."""
+
+    def __init__(self, module, x: Tensor, params: Optional[list] = None, pinned=()):
+        params = list(module.parameters()) if params is None else list(params)
+
+        def fwd(x, *params):
+            return module(x)
+
+        program, _, _ = trace(fwd, x.detach(), *params)
+        self.fwd_plan = compile_program(program, pinned=pinned)
+        # The VJP seed is a program input; its signature is the forward
+        # program's output value (no extra probe call needed).
+        out_value = program.values[program.output_ids[0]]
+
+        def vjp(x, *params_and_seed):
+            seed = params_and_seed[-1]
+            y = module(x)
+            return _grad(y, [x, *params], grad_outputs=seed, create_graph=True,
+                         allow_unused=True)
+
+        seed = Tensor(np.ones(out_value.shape, dtype=out_value.dtype))
+        x_in = Tensor(x.data.copy(), requires_grad=True)
+        program, self.structure, _ = trace(vjp, x_in, *params, seed)
+        self.vjp_plan = compile_program(program, pinned=pinned)
+
+
+class CompiledModule:
+    """Compiled wrapper around a single-argument ``nn.Module``.
+
+    Behaves like the module itself (``wrapper(x) -> Tensor``) with plans
+    cached per input signature and precision policy.  With
+    ``backward=True`` gradient-requiring calls run through a compiled
+    forward/VJP pair (first order only); otherwise they fall back to the
+    eager module so the autodiff graph is recorded as usual.
+
+    Not registered as a sub-module on purpose: assigning a wrapper to a
+    model attribute must not change ``state_dict`` layout or checkpoint
+    compatibility.
+    """
+
+    def __init__(self, module, backward: bool = False, copy_outputs: bool = True,
+                 max_plans: int = 16):
+        _check_compilable(module)
+        self.module = module
+        self.backward = bool(backward)
+        self._fn = CompiledFunction(module, copy_outputs=copy_outputs,
+                                    max_plans=max_plans,
+                                    pinned_provider=self._pinned_arrays)
+        self._grad_runners: "OrderedDict[tuple, _GradRunner]" = OrderedDict()
+        self._max_plans = int(max_plans)
+        self._snapshot_state()
+
+    # --------------------------------------------------------------- guards
+    def _pinned_arrays(self) -> list:
+        """Live module state that constant folding must never snapshot."""
+        return [p.data for p in self._params] + [
+            b for m in self._modules for b in m._buffers.values()
+        ]
+
+    def _state_key(self) -> tuple:
+        """Cheap per-call identity of the module state plans depend on.
+
+        Parameter ``requires_grad`` flags are included: un-freezing a
+        parameter must invalidate cached VJP plans, whose unused-input
+        ``None`` slots were baked in at trace time.
+        """
+        modules = self._modules
+        return (
+            tuple(id(p.data) for p in self._params),
+            tuple(p.requires_grad for p in self._params),
+            tuple(m.training for m in modules),
+            tuple(id(b) for m in modules for b in m._buffers.values()),
+        )
+
+    def _snapshot_state(self) -> None:
+        """Capture the identity snapshot the per-call guard compares."""
+        self._params = list(self.module.parameters())
+        self._modules = list(self.module.modules())
+        self._snapshot = self._state_key()
+
+    def _check_fingerprint(self) -> None:
+        """Invalidate all plans when the module's state identity changed.
+
+        The per-call guard is intentionally cheap — array identities and
+        training flags — so the compiled hot path is not taxed by a full
+        recursive fingerprint walk.  In-place value updates pass (plans
+        hold references); ``astype`` casts, ``load``-rebinds and mode
+        flips clear the caches and re-trace lazily.
+        """
+        if self._state_key() == self._snapshot:
+            return
+        self._fn.clear()
+        self._grad_runners.clear()
+        self._snapshot_state()
+        _check_compilable(self.module)
+
+    # ---------------------------------------------------------------- calls
+    def __call__(self, x) -> Tensor:
+        if is_tracing():
+            # Another trace is recording: run the eager module so its
+            # primitives land in that program instead of a frozen replay.
+            return self.module(x)
+        x = x if isinstance(x, Tensor) else Tensor(x)
+        self._check_fingerprint()
+        needs_grad = (
+            is_grad_enabled()
+            and not is_inference_mode()
+            and (x.requires_grad or any(p.requires_grad for p in self._params))
+        )
+        if not needs_grad:
+            return self._fn(x)
+        if not self.backward:
+            self._fn.eager_calls += 1
+            return self.module(x)
+        key = (default_dtype().str, x.shape, x.dtype.str)
+        runner = self._grad_runners.get(key)
+        if runner is None:
+            runner = _GradRunner(self.module, x, self._params,
+                                 pinned=self._pinned_arrays())
+            self._grad_runners[key] = runner
+            if len(self._grad_runners) > self._max_plans:
+                self._grad_runners.popitem(last=False)
+        else:
+            self._grad_runners.move_to_end(key)
+        return _PlanOp.apply(x, *self._params, runner=runner)
+
+    # ------------------------------------------------------------ inspection
+    def stats(self) -> dict:
+        """Plan-cache and fusion statistics (includes gradient plans)."""
+        stats = self._fn.stats()
+        stats["n_grad_plans"] = len(self._grad_runners)
+        return stats
+
+    @property
+    def plans(self) -> list[CompiledPlan]:
+        return self._fn.plans
+
+    def clear(self) -> None:
+        """Invalidate every cached plan."""
+        self._fn.clear()
+        self._grad_runners.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CompiledModule({self.module!r}, backward={self.backward})"
+
+
+def compile(module, backward: bool = False, copy_outputs: bool = True,
+            max_plans: int = 16) -> CompiledModule:  # noqa: A001 - mirrors torch.compile
+    """Wrap ``module`` in a graph-captured, fused, buffer-reusing executor.
+
+    See :class:`CompiledModule`.  The wrapper is a drop-in callable for
+    single-tensor-argument modules (the ImNet decoder); pass it anywhere a
+    decoder callable is accepted, or install it on a
+    :class:`~repro.core.model.MeshfreeFlowNet` via ``model.compile_decoder()``.
+    """
+    return CompiledModule(module, backward=backward, copy_outputs=copy_outputs,
+                          max_plans=max_plans)
+
+
+def compile_fn(fn, copy_outputs: bool = True, max_plans: int = 16) -> CompiledFunction:
+    """Compile a free function of tensors (see :class:`CompiledFunction`).
+
+    The function may internally call :func:`repro.autodiff.grad` with
+    ``create_graph=True`` — derivative graphs are ops like any others, so
+    first- and second-order computations trace into replayable plans (the
+    equivalence tests exercise exactly this on the decoder MLP).
+    """
+    return CompiledFunction(fn, copy_outputs=copy_outputs, max_plans=max_plans)

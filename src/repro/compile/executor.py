@@ -1,0 +1,409 @@
+"""Fused plan execution: in-place kernels over a liveness-managed arena.
+
+:func:`compile_program` lowers a traced :class:`~repro.compile.tracer.Program`
+into a :class:`CompiledPlan` — a flat list of step closures plus a set of
+pre-allocated arena buffers:
+
+* every elementwise / matmul / reduction op runs through the backend's
+  ``out=`` **in-place kernel registry**
+  (:class:`repro.backend.ArrayBackend`), writing into an arena buffer;
+* chains of single-consumer elementwise ops are *fused*: when an operand's
+  storage dies at the node that consumes it (liveness pass) and shapes
+  match, the node writes straight over the operand's buffer, so a whole
+  Linear-bias-softplus chain flows through one buffer with zero transient
+  arrays;
+* view ops (reshape / transpose / basic slicing) run as NumPy views and
+  charge their liveness to the storage root;
+* ops with no in-place lowering (or with data-dependent fancy indexing)
+  fall back to the recorded op's eager ``forward`` — counted in
+  ``runtime_allocs`` so the allocation-regression test can pin hot plans
+  at zero.
+
+Steady-state execution of a fully-lowered plan performs **no array
+allocation**: buffers are acquired once at compile time and reused across
+calls.  The returned output arrays are those same buffers — valid until
+the next ``run()`` — so callers that retain results must copy (the API
+layer's ``copy_outputs`` flag).  Plans are **not thread-safe**; each
+serving worker compiles its own (engines are already per-thread).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..autodiff import ops as _ops
+from ..backend import get_backend
+from .passes import alias_roots, constant_fold, dead_code_elim, is_view_node, last_uses
+from .tracer import CONSTANT, INTERMEDIATE, Node, Program
+
+__all__ = ["CompiledPlan", "PlanStats", "compile_program"]
+
+#: Active backend, resolved once (see the matching note in autodiff.ops).
+_B = get_backend()
+
+
+@dataclass
+class PlanStats:
+    """Compile- and run-time accounting for one plan."""
+
+    n_traced_ops: int = 0
+    n_folded: int = 0
+    n_dead: int = 0
+    n_ops: int = 0
+    n_inplace: int = 0
+    n_fused_chains: int = 0
+    n_views: int = 0
+    n_fallback: int = 0
+    n_buffers: int = 0
+    arena_bytes: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class _Arena:
+    """Shape/dtype-keyed free-list of pre-allocated buffers."""
+
+    def __init__(self):
+        self._free: dict[tuple, list[np.ndarray]] = {}
+        self.allocated: list[np.ndarray] = []
+
+    def acquire(self, shape, dtype) -> np.ndarray:
+        key = (tuple(shape), np.dtype(dtype).str)
+        pool = self._free.get(key)
+        if pool:
+            return pool.pop()
+        buf = np.empty(shape, dtype=dtype)
+        self.allocated.append(buf)
+        return buf
+
+    def release(self, buf: np.ndarray) -> None:
+        self._free.setdefault((buf.shape, buf.dtype.str), []).append(buf)
+
+
+# --------------------------------------------------------------------- kernels
+# Builders return a step closure ``step(env) -> None`` that reads operand
+# arrays from ``env`` (indexed by value id) and writes into the bound arena
+# buffer.  ``inplace_ok(op)`` says whether the node may write over a dying
+# operand's buffer (False whenever an operand is read after the first write).
+
+_UNARY = {
+    _ops.Neg: _B.negative,
+    _ops.Exp: _B.exp,
+    _ops.Log: _B.log,
+    _ops.Sin: _B.sin,
+    _ops.Cos: _B.cos,
+    _ops.Tanh: _B.tanh,
+    _ops.Abs: _B.abs,
+}
+
+_BINARY = {
+    _ops.Add: _B.add,
+    _ops.Sub: _B.subtract,
+    _ops.Mul: _B.multiply,
+    _ops.Div: _B.divide,
+    _ops.Maximum: _B.maximum,
+    _ops.Minimum: _B.minimum,
+}
+
+
+def _build_step(node: Node, buf: np.ndarray, arena: _Arena, values) -> Callable:
+    """Lower one compute node to a step closure writing into ``buf``."""
+    op = node.op
+    cls = type(op)
+    ids = node.in_ids
+
+    kern = _UNARY.get(cls)
+    if kern is not None:
+        i = ids[0]
+        return lambda env: kern(env[i], out=buf)
+
+    kern = _BINARY.get(cls)
+    if kern is not None:
+        i, j = ids
+        return lambda env: kern(env[i], env[j], out=buf)
+
+    if cls is _ops.Pow:
+        i, p = ids[0], op.exponent
+        if p == 2.0:
+            return lambda env: _B.multiply(env[i], env[i], out=buf)
+        if p == 3.0:
+            # Reads the operand after the first write: never fused in place.
+            def step(env):
+                _B.multiply(env[i], env[i], out=buf)
+                _B.multiply(buf, env[i], out=buf)
+            return step
+        if p == 1.0:
+            return lambda env: _B.copyto(buf, env[i])
+        if p == 0.5:
+            return lambda env: _B.sqrt(env[i], out=buf)
+        return lambda env: _B.power(env[i], p, out=buf)
+
+    if cls is _ops.ReLU:
+        i = ids[0]
+        shape, dtype = values[node.out_id].shape, values[node.out_id].dtype
+        mask = arena.acquire(shape, dtype)
+        arena.release(mask)  # transient: free for any later node's storage
+
+        # Same form as the eager op (a * (a > 0)) rather than max(a, 0):
+        # bit-identical including the sign of zero for negative inputs.
+        def step(env):
+            a = env[i]
+            _B.greater(a, 0.0, out=mask)
+            _B.multiply(a, mask, out=buf)
+        return step
+
+    if cls is _ops.LeakyReLU:
+        i, slope = ids[0], op.negative_slope
+        # max(slope*a, a) == leaky_relu(a) for slopes in [0, 1]; other
+        # slopes never reach this builder (_has_kernel falls back).
+        def step(env):
+            _B.multiply(env[i], slope, out=buf)
+            _B.maximum(buf, env[i], out=buf)
+        return step
+
+    if cls is _ops.Sigmoid:
+        i = ids[0]
+        shape, dtype = values[node.out_id].shape, values[node.out_id].dtype
+        s1 = arena.acquire(shape, dtype)
+        s2 = arena.acquire(shape, dtype)
+        mask = arena.acquire(shape, np.bool_)
+        for scratch in (s1, s2, mask):
+            arena.release(scratch)
+
+        def step(env):
+            # Branchless form of the eager op's two-sided stable sigmoid,
+            # bit-identical per element: t = exp(-|a|); a >= 0 -> 1/(1+t),
+            # a < 0 -> t/(1+t).  ``a`` is only read before the first write
+            # into ``buf``, so the node is in-place safe.
+            a = env[i]
+            _B.greater_equal(a, 0.0, out=mask)
+            _B.abs(a, out=s1)
+            _B.negative(s1, out=s1)
+            _B.exp(s1, out=s1)
+            _B.add(s1, 1.0, out=s2)
+            _B.divide(s1, s2, out=buf)
+            _B.divide(1.0, s2, out=s1)
+            _B.copyto(buf, s1, where=mask)
+        return step
+
+    if cls is _ops.Softplus:
+        i = ids[0]
+        scratch = arena.acquire(values[node.out_id].shape, values[node.out_id].dtype)
+        arena.release(scratch)  # transient: free for any later node's storage
+
+        def step(env):
+            a = env[i]
+            _B.abs(a, out=scratch)
+            _B.negative(scratch, out=scratch)
+            _B.exp(scratch, out=scratch)
+            _B.log1p(scratch, out=scratch)
+            _B.maximum(a, 0.0, out=buf)
+            _B.add(buf, scratch, out=buf)
+        return step
+
+    if cls is _ops.MatMul:
+        i, j = ids
+        return lambda env: _B.matmul(env[i], env[j], out=buf)
+
+    if cls is _ops.Sum:
+        i, axis, keepdims = ids[0], op.axis, op.keepdims
+        return lambda env: _B.sum(env[i], axis=axis, keepdims=keepdims, out=buf)
+
+    if cls is _ops.BroadcastTo:
+        i = ids[0]
+        return lambda env: _B.copyto(buf, env[i])
+
+    if cls is _ops.Concatenate:
+        axis = op.axis
+        views = []
+        start = 0
+        for vid in ids:
+            size = values[vid].shape[axis]
+            index = [slice(None)] * buf.ndim
+            index[axis] = slice(start, start + size)
+            views.append(buf[tuple(index)])
+            start += size
+
+        def step(env):
+            for view, vid in zip(views, ids):
+                _B.copyto(view, env[vid])
+        return step
+
+    if cls is _ops.Pad:
+        i = ids[0]
+        interior = buf[tuple(
+            slice(p[0], p[0] + d) for p, d in zip(op.pad_width, values[i].shape)
+        )]
+
+        def step(env):
+            buf.fill(0.0)
+            _B.copyto(interior, env[i])
+        return step
+
+    if cls is _ops.PutIndex:
+        i, index = ids[0], op.index
+
+        def step(env):
+            buf.fill(0.0)
+            np.add.at(buf, index, env[i])
+        return step
+
+    return None
+
+
+def _inplace_ok(op) -> bool:
+    """Whether the node's kernel may write over a dying same-shape operand."""
+    cls = type(op)
+    if (cls in _UNARY or cls in _BINARY or cls is _ops.ReLU
+            or cls is _ops.Softplus or cls is _ops.Sigmoid):
+        return True
+    return cls is _ops.Pow and op.exponent != 3.0
+
+
+#: Op classes with an in-place lowering in :func:`_build_step`.
+_LOWERED = (
+    tuple(_UNARY) + tuple(_BINARY)
+    + (_ops.Pow, _ops.ReLU, _ops.LeakyReLU, _ops.Softplus, _ops.Sigmoid,
+       _ops.MatMul, _ops.Sum, _ops.BroadcastTo, _ops.Concatenate, _ops.Pad,
+       _ops.PutIndex)
+)
+
+
+def _has_kernel(op) -> bool:
+    """Whether the node lowers onto the in-place kernel registry."""
+    if isinstance(op, _ops.LeakyReLU):
+        # The fused max(slope*a, a) identity only holds for slopes in
+        # [0, 1]; anything else takes the eager fallback step.
+        return 0.0 <= op.negative_slope <= 1.0
+    return isinstance(op, _LOWERED)
+
+
+def _view_step(node: Node) -> Callable:
+    """Step closure for a view node: rebinds ``env[out]`` each run."""
+    op, i, o = node.op, node.in_ids[0], node.out_id
+    if isinstance(op, _ops.Reshape):
+        shape = op.shape
+        return lambda env: env.__setitem__(o, env[i].reshape(shape))
+    if isinstance(op, _ops.Transpose):
+        axes = op.axes
+        return lambda env: env.__setitem__(o, np.transpose(env[i], axes))
+    index = op.index  # basic-index GetIndex
+    return lambda env: env.__setitem__(o, env[i][index])
+
+
+class CompiledPlan:
+    """An executable fused program over pre-allocated buffers.
+
+    Created by :func:`compile_program`; run with positional input arrays
+    matching the trace inputs.  Returned arrays are arena-owned: valid
+    until the next :meth:`run` (callers that keep results must copy).
+    """
+
+    def __init__(self, program: Program, steps, env, input_ids, output_ids,
+                 stats: PlanStats, alloc_cell):
+        self.program = program
+        self._steps = steps
+        self._env = env
+        self._input_ids = input_ids
+        self._output_ids = output_ids
+        self.stats = stats
+        self._alloc_cell = alloc_cell
+
+    @property
+    def runtime_allocs(self) -> int:
+        """Arrays allocated by fallback steps across all runs (0 = fully fused)."""
+        return self._alloc_cell[0]
+
+    def run(self, *inputs: np.ndarray) -> list[np.ndarray]:
+        """Execute the plan; returns one array per program output."""
+        env = self._env
+        input_ids = self._input_ids
+        if len(inputs) != len(input_ids):
+            raise ValueError(f"plan expects {len(input_ids)} inputs, got {len(inputs)}")
+        for vid, array in zip(input_ids, inputs):
+            env[vid] = array
+        for step in self._steps:
+            step(env)
+        return [env[vid] for vid in self._output_ids]
+
+    def describe(self) -> str:
+        """The optimized program listing plus fusion/arena statistics."""
+        stats = ", ".join(f"{k}={v}" for k, v in self.stats.as_dict().items())
+        return f"{self.program.describe()}\n  [{stats}]"
+
+
+def compile_program(program: Program, pinned=()) -> CompiledPlan:
+    """Optimize ``program`` and lower it onto an arena-backed executor.
+
+    ``pinned`` lists arrays (module parameters/buffers) whose live values
+    must keep flowing into replays — constant folding will not snapshot
+    anything sharing memory with them.
+    """
+    stats = PlanStats(n_traced_ops=len(program.nodes))
+    stats.n_folded = constant_fold(program, pinned=pinned)
+    stats.n_dead = dead_code_elim(program)
+    stats.n_ops = len(program.nodes)
+
+    values = program.values
+    roots = alias_roots(program)
+    last = last_uses(program, roots)
+    arena = _Arena()
+    alloc_cell = [0]
+    buffers: dict[int, np.ndarray] = {}  # root vid -> owned arena buffer
+    inplace_bufs: set[int] = set()       # id(buffer) of chain-carrying buffers
+    steps = []
+    env: list = [None] * len(values)
+    for value in values:
+        if value.kind == CONSTANT:
+            env[value.vid] = value.data
+
+    for j, node in enumerate(program.nodes):
+        out_val = values[node.out_id]
+        if is_view_node(node):
+            steps.append(_view_step(node))
+            stats.n_views += 1
+        elif not _has_kernel(node.op):
+            # No in-place lowering: run the recorded op eagerly (fresh
+            # output array each run) and count the allocation.
+            in_ids, out_id, op = node.in_ids, node.out_id, node.op
+
+            def step(env, in_ids=in_ids, out_id=out_id, op=op):
+                env[out_id] = op.forward(*(env[i] for i in in_ids))
+                alloc_cell[0] += 1
+
+            stats.n_fallback += 1
+            steps.append(step)
+        else:
+            buf = None
+            if _inplace_ok(node.op):
+                for vid in node.in_ids:
+                    root = roots.get(vid, vid)
+                    source = values[vid]
+                    if (source.kind == INTERMEDIATE and vid == root
+                            and root in buffers and last.get(root) == j
+                            and source.shape == out_val.shape
+                            and source.dtype == out_val.dtype):
+                        buf = buffers.pop(root)
+                        stats.n_inplace += 1
+                        if id(buf) not in inplace_bufs:
+                            stats.n_fused_chains += 1
+                            inplace_bufs.add(id(buf))
+                        break
+            if buf is None:
+                buf = arena.acquire(out_val.shape, out_val.dtype)
+            buffers[node.out_id] = buf
+            env[node.out_id] = buf
+            steps.append(_build_step(node, buf, arena, values))
+        for vid in set(node.in_ids):
+            root = roots.get(vid, vid)
+            if last.get(root) == j and root in buffers:
+                arena.release(buffers.pop(root))
+
+    stats.n_buffers = len(arena.allocated)
+    stats.arena_bytes = int(sum(b.nbytes for b in arena.allocated))
+    return CompiledPlan(program, steps, env, list(program.input_ids),
+                        list(program.output_ids), stats, alloc_cell)

@@ -93,6 +93,16 @@ class InferenceEngine:
         fleets can state their precision contract.  Latent-cache keys
         embed the dtype, so float32 and float64 engines sharing one cache
         never alias each other's tiles.
+    compile:
+        Opt-in fused decode: the engine wraps the model's ImNet with
+        :func:`repro.compile.compile` (``copy_outputs=False`` — decode
+        batches are consumed immediately, so the allocation-free arena
+        contract is safe) and routes every fused decode batch through the
+        compiled plans.  Results are bit-identical to eager decoding;
+        plans are keyed per batch shape and precision policy, and
+        anything a plan cannot replay falls back to eager automatically.
+        The wrapper owns mutable plan state, so it is per-engine (one
+        engine per serving worker thread, as before).
     """
 
     def __init__(self, model, tile_shape: Optional[Sequence[int]] = None,
@@ -100,7 +110,7 @@ class InferenceEngine:
                  chunk_size: int = 4096, cache_tiles: Optional[int] = 32,
                  plan_chunk_size: int = 1 << 20,
                  cache: Optional[LatentTileCache] = None,
-                 dtype=None):
+                 dtype=None, compile: bool = False):
         if chunk_size < 1:
             raise ValueError("chunk_size must be positive")
         if plan_chunk_size < 1:
@@ -120,6 +130,12 @@ class InferenceEngine:
         self.chunk_size = int(chunk_size)
         self.plan_chunk_size = int(plan_chunk_size)
         self.cache = cache if cache is not None else LatentTileCache(capacity=cache_tiles)
+        self.compile = bool(compile)
+        self._compiled_decoder = None
+        if self.compile:
+            from ..compile import compile as compile_module
+
+            self._compiled_decoder = compile_module(model.imnet, copy_outputs=False)
         #: (weakref-to-array, token) pairs so that re-opening the *same*
         #: array object reuses its cache entries; weak references guarantee a
         #: recycled id can never alias a dead domain's latents.
@@ -155,6 +171,16 @@ class InferenceEngine:
     def cache_stats(self):
         """Snapshot of the latent-tile LRU cache hit/miss/eviction counters."""
         return self.cache.stats()
+
+    @property
+    def decoder(self):
+        """Decode callable: the compiled ImNet wrapper when opted in, else the ImNet."""
+        return self._compiled_decoder if self._compiled_decoder is not None else self.model.imnet
+
+    @property
+    def compile_stats(self) -> Optional[dict]:
+        """Compiled-decoder plan-cache statistics (``None`` when not compiled)."""
+        return None if self._compiled_decoder is None else self._compiled_decoder.stats()
 
     # --------------------------------------------------------------- opening
     def open(self, lowres, key: Optional[Hashable] = None) -> "TiledLatentField":
@@ -325,11 +351,12 @@ class TiledLatentField:
         chunk = engine.chunk_size
         if self.layout.is_single_tile:
             grid = Tensor(self.latent_tile(0))
+            decoder = engine.decoder
             with precision(self.dtype), inference_mode():
                 for start in range(0, n_points, chunk):
                     stop = min(start + chunk, n_points)
                     block = np.broadcast_to(coords[start:stop], (n_batch, stop - start, 3)).copy()
-                    pred = query_latent_grid(grid, Tensor(block), model.imnet,
+                    pred = query_latent_grid(grid, Tensor(block), decoder,
                                              interpolation=model.config.interpolation)
                     out[:, start:stop, :] = pred.data
             return out
@@ -373,7 +400,7 @@ class TiledLatentField:
             block[slot, : g.n] = g.local_coords
         block = np.repeat(block, n_batch, axis=0)
         with precision(self.dtype), inference_mode():
-            pred = query_latent_grid(Tensor(grids), Tensor(block), model.imnet,
+            pred = query_latent_grid(Tensor(grids), Tensor(block), engine.decoder,
                                      interpolation=model.config.interpolation)
         for slot, g in enumerate(fused):
             values = pred.data[slot * n_batch:(slot + 1) * n_batch, : g.n]

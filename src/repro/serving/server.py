@@ -76,6 +76,12 @@ class ModelServer:
         Forwarded to every :class:`~repro.inference.InferenceEngine`
         replica (``cache_tiles`` sizes the single shared latent cache;
         cache keys embed the precision, so fleets never alias tiles).
+        Pass ``compile=True`` to run every replica's fused decode batches
+        through the graph-captured executor (:mod:`repro.compile`): each
+        worker engine owns its own plan cache (compiled wrappers are
+        thread-affine) and each precision's replicas trace under their
+        own dtype policy, so a mixed-precision fleet keeps one plan set
+        per dtype.  Outputs stay bit-identical to the eager engines.
     """
 
     def __init__(self, model, n_workers: int = 2,

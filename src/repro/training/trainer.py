@@ -64,6 +64,7 @@ class TrainerConfig:
     bucket_mb: float = 25.0               #: DistributedTrainer: all-reduce bucket capacity (MB)
     allreduce_algorithm: str = "ring"     #: DistributedTrainer: "ring" (bandwidth-optimal) or "naive"
     steps_per_epoch: Optional[int] = None #: defaults to len(dataset) / global batch
+    compile: bool = False                 #: fused compiled decode plans (repro.compile)
     seed: int = 0
     verbose: bool = False
 
@@ -111,6 +112,13 @@ class Trainer:
         self.scheduler = self._build_scheduler()
         self.history = TrainingHistory()
         self._epoch = 0
+        if self.config.compile and hasattr(self.model, "compile_decoder"):
+            # Fused decode plans for every loss evaluation.  With an active
+            # equation loss the decoder must stay differentiable to second
+            # order, so only the no-grad paths (validation, evaluation) are
+            # compiled; prediction-only training also compiles the fused
+            # forward/backward of each (node-batched) micro-batch step.
+            self.model.compile_decoder(backward=not self._use_equation_loss())
 
     def _build_optimizer(self) -> Optimizer:
         cfg = self.config
@@ -280,7 +288,9 @@ class Trainer:
         saved_config = metadata.get("config", {})
         current = asdict(self.config)
         for key, saved in saved_config.items():
-            if key in ("epochs", "verbose") or key not in current:
+            # ``compile`` is exempt because compiled and eager execution are
+            # numerically identical — toggling it across a resume is safe.
+            if key in ("epochs", "verbose", "compile") or key not in current:
                 continue
             # JSON has no tuples and only string keys; normalise before comparing.
             expected = json.loads(json.dumps(current[key]))
