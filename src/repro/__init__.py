@@ -12,8 +12,11 @@ batched inference engine for bounded-memory full-domain super-resolution
 (:mod:`repro.inference`), a precision-aware compute backend with a
 thread-local float32/float64 policy (:mod:`repro.backend`), a
 graph-capture fused executor that traces, fuses and buffer-reuses the
-autodiff hot paths (:mod:`repro.compile`), and the experiment harnesses
-that regenerate every table and figure of the paper.
+autodiff hot paths (:mod:`repro.compile`), a pluggable scenario registry
+bundling PDE systems, data generators, normalization and metrics per physics
+family (:mod:`repro.scenarios` — Rayleigh–Bénard plus decaying turbulence,
+shallow water and advection–diffusion), and the experiment harnesses that
+regenerate every table and figure of the paper.
 
 Quickstart
 ----------
@@ -36,6 +39,7 @@ from .core import (
 )
 from .inference import InferenceEngine, TiledLatentField
 from .pde import PDESystem, RayleighBenard2D, make_pde_system
+from .scenarios import Scenario, available_scenarios, get_scenario, register_scenario
 from .serving import ModelServer, QueryRequest, QueryResult
 
 __version__ = "0.2.0"
@@ -55,6 +59,10 @@ __all__ = [
     "PDESystem",
     "RayleighBenard2D",
     "make_pde_system",
+    "Scenario",
+    "register_scenario",
+    "get_scenario",
+    "available_scenarios",
     "prediction_loss",
     "equation_loss",
     "compute_losses",

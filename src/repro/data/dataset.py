@@ -24,7 +24,7 @@ from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
-from ..simulation.result import CHANNELS, SimulationResult
+from ..simulation.result import SimulationResult
 from .downsample import downsample_fields
 from .interpolation import interpolate_grid
 from .normalization import ChannelNormalizer
@@ -89,9 +89,15 @@ class SuperResolutionDataset:
         self.seed = int(seed)
 
         ref_shape = self.results[0].fields.shape
+        ref_channels = self.results[0].channel_names
         for r in self.results:
             if r.fields.shape != ref_shape:
                 raise ValueError("all simulation results must share the same grid shape")
+            if r.channel_names != ref_channels:
+                raise ValueError(
+                    f"all simulation results must share one channel layout; "
+                    f"got {r.channel_names} vs {ref_channels}"
+                )
 
         self.hr_fields = [r.fields.copy() for r in self.results]
         self.lr_fields = [downsample_fields(f, self.lr_factors, method=downsample_method)
@@ -128,7 +134,7 @@ class SuperResolutionDataset:
 
     @property
     def channel_names(self) -> tuple[str, ...]:
-        return CHANNELS
+        return self.results[0].channel_names
 
     @property
     def lr_shape(self) -> tuple[int, int, int]:

@@ -61,4 +61,5 @@ def downsample_result(result: SimulationResult, factors: tuple[int, int, int],
         prandtl=result.prandtl,
         metadata={**result.metadata, "downsample_factors": tuple(int(f) for f in factors),
                   "downsample_method": method},
+        channels=result.channels,
     )

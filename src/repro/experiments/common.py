@@ -35,7 +35,8 @@ class ExperimentScale:
     """Knobs controlling the cost/fidelity of an experiment."""
 
     name: str = "tiny"
-    backend: str = "synthetic"                 #: "synthetic" or "solver"
+    scenario: str = "rayleigh_benard"          #: ``repro.scenarios`` registry name
+    backend: str = "synthetic"                 #: "synthetic" or "solver" (rayleigh_benard only)
     hr_shape: tuple[int, int, int] = (16, 16, 64)   #: (nt, nz, nx) of the HR data
     t_final: float = 8.0
     lr_factors: tuple[int, int, int] = (2, 2, 4)
@@ -54,18 +55,26 @@ class ExperimentScale:
     def with_overrides(self, **overrides) -> "ExperimentScale":
         return replace(self, **overrides)
 
+    def _scenario_model_overrides(self) -> dict:
+        if self.scenario == "rayleigh_benard":
+            return {}  # the config defaults already describe the paper's channels
+        from ..scenarios import get_scenario  # lazy: avoids an import cycle
+
+        return get_scenario(self.scenario).model_overrides()
+
     def model_config(self, **overrides) -> MeshfreeFlowNetConfig:
         factory = {
             "tiny": MeshfreeFlowNetConfig.tiny,
             "small": MeshfreeFlowNetConfig.small,
             "paper": MeshfreeFlowNetConfig.paper,
         }[self.model_size]
+        merged = {**self._scenario_model_overrides(), **overrides}
         if self.model_size == "paper":
             cfg = factory()
-            for key, value in overrides.items():
+            for key, value in merged.items():
                 setattr(cfg, key, value)
             return cfg
-        return factory(unet_pool_factors=self.model_pool_factors, **overrides)
+        return factory(unet_pool_factors=self.model_pool_factors, **merged)
 
     def trainer_config(self, gamma: float, **overrides) -> TrainerConfig:
         base = dict(
@@ -128,6 +137,13 @@ def simulate(scale: ExperimentScale, rayleigh: Optional[float] = None,
              seed: Optional[int] = None) -> SimulationResult:
     """Generate one high-resolution dataset at this scale."""
     nt, nz, nx = scale.hr_shape
+    if scale.scenario != "rayleigh_benard":
+        from ..scenarios import get_scenario  # lazy: avoids an import cycle
+
+        return get_scenario(scale.scenario).generate(
+            nt=nt, nz=nz, nx=nx, t_final=scale.t_final,
+            seed=scale.seed if seed is None else int(seed),
+        )
     spec = DatasetSpec(
         rayleigh=scale.rayleigh if rayleigh is None else float(rayleigh),
         prandtl=scale.prandtl,
@@ -173,8 +189,13 @@ def train_model(scale: ExperimentScale, dataset: SuperResolutionDataset,
     model = model if model is not None else build_model(scale)
     pde = None
     if gamma > 0:
-        ra = scale.rayleigh if rayleigh is None else float(rayleigh)
-        pde = RayleighBenard2D(rayleigh=ra, prandtl=scale.prandtl)
+        if scale.scenario == "rayleigh_benard":
+            ra = scale.rayleigh if rayleigh is None else float(rayleigh)
+            pde = RayleighBenard2D(rayleigh=ra, prandtl=scale.prandtl)
+        else:
+            from ..scenarios import get_scenario  # lazy: avoids an import cycle
+
+            pde = get_scenario(scale.scenario).make_pde_system()
     trainer = Trainer(model, dataset, pde_system=pde,
                       config=scale.trainer_config(gamma, **trainer_overrides))
     trainer.train()

@@ -148,6 +148,30 @@ class InferenceEngine:
                 stacklevel=2,
             )
 
+    @classmethod
+    def for_scenario(cls, name: str, model=None, size: str = "tiny",
+                     **engine_kwargs) -> "InferenceEngine":
+        """Build an engine for a registered scenario (see :mod:`repro.scenarios`).
+
+        ``model`` defaults to a freshly initialised scenario model of the
+        given ``size`` preset; when provided, its channel layout is checked
+        against the scenario's fields.  All other kwargs go to the engine
+        constructor unchanged.
+        """
+        from ..scenarios import get_scenario  # lazy: avoids an import cycle
+
+        scenario = get_scenario(name)
+        if model is None:
+            model = scenario.build_model(size)
+        else:
+            model_fields = getattr(getattr(model, "config", None), "field_names", None)
+            if model_fields is not None and tuple(model_fields) != scenario.fields:
+                raise ValueError(
+                    f"model field_names {tuple(model_fields)} do not match scenario "
+                    f"'{scenario.name}' fields {scenario.fields}"
+                )
+        return cls(model, **engine_kwargs)
+
     # ------------------------------------------------------------------ info
     @property
     def dtype(self) -> np.dtype:

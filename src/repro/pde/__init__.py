@@ -9,7 +9,15 @@ from .rayleigh_benard import (
     divergence_free_system,
     rayleigh_benard_system,
 )
-from .registry import available_pde_systems, make_pde_system, register_pde_system
+from .registry import available_pde_systems, make_pde_system, null_system, register_pde_system
+from .systems import (
+    SCALAR_FIELDS,
+    SHALLOW_WATER_FIELDS,
+    TURBULENCE_FIELDS,
+    decaying_turbulence_system,
+    scalar_advection_diffusion_system,
+    shallow_water_system,
+)
 
 __all__ = [
     "Term",
@@ -26,4 +34,11 @@ __all__ = [
     "register_pde_system",
     "make_pde_system",
     "available_pde_systems",
+    "null_system",
+    "TURBULENCE_FIELDS",
+    "SHALLOW_WATER_FIELDS",
+    "SCALAR_FIELDS",
+    "decaying_turbulence_system",
+    "shallow_water_system",
+    "scalar_advection_diffusion_system",
 ]

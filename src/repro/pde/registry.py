@@ -6,16 +6,23 @@ and users to register custom constraint combinations.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Sequence
 
 from .expressions import PDESystem
 from .rayleigh_benard import (
+    COORDS,
+    FIELDS,
     advection_diffusion_system,
     divergence_free_system,
     rayleigh_benard_system,
 )
+from .systems import (
+    decaying_turbulence_system,
+    scalar_advection_diffusion_system,
+    shallow_water_system,
+)
 
-__all__ = ["register_pde_system", "make_pde_system", "available_pde_systems"]
+__all__ = ["register_pde_system", "make_pde_system", "available_pde_systems", "null_system"]
 
 _REGISTRY: dict[str, Callable[..., PDESystem]] = {}
 
@@ -41,7 +48,23 @@ def available_pde_systems() -> list[str]:
     return sorted(_REGISTRY)
 
 
+def null_system(fields: Sequence[str] = FIELDS, coords: Sequence[str] = COORDS,
+                **kwargs) -> PDESystem:
+    """A constraint-free :class:`PDESystem` (pure prediction-loss training).
+
+    Accepts (and ignores) arbitrary physics keyword arguments so generic
+    callers — configuration sweeps, the scenario registry — can pass one
+    uniform kwargs dictionary to every factory without special-casing the
+    null system.  ``fields``/``coords`` are forwarded so it can describe any
+    scenario's channel layout.
+    """
+    return PDESystem(fields, coords)
+
+
 register_pde_system("rayleigh_benard", rayleigh_benard_system)
 register_pde_system("divergence_free", divergence_free_system)
 register_pde_system("advection_diffusion", advection_diffusion_system)
-register_pde_system("none", lambda: PDESystem(("p", "T", "u", "w"), ("t", "z", "x")))
+register_pde_system("decaying_turbulence", decaying_turbulence_system)
+register_pde_system("shallow_water", shallow_water_system)
+register_pde_system("scalar_advection_diffusion", scalar_advection_diffusion_system)
+register_pde_system("none", null_system)

@@ -1,0 +1,159 @@
+"""PDE families beyond Rayleigh–Bénard convection.
+
+Every system here follows the same declarative contract as
+:class:`~repro.pde.rayleigh_benard.RayleighBenard2D`: constraints are sums of
+products of fields and their space-time derivatives (orders 0–2), expressed
+over coordinates ``(t, z, x)``, so the residuals evaluate unchanged on the
+autodiff tape through ``grad(create_graph=True)`` and feed the Equation Loss
+exactly like the paper's convection system.
+
+Three families are provided:
+
+* :func:`decaying_turbulence_system` — 2D incompressible decaying turbulence
+  in vorticity form ``(ω, u, w)``: the vorticity transport equation plus the
+  vorticity definition and incompressibility as algebraic/first-order
+  constraints.
+* :func:`shallow_water_system` — the 2D nonlinear shallow-water equations
+  ``(h, u, w)`` over a flat bottom, with optional eddy viscosity.
+* :func:`scalar_advection_diffusion_system` — passive-scalar transport
+  ``(c,)`` by a constant velocity with isotropic diffusion; the smallest
+  (linear, single-field) member of the registry.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .expressions import PDESystem
+
+__all__ = [
+    "TURBULENCE_FIELDS",
+    "SHALLOW_WATER_FIELDS",
+    "SCALAR_FIELDS",
+    "decaying_turbulence_system",
+    "shallow_water_system",
+    "scalar_advection_diffusion_system",
+]
+
+#: channel order of the vorticity-form turbulence scenario
+TURBULENCE_FIELDS = ("omega", "u", "w")
+#: channel order of the shallow-water scenario (layer depth, velocities)
+SHALLOW_WATER_FIELDS = ("h", "u", "w")
+#: channel order of the passive-scalar scenario
+SCALAR_FIELDS = ("c",)
+
+_COORDS = ("t", "z", "x")
+
+
+def decaying_turbulence_system(viscosity: float = 1e-2) -> PDESystem:
+    """2D decaying turbulence in vorticity form.
+
+    Constraints (with kinematic viscosity ``ν``)::
+
+        ω − (∂w/∂x − ∂u/∂z) = 0                    (vorticity definition)
+        ∂ω/∂t + u ∂ω/∂x + w ∂ω/∂z − ν ∇²ω = 0      (vorticity transport)
+        ∂u/∂x + ∂w/∂z = 0                          (continuity)
+
+    The vorticity definition couples the redundant ``ω`` channel to the
+    velocity channels, so a model predicting all three is constrained to
+    keep them consistent — the same trick MeshfreeFlowNet plays with
+    pressure in the Boussinesq system.
+    """
+    if viscosity < 0:
+        raise ValueError("viscosity must be non-negative")
+    nu = float(viscosity)
+    system = PDESystem(TURBULENCE_FIELDS, _COORDS)
+    system.add_constraint("vorticity_definition", [
+        (1.0, ["omega"]),
+        (-1.0, ["w_x"]),
+        (1.0, ["u_z"]),
+    ])
+    transport = [
+        (1.0, ["omega_t"]),
+        (1.0, ["u", "omega_x"]),
+        (1.0, ["w", "omega_z"]),
+    ]
+    if nu > 0:
+        transport += [(-nu, ["omega_xx"]), (-nu, ["omega_zz"])]
+    system.add_constraint("vorticity_transport", transport)
+    system.add_constraint("continuity", [(1.0, ["u_x"]), (1.0, ["w_z"])])
+    system.viscosity = nu
+    return system
+
+
+def shallow_water_system(gravity: float = 1.0, viscosity: float = 0.0) -> PDESystem:
+    """Nonlinear 2D shallow-water equations over a flat bottom.
+
+    ``h`` is the layer depth and ``(u, w)`` the depth-averaged velocities
+    along ``(x, z)``.  Constraints (with gravity ``g`` and optional eddy
+    viscosity ``ν``)::
+
+        ∂h/∂t + ∇·(h u) = 0                                  (mass)
+        ∂u/∂t + u ∂u/∂x + w ∂u/∂z + g ∂h/∂x − ν ∇²u = 0      (momentum_x)
+        ∂w/∂t + u ∂w/∂x + w ∂w/∂z + g ∂h/∂z − ν ∇²w = 0      (momentum_z)
+
+    The divergence of the mass flux is expanded into products of at most
+    two symbols (``h u_x + u h_x + …``) so every term fits the declarative
+    ``coefficient × ∏ symbols`` form.
+    """
+    if gravity <= 0:
+        raise ValueError("gravity must be positive")
+    if viscosity < 0:
+        raise ValueError("viscosity must be non-negative")
+    g = float(gravity)
+    nu = float(viscosity)
+    system = PDESystem(SHALLOW_WATER_FIELDS, _COORDS)
+    system.add_constraint("mass", [
+        (1.0, ["h_t"]),
+        (1.0, ["h", "u_x"]),
+        (1.0, ["u", "h_x"]),
+        (1.0, ["h", "w_z"]),
+        (1.0, ["w", "h_z"]),
+    ])
+    momentum_x = [
+        (1.0, ["u_t"]),
+        (1.0, ["u", "u_x"]),
+        (1.0, ["w", "u_z"]),
+        (g, ["h_x"]),
+    ]
+    momentum_z = [
+        (1.0, ["w_t"]),
+        (1.0, ["u", "w_x"]),
+        (1.0, ["w", "w_z"]),
+        (g, ["h_z"]),
+    ]
+    if nu > 0:
+        momentum_x += [(-nu, ["u_xx"]), (-nu, ["u_zz"])]
+        momentum_z += [(-nu, ["w_xx"]), (-nu, ["w_zz"])]
+    system.add_constraint("momentum_x", momentum_x)
+    system.add_constraint("momentum_z", momentum_z)
+    system.gravity = g
+    system.viscosity = nu
+    return system
+
+
+def scalar_advection_diffusion_system(velocity: Sequence[float] = (1.0, 0.5),
+                                      diffusivity: float = 1e-2) -> PDESystem:
+    """Passive-scalar transport by a constant velocity field.
+
+    ``∂c/∂t + a_x ∂c/∂x + a_z ∂c/∂z − κ ∇²c = 0`` with advection velocity
+    ``(a_x, a_z)`` and diffusivity ``κ``.  Linear and single-field: the
+    minimal scenario for exercising every registry surface (its analytic
+    solutions are exact, so conformance tolerances are round-off level).
+    """
+    ax, az = (float(v) for v in velocity)
+    if diffusivity < 0:
+        raise ValueError("diffusivity must be non-negative")
+    kappa = float(diffusivity)
+    system = PDESystem(SCALAR_FIELDS, _COORDS)
+    transport = [(1.0, ["c_t"])]
+    if ax != 0.0:
+        transport.append((ax, ["c_x"]))
+    if az != 0.0:
+        transport.append((az, ["c_z"]))
+    if kappa > 0:
+        transport += [(-kappa, ["c_xx"]), (-kappa, ["c_zz"])]
+    system.add_constraint("transport", transport)
+    system.velocity = (ax, az)
+    system.diffusivity = kappa
+    return system

@@ -1,0 +1,32 @@
+"""Named, fully wired PDE workloads (see :mod:`repro.scenarios.registry`).
+
+Importing this package registers the built-in scenarios:
+``rayleigh_benard`` (the paper's workload), ``decaying_turbulence``,
+``shallow_water`` and ``advection_diffusion``.
+"""
+
+from .registry import (
+    AnalyticCase,
+    Scenario,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+)
+
+# Importing the family modules registers the built-in scenarios.
+from .advection_diffusion import ADVECTION_DIFFUSION
+from .decaying_turbulence import DECAYING_TURBULENCE
+from .rayleigh_benard import RAYLEIGH_BENARD
+from .shallow_water import SHALLOW_WATER
+
+__all__ = [
+    "AnalyticCase",
+    "Scenario",
+    "available_scenarios",
+    "get_scenario",
+    "register_scenario",
+    "ADVECTION_DIFFUSION",
+    "DECAYING_TURBULENCE",
+    "RAYLEIGH_BENARD",
+    "SHALLOW_WATER",
+]

@@ -1,0 +1,76 @@
+"""2D decaying turbulence (vorticity form) as a registry scenario."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..pde.systems import TURBULENCE_FIELDS
+from ..simulation.scenarios import decaying_turbulence
+from .registry import AnalyticCase, Scenario, register_scenario
+
+__all__ = ["DECAYING_TURBULENCE"]
+
+_VISCOSITY = 1e-2
+
+
+def _analytic_cases() -> list[AnalyticCase]:
+    """A decaying Taylor–Green vortex: an exact Navier–Stokes solution.
+
+    For ``ψ = A sin(k_x x) sin(k_z z) e^{−ν|k|² t}`` the vorticity is
+    proportional to the streamfunction (``ω = |k|² ψ``), so the advection
+    Jacobian vanishes identically and the vorticity transport reduces to
+    pure viscous decay — every constraint of the system is satisfied
+    exactly, for *any* wavenumber pair.
+    """
+    nt, nz, nx = 3, 14, 12
+    lz = lx = 1.0
+    nu, amp = 0.05, 1.3
+    kx = 2.0 * np.pi / lx
+    kz = 4.0 * np.pi / lz          # unequal wavenumbers: catches x/z index swaps
+    k2 = kx * kx + kz * kz
+    t = np.linspace(0.0, 0.5, nt)
+    z = np.arange(nz) * (lz / nz)
+    x = np.arange(nx) * (lx / nx)
+    tt, zz, xx = np.meshgrid(t, z, x, indexing="ij")
+    decay = np.exp(-nu * k2 * tt)
+    sx, cx = np.sin(kx * xx), np.cos(kx * xx)
+    sz, cz = np.sin(kz * zz), np.cos(kz * zz)
+
+    psi = amp * sx * sz * decay
+    omega = k2 * psi
+    values = {
+        "omega": omega,
+        "u": amp * kz * sx * cz * decay,
+        "w": -amp * kx * cx * sz * decay,
+        "u_x": amp * kx * kz * cx * cz * decay,
+        "u_z": -amp * kz * kz * sx * sz * decay,
+        "w_x": amp * kx * kx * sx * sz * decay,
+        "w_z": -amp * kx * kz * cx * cz * decay,
+        "omega_t": -nu * k2 * omega,
+        "omega_x": k2 * amp * kx * cx * sz * decay,
+        "omega_z": k2 * amp * kz * sx * cz * decay,
+        "omega_xx": -kx * kx * omega,
+        "omega_zz": -kz * kz * omega,
+    }
+    return [AnalyticCase(
+        name="taylor_green_decay",
+        values=values,
+        expected={"vorticity_definition": 0.0, "vorticity_transport": 0.0,
+                  "continuity": 0.0},
+        pde_kwargs={"viscosity": nu},
+    )]
+
+
+DECAYING_TURBULENCE = register_scenario(Scenario(
+    name="decaying_turbulence",
+    fields=TURBULENCE_FIELDS,
+    pde="decaying_turbulence",
+    pde_kwargs={"viscosity": _VISCOSITY},
+    generator=decaying_turbulence,
+    analytic_cases=_analytic_cases,
+    metrics=("mae", "rmse", "nmae", "r2_score"),
+    dataset_defaults=dict(lr_factors=(2, 2, 2), crop_shape_lr=(2, 4, 4),
+                          n_points=64, samples_per_epoch=16),
+    description="2D incompressible decaying turbulence in vorticity form "
+                "(omega, u, w) on a doubly periodic box.",
+))

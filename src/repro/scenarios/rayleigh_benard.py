@@ -1,0 +1,76 @@
+"""The paper's Rayleigh–Bénard convection workload as a registry scenario."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..pde.rayleigh_benard import COORDS, FIELDS
+from ..simulation.synthetic import synthetic_convection
+from .registry import AnalyticCase, Scenario, register_scenario
+
+__all__ = ["RAYLEIGH_BENARD"]
+
+
+def _generate(nt: int = 16, nz: int = 16, nx: int = 64, t_final: float = 8.0,
+              seed: int = 0, **kwargs):
+    """Fast synthetic convection data (see :func:`synthetic_convection`)."""
+    return synthetic_convection(nt=nt, nz=nz, nx=nx, t_final=t_final, seed=seed, **kwargs)
+
+
+def _analytic_cases() -> list[AnalyticCase]:
+    nt, nz, nx = 3, 12, 10
+    lz, lx = 1.0, 4.0
+    t = np.linspace(0.0, 1.0, nt)
+    z = (np.arange(nz) + 0.5) * (lz / nz)
+    x = np.arange(nx) * (lx / nx)
+    tt, zz, xx = np.meshgrid(t, z, x, indexing="ij")
+    zero = np.zeros_like(tt)
+
+    # Case 1: the conduction state with hydrostatic pressure is an *exact*
+    # steady solution of the full nonlinear Boussinesq system:
+    #   u = w = 0,  T = 1 − z,  p = z − z²/2  (so that ∂p/∂z = T).
+    conduction_values = {
+        "p": zz - 0.5 * zz**2,
+        "T": 1.0 - zz,
+        "u": zero, "w": zero,
+        "p_x": zero, "p_z": 1.0 - zz,
+        "T_t": zero, "T_x": zero, "T_z": np.full_like(tt, -1.0),
+        "T_xx": zero, "T_zz": zero,
+        "u_t": zero, "u_x": zero, "u_z": zero, "u_xx": zero, "u_zz": zero,
+        "w_t": zero, "w_x": zero, "w_z": zero, "w_xx": zero, "w_zz": zero,
+    }
+    conduction = AnalyticCase(
+        name="conduction_state",
+        values=conduction_values,
+        expected={"continuity": 0.0, "temperature": 0.0,
+                  "momentum_x": 0.0, "momentum_z": 0.0},
+        pde_kwargs={"rayleigh": 1e5, "prandtl": 0.9},
+    )
+
+    # Case 2: a streamfunction velocity field (u = ψ_z, w = −ψ_x with
+    # ψ = sin(k_z z) sin(k_x x) cos t) is exactly divergence free.
+    kx, kz = 2.0 * np.pi / lx, np.pi / lz
+    u_x = kz * kx * np.cos(kz * zz) * np.cos(kx * xx) * np.cos(tt)
+    w_z = -kx * kz * np.cos(kz * zz) * np.cos(kx * xx) * np.cos(tt)
+    streamfunction = AnalyticCase(
+        name="streamfunction_divergence_free",
+        values={"u_x": u_x, "w_z": w_z},
+        expected={"continuity": 0.0},
+    )
+    return [conduction, streamfunction]
+
+
+RAYLEIGH_BENARD = register_scenario(Scenario(
+    name="rayleigh_benard",
+    fields=FIELDS,
+    coords=COORDS,
+    pde="rayleigh_benard",
+    pde_kwargs={"rayleigh": 1e6, "prandtl": 1.0},
+    generator=_generate,
+    analytic_cases=_analytic_cases,
+    metrics=("mae", "rmse", "nmae", "r2_score"),
+    dataset_defaults=dict(lr_factors=(2, 2, 4), crop_shape_lr=(4, 4, 8),
+                          n_points=64, samples_per_epoch=16),
+    description="2D Rayleigh-Benard convection (the paper's workload): "
+                "Boussinesq equations over (p, T, u, w).",
+))

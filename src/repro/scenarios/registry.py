@@ -1,0 +1,216 @@
+"""The scenario registry: named, fully wired PDE workloads.
+
+A :class:`Scenario` bundles everything a subsystem needs to run a PDE family
+end-to-end:
+
+* a **PDE system** (by name in the :mod:`repro.pde` registry, plus default
+  physics kwargs) whose residuals run on the autodiff tape and feed the
+  equation loss,
+* a **data generator** producing high-resolution
+  :class:`~repro.simulation.result.SimulationResult` blocks,
+* **per-channel normalization** statistics (via
+  :meth:`Scenario.normalizer` / the dataset's built-in normalization),
+* **default evaluation metrics** and dataset hyper-parameters,
+* **analytic cases** — closed-form solutions with hand-derived derivative
+  values and expected residuals, consumed by the conformance matrix in
+  ``tests/scenarios/``.
+
+Scenarios resolve by name from training (``TrainerConfig.scenario``), the
+inference engine (``InferenceEngine.for_scenario``) and the experiment
+harnesses (``ExperimentScale.scenario``), so adding a new physics family is
+one registration call — every existing subsystem then serves it unchanged,
+and the conformance matrix tests it for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Callable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..core.config import MeshfreeFlowNetConfig
+from ..data.dataset import SuperResolutionDataset
+from ..data.normalization import ChannelNormalizer
+from ..pde import PDESystem, make_pde_system
+from ..simulation.result import SimulationResult
+
+__all__ = [
+    "AnalyticCase",
+    "Scenario",
+    "register_scenario",
+    "get_scenario",
+    "available_scenarios",
+]
+
+
+@dataclass(frozen=True)
+class AnalyticCase:
+    """A closed-form solution of (part of) a scenario's PDE system.
+
+    ``values`` maps every symbol of the checked constraints (fields and
+    their derivatives, e.g. ``"u"``, ``"omega_xx"``) to hand-derived arrays
+    on some grid; ``expected`` maps each checked constraint name to its
+    expected residual (an array, or a scalar — usually ``0.0`` for exact
+    solutions).  ``pde_kwargs`` optionally overrides the scenario's default
+    physics parameters so the case's closed form and the system agree (e.g.
+    an inviscid gravity-wave case of a viscous shallow-water scenario).
+
+    Because both sides are hand-written from the physics — never derived
+    from the registered :class:`~repro.pde.PDESystem` — comparing them
+    catches sign, index and coefficient errors in the system definition.
+    """
+
+    name: str
+    values: Mapping[str, np.ndarray]
+    expected: Mapping[str, np.ndarray | float]
+    pde_kwargs: Mapping[str, object] = dataclass_field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named, fully wired PDE workload (see module docstring).
+
+    Parameters
+    ----------
+    name:
+        Registry key (lower-case canonical form).
+    fields:
+        Physical channel names in channel order; also the model's output
+        channels.
+    pde:
+        Name of the scenario's constraint set in the :mod:`repro.pde`
+        registry.
+    generator:
+        Callable ``(nt=…, nz=…, nx=…, t_final=…, seed=…, **kw)`` returning a
+        :class:`SimulationResult` whose channel layout matches ``fields``.
+    analytic_cases:
+        Zero-argument callable building the scenario's
+        :class:`AnalyticCase` list (lazy: grids are only materialised when
+        the conformance tests ask for them).
+    pde_kwargs:
+        Default physics parameters forwarded to the PDE factory.
+    metrics:
+        Default evaluation metric names for this scenario's reports.
+    coords:
+        Space-time coordinate names (every current scenario uses
+        ``("t", "z", "x")``).
+    dataset_defaults:
+        Default :class:`SuperResolutionDataset` hyper-parameters
+        (``lr_factors``, ``crop_shape_lr``, ``n_points``, …) sized to the
+        generator's default grid.
+    description:
+        One-line human description.
+    """
+
+    name: str
+    fields: tuple[str, ...]
+    pde: str
+    generator: Callable[..., SimulationResult]
+    analytic_cases: Callable[[], list[AnalyticCase]]
+    pde_kwargs: Mapping[str, object] = dataclass_field(default_factory=dict)
+    metrics: tuple[str, ...] = ("mae", "rmse", "nmae", "r2_score")
+    coords: tuple[str, ...] = ("t", "z", "x")
+    dataset_defaults: Mapping[str, object] = dataclass_field(default_factory=dict)
+    description: str = ""
+
+    def __post_init__(self):
+        object.__setattr__(self, "fields", tuple(self.fields))
+        object.__setattr__(self, "coords", tuple(self.coords))
+        object.__setattr__(self, "metrics", tuple(self.metrics))
+        if not self.fields:
+            raise ValueError("a scenario needs at least one field")
+
+    # ------------------------------------------------------------------- pde
+    def make_pde_system(self, **overrides) -> PDESystem:
+        """Instantiate the scenario's PDE system (defaults + ``overrides``)."""
+        kwargs = {**self.pde_kwargs, **overrides}
+        return make_pde_system(self.pde, **kwargs)
+
+    # ------------------------------------------------------------------ data
+    def generate(self, **kwargs) -> SimulationResult:
+        """Generate one high-resolution dataset for this scenario."""
+        return self.generator(**kwargs)
+
+    def make_dataset(self, results: Optional[Sequence[SimulationResult] | SimulationResult] = None,
+                     generate_kwargs: Optional[Mapping[str, object]] = None,
+                     **overrides) -> SuperResolutionDataset:
+        """Build a :class:`SuperResolutionDataset` with scenario defaults.
+
+        ``results`` defaults to one freshly generated block
+        (``generate_kwargs`` forwarded to :meth:`generate`); ``overrides``
+        replace individual entries of :attr:`dataset_defaults`.
+        """
+        if results is None:
+            results = self.generate(**dict(generate_kwargs or {}))
+        params = dict(self.dataset_defaults)
+        params.update(overrides)
+        return SuperResolutionDataset(results, **params)
+
+    def normalizer(self, results: Sequence[SimulationResult] | SimulationResult) -> ChannelNormalizer:
+        """Per-channel normalization statistics fitted on high-res data."""
+        if isinstance(results, SimulationResult):
+            results = [results]
+        stacked = np.concatenate([r.fields for r in results], axis=0)
+        return ChannelNormalizer().fit(stacked, channel_axis=1)
+
+    # --------------------------------------------------------------- metrics
+    def metric_fns(self) -> dict:
+        """Resolve :attr:`metrics` names to callables from :mod:`repro.metrics`."""
+        from .. import metrics as metrics_module
+
+        return {name: getattr(metrics_module, name) for name in self.metrics}
+
+    # ----------------------------------------------------------------- model
+    def model_overrides(self) -> dict:
+        """Model-config entries pinning the scenario's channel layout."""
+        return dict(
+            in_channels=len(self.fields),
+            out_channels=len(self.fields),
+            field_names=self.fields,
+            coord_names=self.coords,
+        )
+
+    def model_config(self, size: str = "tiny", **overrides) -> MeshfreeFlowNetConfig:
+        """A :class:`MeshfreeFlowNetConfig` preset wired to this scenario."""
+        factory = {
+            "tiny": MeshfreeFlowNetConfig.tiny,
+            "small": MeshfreeFlowNetConfig.small,
+            "paper": MeshfreeFlowNetConfig,
+        }[size]
+        return factory(**{**self.model_overrides(), **overrides})
+
+    def build_model(self, size: str = "tiny", **overrides):
+        """Instantiate a :class:`~repro.core.model.MeshfreeFlowNet` for this scenario."""
+        from ..core.model import MeshfreeFlowNet
+
+        return MeshfreeFlowNet(self.model_config(size, **overrides))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Scenario(name={self.name!r}, fields={self.fields}, pde={self.pde!r}, "
+                f"metrics={self.metrics})")
+
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario, overwrite: bool = False) -> Scenario:
+    """Register ``scenario`` under its (lower-cased) name; returns it."""
+    key = scenario.name.lower()
+    if key in _REGISTRY and not overwrite:
+        raise ValueError(f"scenario '{scenario.name}' already registered")
+    _REGISTRY[key] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a registered scenario by (case-insensitive) name."""
+    key = str(name).lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown scenario '{name}'; available: {available_scenarios()}")
+    return _REGISTRY[key]
+
+
+def available_scenarios() -> list[str]:
+    """Sorted names of all registered scenarios."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,114 @@
+"""Nonlinear shallow-water equations as a registry scenario."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..pde.systems import SHALLOW_WATER_FIELDS
+from ..simulation.scenarios import shallow_water_waves
+from .registry import AnalyticCase, Scenario, register_scenario
+
+__all__ = ["SHALLOW_WATER"]
+
+_GRAVITY = 1.0
+_VISCOSITY = 5e-3
+
+
+def _grids(nt: int = 3, nz: int = 12, nx: int = 14, lz: float = 1.0, lx: float = 1.0):
+    t = np.linspace(0.0, 0.8, nt)
+    z = np.arange(nz) * (lz / nz)
+    x = np.arange(nx) * (lx / nx)
+    return np.meshgrid(t, z, x, indexing="ij")
+
+
+def _viscous_shear_case() -> AnalyticCase:
+    """Decaying horizontal shear: an exact solution of the *viscous* system.
+
+    ``u = U₀ sin(k_z z) e^{−ν k_z² t}``, ``w = 0``, ``h = H``: the only
+    surviving terms are ``∂u/∂t − ν ∂²u/∂z²``, which cancel exactly.
+    """
+    tt, zz, _xx = _grids()
+    nu, u0, kz, depth = 0.08, 0.7, 2.0 * np.pi, 1.4
+    zero = np.zeros_like(tt)
+    u = u0 * np.sin(kz * zz) * np.exp(-nu * kz * kz * tt)
+    values = {
+        "h": np.full_like(tt, depth),
+        "u": u, "w": zero,
+        "h_t": zero, "h_x": zero, "h_z": zero,
+        "u_t": -nu * kz * kz * u,
+        "u_x": zero, "u_z": u0 * kz * np.cos(kz * zz) * np.exp(-nu * kz * kz * tt),
+        "u_xx": zero, "u_zz": -kz * kz * u,
+        "w_t": zero, "w_x": zero, "w_z": zero, "w_xx": zero, "w_zz": zero,
+    }
+    return AnalyticCase(
+        name="viscous_shear_decay",
+        values=values,
+        expected={"mass": 0.0, "momentum_x": 0.0, "momentum_z": 0.0},
+        pde_kwargs={"gravity": _GRAVITY, "viscosity": nu},
+    )
+
+
+def _gravity_wave_case() -> AnalyticCase:
+    """A linear gravity wave with hand-derived *nonlinear* residuals.
+
+    For ``h = H + A cos θ``, ``u = (Ac/H) cos θ``, ``w = 0`` with
+    ``θ = k_x x − σ t``, ``c = √(gH)`` and ``σ = c k_x``, the linear parts of
+    the inviscid residuals cancel and the quadratic remainders are known in
+    closed form::
+
+        mass       = −2 (A² c k_x / H)  sin θ cos θ
+        momentum_x = −  (A² c² k_x / H²) sin θ cos θ
+
+    Matching these (rather than zero) pins the *nonlinear* coefficients of
+    the system — a dropped ``u ∂u/∂x`` term would change the expected value.
+    """
+    tt, _zz, xx = _grids()
+    g, depth, amp = _GRAVITY, 1.2, 0.05
+    kx = 2.0 * np.pi
+    c = np.sqrt(g * depth)
+    sigma = c * kx
+    theta = kx * xx - sigma * tt
+    sin_t, cos_t = np.sin(theta), np.cos(theta)
+    zero = np.zeros_like(tt)
+    values = {
+        "h": depth + amp * cos_t,
+        "u": (amp * c / depth) * cos_t,
+        "w": zero,
+        "h_t": amp * sigma * sin_t,
+        "h_x": -amp * kx * sin_t,
+        "h_z": zero,
+        "u_t": (amp * c * sigma / depth) * sin_t,
+        "u_x": -(amp * c * kx / depth) * sin_t,
+        "u_z": zero,
+        "w_t": zero, "w_x": zero, "w_z": zero,
+    }
+    expected = {
+        "mass": -2.0 * (amp**2 * c * kx / depth) * sin_t * cos_t,
+        "momentum_x": -(amp**2 * c**2 * kx / depth**2) * sin_t * cos_t,
+        "momentum_z": 0.0,
+    }
+    return AnalyticCase(
+        name="gravity_wave_quadratic_remainder",
+        values=values,
+        expected=expected,
+        pde_kwargs={"gravity": g, "viscosity": 0.0},
+    )
+
+
+def _analytic_cases() -> list[AnalyticCase]:
+    return [_viscous_shear_case(), _gravity_wave_case()]
+
+
+SHALLOW_WATER = register_scenario(Scenario(
+    name="shallow_water",
+    fields=SHALLOW_WATER_FIELDS,
+    pde="shallow_water",
+    pde_kwargs={"gravity": _GRAVITY, "viscosity": _VISCOSITY},
+    generator=shallow_water_waves,
+    analytic_cases=_analytic_cases,
+    metrics=("mae", "rmse", "nmae", "r2_score"),
+    dataset_defaults=dict(lr_factors=(2, 2, 2), crop_shape_lr=(2, 4, 4),
+                          n_points=64, samples_per_epoch=16),
+    description="Nonlinear 2D shallow-water equations (h, u, w) over a flat "
+                "bottom with optional eddy viscosity.",
+))

@@ -1,11 +1,15 @@
-"""Rayleigh–Bénard simulation substrate (replaces the paper's Dedalus datasets)."""
+"""Simulation substrate: Rayleigh–Bénard DNS plus fast per-scenario generators."""
 
 from .datasets import DatasetSpec, generate_dataset, generate_ensemble, generate_rayleigh_sweep
 from .rayleigh_benard import RayleighBenardConfig, RayleighBenardSolver, simulate_rayleigh_benard
 from .result import CHANNELS, SimulationResult
+from .scenarios import advected_scalar, decaying_turbulence, shallow_water_waves
 from .synthetic import SyntheticConfig, manufactured_solution, synthetic_convection
 
 __all__ = [
+    "decaying_turbulence",
+    "shallow_water_waves",
+    "advected_scalar",
     "CHANNELS",
     "SimulationResult",
     "RayleighBenardConfig",

@@ -8,26 +8,32 @@ import numpy as np
 
 __all__ = ["SimulationResult", "CHANNELS"]
 
-#: channel order used throughout the library: pressure, temperature, x-velocity, z-velocity
+#: default channel order (Rayleigh–Bénard): pressure, temperature, x-velocity, z-velocity
 CHANNELS = ("p", "T", "u", "w")
 
 
 @dataclass
 class SimulationResult:
-    """A space-time solution of the Rayleigh–Bénard problem.
+    """A space-time solution of a PDE scenario on a regular grid.
 
     Attributes
     ----------
     fields:
-        Array of shape ``(nt, 4, nz, nx)`` holding ``(p, T, u, w)`` snapshots.
+        Array of shape ``(nt, C, nz, nx)`` holding per-channel snapshots.
     times:
         Snapshot times, shape ``(nt,)``.
     lx, lz:
         Physical domain extents.
     rayleigh, prandtl:
-        Non-dimensional parameters of the run.
+        Non-dimensional parameters of a convection run (``0.0`` for scenarios
+        where they do not apply; scenario-specific physics parameters live in
+        ``metadata``).
     metadata:
         Free-form provenance (solver settings, seed, …).
+    channels:
+        Channel names in channel order.  Defaults to the Rayleigh–Bénard
+        layout ``("p", "T", "u", "w")``; other scenarios (vorticity-form
+        turbulence, shallow water, passive scalars) supply their own.
     """
 
     fields: np.ndarray
@@ -37,13 +43,17 @@ class SimulationResult:
     rayleigh: float
     prandtl: float
     metadata: dict = field(default_factory=dict)
+    channels: tuple[str, ...] = CHANNELS
 
     def __post_init__(self):
         self.fields = np.asarray(self.fields, dtype=np.float64)
         self.times = np.asarray(self.times, dtype=np.float64)
-        if self.fields.ndim != 4 or self.fields.shape[1] != len(CHANNELS):
+        self.channels = tuple(str(c) for c in self.channels)
+        if len(set(self.channels)) != len(self.channels):
+            raise ValueError(f"duplicate channel names {self.channels}")
+        if self.fields.ndim != 4 or self.fields.shape[1] != len(self.channels):
             raise ValueError(
-                f"fields must have shape (nt, {len(CHANNELS)}, nz, nx); got {self.fields.shape}"
+                f"fields must have shape (nt, {len(self.channels)}, nz, nx); got {self.fields.shape}"
             )
         if self.times.shape != (self.fields.shape[0],):
             raise ValueError("times must have one entry per snapshot")
@@ -72,19 +82,19 @@ class SimulationResult:
 
     @property
     def channel_names(self) -> tuple[str, ...]:
-        return CHANNELS
+        return self.channels
 
     def channel(self, name: str) -> np.ndarray:
         """Return one physical channel as ``(nt, nz, nx)``."""
         try:
-            idx = CHANNELS.index(name)
+            idx = self.channels.index(name)
         except ValueError as exc:
-            raise KeyError(f"unknown channel '{name}'; available: {CHANNELS}") from exc
+            raise KeyError(f"unknown channel '{name}'; available: {self.channels}") from exc
         return self.fields[:, idx]
 
     def snapshot(self, index: int) -> dict[str, np.ndarray]:
         """Return all channels of a single snapshot keyed by name."""
-        return {name: self.fields[index, i] for i, name in enumerate(CHANNELS)}
+        return {name: self.fields[index, i] for i, name in enumerate(self.channels)}
 
     # ------------------------------------------------------------- transforms
     def grid_spacing(self) -> tuple[float, float, float]:
@@ -106,6 +116,7 @@ class SimulationResult:
             rayleigh=self.rayleigh,
             prandtl=self.prandtl,
             metadata={**self.metadata, "subsampled": (factor_t, factor_z, factor_x)},
+            channels=self.channels,
         )
 
     def save(self, path) -> None:
@@ -118,11 +129,14 @@ class SimulationResult:
             lz=self.lz,
             rayleigh=self.rayleigh,
             prandtl=self.prandtl,
+            channels=np.array(self.channels),
         )
 
     @classmethod
     def load(cls, path) -> "SimulationResult":
         data = np.load(path)
+        # Archives written before channel metadata existed hold the default layout.
+        channels = tuple(str(c) for c in data["channels"]) if "channels" in data.files else CHANNELS
         return cls(
             fields=data["fields"],
             times=data["times"],
@@ -131,4 +145,5 @@ class SimulationResult:
             rayleigh=float(data["rayleigh"]),
             prandtl=float(data["prandtl"]),
             metadata={"loaded_from": str(path)},
+            channels=channels,
         )

@@ -1,0 +1,159 @@
+"""Fast deterministic data generators for the non-convection scenarios.
+
+Like :mod:`repro.simulation.synthetic` for Rayleigh–Bénard, these generators
+produce analytic space-time fields in milliseconds so that training,
+benchmarks and the cross-scenario conformance matrix never wait on a solver.
+Each one mirrors the structure of its PDE family closely enough to exercise
+every code path (non-trivial spectra, time dynamics, physically consistent
+channel couplings):
+
+* :func:`decaying_turbulence` — a superposition of viscously decaying
+  streamfunction modes on a doubly periodic box.  Velocities derive from the
+  streamfunction (``u = ψ_z``, ``w = −ψ_x``), so the flow is exactly
+  divergence free and the vorticity channel ``ω = −∇²ψ`` is exactly
+  consistent with the velocities — two of the three registry constraints are
+  satisfied to round-off by construction.
+* :func:`shallow_water_waves` — small-amplitude travelling gravity waves of
+  the linearised shallow-water equations over a flat bottom, plus the
+  correspondingly consistent depth-averaged velocities.
+* :func:`advected_scalar` — an *exact* solution of the advection–diffusion
+  equation: translated, diffusively decaying Fourier modes (the equation is
+  linear, so the superposition is still exact).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .result import SimulationResult
+
+__all__ = ["decaying_turbulence", "shallow_water_waves", "advected_scalar"]
+
+
+def _grids(nt: int, nz: int, nx: int, lz: float, lx: float, t_final: float):
+    """Periodic cell grids ``(tt, zz, xx)`` shared by the generators."""
+    t = np.linspace(0.0, t_final, nt)
+    z = np.arange(nz) * (lz / nz)
+    x = np.arange(nx) * (lx / nx)
+    return t, np.meshgrid(t, z, x, indexing="ij")
+
+
+def decaying_turbulence(nt: int = 16, nz: int = 32, nx: int = 32,
+                        lz: float = 1.0, lx: float = 1.0, t_final: float = 2.0,
+                        viscosity: float = 1e-2, n_modes: int = 4,
+                        amplitude: float = 1.0, max_mode: int = 3,
+                        seed: int = 0, **_ignored) -> SimulationResult:
+    """Decaying 2D turbulence surrogate with channels ``(omega, u, w)``.
+
+    Each mode is a doubly periodic streamfunction cell
+    ``ψ_m = A_m sin(k_x x + φ) sin(k_z z + χ) e^{−ν|k|² t}`` whose vorticity
+    ``ω_m = |k|² ψ_m`` and velocities ``(ψ_z, −ψ_x)`` are computed
+    analytically, so ``ω = ∂w/∂x − ∂u/∂z`` and ``∇·u = 0`` hold to round-off
+    for the superposition.
+    """
+    rng = np.random.default_rng(seed)
+    t, (tt, zz, xx) = _grids(nt, nz, nx, lz, lx, t_final)
+    omega = np.zeros_like(tt)
+    u = np.zeros_like(tt)
+    w = np.zeros_like(tt)
+    for m in range(n_modes):
+        mx = int(rng.integers(1, max_mode + 1))
+        mz = int(rng.integers(1, max_mode + 1))
+        kx = 2.0 * np.pi * mx / lx
+        kz = 2.0 * np.pi * mz / lz
+        k2 = kx * kx + kz * kz
+        amp = amplitude / (1.0 + m)
+        phi = rng.uniform(0, 2 * np.pi)
+        chi = rng.uniform(0, 2 * np.pi)
+        decay = np.exp(-viscosity * k2 * tt)
+        sx, cx_ = np.sin(kx * xx + phi), np.cos(kx * xx + phi)
+        sz, cz_ = np.sin(kz * zz + chi), np.cos(kz * zz + chi)
+        psi = amp * sx * sz * decay
+        omega += k2 * psi
+        u += amp * kz * sx * cz_ * decay
+        w += -amp * kx * cx_ * sz * decay
+    fields = np.stack([omega, u, w], axis=1)
+    return SimulationResult(
+        fields=fields, times=t, lx=lx, lz=lz, rayleigh=0.0, prandtl=0.0,
+        metadata={"solver": "decaying_turbulence", "viscosity": viscosity,
+                  "seed": seed, "n_modes": n_modes},
+        channels=("omega", "u", "w"),
+    )
+
+
+def shallow_water_waves(nt: int = 16, nz: int = 32, nx: int = 32,
+                        lz: float = 1.0, lx: float = 1.0, t_final: float = 2.0,
+                        gravity: float = 1.0, depth: float = 1.0,
+                        amplitude: float = 0.02, n_modes: int = 3,
+                        max_mode: int = 3, seed: int = 0, **_ignored) -> SimulationResult:
+    """Travelling shallow-water gravity waves with channels ``(h, u, w)``.
+
+    Small-amplitude linear waves: surface elevation modes
+    ``η_m = A_m cos(k·x − σ t + φ)`` with dispersion ``σ = √(g H) |k|`` and
+    the linear-theory velocities ``(g A k_x/σ, g A k_z/σ) cos(…)``, riding on
+    a flat mean depth ``H``.  The *nonlinear* registry residuals are
+    ``O(A²)`` on this data — small but nonzero, exactly what an equation
+    loss is supposed to penalise.
+    """
+    rng = np.random.default_rng(seed)
+    t, (tt, zz, xx) = _grids(nt, nz, nx, lz, lx, t_final)
+    c = np.sqrt(gravity * depth)
+    h = np.full_like(tt, float(depth))
+    u = np.zeros_like(tt)
+    w = np.zeros_like(tt)
+    for m in range(n_modes):
+        mx = int(rng.integers(1, max_mode + 1))
+        mz = int(rng.integers(0, max_mode + 1))
+        kx = 2.0 * np.pi * mx / lx
+        kz = 2.0 * np.pi * mz / lz
+        k = float(np.hypot(kx, kz))
+        sigma = c * k
+        amp = amplitude / (1.0 + m)
+        phi = rng.uniform(0, 2 * np.pi)
+        wave = np.cos(kx * xx + kz * zz - sigma * tt + phi)
+        h += amp * wave
+        u += gravity * amp * kx / sigma * wave
+        w += gravity * amp * kz / sigma * wave
+    fields = np.stack([h, u, w], axis=1)
+    return SimulationResult(
+        fields=fields, times=t, lx=lx, lz=lz, rayleigh=0.0, prandtl=0.0,
+        metadata={"solver": "shallow_water_waves", "gravity": gravity,
+                  "depth": depth, "seed": seed, "n_modes": n_modes},
+        channels=("h", "u", "w"),
+    )
+
+
+def advected_scalar(nt: int = 16, nz: int = 32, nx: int = 32,
+                    lz: float = 1.0, lx: float = 1.0, t_final: float = 2.0,
+                    velocity: tuple[float, float] = (1.0, 0.5),
+                    diffusivity: float = 1e-2, n_modes: int = 4,
+                    amplitude: float = 1.0, max_mode: int = 3,
+                    seed: int = 0, **_ignored) -> SimulationResult:
+    """Passive scalar advected by a constant velocity, channel ``(c,)``.
+
+    Superposes translated, diffusively decaying Fourier modes
+    ``A_m e^{−κ|k|² t} sin(k_x(x − a_x t) + k_z(z − a_z t) + φ)`` — an exact
+    solution of the linear advection–diffusion equation, so the registry
+    residual vanishes to round-off on this data.
+    """
+    rng = np.random.default_rng(seed)
+    ax, az = (float(v) for v in velocity)
+    t, (tt, zz, xx) = _grids(nt, nz, nx, lz, lx, t_final)
+    scalar = np.zeros_like(tt)
+    for m in range(n_modes):
+        mx = int(rng.integers(1, max_mode + 1))
+        mz = int(rng.integers(0, max_mode + 1))
+        kx = 2.0 * np.pi * mx / lx
+        kz = 2.0 * np.pi * mz / lz
+        k2 = kx * kx + kz * kz
+        amp = amplitude / (1.0 + m)
+        phi = rng.uniform(0, 2 * np.pi)
+        phase = kx * (xx - ax * tt) + kz * (zz - az * tt) + phi
+        scalar += amp * np.exp(-diffusivity * k2 * tt) * np.sin(phase)
+    fields = scalar[:, None]
+    return SimulationResult(
+        fields=fields, times=t, lx=lx, lz=lz, rayleigh=0.0, prandtl=0.0,
+        metadata={"solver": "advected_scalar", "velocity": (ax, az),
+                  "diffusivity": diffusivity, "seed": seed, "n_modes": n_modes},
+        channels=("c",),
+    )

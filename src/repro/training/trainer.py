@@ -65,6 +65,7 @@ class TrainerConfig:
     allreduce_algorithm: str = "ring"     #: DistributedTrainer: "ring" (bandwidth-optimal) or "naive"
     steps_per_epoch: Optional[int] = None #: defaults to len(dataset) / global batch
     compile: bool = False                 #: fused compiled decode plans (repro.compile)
+    scenario: Optional[str] = None        #: resolve the PDE system from ``repro.scenarios``
     seed: int = 0
     verbose: bool = False
 
@@ -105,8 +106,20 @@ class Trainer:
         self.model = model
         self.dataset = dataset
         self.val_dataset = val_dataset
-        self.pde_system = pde_system
         self.config = config if config is not None else TrainerConfig()
+        if pde_system is None and self.config.scenario is not None:
+            from ..scenarios import get_scenario  # lazy: avoids an import cycle
+
+            scenario = get_scenario(self.config.scenario)
+            model_fields = getattr(getattr(model, "config", None), "field_names", None)
+            if model_fields is not None and tuple(model_fields) != scenario.fields:
+                raise ValueError(
+                    f"model field_names {tuple(model_fields)} do not match scenario "
+                    f"'{scenario.name}' fields {scenario.fields}; build the model from "
+                    f"scenario.model_config() or pass pde_system explicitly"
+                )
+            pde_system = scenario.make_pde_system()
+        self.pde_system = pde_system
         self.weights = LossWeights(gamma=self.config.gamma, norm=self.config.loss_norm)
         self.optimizer = self._build_optimizer()
         self.scheduler = self._build_scheduler()

@@ -27,6 +27,11 @@ def pytest_configure(config):
         "float64_default: pins float64-default round-off behaviour; skipped "
         "when REPRO_DEFAULT_DTYPE selects a different precision policy",
     )
+    config.addinivalue_line(
+        "markers",
+        "scenario: cross-scenario conformance matrix (tests/scenarios/); runs "
+        "in a dedicated CI job under both precision policies",
+    )
 
 
 def pytest_collection_modifyitems(config, items):

@@ -1,0 +1,47 @@
+"""Fixtures of the cross-scenario conformance matrix.
+
+Every test in this directory is parametrized over *all* registered scenarios
+(``available_scenarios()`` at collection time), so registering a new scenario
+automatically runs it through the whole matrix.  Generated data is cached per
+scenario for the session; crops/datasets are built per test on top of the
+cached blocks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import available_scenarios, get_scenario
+
+#: Small generation grid shared by all scenarios (fast, but large enough for
+#: the (2, 2, 2) downsampling factors and (2, 4, 4) low-res crops below).
+GEN_KWARGS = dict(nt=8, nz=8, nx=16, seed=7)
+
+#: Dataset hyper-parameters sized to :data:`GEN_KWARGS`, overriding each
+#: scenario's (bigger) defaults so the matrix stays cheap.
+DATASET_KWARGS = dict(lr_factors=(2, 2, 2), crop_shape_lr=(2, 4, 4),
+                      n_points=16, samples_per_epoch=8, seed=0)
+
+
+@pytest.fixture(params=available_scenarios())
+def scenario(request):
+    """Each registered scenario in turn (the matrix axis)."""
+    return get_scenario(request.param)
+
+
+@pytest.fixture(scope="session")
+def _result_cache():
+    return {}
+
+
+@pytest.fixture
+def hr_result(scenario, _result_cache):
+    """One cached high-resolution block per scenario (treat as read-only)."""
+    if scenario.name not in _result_cache:
+        _result_cache[scenario.name] = scenario.generate(**GEN_KWARGS)
+    return _result_cache[scenario.name]
+
+
+@pytest.fixture
+def small_dataset(scenario, hr_result):
+    return scenario.make_dataset(results=hr_result, **DATASET_KWARGS)

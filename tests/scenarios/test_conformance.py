@@ -1,0 +1,229 @@
+"""The cross-scenario conformance matrix.
+
+One parametrized suite that every registered scenario must pass (see
+``conftest.py``): entry contract, residual-vs-analytic agreement, gradcheck
+of the equation loss through the second-order derivative stack, precision
+policy behaviour, dataset shape/normalization round-trips, a short train-step
+smoke in eager and compiled mode, and tiled-vs-direct inference equivalence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.autodiff.gradcheck import gradcheck
+from repro.backend import default_dtype, precision
+from repro.core import equation_loss
+from repro.inference import InferenceEngine
+from repro.pde import PDESystem
+from repro.simulation import SimulationResult
+from repro.training import Trainer, TrainerConfig
+
+from .conftest import DATASET_KWARGS, GEN_KWARGS
+
+pytestmark = pytest.mark.scenario
+
+#: Query points for derivative checks, chosen away from the piecewise-linear
+#: cell boundaries of the trilinear latent interpolation (the prediction is
+#: not differentiable in the coords *at* a boundary).
+PROBE_COORDS = np.array([[0.213, 0.172, 0.411],
+                         [0.547, 0.523, 0.137],
+                         [0.843, 0.371, 0.766],
+                         [0.313, 0.619, 0.291]])
+
+
+def _as_batched(result: SimulationResult) -> np.ndarray:
+    """(nt, C, nz, nx) simulation fields -> (1, C, nt, nz, nx) model input."""
+    return np.ascontiguousarray(result.fields.transpose(1, 0, 2, 3))[None]
+
+
+class TestEntryContract:
+    def test_pde_resolves(self, scenario):
+        system = scenario.make_pde_system()
+        assert isinstance(system, PDESystem)
+        assert system.constraints, "a scenario's PDE system must constrain something"
+        assert system.fields == scenario.fields
+        assert system.coords == scenario.coords
+
+    def test_generator_matches_fields(self, scenario, hr_result):
+        assert isinstance(hr_result, SimulationResult)
+        assert hr_result.channels == scenario.fields
+        assert hr_result.fields.shape == (GEN_KWARGS["nt"], len(scenario.fields),
+                                          GEN_KWARGS["nz"], GEN_KWARGS["nx"])
+        assert np.all(np.isfinite(hr_result.fields))
+
+    def test_constraint_fields_are_scenario_fields(self, scenario):
+        system = scenario.make_pde_system()
+        for constraint in system.constraints:
+            for symbol in constraint.symbols():
+                field = symbol.rpartition("_")[0] or symbol
+                assert field in scenario.fields, (constraint.name, symbol)
+
+    def test_metrics_and_description(self, scenario):
+        fns = scenario.metric_fns()
+        assert set(fns) == set(scenario.metrics)
+        assert scenario.description
+        assert scenario.analytic_cases(), "every scenario needs analytic coverage"
+
+    def test_model_roundtrip(self, scenario):
+        model = scenario.build_model("tiny")
+        assert model.config.field_names == scenario.fields
+        assert model.config.in_channels == model.config.out_channels == len(scenario.fields)
+
+
+class TestResidualVsAnalytic:
+    def test_residuals_match_hand_derived(self, scenario):
+        """The registered system, evaluated on hand-written closed forms,
+        must reproduce hand-derived residuals (0 for exact solutions)."""
+        for case in scenario.analytic_cases():
+            system = scenario.make_pde_system(**dict(case.pde_kwargs))
+            values = {k: Tensor(np.asarray(v)) for k, v in case.values.items()}
+            for constraint in system.constraints:
+                if constraint.name not in case.expected:
+                    continue
+                missing = constraint.symbols() - set(case.values)
+                assert not missing, (
+                    f"{scenario.name}/{case.name}: constraint '{constraint.name}' "
+                    f"needs symbols {sorted(missing)} the case does not provide")
+                residual = constraint.residual(values).data
+                expected = np.asarray(case.expected[constraint.name], dtype=np.float64)
+                scale = max(1.0, max(np.max(np.abs(case.values[s])) for s in constraint.symbols()))
+                np.testing.assert_allclose(
+                    residual, np.broadcast_to(expected, residual.shape),
+                    atol=1e-10 * scale, rtol=0,
+                    err_msg=f"{scenario.name}/{case.name}/{constraint.name}")
+
+    def test_expected_constraints_exist(self, scenario):
+        for case in scenario.analytic_cases():
+            system = scenario.make_pde_system(**dict(case.pde_kwargs))
+            names = {c.name for c in system.constraints}
+            unknown = set(case.expected) - names
+            assert not unknown, f"{scenario.name}/{case.name}: {sorted(unknown)}"
+
+
+class TestEquationLossGradcheck:
+    def test_equation_loss_gradient_wrt_coords(self, scenario, hr_result):
+        """Finite-difference check of d(equation loss)/d(coords) — this
+        differentiates *through* the second-order residual stack, so it
+        exercises the full ``create_graph=True`` path the trainer uses."""
+        with precision("float64"):
+            model = scenario.build_model("tiny")
+            system = scenario.make_pde_system()
+            lowres = Tensor(_as_batched(hr_result)[:, :, :2, :4, :4].astype(np.float64))
+            coords = Tensor(PROBE_COORDS[None].copy(), requires_grad=True)
+
+            def loss_fn(c):
+                _, values = model.forward_with_derivatives(lowres, c, system)
+                return equation_loss(system.residuals(values), norm="l2")
+
+            assert gradcheck(loss_fn, [coords], eps=1e-6, atol=1e-6, rtol=1e-5)
+
+
+class TestPrecisionPolicy:
+    @pytest.mark.parametrize("policy", ["float64", "float32"])
+    def test_model_and_residuals_follow_policy(self, scenario, policy):
+        dtype = np.dtype(policy)
+        with precision(policy):
+            model = scenario.build_model("tiny")
+            assert model.dtype == dtype
+            rng = np.random.default_rng(11)
+            lowres = Tensor(rng.standard_normal(
+                (1, len(scenario.fields), 2, 4, 4)).astype(dtype))
+            coords = Tensor(PROBE_COORDS[None].astype(dtype), requires_grad=True)
+            system = scenario.make_pde_system()
+            pred, values = model.forward_with_derivatives(lowres, coords, system)
+            assert pred.data.dtype == dtype
+            for name, residual in system.residuals(values).items():
+                assert residual.data.dtype == dtype, name
+
+    def test_default_policy_applies(self, scenario):
+        """Whatever REPRO_DEFAULT_DTYPE selected is what scenarios compute in."""
+        model = scenario.build_model("tiny")
+        assert model.dtype == default_dtype()
+
+
+class TestDatasetConformance:
+    def test_batch_shapes_and_ranges(self, scenario, small_dataset):
+        n_channels = len(scenario.fields)
+        batch = small_dataset.sample_batch([0, 1], epoch=0)
+        ct, cz, cx = DATASET_KWARGS["crop_shape_lr"]
+        assert batch.lowres.shape == (2, n_channels, ct, cz, cx)
+        assert batch.coords.shape == (2, DATASET_KWARGS["n_points"], 3)
+        assert batch.targets.shape == (2, DATASET_KWARGS["n_points"], n_channels)
+        assert batch.coords.min() >= 0.0 and batch.coords.max() <= 1.0
+        assert batch.coord_scales.shape == (3,)
+
+    def test_channel_names_follow_result(self, scenario, small_dataset):
+        assert tuple(small_dataset.channel_names) == scenario.fields
+
+    def test_normalization_round_trip(self, scenario, hr_result, small_dataset):
+        assert small_dataset.normalizer is not None
+        normalized = small_dataset.hr_fields[0]
+        restored = small_dataset.normalizer.inverse_transform(normalized, channel_axis=1)
+        np.testing.assert_allclose(restored, hr_result.fields, rtol=1e-10, atol=1e-10)
+        # per-channel statistics of the normalized data are ~(0, 1)
+        axes = (0, 2, 3)
+        np.testing.assert_allclose(normalized.mean(axis=axes), 0.0, atol=1e-8)
+        np.testing.assert_allclose(normalized.std(axis=axes), 1.0, atol=1e-6)
+
+    def test_scenario_normalizer_matches_dataset(self, scenario, hr_result, small_dataset):
+        norm = scenario.normalizer(hr_result)
+        np.testing.assert_allclose(norm.mean_, small_dataset.normalizer.mean_)
+        np.testing.assert_allclose(norm.std_, small_dataset.normalizer.std_)
+
+    def test_save_load_preserves_channels(self, scenario, hr_result, tmp_path):
+        path = tmp_path / "block.npz"
+        hr_result.save(path)
+        loaded = SimulationResult.load(path)
+        assert loaded.channels == scenario.fields
+        np.testing.assert_array_equal(loaded.fields, hr_result.fields)
+
+
+class TestTrainStepSmoke:
+    def _train(self, scenario, small_dataset, compile_flag):
+        config = TrainerConfig(epochs=1, batch_size=2, steps_per_epoch=2,
+                               gamma=0.0125, learning_rate=1e-3, seed=0,
+                               scenario=scenario.name, compile=compile_flag)
+        trainer = Trainer(scenario.build_model("tiny"), small_dataset, config=config)
+        history = trainer.train()
+        return trainer, history
+
+    def test_eager_train_step(self, scenario, small_dataset):
+        trainer, history = self._train(scenario, small_dataset, compile_flag=False)
+        assert trainer.pde_system is not None  # resolved from the scenario name
+        assert len(history) == 1
+        record = history[0]
+        assert np.isfinite(record["loss"])
+        assert np.isfinite(record["equation_loss"])
+        assert record["equation_loss"] > 0.0  # residuals of an untrained model
+
+    def test_compile_matches_eager(self, scenario, small_dataset):
+        """Under an active equation loss ``TrainerConfig.compile`` must keep
+        every grad-requiring decode on the eager path, so the two training
+        histories agree bit-for-bit (seeded identical init + data order)."""
+        _, eager = self._train(scenario, small_dataset, compile_flag=False)
+        _, compiled = self._train(scenario, small_dataset, compile_flag=True)
+        assert len(eager) == len(compiled)
+        for key in ("loss", "prediction_loss", "equation_loss"):
+            assert np.array_equal(eager.series(key), compiled.series(key)), key
+
+
+class TestTiledInference:
+    def test_tiled_matches_direct(self, scenario):
+        model = scenario.build_model("tiny").eval()
+        # wide x so the x-axis genuinely splits into two overlapping tiles:
+        # the tiny model's receptive halo of 5 plus the blend ramp needs 16
+        # vertices per tiled axis, and t/z stay single tiles.
+        block = scenario.generate(nt=8, nz=8, nx=32, seed=11)
+        lowres = _as_batched(block).astype(model.dtype)
+        direct = InferenceEngine.for_scenario(scenario.name, model=model)
+        tiled = InferenceEngine.for_scenario(scenario.name, model=model,
+                                             tile_shape=(8, 8, 16))
+        out_shape = (4, 8, 16)
+        out_direct = direct.predict_grid(lowres, out_shape)
+        out_tiled = tiled.predict_grid(lowres, out_shape)
+        assert out_direct.shape == (1, len(scenario.fields), *out_shape)
+        tol = 1e-12 if default_dtype() == np.float64 else 3e-4
+        np.testing.assert_allclose(out_tiled, out_direct, rtol=0, atol=tol)

@@ -1,0 +1,95 @@
+"""Property-based checks of every scenario's PDE residuals.
+
+Two complementary properties per scenario:
+
+* **Exactness is not vacuous** — analytic cases that expect a zero residual
+  must become *nonzero* once the solution is perturbed, proving the zero is
+  a genuine cancellation and not a constraint that ignores its inputs.
+* **Every symbol matters** — perturbing any single symbol of a constraint
+  changes its residual on random data, so no registered term is a phantom
+  (e.g. a zero-coefficient leftover) and no symbol is silently dropped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+
+pytestmark = pytest.mark.scenario
+
+
+def _random_values(symbols, rng, shape=(5, 7)):
+    return {s: rng.standard_normal(shape) for s in sorted(symbols)}
+
+
+class TestExactSolutions:
+    def test_zero_expectations_are_exact(self, scenario):
+        for case in scenario.analytic_cases():
+            system = scenario.make_pde_system(**dict(case.pde_kwargs))
+            for constraint in system.constraints:
+                expected = case.expected.get(constraint.name)
+                if not (np.isscalar(expected) and expected == 0.0):
+                    continue
+                residual = constraint.residual(
+                    {k: Tensor(np.asarray(v)) for k, v in case.values.items()}).data
+                scale = max(1.0, max(np.max(np.abs(case.values[s]))
+                                     for s in constraint.symbols()))
+                assert np.max(np.abs(residual)) <= 1e-10 * scale, (
+                    f"{scenario.name}/{case.name}/{constraint.name}")
+
+    def test_perturbed_solution_is_not_exact(self, scenario):
+        """Breaking the closed form must break the zero residual.
+
+        Every symbol is bumped by a (seeded) random offset at once — a
+        per-symbol bump would be absorbed by nonlinear terms whose other
+        factor is zero at the solution (e.g. ``u·u_x`` at a rest state).
+        """
+        rng = np.random.default_rng(99)
+        for case in scenario.analytic_cases():
+            system = scenario.make_pde_system(**dict(case.pde_kwargs))
+            for constraint in system.constraints:
+                expected = case.expected.get(constraint.name)
+                if not (np.isscalar(expected) and expected == 0.0):
+                    continue
+                perturbed = {
+                    k: Tensor(np.asarray(v) + rng.uniform(0.1, 0.5))
+                    for k, v in case.values.items()}
+                residual = constraint.residual(perturbed).data
+                assert np.max(np.abs(residual)) > 1e-6, (
+                    f"{scenario.name}/{case.name}/{constraint.name}: the zero "
+                    f"residual is vacuous — it survives a perturbed solution")
+
+
+class TestEverySymbolMatters:
+    def test_each_symbol_changes_residual(self, scenario):
+        rng = np.random.default_rng(7)
+        system = scenario.make_pde_system()
+        for constraint in system.constraints:
+            base_values = _random_values(constraint.symbols(), rng)
+            base = constraint.residual(
+                {k: Tensor(v) for k, v in base_values.items()}).data
+            for symbol in sorted(constraint.symbols()):
+                bumped = dict(base_values)
+                bumped[symbol] = bumped[symbol] + 0.37
+                changed = constraint.residual(
+                    {k: Tensor(v) for k, v in bumped.items()}).data
+                assert np.max(np.abs(changed - base)) > 1e-8, (
+                    f"{scenario.name}/{constraint.name}: symbol '{symbol}' has no "
+                    f"effect — phantom or zero-coefficient term?")
+
+    def test_residuals_are_finite_on_generated_data(self, scenario, hr_result):
+        """The generator's own output feeds the residual stack cleanly (the
+        values a trained model would be asked to reproduce are in-range)."""
+        system = scenario.make_pde_system()
+        nt, n_channels, nz, nx = hr_result.fields.shape
+        values = {}
+        rng = np.random.default_rng(3)
+        for spec in system.required_derivatives():
+            values.setdefault(spec.symbol, rng.standard_normal((nt, nz, nx)))
+        for index, field in enumerate(scenario.fields):
+            values[field] = hr_result.fields[:, index]
+        residuals = system.residuals_from_arrays(values)
+        for name, residual in residuals.items():
+            assert np.all(np.isfinite(residual)), f"{scenario.name}/{name}"

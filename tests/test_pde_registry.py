@@ -1,0 +1,113 @@
+"""Behavioural contract of the ``repro.pde`` name registry.
+
+Complements the expression-level tests in ``test_pde_expressions.py``: this
+file pins the registry semantics every generic caller (the scenario registry,
+configuration sweeps) relies on — duplicate guards, case-insensitive lookup,
+error messages that list the alternatives, and a ``"none"`` entry that
+swallows arbitrary physics kwargs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pde import PDESystem, available_pde_systems, make_pde_system, register_pde_system
+from repro.pde import registry as pde_registry
+
+
+@pytest.fixture
+def scratch_registry():
+    """Yield a set; any name added to it is popped from the registry afterwards."""
+    added: set[str] = set()
+    yield added
+    for name in added:
+        pde_registry._REGISTRY.pop(name.lower(), None)
+
+
+class TestNullSystem:
+    def test_none_accepts_physics_kwargs(self):
+        """Regression: ``"none"`` must swallow the kwargs generic sweeps pass
+        uniformly to every factory (it used to reject them)."""
+        system = make_pde_system("none", rayleigh=1e6, prandtl=1.0, viscosity=0.01)
+        assert system.constraints == []
+
+    def test_none_forwards_layout(self):
+        system = make_pde_system("none", fields=("a", "b"), coords=("t", "z", "x"))
+        assert system.fields == ("a", "b")
+        assert system.required_derivatives() == []
+
+    def test_none_trains_prediction_only(self):
+        from repro.core import LossWeights
+        from repro.core.losses import uses_equation_loss
+
+        system = make_pde_system("none")
+        assert not uses_equation_loss(system, LossWeights(gamma=0.5))
+
+
+class TestRegistryContract:
+    def test_duplicate_registration_raises(self, scratch_registry):
+        register_pde_system("dup_probe", lambda: PDESystem(("u",), ("t", "z", "x")))
+        scratch_registry.add("dup_probe")
+        with pytest.raises(ValueError, match="already registered"):
+            register_pde_system("dup_probe", lambda: PDESystem(("u",), ("t", "z", "x")))
+
+    def test_overwrite_replaces_factory(self, scratch_registry):
+        register_pde_system("ow_probe", lambda: PDESystem(("u",), ("t", "z", "x")))
+        scratch_registry.add("ow_probe")
+        register_pde_system("ow_probe", lambda: PDESystem(("u", "w"), ("t", "z", "x")),
+                            overwrite=True)
+        assert make_pde_system("ow_probe").fields == ("u", "w")
+
+    def test_lookup_is_case_insensitive(self, scratch_registry):
+        register_pde_system("Case_Probe", lambda: PDESystem(("u",), ("t", "z", "x")))
+        scratch_registry.add("case_probe")
+        assert make_pde_system("CASE_PROBE").fields == ("u",)
+        assert "case_probe" in available_pde_systems()
+        assert make_pde_system("Rayleigh_Benard").constraints  # builtin, mixed case
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(KeyError) as excinfo:
+            make_pde_system("does_not_exist")
+        message = str(excinfo.value)
+        assert "does_not_exist" in message
+        for name in available_pde_systems():
+            assert name in message
+
+    def test_available_sorted_and_in_sync(self):
+        names = available_pde_systems()
+        assert names == sorted(names)
+        for name in names:
+            assert isinstance(make_pde_system(name), PDESystem)
+
+    def test_new_families_registered(self):
+        names = available_pde_systems()
+        for family in ("decaying_turbulence", "shallow_water",
+                       "scalar_advection_diffusion", "none"):
+            assert family in names
+
+
+class TestNewFamilies:
+    def test_decaying_turbulence_physics_kwargs(self):
+        system = make_pde_system("decaying_turbulence", viscosity=0.123)
+        assert system.viscosity == 0.123
+        assert {c.name for c in system.constraints} == {
+            "vorticity_definition", "vorticity_transport", "continuity"}
+
+    def test_inviscid_turbulence_drops_viscous_symbols(self):
+        system = make_pde_system("decaying_turbulence", viscosity=0.0)
+        transport = next(c for c in system.constraints if c.name == "vorticity_transport")
+        assert "omega_xx" not in transport.symbols()
+        assert "omega_zz" not in transport.symbols()
+
+    def test_shallow_water_physics_kwargs(self):
+        system = make_pde_system("shallow_water", gravity=9.81, viscosity=0.0)
+        assert system.gravity == 9.81
+        assert {c.name for c in system.constraints} == {"mass", "momentum_x", "momentum_z"}
+        momentum_x = next(c for c in system.constraints if c.name == "momentum_x")
+        assert "u_xx" not in momentum_x.symbols()  # inviscid: no diffusion terms
+
+    def test_scalar_advection_diffusion_drops_zero_terms(self):
+        system = make_pde_system("scalar_advection_diffusion",
+                                 velocity=(1.0, 0.0), diffusivity=0.0)
+        transport = next(c for c in system.constraints if c.name == "transport")
+        assert transport.symbols() == {"c_t", "c_x"}
