@@ -64,6 +64,26 @@ class _AutogradState(threading.local):
 
 _state = _AutogradState()
 
+#: Optional process-wide per-op profiling hook (``repro.obs``).  Unlike the
+#: thread-local tracer, the hook is deliberately global: observability is
+#: enabled for the whole process so one serving request traces across the
+#: gateway, worker and engine threads.  ``None`` (the default) costs each
+#: :meth:`Op.apply` a single global read and falsy check.
+_OP_HOOK = None
+
+
+def set_op_hook(hook) -> None:
+    """Install (or with ``None`` remove) the process-wide per-op profiling hook.
+
+    The hook protocol is ``token = hook.start()`` before an op's forward and
+    ``hook.finish(token, op_name, out_data)`` after; see
+    :class:`repro.obs.profile.OpProfiler`.  Managed by
+    :func:`repro.obs.runtime.enable` / ``disable`` — not meant to be called
+    directly by user code.
+    """
+    global _OP_HOOK
+    _OP_HOOK = hook
+
 
 def is_tracing() -> bool:
     """Whether a :mod:`repro.compile` tracer is recording on this thread."""
@@ -178,6 +198,8 @@ class Op:
         or the policy default when there is none — so a scalar never
         upcasts a float32 graph to float64.
         """
+        hook = _OP_HOOK
+        token = hook.start() if hook is not None else None
         if _state.inference_mode and _state.tracer is None:
             # Fast path: no graph can ever be recorded, so skip the
             # requires_grad scan and build the output tensor directly.
@@ -185,7 +207,10 @@ class Op:
                 arrays = tuple(x.data for x in inputs)
             else:
                 arrays = tuple(t.data for t in _coerce_operands(inputs))
-            return Tensor(cls(**kwargs).forward(*arrays))
+            out = Tensor(cls(**kwargs).forward(*arrays))
+            if hook is not None:
+                hook.finish(token, cls.__name__, out.data)
+            return out
         tensors = _coerce_operands(inputs)
         op = cls(**kwargs)
         data = op.forward(*(t.data for t in tensors))
@@ -196,6 +221,8 @@ class Op:
             out._op = op
         if _state.tracer is not None:
             _state.tracer.record(op, tensors, out)
+        if hook is not None:
+            hook.finish(token, cls.__name__, out.data)
         return out
 
 

@@ -31,6 +31,7 @@ engine, and therefore one wrapper, each).
 
 from __future__ import annotations
 
+import itertools
 from collections import OrderedDict
 from typing import Optional
 
@@ -40,10 +41,42 @@ from ..autodiff import grad as _grad
 from ..autodiff import ops as _ops  # noqa: F401 - ensures all primitives are registered
 from ..autodiff.tensor import Op, Tensor, is_grad_enabled, is_inference_mode, is_tracing
 from ..backend import default_dtype
+from ..obs.metrics import REGISTRY as _REGISTRY
+from ..obs.trace import span as _span
 from .executor import CompiledPlan, compile_program
 from .tracer import trace
 
 __all__ = ["compile", "compile_fn", "CompiledFunction", "CompiledModule"]
+
+#: Per-process sequence distinguishing same-named compiled wrappers (one per
+#: serving worker replica) in the metrics plane.
+_fn_seq = itertools.count(1)
+
+
+def _make_plan_collector(fn: "CompiledFunction"):
+    """Pull-based metrics collector for one compiled wrapper's plan cache.
+
+    Built as a free function over a weakref so the closure itself never
+    keeps the wrapper alive (the registry also weakrefs the owner — this
+    is belt and braces against reference cycles).
+    """
+    import weakref
+
+    ref = weakref.ref(fn)
+
+    def collect() -> dict:
+        obj = ref()
+        if obj is None:
+            return {}
+        tag = f'fn="{obj._metric_name}"'
+        return {
+            f"compile.plan_hits{{{tag}}}": obj.plan_hits,
+            f"compile.eager_calls{{{tag}}}": obj.eager_calls,
+            f"compile.retraces{{{tag}}}": obj.retraces,
+            f"compile.n_plans{{{tag}}}": len(obj._plans),
+        }
+
+    return collect
 
 
 def _check_compilable(module) -> None:
@@ -100,6 +133,14 @@ class CompiledFunction:
         #: Calls served by a compiled plan / eagerly.
         self.plan_hits = 0
         self.eager_calls = 0
+        #: Trace-and-lower attempts (cache misses, fingerprint invalidations).
+        self.retraces = 0
+        # Publish plan-cache stats into the global metrics plane.  The
+        # collector holds this wrapper by weakref and is pull-based: zero
+        # cost until a snapshot / scrape asks for it.
+        name = getattr(fn, "__name__", None) or type(fn).__name__
+        self._metric_name = f"{name}#{next(_fn_seq)}"
+        _REGISTRY.add_collector(_make_plan_collector(self), owner=self)
 
     # ----------------------------------------------------------------- keys
     def _key(self, tensors) -> tuple:
@@ -118,10 +159,12 @@ class CompiledFunction:
         two.  Returns ``None`` (and records a permanent fallback key) when
         the computation cannot be captured.
         """
+        self.retraces += 1
         try:
             pinned = self._pinned_provider() if self._pinned_provider is not None else ()
-            program, structure, result = trace(self._fn, *tensors)
-            plan = compile_program(program, pinned=pinned)
+            with _span("compile.trace", fn=self._metric_name):
+                program, structure, result = trace(self._fn, *tensors)
+                plan = compile_program(program, pinned=pinned)
         except Exception:
             self.fallback_keys.add(key)
             return None
@@ -164,7 +207,8 @@ class CompiledFunction:
             return tuple(None if t is None else t.detach() for t in result)
         self._plans.move_to_end(key)
         plan, structure = entry
-        outs = plan.run(*(t.data for t in tensors))
+        with _span("compile.plan_run", fn=self._metric_name):
+            outs = plan.run(*(t.data for t in tensors))
         if self._copy_outputs:
             outs = [o.copy() for o in outs]
         self.plan_hits += 1
@@ -184,6 +228,7 @@ class CompiledFunction:
             "n_plans": len(self._plans),
             "plan_hits": self.plan_hits,
             "eager_calls": self.eager_calls,
+            "retraces": self.retraces,
             "n_fallback_keys": len(self.fallback_keys),
             "runtime_allocs": sum(p.runtime_allocs for p in self.plans),
             "arena_bytes": sum(p.stats.arena_bytes for p in self.plans),

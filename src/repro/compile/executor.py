@@ -36,6 +36,7 @@ import numpy as np
 
 from ..autodiff import ops as _ops
 from ..backend import get_backend
+from ..obs import runtime as _obs
 from .passes import alias_roots, constant_fold, dead_code_elim, is_view_node, last_uses
 from .tracer import CONSTANT, INTERMEDIATE, Node, Program
 
@@ -304,7 +305,7 @@ class CompiledPlan:
     """
 
     def __init__(self, program: Program, steps, env, input_ids, output_ids,
-                 stats: PlanStats, alloc_cell):
+                 stats: PlanStats, alloc_cell, step_names=None):
         self.program = program
         self._steps = steps
         self._env = env
@@ -312,6 +313,10 @@ class CompiledPlan:
         self._output_ids = output_ids
         self.stats = stats
         self._alloc_cell = alloc_cell
+        #: Human-readable label per step (op class, ``view:X``, ``fallback:X``)
+        #: used by the per-kernel profiler.
+        self.step_names = list(step_names) if step_names is not None else []
+        self._kernel_hists: dict = {}
 
     @property
     def runtime_allocs(self) -> int:
@@ -326,9 +331,42 @@ class CompiledPlan:
             raise ValueError(f"plan expects {len(input_ids)} inputs, got {len(inputs)}")
         for vid, array in zip(input_ids, inputs):
             env[vid] = array
-        for step in self._steps:
-            step(env)
+        if _obs.kernels:
+            self._run_steps_profiled(env)
+        else:
+            for step in self._steps:
+                step(env)
         return [env[vid] for vid in self._output_ids]
+
+    def _run_steps_profiled(self, env) -> None:
+        """Profiled run loop: per-kernel wall time into the metrics registry.
+
+        Observes ``compile.kernel_seconds{kernel=...}`` per step and, when
+        tracing is also on, emits a ``kernel.<name>`` trace event nested
+        under the active span.  Only reached when
+        :data:`repro.obs.runtime.kernels` is set, so the default
+        :meth:`run` loop stays untouched.
+        """
+        import time
+
+        from ..obs.metrics import REGISTRY
+        from ..obs.trace import add_event
+
+        hists = self._kernel_hists
+        names = self.step_names
+        emit = _obs.tracing
+        for idx, step in enumerate(self._steps):
+            name = names[idx] if idx < len(names) else f"step{idx}"
+            t0 = time.perf_counter()
+            step(env)
+            t1 = time.perf_counter()
+            hist = hists.get(name)
+            if hist is None:
+                hist = hists[name] = REGISTRY.histogram(
+                    "compile.kernel_seconds", kernel=name)
+            hist.observe(t1 - t0)
+            if emit:
+                add_event(f"kernel.{name}", t0, t1, index=idx)
 
     def describe(self) -> str:
         """The optimized program listing plus fusion/arena statistics."""
@@ -356,6 +394,7 @@ def compile_program(program: Program, pinned=()) -> CompiledPlan:
     buffers: dict[int, np.ndarray] = {}  # root vid -> owned arena buffer
     inplace_bufs: set[int] = set()       # id(buffer) of chain-carrying buffers
     steps = []
+    step_names: list[str] = []
     env: list = [None] * len(values)
     for value in values:
         if value.kind == CONSTANT:
@@ -365,6 +404,7 @@ def compile_program(program: Program, pinned=()) -> CompiledPlan:
         out_val = values[node.out_id]
         if is_view_node(node):
             steps.append(_view_step(node))
+            step_names.append(f"view:{type(node.op).__name__}")
             stats.n_views += 1
         elif not _has_kernel(node.op):
             # No in-place lowering: run the recorded op eagerly (fresh
@@ -377,6 +417,7 @@ def compile_program(program: Program, pinned=()) -> CompiledPlan:
 
             stats.n_fallback += 1
             steps.append(step)
+            step_names.append(f"fallback:{type(node.op).__name__}")
         else:
             buf = None
             if _inplace_ok(node.op):
@@ -398,6 +439,7 @@ def compile_program(program: Program, pinned=()) -> CompiledPlan:
             buffers[node.out_id] = buf
             env[node.out_id] = buf
             steps.append(_build_step(node, buf, arena, values))
+            step_names.append(type(node.op).__name__)
         for vid in set(node.in_ids):
             root = roots.get(vid, vid)
             if last.get(root) == j and root in buffers:
@@ -406,4 +448,5 @@ def compile_program(program: Program, pinned=()) -> CompiledPlan:
     stats.n_buffers = len(arena.allocated)
     stats.arena_bytes = int(sum(b.nbytes for b in arena.allocated))
     return CompiledPlan(program, steps, env, list(program.input_ids),
-                        list(program.output_ids), stats, alloc_cell)
+                        list(program.output_ids), stats, alloc_cell,
+                        step_names=step_names)

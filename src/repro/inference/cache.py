@@ -30,6 +30,28 @@ import numpy as np
 __all__ = ["CacheStats", "LatentTileCache"]
 
 
+def _make_cache_collector(cache: "LatentTileCache"):
+    """Metrics collector exposing one cache's counters as labeled gauges."""
+    import weakref
+
+    ref = weakref.ref(cache)
+
+    def collect() -> dict:
+        obj = ref()
+        if obj is None:
+            return {}
+        stats = obj.stats()
+        tag = f'cache="{obj.name}"'
+        return {
+            f"engine.cache_hits{{{tag}}}": stats.hits,
+            f"engine.cache_misses{{{tag}}}": stats.misses,
+            f"engine.cache_evictions{{{tag}}}": stats.evictions,
+            f"engine.cache_bytes{{{tag}}}": stats.current_bytes,
+        }
+
+    return collect
+
+
 @dataclass
 class CacheStats:
     """Counters describing cache behaviour since construction (or reset)."""
@@ -64,7 +86,7 @@ class LatentTileCache:
     miss.
     """
 
-    def __init__(self, capacity: int | None = 32):
+    def __init__(self, capacity: int | None = 32, name: str | None = None):
         if capacity is not None and capacity < 1:
             raise ValueError("cache capacity must be at least 1 (or None for unbounded)")
         self.capacity = capacity
@@ -74,6 +96,14 @@ class LatentTileCache:
         #: In-flight encodes: key -> event set once the owner stored (or
         #: failed to produce) the entry.
         self._pending: "dict[Hashable, threading.Event]" = {}
+        #: Label under which this cache publishes into the metrics plane.
+        self.name = name if name is not None else f"cache{id(self):x}"
+        # Pull-based publication: the global registry polls stats() at
+        # snapshot/scrape time; the weakref owner keeps the registry from
+        # pinning the cache (and its latents) alive.
+        from ..obs.metrics import REGISTRY
+
+        REGISTRY.add_collector(_make_cache_collector(self), owner=self)
 
     def __len__(self) -> int:
         with self._lock:

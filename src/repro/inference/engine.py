@@ -37,6 +37,7 @@ import numpy as np
 from ..autodiff import Tensor, inference_mode
 from ..backend import canonical_dtype, precision
 from ..core.latent_grid import query_latent_grid, regular_grid_coordinates
+from ..obs.trace import span as _span
 from .cache import LatentTileCache
 from .planner import GridQueryPlanner, QueryPlanner, TileGroup, pack_groups
 from .tiling import TileLayout
@@ -330,20 +331,21 @@ class TiledLatentField:
         slices = self.layout.tile_slices(tile)
         crop = np.ascontiguousarray(
             self.lowres[(slice(None), slice(None), *slices)], dtype=self.dtype)
-        if self.layout.is_single_tile:
-            # Direct mode mirrors the seed path bit-for-bit, including its
-            # use of the model's current training/eval mode.
-            with precision(self.dtype), inference_mode():
-                return model.latent_grid(Tensor(crop)).data
-        modules = list(model.unet.modules())
-        previous = [m.training for m in modules]
-        model.unet.eval()
-        try:
-            with precision(self.dtype), inference_mode():
-                return model.latent_grid(Tensor(crop)).data
-        finally:
-            for module, mode in zip(modules, previous):
-                object.__setattr__(module, "training", mode)
+        with _span("engine.encode_tile", tile=tile, shape=str(crop.shape)):
+            if self.layout.is_single_tile:
+                # Direct mode mirrors the seed path bit-for-bit, including its
+                # use of the model's current training/eval mode.
+                with precision(self.dtype), inference_mode():
+                    return model.latent_grid(Tensor(crop)).data
+            modules = list(model.unet.modules())
+            previous = [m.training for m in modules]
+            model.unet.eval()
+            try:
+                with precision(self.dtype), inference_mode():
+                    return model.latent_grid(Tensor(crop)).data
+            finally:
+                for module, mode in zip(modules, previous):
+                    object.__setattr__(module, "training", mode)
 
     # ----------------------------------------------------------------- query
     def query(self, coords: np.ndarray) -> np.ndarray:
@@ -380,8 +382,9 @@ class TiledLatentField:
                 for start in range(0, n_points, chunk):
                     stop = min(start + chunk, n_points)
                     block = np.broadcast_to(coords[start:stop], (n_batch, stop - start, 3)).copy()
-                    pred = query_latent_grid(grid, Tensor(block), decoder,
-                                             interpolation=model.config.interpolation)
+                    with _span("engine.decode_tile", tile=0, n_points=stop - start):
+                        pred = query_latent_grid(grid, Tensor(block), decoder,
+                                                 interpolation=model.config.interpolation)
                     out[:, start:stop, :] = pred.data
             return out
         for start in range(0, n_points, engine.plan_chunk_size):
@@ -423,7 +426,8 @@ class TiledLatentField:
         for slot, g in enumerate(fused):
             block[slot, : g.n] = g.local_coords
         block = np.repeat(block, n_batch, axis=0)
-        with precision(self.dtype), inference_mode():
+        with _span("engine.decode_tile", n_tiles=len(fused), width=width), \
+                precision(self.dtype), inference_mode():
             pred = query_latent_grid(Tensor(grids), Tensor(block), engine.decoder,
                                      interpolation=model.config.interpolation)
         for slot, g in enumerate(fused):

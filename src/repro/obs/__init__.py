@@ -1,0 +1,37 @@
+"""Unified observability layer: metrics, structured tracing, profiling, exporters.
+
+One import gives the whole plane::
+
+    from repro import obs
+
+    obs.enable(profile_ops=True, profile_kernels=True)
+    ...  # serve requests / train / decode
+    obs.write_chrome_trace("trace.json")          # gateway→engine→plan→tape spans
+    print(obs.prometheus_text())                  # or curl the gateway's /metrics
+    obs.disable()
+
+Sub-modules: :mod:`~repro.obs.runtime` (process-wide enable/disable
+switchboard), :mod:`~repro.obs.metrics` (counters/gauges/histograms +
+registry), :mod:`~repro.obs.trace` (spans with contextvar parent
+propagation), :mod:`~repro.obs.profile` (per-op / per-kernel probes),
+:mod:`~repro.obs.export` (Chrome trace, JSONL, Prometheus text).
+Everything is zero-cost-when-off: hooks guard on a single module-level
+flag check, enforced by the instrumentation-overhead benchmark.
+"""
+
+from .runtime import enable, disable, is_enabled, observed
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, REGISTRY, get_registry
+from .trace import (SpanContext, span, current_context, events, take_events,
+                    clear_events)
+from .profile import OpProfiler
+from .export import (chrome_trace, write_chrome_trace, metrics_jsonl_line,
+                     append_metrics_jsonl, prometheus_text)
+
+__all__ = [
+    "enable", "disable", "is_enabled", "observed",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "REGISTRY", "get_registry",
+    "SpanContext", "span", "current_context", "events", "take_events", "clear_events",
+    "OpProfiler",
+    "chrome_trace", "write_chrome_trace", "metrics_jsonl_line",
+    "append_metrics_jsonl", "prometheus_text",
+]

@@ -1,0 +1,76 @@
+"""Opt-in profiling hooks: per-op tape probes and per-kernel plan timings.
+
+:class:`OpProfiler` implements the hook protocol consumed by
+:meth:`repro.autodiff.tensor.Op.apply`: ``token = hook.start()`` before the
+forward runs, ``hook.finish(token, op_name, out_data)`` after.  Each eager
+op records its wall time into the ``tape.op_seconds{op=...}`` histogram
+family of the global registry, optionally a tracemalloc delta into
+``tape.op_alloc_bytes{op=...}``, and — when tracing is on — a
+``tape.<OpName>`` Chrome event nested under the current span.
+
+The hook is installed/removed only through :func:`repro.obs.runtime.enable`
+/ :func:`~repro.obs.runtime.disable`; when uninstalled, ``Op.apply`` pays a
+single module-global ``is not None`` check.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .metrics import REGISTRY, Histogram
+from .trace import add_event
+
+__all__ = ["OpProfiler"]
+
+
+class OpProfiler:
+    """Per-op wall-time (and optional memory) probe for eager tape execution.
+
+    Parameters
+    ----------
+    trace_events:
+        Also emit a ``tape.<OpName>`` Chrome event per op (requires tracing
+        to be enabled for the events to be useful — they inherit the current
+        span as parent via the contextvar).
+    memory:
+        Probe ``tracemalloc.get_traced_memory()`` around each op and record
+        the allocation delta (bytes) per op class.
+    """
+
+    def __init__(self, trace_events: bool = False, memory: bool = False):
+        self.trace_events = trace_events
+        self.memory = memory
+        # Histogram lookups cached per op class: the registry get-or-create
+        # path takes a lock, too heavy for a per-op hot hook.
+        self._time_hists: "dict[str, Histogram]" = {}
+        self._mem_hists: "dict[str, Histogram]" = {}
+
+    def start(self):
+        """Snapshot clocks before an op's forward; returns an opaque token."""
+        if self.memory:
+            import tracemalloc
+
+            return (time.perf_counter(), tracemalloc.get_traced_memory()[0])
+        return (time.perf_counter(), None)
+
+    def finish(self, token, op_name: str, out_data) -> None:
+        """Record one completed op: histogram observation + optional event."""
+        t1 = time.perf_counter()
+        t0, mem0 = token
+        hist = self._time_hists.get(op_name)
+        if hist is None:
+            hist = self._time_hists[op_name] = REGISTRY.histogram(
+                "tape.op_seconds", op=op_name)
+        hist.observe(t1 - t0)
+        if mem0 is not None:
+            import tracemalloc
+
+            mem_hist = self._mem_hists.get(op_name)
+            if mem_hist is None:
+                mem_hist = self._mem_hists[op_name] = REGISTRY.histogram(
+                    "tape.op_alloc_bytes", op=op_name)
+            mem_hist.observe(tracemalloc.get_traced_memory()[0] - mem0)
+        if self.trace_events:
+            shape = getattr(out_data, "shape", None)
+            add_event(f"tape.{op_name}", t0, t1,
+                      shape=str(shape) if shape is not None else "scalar")

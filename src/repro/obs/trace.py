@@ -1,0 +1,181 @@
+"""Structured span tracing with contextvar parent propagation.
+
+:func:`span` opens a named span; nesting is tracked through a
+:mod:`contextvars` variable, which is both thread-local *and*
+asyncio-task-local, so sibling worker threads and concurrent tasks never
+see each other's parents.  Crossing an explicit handoff point (the serving
+scheduler queue: submit thread → worker thread) is done by capturing
+:func:`current_context` at submit time and passing it as ``parent=`` on
+the far side — that is how one HTTP request becomes a single trace
+spanning gateway → scheduler → engine → compiled plan → tape ops.
+
+Finished spans are appended to a bounded process-wide buffer as Chrome
+``trace_event`` complete events (``"ph": "X"``, microsecond timestamps);
+:func:`repro.obs.export.chrome_trace` wraps the buffer into a JSON object
+that ``chrome://tracing`` / Perfetto loads directly.  When
+``runtime.tracing`` is off, :func:`span` returns a shared no-op span — no
+allocation, no clock reads.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import os
+import threading
+import time
+from collections import deque
+from typing import Optional
+
+from . import runtime as _rt
+
+__all__ = ["SpanContext", "span", "current_context", "events", "take_events", "clear_events"]
+
+#: Parent span context for the current thread/task (contextvars propagate
+#: into asyncio tasks automatically and are isolated per thread).
+_PARENT: "contextvars.ContextVar[Optional[SpanContext]]" = contextvars.ContextVar(
+    "repro_obs_parent", default=None)
+
+_ids = itertools.count(1)
+_EVENTS_MAXLEN = 200_000
+_events: "deque[dict]" = deque(maxlen=_EVENTS_MAXLEN)
+_events_lock = threading.Lock()
+
+
+class SpanContext:
+    """Immutable identity of a span: ``(trace_id, span_id)``.
+
+    The root span of a trace mints a fresh ``trace_id``; children inherit
+    it, so every event of one request shares one ``trace_id``.
+    """
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: int, span_id: int):
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def __repr__(self) -> str:
+        return f"SpanContext(trace_id={self.trace_id}, span_id={self.span_id})"
+
+
+class _NullSpan:
+    """Shared no-op span returned while tracing is disabled."""
+
+    __slots__ = ()
+    #: Mirrors :attr:`_Span.ctx` so call sites can read ``sp.ctx`` blindly.
+    ctx: "Optional[SpanContext]" = None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+_UNSET = object()
+
+
+class _Span:
+    """A live span: sets itself as the contextvar parent for its duration."""
+
+    __slots__ = ("name", "attrs", "ctx", "_token", "_t0", "_parent_id")
+
+    def __init__(self, name: str, parent, attrs: dict):
+        self.name = name
+        self.attrs = attrs
+        if parent is _UNSET:
+            parent = _PARENT.get()
+        if parent is None:
+            self.ctx = SpanContext(next(_ids), next(_ids))
+            self._parent_id = None
+        else:
+            self.ctx = SpanContext(parent.trace_id, next(_ids))
+            self._parent_id = parent.span_id
+        self._token = None
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._token = _PARENT.set(self.ctx)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        t1 = time.perf_counter()
+        _PARENT.reset(self._token)
+        add_event(self.name, self._t0, t1, ctx=self.ctx,
+                  parent_id=self._parent_id, **self.attrs)
+
+
+def span(name: str, parent=_UNSET, **attrs):
+    """Open a traced span named ``name`` (a context manager).
+
+    ``parent`` defaults to the current thread/task's active span; pass an
+    explicit :class:`SpanContext` (captured with :func:`current_context`)
+    to stitch across a queue/thread handoff, or ``None`` to force a new
+    root.  Keyword ``attrs`` land in the Chrome event's ``args``.  Returns
+    a shared no-op span when tracing is disabled.
+    """
+    if not _rt.tracing:
+        return _NULL_SPAN
+    return _Span(name, parent, attrs)
+
+
+def current_context() -> "Optional[SpanContext]":
+    """The active span's context in this thread/task (None outside any span)."""
+    return _PARENT.get()
+
+
+def add_event(name: str, t0: float, t1: float, ctx: "Optional[SpanContext]" = None,
+              parent_id: "Optional[int]" = None, **attrs) -> None:
+    """Append one Chrome complete event with explicit perf_counter bounds.
+
+    Used by :class:`_Span` on exit and by the profiling hooks, which time
+    the work themselves and only then decide whether to emit.  ``ctx``
+    defaults to a child of the current contextvar parent.
+    """
+    if ctx is None:
+        parent = _PARENT.get()
+        if parent is None:
+            ctx = SpanContext(next(_ids), next(_ids))
+        else:
+            ctx = SpanContext(parent.trace_id, next(_ids))
+            parent_id = parent.span_id
+    args = {"trace_id": ctx.trace_id, "span_id": ctx.span_id}
+    if parent_id is not None:
+        args["parent_id"] = parent_id
+    args.update(attrs)
+    event = {
+        "name": name,
+        "ph": "X",
+        "ts": t0 * 1e6,
+        "dur": (t1 - t0) * 1e6,
+        "pid": os.getpid(),
+        "tid": threading.get_ident(),
+        "cat": name.split(".", 1)[0],
+        "args": args,
+    }
+    with _events_lock:
+        _events.append(event)
+
+
+def events() -> "list[dict]":
+    """Copy of the buffered trace events (oldest first)."""
+    with _events_lock:
+        return list(_events)
+
+
+def take_events() -> "list[dict]":
+    """Drain the buffer: return all buffered events and clear it."""
+    with _events_lock:
+        out = list(_events)
+        _events.clear()
+    return out
+
+
+def clear_events() -> None:
+    """Discard all buffered trace events."""
+    with _events_lock:
+        _events.clear()

@@ -20,6 +20,10 @@ Endpoints
     Telemetry snapshot (see :meth:`ModelServer.stats`).
 ``GET /health``
     Liveness probe: ``{"status": "ok", "workers": N, "domains": [...]}``.
+``GET /metrics``
+    Prometheus-style text exposition of the server's telemetry registry
+    merged with the process-wide :data:`repro.obs.REGISTRY` (plan caches,
+    tile caches, profiler histograms).
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..obs.trace import span as _span
 from .requests import QueryRequest, QueryResult
 from .scheduler import SchedulerClosedError, ServerOverloadedError
 from .server import ModelServer
@@ -74,12 +79,27 @@ def _make_handler(server: ModelServer):
             self.end_headers()
             self.wfile.write(body)
 
+        def _send_text(self, text: str, status: int = 200) -> None:
+            body = text.encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "text/plain; version=0.0.4")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
         def do_GET(self):  # noqa: N802 - http.server API
             if self.path == "/stats":
                 self._send_json(server.stats())
             elif self.path == "/health":
                 self._send_json({"status": "ok", "workers": server.n_workers,
                                  "domains": server.domains()})
+            elif self.path == "/metrics":
+                from ..obs import REGISTRY, prometheus_text
+
+                # stats() refreshes the snapshot-time gauges (queue depth,
+                # cache counters) in the telemetry registry before scraping.
+                server.stats()
+                self._send_text(prometheus_text(server.telemetry.registry, REGISTRY))
             else:
                 self._send_json({"error": f"unknown path {self.path}"}, status=404)
 
@@ -106,7 +126,12 @@ def _make_handler(server: ModelServer):
                 self._send_json({"error": f"bad request: {exc}"}, status=400)
                 return
             try:
-                result = server.query(request, timeout=timeout)
+                # Root span of the request's trace: the scheduler captures
+                # this context at submit time and the worker-side batch span
+                # stitches onto it across the queue handoff.
+                with _span("gateway.request", parent=None,
+                           domain=request.domain_id, n_points=request.n_points):
+                    result = server.query(request, timeout=timeout)
             except ValueError as exc:
                 self._send_json({"error": str(exc)}, status=400)
                 return
@@ -213,3 +238,16 @@ class Client:
     def health(self) -> dict:
         """Liveness probe."""
         return self._call("GET", "/health")
+
+    def metrics_text(self) -> str:
+        """Raw Prometheus text exposition from ``GET /metrics``."""
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            body = response.read().decode()
+            if response.status >= 400:
+                raise RuntimeError(f"GET /metrics failed ({response.status})")
+            return body
+        finally:
+            conn.close()

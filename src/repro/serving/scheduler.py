@@ -31,6 +31,8 @@ from typing import Callable, List, Mapping, Optional
 
 import numpy as np
 
+from ..obs.trace import current_context, span as _span
+from ..obs import runtime as _obs
 from .requests import (
     STATUS_CANCELLED,
     STATUS_ERROR,
@@ -96,6 +98,10 @@ class _PendingItem:
     future: "Future[QueryResult]" = field(compare=False)
     enqueued_at: float = field(compare=False)
     seq: int = field(compare=False, default=0)
+    #: Submitting thread's span context (captured when tracing is on) so the
+    #: worker-side batch span can stitch onto the gateway's trace across the
+    #: queue handoff.
+    trace_ctx: object = field(compare=False, default=None, repr=False)
 
     def __post_init__(self):
         self.sort_key = (-self.request.priority, self.seq)
@@ -150,7 +156,8 @@ class MicroBatchScheduler:
                     f"pending queue full ({self.max_pending} requests)"
                 )
             item = _PendingItem(request=request, future=future,
-                                enqueued_at=time.monotonic(), seq=self._seq)
+                                enqueued_at=time.monotonic(), seq=self._seq,
+                                trace_ctx=current_context() if _obs.tracing else None)
             self._seq += 1
             heapq.heappush(self._heap, item)
             self._cond.notify()
@@ -229,7 +236,29 @@ def run_batch(engine, items: List[_PendingItem],
     ``status="timeout"`` without decoding; cancelled futures are skipped;
     per-group failures resolve that group's items with ``status="error"``
     without poisoning the rest of the batch.
+
+    When tracing is enabled the batch executes under a
+    ``scheduler.run_batch`` span stitched onto the first live item's
+    submitting span (captured in ``_PendingItem.trace_ctx``), so the
+    engine/compile/tape spans below all land in the gateway request's
+    trace.
     """
+    if not _obs.tracing:
+        _run_batch_impl(engine, items, resolve_domain, telemetry, default_dtype)
+        return
+    parent = next((i.trace_ctx for i in items if i.trace_ctx is not None), None)
+    if parent is None:
+        sp = _span("scheduler.run_batch", n_requests=len(items))
+    else:
+        sp = _span("scheduler.run_batch", parent=parent, n_requests=len(items))
+    with sp:
+        _run_batch_impl(engine, items, resolve_domain, telemetry, default_dtype)
+
+
+def _run_batch_impl(engine, items: List[_PendingItem],
+                    resolve_domain: "Callable[[str], tuple]",
+                    telemetry=None, default_dtype: Optional[str] = None) -> None:
+    """The body of :func:`run_batch` (split out so the span wrapper stays thin)."""
     if isinstance(engine, Mapping):
         engines = dict(engine)
     else:

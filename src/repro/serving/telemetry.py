@@ -5,15 +5,24 @@ completed request here; :meth:`ServerTelemetry.snapshot` folds the counters
 into the flat dictionary exposed by ``GET /stats`` and
 :func:`format_stats_table` renders it as the human-readable table the
 serving demo prints.
+
+Since the unified observability layer landed, the counters and latency
+windows live in a per-server :class:`repro.obs.MetricsRegistry`
+(``telemetry.registry``): the same series that back :meth:`snapshot` are
+scraped by the gateway's ``GET /metrics`` Prometheus endpoint.  The
+registry is private per telemetry instance so several servers in one
+process never interleave their counts; process-wide series (plan caches,
+tile caches, profilers) live in the global :data:`repro.obs.REGISTRY` and
+are merged at scrape time.
 """
 
 from __future__ import annotations
 
-import threading
+import math
 import time
 from typing import Mapping, Optional
 
-from ..utils.timing import LatencyWindow
+from ..obs.metrics import MetricsRegistry
 
 __all__ = ["ServerTelemetry", "format_stats_table"]
 
@@ -26,61 +35,116 @@ class ServerTelemetry:
     window:
         Number of most-recent samples retained by each latency window (the
         percentiles are rolling, not lifetime).
+    registry:
+        Optional :class:`~repro.obs.MetricsRegistry` to publish into; by
+        default each telemetry instance owns a private registry so
+        servers never collide on series names.
     """
 
-    def __init__(self, window: int = 2048):
-        self._lock = threading.Lock()
+    def __init__(self, window: int = 2048,
+                 registry: Optional[MetricsRegistry] = None):
         self._started = time.monotonic()
+        #: Metrics registry backing every series below (``GET /metrics``).
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
         # Admission / completion counters (lifetime).
-        self.accepted = 0
-        self.rejected = 0
-        self.completed = 0
-        self.timed_out = 0
-        self.cancelled = 0
-        self.errors = 0
+        self._accepted = reg.counter("serving.accepted")
+        self._rejected = reg.counter("serving.rejected")
+        self._completed = reg.counter("serving.completed")
+        self._timed_out = reg.counter("serving.timed_out")
+        self._cancelled = reg.counter("serving.cancelled")
+        self._errors = reg.counter("serving.errors")
         # Micro-batch counters.
-        self.batches = 0
-        self.batched_requests = 0
-        self.coalesced_requests = 0  # requests that shared a batch with others
-        self.points_decoded = 0
+        self._batches = reg.counter("serving.batches")
+        self._batched_requests = reg.counter("serving.batched_requests")
+        self._coalesced_requests = reg.counter("serving.coalesced_requests")
+        self._points_decoded = reg.counter("serving.points_decoded")
         # Rolling latency windows (seconds).
-        self.queue_wait = LatencyWindow(window)
-        self.latency = LatencyWindow(window)
+        self.queue_wait = reg.histogram("serving.queue_wait_seconds",
+                                        maxlen=window).window
+        self.latency = reg.histogram("serving.latency_seconds",
+                                     maxlen=window).window
+
+    # ------------------------------------------------- counter compatibility
+    # The pre-registry API exposed plain integer attributes; keep them as
+    # read-only properties so callers and tests are unaffected.
+    @property
+    def accepted(self) -> int:
+        """Admitted requests (lifetime)."""
+        return int(self._accepted.value)
+
+    @property
+    def rejected(self) -> int:
+        """Requests dropped by admission control (lifetime)."""
+        return int(self._rejected.value)
+
+    @property
+    def completed(self) -> int:
+        """Requests finished with ``status="ok"`` (lifetime)."""
+        return int(self._completed.value)
+
+    @property
+    def timed_out(self) -> int:
+        """Requests that expired before or during execution (lifetime)."""
+        return int(self._timed_out.value)
+
+    @property
+    def cancelled(self) -> int:
+        """Requests cancelled before execution (lifetime)."""
+        return int(self._cancelled.value)
+
+    @property
+    def errors(self) -> int:
+        """Requests finished with ``status="error"`` (lifetime)."""
+        return int(self._errors.value)
+
+    @property
+    def batches(self) -> int:
+        """Executed micro-batches (lifetime)."""
+        return int(self._batches.value)
+
+    @property
+    def batched_requests(self) -> int:
+        """Requests executed across all micro-batches (lifetime)."""
+        return int(self._batched_requests.value)
+
+    @property
+    def coalesced_requests(self) -> int:
+        """Requests that shared a micro-batch with others (lifetime)."""
+        return int(self._coalesced_requests.value)
+
+    @property
+    def points_decoded(self) -> int:
+        """Query points decoded (lifetime)."""
+        return int(self._points_decoded.value)
 
     # -------------------------------------------------------------- recording
     def record_admission(self, accepted: bool) -> None:
         """Count one admission decision (rejected = backpressure drop)."""
-        with self._lock:
-            if accepted:
-                self.accepted += 1
-            else:
-                self.rejected += 1
+        (self._accepted if accepted else self._rejected).inc()
 
     def record_batch(self, n_requests: int, n_points: int) -> None:
         """Count one executed micro-batch of ``n_requests`` / ``n_points``."""
-        with self._lock:
-            self.batches += 1
-            self.batched_requests += n_requests
-            if n_requests > 1:
-                self.coalesced_requests += n_requests
-            self.points_decoded += n_points
+        self._batches.inc()
+        self._batched_requests.inc(n_requests)
+        if n_requests > 1:
+            self._coalesced_requests.inc(n_requests)
+        self._points_decoded.inc(n_points)
 
     def record_result(self, result) -> None:
         """Count one finished :class:`~repro.serving.requests.QueryResult`."""
         from .requests import STATUS_CANCELLED, STATUS_OK, STATUS_TIMEOUT
 
-        with self._lock:
-            if result.status == STATUS_OK:
-                self.completed += 1
-            elif result.status == STATUS_TIMEOUT:
-                self.timed_out += 1
-            elif result.status == STATUS_CANCELLED:
-                self.cancelled += 1
-            else:
-                self.errors += 1
         if result.status == STATUS_OK:
+            self._completed.inc()
             self.queue_wait.record(result.queue_seconds)
             self.latency.record(result.queue_seconds + result.service_seconds)
+        elif result.status == STATUS_TIMEOUT:
+            self._timed_out.inc()
+        elif result.status == STATUS_CANCELLED:
+            self._cancelled.inc()
+        else:
+            self._errors.inc()
 
     # -------------------------------------------------------------- reporting
     def snapshot(self, queue_depth: Optional[int] = None,
@@ -89,46 +153,64 @@ class ServerTelemetry:
 
         ``queue_depth`` and ``cache_stats`` (a
         :class:`~repro.inference.cache.CacheStats`) are gauges owned by the
-        server/cache and are merged in when provided.
+        server/cache and are merged in when provided (and mirrored into the
+        registry so a ``/metrics`` scrape sees them too).  Latency summaries
+        come from :meth:`~repro.utils.timing.LatencyWindow.summary`, so a
+        server that has not completed a request yet reports ``NaN``
+        percentiles rather than a fake zero latency.
         """
-        with self._lock:
-            elapsed = max(time.monotonic() - self._started, 1e-9)
-            snap = {
-                "uptime_seconds": elapsed,
-                "accepted": self.accepted,
-                "rejected": self.rejected,
-                "completed": self.completed,
-                "timed_out": self.timed_out,
-                "cancelled": self.cancelled,
-                "errors": self.errors,
-                "batches": self.batches,
-                "points_decoded": self.points_decoded,
-                "requests_per_batch": (self.batched_requests / self.batches
-                                       if self.batches else 0.0),
-                "coalesced_requests": self.coalesced_requests,
-                "requests_per_second": self.completed / elapsed,
-                "points_per_second": self.points_decoded / elapsed,
-            }
+        elapsed = max(time.monotonic() - self._started, 1e-9)
+        batches = self.batches
+        completed = self.completed
+        points = self.points_decoded
+        snap = {
+            "uptime_seconds": elapsed,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "completed": completed,
+            "timed_out": self.timed_out,
+            "cancelled": self.cancelled,
+            "errors": self.errors,
+            "batches": batches,
+            "points_decoded": points,
+            "requests_per_batch": (self.batched_requests / batches
+                                   if batches else 0.0),
+            "coalesced_requests": self.coalesced_requests,
+            "requests_per_second": completed / elapsed,
+            "points_per_second": points / elapsed,
+        }
         latency = self.latency.summary()
         snap.update({f"latency_{k}": v for k, v in latency.items() if k != "count"})
         queue_wait = self.queue_wait.summary()
         snap.update({f"queue_wait_{k}": v for k, v in queue_wait.items() if k != "count"})
+        reg = self.registry
+        reg.gauge("serving.uptime_seconds").set(elapsed)
         if queue_depth is not None:
             snap["queue_depth"] = queue_depth
+            reg.gauge("serving.queue_depth").set(queue_depth)
         if cache_stats is not None:
             snap["cache_hits"] = cache_stats.hits
             snap["cache_misses"] = cache_stats.misses
             snap["cache_evictions"] = cache_stats.evictions
             snap["cache_hit_rate"] = cache_stats.hit_rate
+            reg.gauge("serving.cache_hits").set(cache_stats.hits)
+            reg.gauge("serving.cache_misses").set(cache_stats.misses)
+            reg.gauge("serving.cache_evictions").set(cache_stats.evictions)
+            reg.gauge("serving.cache_hit_rate").set(cache_stats.hit_rate)
         return snap
 
 
 def format_stats_table(snapshot: Mapping[str, float]) -> str:
-    """Render a telemetry snapshot as an aligned two-column text table."""
+    """Render a telemetry snapshot as an aligned two-column text table.
+
+    ``NaN`` latency entries (no completed requests yet) render as ``n/a``.
+    """
     rows = []
     for key, value in snapshot.items():
         if isinstance(value, float):
-            if key.startswith(("latency_", "queue_wait_")) and not key.endswith("count"):
+            if math.isnan(value):
+                shown = "n/a"
+            elif key.startswith(("latency_", "queue_wait_")) and not key.endswith("count"):
                 shown = f"{value * 1e3:.3f} ms"
             else:
                 shown = f"{value:.3f}"

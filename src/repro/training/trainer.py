@@ -213,6 +213,40 @@ class Trainer:
         """Extra per-epoch history fields (communication telemetry, ...)."""
         return {}
 
+    def _emit_metrics(self, record: dict) -> None:
+        """Publish one epoch's record into the observability metrics plane.
+
+        Guarded on the process-wide obs switch so the training loop pays a
+        single attribute check per epoch when observability is off.  Loss
+        and learning rate land as gauges (most-recent value), step time as
+        a ``training.step_seconds`` histogram observation, and the
+        communication telemetry of the distributed trainer as counters.
+        """
+        from ..obs import runtime as _obs
+
+        if not _obs.enabled:
+            return
+        from ..obs.metrics import REGISTRY
+
+        REGISTRY.gauge("training.epoch").set(record["epoch"])
+        REGISTRY.gauge("training.loss").set(record["loss"])
+        REGISTRY.gauge("training.prediction_loss").set(record["prediction_loss"])
+        REGISTRY.gauge("training.equation_loss").set(record["equation_loss"])
+        REGISTRY.gauge("training.lr").set(record["lr"])
+        if "val_loss" in record:
+            REGISTRY.gauge("training.val_loss").set(record["val_loss"])
+        REGISTRY.counter("training.steps").inc(record["steps"])
+        steps = max(int(record["steps"]), 1)
+        REGISTRY.histogram("training.step_seconds").observe(
+            record["wall_time"] / steps)
+        REGISTRY.histogram("training.epoch_seconds").observe(record["wall_time"])
+        if "comm_bytes" in record:
+            REGISTRY.counter("training.comm_bytes").inc(record["comm_bytes"])
+        if "collectives" in record:
+            REGISTRY.counter("training.collectives").inc(record["collectives"])
+        if "nodes" in record:
+            REGISTRY.gauge("training.nodes").set(record["nodes"])
+
     # ------------------------------------------------------------------ train
     def train(self, epochs: Optional[int] = None) -> TrainingHistory:
         """Run the training loop; returns (and stores) the per-epoch history.
@@ -245,6 +279,7 @@ class Trainer:
             if self.val_dataset is not None:
                 record["val_loss"] = self.validation_loss()
             self.history.append(**record)
+            self._emit_metrics(record)
             self._epoch += 1
             if self.scheduler is not None:
                 self.scheduler.step()

@@ -13,13 +13,23 @@ __all__ = ["Timer", "percentile", "percentiles", "LatencyWindow"]
 
 
 class Timer:
-    """Context manager / stopwatch measuring elapsed wall time in seconds."""
+    """Context manager / stopwatch measuring elapsed wall time in seconds.
 
-    def __init__(self):
+    Re-entering accumulates by default: ``with timer:`` after a prior run
+    *resumes* the stopwatch, summing intervals into :attr:`elapsed` (handy
+    for timing a hot section across loop iterations).  Construct with
+    ``reset_on_enter=True`` to make every ``with`` block measure from zero
+    instead.
+    """
+
+    def __init__(self, reset_on_enter: bool = False):
         self.elapsed = 0.0
+        self.reset_on_enter = bool(reset_on_enter)
         self._start: float | None = None
 
     def __enter__(self) -> "Timer":
+        if self.reset_on_enter:
+            self.reset()
         self.start()
         return self
 
@@ -113,15 +123,17 @@ class LatencyWindow:
     def summary(self, ps: Sequence[float] = (50, 95, 99)) -> "Mapping[str, float]":
         """Rolling summary: count, mean, max and the requested percentiles.
 
-        Returns zeros for an empty window (a dashboard-friendly default)
-        rather than raising like :func:`percentile` does.
+        An empty window reports ``count`` 0 and **NaN** for every statistic
+        (rather than raising like :func:`percentile` does): a dashboard that
+        has served nothing yet must show "no data", never a fake latency of
+        zero.  Check ``count`` (or ``math.isnan``) before comparing values.
         """
         with self._lock:
             data = list(self._samples)
             count = self._count
         if not data:
-            out = {"count": 0, "mean": 0.0, "max": 0.0}
-            out.update({f"p{p:g}": 0.0 for p in ps})
+            out = {"count": 0, "mean": float("nan"), "max": float("nan")}
+            out.update({f"p{p:g}": float("nan") for p in ps})
             return out
         out = {"count": count, "mean": float(np.mean(data)), "max": float(np.max(data))}
         out.update({f"p{p:g}": percentile(data, p) for p in ps})

@@ -37,6 +37,11 @@ METHOD_COVERAGE_MODULES = (
     "repro.serving.telemetry",
     "repro.serving.api",
     "repro.utils.timing",
+    "repro.obs.runtime",
+    "repro.obs.metrics",
+    "repro.obs.trace",
+    "repro.obs.profile",
+    "repro.obs.export",
 )
 
 

@@ -55,6 +55,28 @@ class TestTimer:
         t.reset()
         assert t.elapsed == 0.0
 
+    def test_reenter_resumes_by_default(self):
+        # Regression pin: the default Timer *accumulates* across re-entry
+        # (resume semantics), it does not silently restart from zero.
+        t = Timer()
+        with t:
+            time.sleep(0.005)
+        first = t.elapsed
+        assert first > 0.0
+        with t:
+            time.sleep(0.005)
+        assert t.elapsed >= first + 0.004
+
+    def test_reset_on_enter(self):
+        t = Timer(reset_on_enter=True)
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+        with t:
+            pass
+        # The second block measured from zero, not from the first run's total.
+        assert t.elapsed < 0.009
+
 
 class TestPercentiles:
     def test_percentile_matches_numpy(self):
@@ -87,9 +109,15 @@ class TestLatencyWindow:
         assert summary["p50"] == pytest.approx(3.5)
         assert window.percentile(50) == pytest.approx(3.5)
 
-    def test_empty_summary_is_zeros(self):
+    def test_empty_summary_is_nans(self):
+        # Documented contract: an empty window reports "no data" as NaN
+        # statistics (never a fake zero latency) with count == 0.
+        import math
+
         summary = LatencyWindow().summary()
-        assert summary["count"] == 0 and summary["p99"] == 0.0
+        assert summary["count"] == 0
+        for key in ("mean", "max", "p50", "p95", "p99"):
+            assert math.isnan(summary[key])
 
     def test_thread_safe_recording(self):
         import threading
