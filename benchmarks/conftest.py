@@ -11,7 +11,8 @@ through the ``bench_artifact`` fixture; at session end the collected
 entries are written to per-PR artifact files at the repository root
 (``BENCH_pr3.json`` for the precision/serving gates, ``BENCH_pr4.json``
 for the training gates, ``BENCH_pr5.json`` for the compiled-decode
-gates, ``BENCH_pr7.json`` for the observability overhead gate) —
+gates, ``BENCH_pr7.json`` for the observability overhead gate,
+``BENCH_pr8.json`` for the compiled training-step gate) —
 machine-readable artifacts (throughput, latency percentiles,
 peak memory, dtype) that CI and future PRs can diff against.
 """

@@ -1,19 +1,27 @@
-"""Training-step throughput: DistributedTrainer vs the seed's serial loop.
+"""Training-step throughput gates: distributed and compiled training.
 
-The acceptance gate of the data-parallel training subsystem: at the same
-global batch (``world_size x batch_size`` samples drawn from the same
-dataset, same model, same optimizer), a :class:`DistributedTrainer` step —
-node-fused forward/backward passes plus the bucketed ring all-reduce —
-must deliver **>= 1.5x** the step throughput of the seed's serial
-micro-batch loop, which rebuilt one tiny autodiff graph per worker and
-unconditionally requested query-coordinate gradients.
+Two acceptance gates share this module:
 
-The baseline below is a frozen replica of the seed ``Trainer.train_step``
-(commit 6a03051) so the comparison keeps measuring the same thing as the
-underlying ops evolve.  Both measurements include data sampling and the
-optimizer update; the gate uses best-of-round timings with the two paths
-interleaved so background-load drift hits them symmetrically.  Results are
-recorded in the machine-readable ``BENCH_pr4.json`` artifact.
+* **Distributed (ISSUE 4)** — at the same global batch (``world_size x
+  batch_size`` samples from the same dataset, same model, same
+  optimizer), a :class:`DistributedTrainer` step — node-fused
+  forward/backward passes plus the bucketed ring all-reduce — must
+  deliver **>= 1.5x** the step throughput of the seed's serial
+  micro-batch loop, which rebuilt one tiny autodiff graph per worker and
+  unconditionally requested query-coordinate gradients.  The baseline is
+  a frozen replica of the seed ``Trainer.train_step`` (commit 6a03051)
+  so the comparison keeps measuring the same thing as the underlying ops
+  evolve.  Recorded in ``BENCH_pr4.json``.
+* **Compiled training step (ISSUE 8)** — with the *equation loss active*
+  (the double-backward regime), ``TrainerConfig.compile=True`` replays
+  each micro-batch as one :class:`~repro.compile.CompiledTrainingStep`
+  plan and must deliver **>= 1.5x** the throughput of the identical
+  eager trainer, while remaining bit-identical to it.  Recorded in
+  ``BENCH_pr8.json``.
+
+Both measurements include data sampling and the optimizer update; the
+gates use best-of-round timings with the compared paths interleaved so
+background-load drift hits them symmetrically.
 """
 
 import time
@@ -26,7 +34,7 @@ from repro.core import LossWeights, MeshfreeFlowNet, MeshfreeFlowNetConfig, comp
 from repro.data import SuperResolutionDataset
 from repro.optim import Adam
 from repro.simulation import synthetic_convection
-from repro.training import DistributedTrainer, TrainerConfig
+from repro.training import DistributedTrainer, Trainer, TrainerConfig
 
 WORLD_SIZE = 8
 BATCH_SIZE = 2
@@ -158,3 +166,79 @@ def test_allreduce_gradients_match_serial(benchmark, training_setup):
     )
     benchmark.extra_info["max_grad_diff"] = worst
     assert worst <= 1e-12
+
+
+@pytest.mark.benchmark(group="training")
+def test_compiled_equation_loss_step_throughput(benchmark, bench_artifact):
+    """Compiled physics-constrained step >= 1.5x the eager trainer (ISSUE 8).
+
+    Same scenario dataset, same seeded model init, equation loss ON
+    (gamma > 0, so the parameter VJP differentiates through the
+    second-order derivative stack): the only difference between the two
+    trainers is ``TrainerConfig.compile``.  Besides the throughput gate,
+    the measured steps must stay bit-identical and fallback-free — a
+    speedup obtained by silently degrading the computation is a failure.
+    """
+    from repro.scenarios import get_scenario
+
+    scenario = get_scenario("rayleigh_benard")
+    hr = scenario.generate(nt=16, nz=16, nx=32, seed=3)
+    dataset = scenario.make_dataset(
+        results=hr, lr_factors=(2, 2, 2), crop_shape_lr=(4, 4, 8),
+        n_points=N_POINTS, samples_per_epoch=64, seed=0,
+    )
+    pde_system = scenario.make_pde_system()
+
+    def make_trainer(compile_flag):
+        model = scenario.build_model("tiny")
+        config = TrainerConfig(
+            epochs=1, batch_size=BATCH_SIZE, world_size=1, gamma=0.0125,
+            steps_per_epoch=ROUNDS, learning_rate=1e-3, seed=0,
+            compile=compile_flag,
+        )
+        return Trainer(model, dataset, pde_system=pde_system, config=config)
+
+    eager_tr, compiled_tr = make_trainer(False), make_trainer(True)
+    records = [eager_tr.train_step(0, 0), compiled_tr.train_step(0, 0)]  # warm
+    assert records[0] == records[1]  # bit-identical losses from step one
+
+    t_eager = t_compiled = np.inf
+    for round_index in range(1, ROUNDS):
+        start = time.perf_counter()
+        r_eager = eager_tr.train_step(round_index, 0)
+        t_eager = min(t_eager, time.perf_counter() - start)
+        start = time.perf_counter()
+        r_compiled = compiled_tr.train_step(round_index, 0)
+        t_compiled = min(t_compiled, time.perf_counter() - start)
+        assert r_eager == r_compiled, f"round {round_index} diverged"
+
+    benchmark.pedantic(lambda: compiled_tr.train_step(0, 0), rounds=1, iterations=1)
+
+    stats = compiled_tr._compiled_step.stats()
+    assert stats["fallbacks"] == {}, f"silent-degradation guard: {stats}"
+    assert stats["plan_hits"] >= ROUNDS, stats
+
+    samples = BATCH_SIZE
+    speedup = t_eager / t_compiled
+    for name, seconds in (("eager-eqloss", t_eager), ("compiled-eqloss", t_compiled)):
+        bench_artifact(
+            f"training_step[{name}]", artifact="BENCH_pr8.json",
+            dtype="float64", scenario=scenario.name, gamma=0.0125,
+            batch_size=BATCH_SIZE, n_points=N_POINTS,
+            throughput=round(samples / seconds, 1), throughput_unit="samples/s",
+            latency_ms={"p50": round(seconds * 1e3, 3)},
+        )
+    bench_artifact(
+        "training_step[compile-speedup]", artifact="BENCH_pr8.json",
+        speedup=round(speedup, 2),
+        n_plans=stats["n_plans"], arena_bytes=stats["arena_bytes"],
+    )
+    benchmark.extra_info.update({
+        "speedup": round(speedup, 2),
+        "eager_ms": round(t_eager * 1e3, 2),
+        "compiled_ms": round(t_compiled * 1e3, 2),
+    })
+    assert speedup >= 1.5, (
+        f"compiled training step speedup {speedup:.2f}x below the 1.5x bar "
+        f"(eager {t_eager * 1e3:.1f} ms vs compiled {t_compiled * 1e3:.1f} ms)"
+    )

@@ -63,6 +63,7 @@ from .ops import (
 )
 from .tensor import (
     Tensor,
+    collect_state_updates,
     enable_grad,
     ensure_tensor,
     grad,
@@ -70,6 +71,7 @@ from .tensor import (
     is_grad_enabled,
     is_inference_mode,
     no_grad,
+    record_state_update,
 )
 
 __all__ = [
@@ -81,6 +83,8 @@ __all__ = [
     "is_grad_enabled",
     "is_inference_mode",
     "ensure_tensor",
+    "record_state_update",
+    "collect_state_updates",
     "gradcheck",
     "numerical_gradient",
     "ops",

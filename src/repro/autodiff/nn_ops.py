@@ -1,12 +1,17 @@
 """Neural-network specific primitives: 3D convolution, pooling, upsampling.
 
 These ops back the U-Net encoder (Context Generation Network) and the
-convolutional-decoder baseline.  They implement efficient value-level backward
-rules (im2col / col2im) and are therefore **first-order only** — which is
-sufficient because the MeshfreeFlowNet equation loss only needs higher-order
-derivatives through the continuous decoding MLP, never through the
-convolutional encoder (the latent context enters the MLP as an input, so the
-encoder only ever sees first-order gradients).
+convolutional-decoder baseline.  Their backward rules are themselves
+*recorded primitives* (``Conv3dGradInput`` / ``Conv3dGradWeight`` and the
+pooling/upsampling adjoints below) whose forwards recompute everything from
+their live operands — no forward-cached arrays — so a :mod:`repro.compile`
+graph capture of a whole training step replays the encoder VJP correctly on
+new batches.  The grad primitives are first-order only (their own
+``backward`` raises), which is sufficient because the MeshfreeFlowNet
+equation loss only needs higher-order derivatives through the continuous
+decoding MLP, never through the convolutional encoder (the latent context
+enters the MLP as an input, so the encoder only ever sees first-order
+gradients).
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Op, Tensor
+from .tensor import Op, Tensor  # noqa: F401 - Tensor re-exported for callers
 
 __all__ = ["conv3d", "max_pool3d", "avg_pool3d", "upsample_nearest3d"]
 
@@ -61,32 +66,57 @@ class Conv3d(Op):
         pd, ph, pw = self.padding
         if any(self.padding):
             x = np.pad(x, ((0, 0), (0, 0), (pd, pd), (ph, ph), (pw, pw)))
-        self._padded_shape = x.shape
         patches = _extract_patches(x, (kd, kh, kw), self.stride)
         n, _, do, ho, wo, _, _, _ = patches.shape
         # (N, L, C_in*kd*kh*kw)
         cols = patches.transpose(0, 2, 3, 4, 1, 5, 6, 7).reshape(n, do * ho * wo, c_in * kd * kh * kw)
-        self._cols = cols
-        self._out_spatial = (do, ho, wo)
         w2 = weight.reshape(c_out, -1)
         out = cols @ w2.T  # (N, L, C_out)
-        return out.transpose(0, 2, 1).reshape(n, c_out, do, ho, wo)
+        out = out.transpose(0, 2, 1).reshape(n, c_out, do, ho, wo)
+        # The reshape above merely splits the L axis, so NumPy hands back a
+        # transposed *view*.  Materialize it: reductions (BatchNorm means,
+        # loss sums) are pairwise and therefore layout-sensitive, and a
+        # compiled replay serves this value from a C-contiguous arena
+        # buffer — the eager layout must match or the two drift by ~1 ulp.
+        return np.ascontiguousarray(out)
 
     def backward(self, grad):
-        x_t, w_t = self.inputs
-        weight = w_t.data
-        g = grad.data
+        x, weight = self.inputs
+        grad_x = Conv3dGradInput.apply(
+            grad, weight, stride=self.stride, padding=self.padding, x_shape=self._x_shape
+        )
+        grad_w = Conv3dGradWeight.apply(
+            grad, x, stride=self.stride, padding=self.padding,
+            kernel=weight.shape[2:],
+        )
+        return grad_x, grad_w
+
+
+class Conv3dGradInput(Op):
+    """VJP of :class:`Conv3d` with respect to its input (col2im).
+
+    A recorded primitive: the column expansion is recomputed from the live
+    ``grad`` / ``weight`` operands each run, so a captured plan replays the
+    convolution backward on new batches.  First-order only.
+    """
+
+    def __init__(self, stride, padding, x_shape):
+        self.stride = _triple(stride)
+        self.padding = _triple(padding)
+        self.x_shape = tuple(x_shape)
+
+    def forward(self, g, weight):
         n, c_out, do, ho, wo = g.shape
         _, c_in, kd, kh, kw = weight.shape
         g2 = g.reshape(n, c_out, do * ho * wo).transpose(0, 2, 1)  # (N, L, C_out)
-
-        grad_weight = np.einsum("nlc,nlk->ck", g2, self._cols).reshape(weight.shape)
-
         w2 = weight.reshape(c_out, -1)
         gcols = g2 @ w2  # (N, L, C_in*k^3)
         gcols = gcols.reshape(n, do, ho, wo, c_in, kd, kh, kw).transpose(0, 4, 1, 2, 3, 5, 6, 7)
 
-        grad_padded = np.zeros(self._padded_shape, dtype=g.dtype)
+        pd, ph, pw = self.padding
+        d, h, w = self.x_shape[2:]
+        padded_shape = (n, c_in, d + 2 * pd, h + 2 * ph, w + 2 * pw)
+        grad_padded = np.zeros(padded_shape, dtype=g.dtype)
         sd, sh, sw = self.stride
         for i in range(kd):
             for j in range(kh):
@@ -94,10 +124,39 @@ class Conv3d(Op):
                     grad_padded[
                         :, :, i : i + sd * do : sd, j : j + sh * ho : sh, k : k + sw * wo : sw
                     ] += gcols[:, :, :, :, :, i, j, k]
+        return grad_padded[:, :, pd : pd + d, ph : ph + h, pw : pw + w]
+
+    def backward(self, grad):  # pragma: no cover - never on a differentiated path
+        raise NotImplementedError("Conv3dGradInput is first-order only")
+
+
+class Conv3dGradWeight(Op):
+    """VJP of :class:`Conv3d` with respect to its weight (im2col + einsum).
+
+    Recomputes the input columns from the live ``x`` operand instead of
+    reusing the forward pass's cache, for the same replayability reason as
+    :class:`Conv3dGradInput`.  First-order only.
+    """
+
+    def __init__(self, stride, padding, kernel):
+        self.stride = _triple(stride)
+        self.padding = _triple(padding)
+        self.kernel = _triple(kernel)
+
+    def forward(self, g, x):
+        n, c_out, do, ho, wo = g.shape
+        c_in = x.shape[1]
         pd, ph, pw = self.padding
-        d, h, w = self._x_shape[2:]
-        grad_x = grad_padded[:, :, pd : pd + d, ph : ph + h, pw : pw + w]
-        return Tensor(grad_x), Tensor(grad_weight)
+        if any(self.padding):
+            x = np.pad(x, ((0, 0), (0, 0), (pd, pd), (ph, ph), (pw, pw)))
+        kd, kh, kw = self.kernel
+        patches = _extract_patches(x, (kd, kh, kw), self.stride)
+        cols = patches.transpose(0, 2, 3, 4, 1, 5, 6, 7).reshape(n, do * ho * wo, c_in * kd * kh * kw)
+        g2 = g.reshape(n, c_out, do * ho * wo).transpose(0, 2, 1)  # (N, L, C_out)
+        return np.einsum("nlc,nlk->ck", g2, cols).reshape(c_out, c_in, kd, kh, kw)
+
+    def backward(self, grad):  # pragma: no cover - never on a differentiated path
+        raise NotImplementedError("Conv3dGradWeight is first-order only")
 
 
 class MaxPool3d(Op):
@@ -113,24 +172,42 @@ class MaxPool3d(Op):
             raise ValueError(
                 f"MaxPool3d requires spatial dims {(d, h, w)} divisible by kernel {self.kernel}"
             )
-        self._in_shape = x.shape
         windows = x.reshape(n, c, d // kd, kd, h // kh, kh, w // kw, kw)
         windows = windows.transpose(0, 1, 2, 4, 6, 3, 5, 7).reshape(
             n, c, d // kd, h // kh, w // kw, kd * kh * kw
         )
-        self._argmax = windows.argmax(axis=-1)
         return windows.max(axis=-1)
 
     def backward(self, grad):
-        n, c, d, h, w = self._in_shape
+        (x,) = self.inputs
+        return (MaxPool3dGrad.apply(grad, x, kernel_size=self.kernel),)
+
+
+class MaxPool3dGrad(Op):
+    """VJP of :class:`MaxPool3d`: route ``grad`` to each window's argmax.
+
+    The argmax is recomputed from the live ``x`` operand (not cached by the
+    pooling forward), so captured plans replay correctly.  First-order only.
+    """
+
+    def __init__(self, kernel_size=2):
+        self.kernel = _triple(kernel_size)
+
+    def forward(self, g, x):
+        n, c, d, h, w = x.shape
         kd, kh, kw = self.kernel
         do, ho, wo = d // kd, h // kh, w // kw
-        g = grad.data
+        windows = x.reshape(n, c, do, kd, ho, kh, wo, kw)
+        windows = windows.transpose(0, 1, 2, 4, 6, 3, 5, 7).reshape(n, c, do, ho, wo, kd * kh * kw)
+        argmax = windows.argmax(axis=-1)
         out = np.zeros((n, c, do, ho, wo, kd * kh * kw), dtype=g.dtype)
         idx = np.indices((n, c, do, ho, wo))
-        out[idx[0], idx[1], idx[2], idx[3], idx[4], self._argmax] = g
+        out[idx[0], idx[1], idx[2], idx[3], idx[4], argmax] = g
         out = out.reshape(n, c, do, ho, wo, kd, kh, kw).transpose(0, 1, 2, 5, 3, 6, 4, 7)
-        return (Tensor(out.reshape(self._in_shape)),)
+        return out.reshape(x.shape)
+
+    def backward(self, grad):  # pragma: no cover - never on a differentiated path
+        raise NotImplementedError("MaxPool3dGrad is first-order only")
 
 
 class AvgPool3d(Op):
@@ -146,16 +223,27 @@ class AvgPool3d(Op):
             raise ValueError(
                 f"AvgPool3d requires spatial dims {(d, h, w)} divisible by kernel {self.kernel}"
             )
-        self._in_shape = x.shape
         windows = x.reshape(n, c, d // kd, kd, h // kh, kh, w // kw, kw)
         return windows.mean(axis=(3, 5, 7))
 
     def backward(self, grad):
+        return (AvgPool3dGrad.apply(grad, kernel_size=self.kernel),)
+
+
+class AvgPool3dGrad(Op):
+    """VJP of :class:`AvgPool3d`: spread ``grad / window_volume`` uniformly."""
+
+    def __init__(self, kernel_size=2):
+        self.kernel = _triple(kernel_size)
+
+    def forward(self, g):
         kd, kh, kw = self.kernel
         scale = 1.0 / (kd * kh * kw)
-        g = grad.data * scale
-        g = np.repeat(np.repeat(np.repeat(g, kd, axis=2), kh, axis=3), kw, axis=4)
-        return (Tensor(g),)
+        g = g * scale
+        return np.repeat(np.repeat(np.repeat(g, kd, axis=2), kh, axis=3), kw, axis=4)
+
+    def backward(self, grad):  # pragma: no cover - never on a differentiated path
+        raise NotImplementedError("AvgPool3dGrad is first-order only")
 
 
 class UpsampleNearest3d(Op):
@@ -165,7 +253,6 @@ class UpsampleNearest3d(Op):
         self.scale = _triple(scale_factor)
 
     def forward(self, x):
-        self._in_shape = x.shape
         sd, sh, sw = self.scale
         out = np.repeat(x, sd, axis=2)
         out = np.repeat(out, sh, axis=3)
@@ -173,10 +260,23 @@ class UpsampleNearest3d(Op):
         return out
 
     def backward(self, grad):
-        n, c, d, h, w = self._in_shape
+        return (UpsampleNearest3dGrad.apply(grad, scale_factor=self.scale),)
+
+
+class UpsampleNearest3dGrad(Op):
+    """VJP of :class:`UpsampleNearest3d`: sum each upsampled block."""
+
+    def __init__(self, scale_factor=2):
+        self.scale = _triple(scale_factor)
+
+    def forward(self, g):
+        n, c, ds, hs, ws = g.shape
         sd, sh, sw = self.scale
-        g = grad.data.reshape(n, c, d, sd, h, sh, w, sw)
-        return (Tensor(g.sum(axis=(3, 5, 7))),)
+        g = g.reshape(n, c, ds // sd, sd, hs // sh, sh, ws // sw, sw)
+        return g.sum(axis=(3, 5, 7))
+
+    def backward(self, grad):  # pragma: no cover - never on a differentiated path
+        raise NotImplementedError("UpsampleNearest3dGrad is first-order only")
 
 
 def conv3d(x, weight, stride=1, padding=0) -> Tensor:

@@ -33,6 +33,8 @@ __all__ = [
     "transpose", "swap_last_axes", "broadcast_to", "getitem", "put_index",
     "concatenate", "stack", "pad", "expand_dims", "squeeze", "sum_to_shape",
     "square", "clip_by_value", "dot", "outer", "norm", "l1_loss", "mse_loss",
+    "floor", "sign", "greater_mask", "greater_equal_mask", "less_equal_mask",
+    "leaky_relu_mask", "gather_vertices", "scatter_vertices",
 ]
 
 
@@ -235,11 +237,11 @@ class Softplus(Op):
 class ReLU(Op):
     """Elementwise rectified linear unit."""
     def forward(self, a):
-        self._mask = (a > 0).astype(a.dtype)
-        return a * self._mask
+        return a * ((a > 0).astype(a.dtype))
 
     def backward(self, grad):
-        return (mul(grad, Tensor(self._mask)),)
+        (a,) = self.inputs
+        return (mul(grad, greater_mask(a, 0.0)),)
 
 
 class LeakyReLU(Op):
@@ -248,35 +250,34 @@ class LeakyReLU(Op):
         self.negative_slope = float(negative_slope)
 
     def forward(self, a):
-        self._mask = np.where(a > 0, 1.0, self.negative_slope).astype(a.dtype)
-        return a * self._mask
+        return a * np.where(a > 0, 1.0, self.negative_slope).astype(a.dtype)
 
     def backward(self, grad):
-        return (mul(grad, Tensor(self._mask)),)
+        (a,) = self.inputs
+        return (mul(grad, leaky_relu_mask(a, self.negative_slope)),)
 
 
 class Abs(Op):
     """Elementwise absolute value (subgradient 0 at the origin)."""
     def forward(self, a):
-        self._sign = np.sign(a)
         return np.abs(a)
 
     def backward(self, grad):
-        return (mul(grad, Tensor(self._sign)),)
+        (a,) = self.inputs
+        return (mul(grad, sign(a)),)
 
 
 class Maximum(Op):
     """Elementwise maximum of two tensors (ties split the gradient)."""
     def forward(self, a, b):
         self._a_shape, self._b_shape = a.shape, b.shape
-        self._mask = (a >= b).astype(a.dtype)
         return _B.maximum(a, b)
 
     def backward(self, grad):
-        mask = Tensor(np.broadcast_to(self._mask, grad.shape).copy())
-        one_minus = Tensor(1.0 - mask.data)
+        a, b = self.inputs
+        mask = greater_equal_mask(a, b)
         ga = sum_to_shape(mul(grad, mask), self._a_shape)
-        gb = sum_to_shape(mul(grad, one_minus), self._b_shape)
+        gb = sum_to_shape(mul(grad, sub(1.0, mask)), self._b_shape)
         return ga, gb
 
 
@@ -284,15 +285,77 @@ class Minimum(Op):
     """Elementwise minimum of two tensors (ties split the gradient)."""
     def forward(self, a, b):
         self._a_shape, self._b_shape = a.shape, b.shape
-        self._mask = (a <= b).astype(a.dtype)
         return _B.minimum(a, b)
 
     def backward(self, grad):
-        mask = Tensor(np.broadcast_to(self._mask, grad.shape).copy())
-        one_minus = Tensor(1.0 - mask.data)
+        a, b = self.inputs
+        mask = less_equal_mask(a, b)
         ga = sum_to_shape(mul(grad, mask), self._a_shape)
-        gb = sum_to_shape(mul(grad, one_minus), self._b_shape)
+        gb = sum_to_shape(mul(grad, sub(1.0, mask)), self._b_shape)
         return ga, gb
+
+
+class Floor(Op):
+    """Elementwise floor (piecewise constant — zero gradient everywhere)."""
+    def forward(self, a):
+        return _B.floor(a)
+
+    def backward(self, grad):
+        return (None,)
+
+
+class Sign(Op):
+    """Elementwise sign (piecewise constant — zero gradient everywhere)."""
+    def forward(self, a):
+        return _B.sign(a)
+
+    def backward(self, grad):
+        return (None,)
+
+
+class GreaterMask(Op):
+    """``(a > b)`` as a 0/1 mask in ``a``'s dtype (piecewise constant).
+
+    The mask backwards of :class:`ReLU` / :class:`Maximum` etc. are
+    expressed through these primitives instead of forward-cached arrays so
+    that a captured backward program recomputes every mask from the live
+    batch instead of replaying the trace batch's masks.
+    """
+    def forward(self, a, b):
+        return (a > b).astype(a.dtype)
+
+    def backward(self, grad):
+        return (None, None)
+
+
+class GreaterEqualMask(Op):
+    """``(a >= b)`` as a 0/1 mask in ``a``'s dtype (piecewise constant)."""
+    def forward(self, a, b):
+        return (a >= b).astype(a.dtype)
+
+    def backward(self, grad):
+        return (None, None)
+
+
+class LessEqualMask(Op):
+    """``(a <= b)`` as a 0/1 mask in ``a``'s dtype (piecewise constant)."""
+    def forward(self, a, b):
+        return (a <= b).astype(a.dtype)
+
+    def backward(self, grad):
+        return (None, None)
+
+
+class LeakyReLUMask(Op):
+    """Derivative mask of leaky ReLU: 1 where ``a > 0``, else the slope."""
+    def __init__(self, negative_slope: float = 0.01):
+        self.negative_slope = float(negative_slope)
+
+    def forward(self, a):
+        return np.where(a > 0, 1.0, self.negative_slope).astype(a.dtype)
+
+    def backward(self, grad):
+        return (None,)
 
 
 # --------------------------------------------------------------------------- linear algebra
@@ -414,6 +477,50 @@ class PutIndex(Op):
 
     def backward(self, grad):
         return (getitem(grad, self.index),)
+
+
+class GatherVertices(Op):
+    """Batched gather of latent-grid vertices at tape-computed indices.
+
+    ``grid`` has layout ``(N, n_t, n_z, n_x, C)``; ``it`` / ``iz`` / ``ix``
+    are ``(N, P)`` tensors holding exact integers in floating storage
+    (products of :func:`floor` / :func:`clip_by_value`, kept floating so the
+    index arithmetic itself stays on the tape).  The integer cast happens
+    inside ``forward``, so a captured program replayed on a new batch
+    recomputes the gather locations from the live index tensors instead of
+    replaying the trace batch's.  Together with :class:`ScatterVertices`
+    (its adjoint) the gather is differentiable with respect to the grid
+    data to any order; the index operands are piecewise constant and
+    receive no gradient.
+    """
+
+    def forward(self, grid, it, iz, ix):
+        self._grid_shape = grid.shape
+        batch = np.arange(grid.shape[0])[:, None]
+        out = grid[batch, it.astype(np.int64), iz.astype(np.int64), ix.astype(np.int64)]
+        return np.array(out, copy=True)
+
+    def backward(self, grad):
+        _, it, iz, ix = self.inputs
+        return (scatter_vertices(grad, it, iz, ix, self._grid_shape), None, None, None)
+
+
+class ScatterVertices(Op):
+    """Adjoint of :class:`GatherVertices`: scatter-add rows into a zero grid."""
+
+    def __init__(self, grid_shape):
+        self.grid_shape = tuple(grid_shape)
+
+    def forward(self, g, it, iz, ix):
+        out = np.zeros(self.grid_shape, dtype=g.dtype)
+        batch = np.arange(self.grid_shape[0])[:, None]
+        index = (batch, it.astype(np.int64), iz.astype(np.int64), ix.astype(np.int64))
+        np.add.at(out, index, g)
+        return out
+
+    def backward(self, grad):
+        _, it, iz, ix = self.inputs
+        return (gather_vertices(grad, it, iz, ix), None, None, None)
 
 
 class Concatenate(Op):
@@ -558,6 +665,46 @@ def minimum(a, b) -> Tensor:
 def clip_by_value(a, low: float, high: float) -> Tensor:
     """Clamp ``a`` to the closed interval ``[low, high]``."""
     return minimum(maximum(a, float(low)), float(high))
+
+
+def floor(a) -> Tensor:
+    """Elementwise floor (zero gradient)."""
+    return Floor.apply(a)
+
+
+def sign(a) -> Tensor:
+    """Elementwise sign (zero gradient)."""
+    return Sign.apply(a)
+
+
+def greater_mask(a, b) -> Tensor:
+    """``(a > b)`` as a 0/1 mask in ``a``'s dtype (zero gradient)."""
+    return GreaterMask.apply(a, b)
+
+
+def greater_equal_mask(a, b) -> Tensor:
+    """``(a >= b)`` as a 0/1 mask in ``a``'s dtype (zero gradient)."""
+    return GreaterEqualMask.apply(a, b)
+
+
+def less_equal_mask(a, b) -> Tensor:
+    """``(a <= b)`` as a 0/1 mask in ``a``'s dtype (zero gradient)."""
+    return LessEqualMask.apply(a, b)
+
+
+def leaky_relu_mask(a, negative_slope: float = 0.01) -> Tensor:
+    """Leaky-ReLU derivative mask: 1 where ``a > 0``, else the slope."""
+    return LeakyReLUMask.apply(a, negative_slope=negative_slope)
+
+
+def gather_vertices(grid, it, iz, ix) -> Tensor:
+    """Batched vertex gather ``grid[b, it, iz, ix]`` with tape-held indices."""
+    return GatherVertices.apply(grid, it, iz, ix)
+
+
+def scatter_vertices(g, it, iz, ix, grid_shape) -> Tensor:
+    """Adjoint of :func:`gather_vertices`: scatter-add into zeros of ``grid_shape``."""
+    return ScatterVertices.apply(g, it, iz, ix, grid_shape=grid_shape)
 
 
 def matmul(a, b) -> Tensor:

@@ -38,6 +38,8 @@ __all__ = [
     "is_grad_enabled",
     "is_inference_mode",
     "ensure_tensor",
+    "record_state_update",
+    "collect_state_updates",
 ]
 
 
@@ -60,6 +62,13 @@ class _AutogradState(threading.local):
         #: of primitives.  Thread-local like the mode flags, so a serving
         #: worker compiling a plan never records ops from other threads.
         self.tracer = None
+        #: Active state-update collector (``collect_state_updates``) or
+        #: ``None``.  Modules with recurrent buffers (BatchNorm running
+        #: stats) route their in-place updates through
+        #: :func:`record_state_update` so a graph capture can observe the
+        #: buffer writes as extra traced outputs instead of untraceable
+        #: side effects.
+        self.state_effects = None
 
 
 _state = _AutogradState()
@@ -104,6 +113,43 @@ def tracing(tracer):
         yield tracer
     finally:
         _state.tracer = None
+
+
+def record_state_update(target: np.ndarray, value: "Tensor") -> None:
+    """Apply a module buffer update and report it to any active collector.
+
+    ``target`` is a live module buffer (e.g. BatchNorm's ``running_mean``)
+    and ``value`` a tensor holding its new contents, computed with
+    differentiable ops.  The write ``target[...] = value.data`` happens
+    immediately — eager semantics are unchanged — and, inside a
+    :func:`collect_state_updates` context, the ``(target, value)`` pair is
+    recorded so a graph capture can re-emit the write after every replay
+    (the value tensor is a traced output; the target array is re-written
+    from the replayed value).
+    """
+    target[...] = value.data
+    collector = _state.state_effects
+    if collector is not None:
+        collector.append((target, value))
+
+
+@contextlib.contextmanager
+def collect_state_updates():
+    """Collect ``(buffer, value)`` state updates issued inside the context.
+
+    Yields the (initially empty) list that :func:`record_state_update`
+    appends to.  Used by :mod:`repro.compile` when tracing a full training
+    step so that recurrent buffer writes become explicit program outputs.
+    Nesting is rejected, mirroring :func:`tracing`.
+    """
+    if _state.state_effects is not None:
+        raise RuntimeError("state-update collection cannot be nested")
+    collector: list = []
+    _state.state_effects = collector
+    try:
+        yield collector
+    finally:
+        _state.state_effects = None
 
 
 def is_grad_enabled() -> bool:

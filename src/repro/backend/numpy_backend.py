@@ -167,6 +167,14 @@ class ArrayBackend:
         """Elementwise ``a >= b`` (boolean result)."""
         return self.xp.greater_equal(a, b, out=out)
 
+    def less_equal(self, a, b, out=None):
+        """Elementwise ``a <= b`` (boolean result)."""
+        return self.xp.less_equal(a, b, out=out)
+
+    def floor(self, a, out=None):
+        """Elementwise floor (dtype-preserving)."""
+        return self.xp.floor(a, out=out)
+
     def copyto(self, dst, src, where=True):
         """Copy ``src`` into ``dst`` with broadcasting; returns ``dst``.
 

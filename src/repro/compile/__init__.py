@@ -12,33 +12,53 @@ ImNet decode and derivative stacks.  This subsystem removes it:
    the same way.
 2. **Optimize** (:mod:`~repro.compile.passes`) — constant folding,
    dead-code elimination and alias/liveness analysis.
-3. **Execute** (:mod:`~repro.compile.executor`) — a flat step list over
+3. **Fuse + codegen** (:mod:`~repro.compile.fuse`,
+   :mod:`~repro.compile.codegen`) — maximal runs of consecutive
+   elementwise kernel steps become *regions*; each region is emitted as
+   one generated Python function (compiled once, cached with the plan)
+   whose body is a flat sequence of bound ``out=`` kernel calls.
+4. **Execute** (:mod:`~repro.compile.executor`) — a flat step list over
    the backend's ``out=`` in-place kernel registry: elementwise chains
    are fused through shared arena buffers and steady-state execution
    allocates nothing.
-4. **Cache** (:mod:`~repro.compile.api`) — plans keyed by (module
+5. **Cache** (:mod:`~repro.compile.api`) — plans keyed by (module
    fingerprint, input shapes/dtypes, precision policy), with automatic
-   eager fallback whenever replay could be wrong (gradients without
-   ``backward=True``, trace failure, fingerprint change).
+   eager fallback whenever replay could be wrong (trace failure,
+   impure module, unsupported request).  Fallback is never silent: the
+   wrapper warns once per reason (:class:`CompileFallbackWarning`) and
+   counts occurrences in the observability registry.
 
-Entry points: :func:`compile` for modules (the inference engine, model
-server and distributed trainer opt in through it) and :func:`compile_fn`
-for free functions of tensors.
+Entry points: :func:`compile` for modules — with ``backward=True`` the
+wrapper serves gradient calls from a stack of compiled VJP plans that
+supports double backward (equation-loss training) — :func:`compile_fn`
+for free functions of tensors, and
+:class:`~repro.compile.training.CompiledTrainingStep` which captures an
+entire physics-constrained training step (forward, PDE residuals, loss,
+parameter VJP) as one replayable program.
 
 >>> from repro import compile as rcompile
 >>> fast_decoder = rcompile.compile(model.imnet)
 >>> y = fast_decoder(x)                      # traces once, replays after
 """
 
-from .api import CompiledFunction, CompiledModule, compile, compile_fn
+from .api import (
+    CompiledFunction,
+    CompiledModule,
+    CompileFallbackWarning,
+    compile,
+    compile_fn,
+)
 from .executor import CompiledPlan, PlanStats, compile_program
 from .tracer import Node, Program, Tracer, Value, trace
+from .training import CompiledTrainingStep
 
 __all__ = [
     "compile",
     "compile_fn",
     "CompiledFunction",
     "CompiledModule",
+    "CompiledTrainingStep",
+    "CompileFallbackWarning",
     "CompiledPlan",
     "PlanStats",
     "compile_program",

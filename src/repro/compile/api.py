@@ -11,18 +11,32 @@ plan, while in-place weight updates flow through without a re-trace
 because constants hold array references.
 
 Fallback to eager execution is automatic whenever replaying a plan could
-be wrong or lossy:
+be wrong or lossy, and is **never silent**: the first fallback of each
+kind per wrapper emits a :class:`CompileFallbackWarning`, and every
+fallback is counted in the wrapper's metrics collector as
+``compile.fallbacks{fn=...,reason=...}``.  The reasons:
 
-* gradients are required and the wrapper was not built with
-  ``backward=True`` — the module runs eagerly so the graph is recorded;
-* with ``backward=True``, first-order gradients run through a traced
-  forward + VJP plan pair (activation rematerialization: the VJP plan
-  recomputes forward intermediates, trading a few extra fused kernels for
-  zero Python graph bookkeeping); *second*-order differentiation raises —
-  compiled training is for first-order paths such as the prediction loss,
-  never for ``forward_with_derivatives``;
-* a trace or lowering failure for a given key permanently falls back for
-  that key (recorded in :attr:`CompiledFunction.fallback_keys`).
+* ``unsupported`` — gradients are required and the wrapper was not built
+  with ``backward=True``; the module runs eagerly so the graph is
+  recorded.  (This is the documented opt-out: ``backward=False`` wrappers
+  serve no-grad paths from plans and grad paths eagerly, bit-identically.)
+* ``trace-failure`` — a trace or lowering failure for a given key
+  permanently falls back for that key (recorded in
+  :attr:`CompiledFunction.fallback_keys`).
+* ``impure`` — the module's forward has replay-unsafe side effects (an
+  active Dropout mask); used by :class:`~repro.compile.training.
+  CompiledTrainingStep`, while :func:`compile` rejects such modules
+  outright at wrap time.
+
+With ``backward=True`` gradient calls run through a stack of compiled
+gradient plans (:class:`_LevelRunner`): level 0 is the forward, level
+``k`` the flattened VJP of level ``k-1``, built lazily per derivative
+order actually reached.  Backward under ``create_graph=True`` records a
+level-``k+1`` plan node instead of raising, so double (and higher)
+backward — the PDE equation loss differentiating a compiled decode
+twice — replays compiled plans end to end.  Every plan rematerializes
+forward intermediates (recompute over storage), trading a few extra
+fused kernels for zero Python graph bookkeeping.
 
 Thread affinity: a compiled wrapper owns mutable plan state and arena
 buffers — use one wrapper per thread (serving workers already build one
@@ -32,21 +46,46 @@ engine, and therefore one wrapper, each).
 from __future__ import annotations
 
 import itertools
+import warnings
 from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
 from ..autodiff import grad as _grad
 from ..autodiff import ops as _ops  # noqa: F401 - ensures all primitives are registered
-from ..autodiff.tensor import Op, Tensor, is_grad_enabled, is_inference_mode, is_tracing
+from ..autodiff.tensor import (
+    Op,
+    Tensor,
+    enable_grad,
+    is_grad_enabled,
+    is_inference_mode,
+    is_tracing,
+)
 from ..backend import default_dtype
 from ..obs.metrics import REGISTRY as _REGISTRY
 from ..obs.trace import span as _span
 from .executor import CompiledPlan, compile_program
 from .tracer import trace
 
-__all__ = ["compile", "compile_fn", "CompiledFunction", "CompiledModule"]
+__all__ = ["compile", "compile_fn", "CompiledFunction", "CompiledModule",
+           "CompileFallbackWarning"]
+
+
+class CompileFallbackWarning(UserWarning):
+    """A compiled entry point served a call with eager execution.
+
+    Emitted **once per (wrapper, reason)** so hot loops do not spam; the
+    per-call counts live in the wrapper's metrics collector under
+    ``compile.fallbacks{fn=...,reason=...}``.  Reasons: ``trace-failure``
+    (the computation could not be captured or lowered), ``impure``
+    (replay-unsafe side effects such as an active Dropout), and
+    ``unsupported`` (gradients requested through a ``backward=False``
+    wrapper — the documented opt-out).  Eager execution is always
+    numerically identical; the warning flags a *performance* degradation,
+    not a correctness problem.
+    """
 
 #: Per-process sequence distinguishing same-named compiled wrappers (one per
 #: serving worker replica) in the metrics plane.
@@ -69,12 +108,15 @@ def _make_plan_collector(fn: "CompiledFunction"):
         if obj is None:
             return {}
         tag = f'fn="{obj._metric_name}"'
-        return {
+        out = {
             f"compile.plan_hits{{{tag}}}": obj.plan_hits,
             f"compile.eager_calls{{{tag}}}": obj.eager_calls,
             f"compile.retraces{{{tag}}}": obj.retraces,
             f"compile.n_plans{{{tag}}}": len(obj._plans),
         }
+        for reason, count in obj.fallbacks.items():
+            out[f'compile.fallbacks{{fn="{obj._metric_name}",reason="{reason}"}}'] = count
+        return out
 
     return collect
 
@@ -119,17 +161,27 @@ class CompiledFunction:
         Optional zero-argument callable returning arrays whose *live*
         values must keep flowing into replays (module weights/buffers);
         constant folding will not snapshot anything sharing their memory.
+    extra_key:
+        Optional zero-argument callable returning a hashable mixed into
+        the plan key — for non-tensor state the traced function bakes in
+        as Python scalars (e.g. per-batch coordinate scales in the
+        compiled training step).
     """
 
     def __init__(self, fn, copy_outputs: bool = True, max_plans: int = 16,
-                 pinned_provider=None):
+                 pinned_provider=None, extra_key=None):
         self._fn = fn
         self._copy_outputs = bool(copy_outputs)
         self._max_plans = int(max_plans)
         self._pinned_provider = pinned_provider
+        self._extra_key = extra_key
         self._plans: "OrderedDict[tuple, tuple[CompiledPlan, object]]" = OrderedDict()
         #: Keys that failed to trace/lower and permanently run eagerly.
         self.fallback_keys: set = set()
+        #: Eager-fallback counts by reason (``trace-failure`` / ``impure``
+        #: / ``unsupported``), published through the metrics collector.
+        self.fallbacks: dict[str, int] = {}
+        self._warned_reasons: set[str] = set()
         #: Calls served by a compiled plan / eagerly.
         self.plan_hits = 0
         self.eager_calls = 0
@@ -142,12 +194,26 @@ class CompiledFunction:
         self._metric_name = f"{name}#{next(_fn_seq)}"
         _REGISTRY.add_collector(_make_plan_collector(self), owner=self)
 
+    # ------------------------------------------------------------- fallbacks
+    def _note_fallback(self, reason: str, detail: str = "") -> None:
+        """Count an eager fallback and warn the first time a reason occurs."""
+        self.fallbacks[reason] = self.fallbacks.get(reason, 0) + 1
+        if reason not in self._warned_reasons:
+            self._warned_reasons.add(reason)
+            suffix = f": {detail}" if detail else ""
+            warnings.warn(
+                f"compiled entry point '{self._metric_name}' is serving calls "
+                f"with eager execution (reason: {reason}){suffix}",
+                CompileFallbackWarning, stacklevel=4)
+
     # ----------------------------------------------------------------- keys
     def _key(self, tensors) -> tuple:
         # requires_grad flags are part of the signature: they decide which
         # internal grad() calls of a traced function produce real programs.
+        extra = self._extra_key() if self._extra_key is not None else None
         return (
             default_dtype().str,
+            extra,
             tuple((t.shape, t.dtype.str, t.requires_grad) for t in tensors),
         )
 
@@ -165,8 +231,9 @@ class CompiledFunction:
             with _span("compile.trace", fn=self._metric_name):
                 program, structure, result = trace(self._fn, *tensors)
                 plan = compile_program(program, pinned=pinned)
-        except Exception:
+        except Exception as exc:
             self.fallback_keys.add(key)
+            self._note_fallback("trace-failure", f"{type(exc).__name__}: {exc}")
             return None
         self._plans[key] = (plan, structure)
         if len(self._plans) > self._max_plans:
@@ -197,6 +264,7 @@ class CompiledFunction:
         entry = self._plans.get(key)
         if entry is None:
             if key in self.fallback_keys:
+                self._note_fallback("trace-failure")
                 return self._eager(tensors)
             result = self._compile(key, tensors)
             if result is None:
@@ -230,6 +298,7 @@ class CompiledFunction:
             "eager_calls": self.eager_calls,
             "retraces": self.retraces,
             "n_fallback_keys": len(self.fallback_keys),
+            "fallbacks": dict(self.fallbacks),
             "runtime_allocs": sum(p.runtime_allocs for p in self.plans),
             "arena_bytes": sum(p.stats.arena_bytes for p in self.plans),
         }
@@ -240,62 +309,163 @@ class CompiledFunction:
         self.fallback_keys.clear()
 
 
-class _PlanOp(Op):
-    """Graph node executing a compiled forward plan with a compiled VJP.
+def _flatten_grads(grads):
+    """Concatenate non-``None`` gradients into one flat vector + slot table.
 
-    ``runner`` carries the plan pair; inputs are ``(x, *parameters)`` so
-    gradients reach the module's weights.  Outputs are copied out of the
-    plans' arenas — several applications of the same plan can be in
-    flight in one graph (e.g. the eight vertex decodes of a trilinear
-    query), so returned arrays must not alias reused buffers.
+    Each gradient level of a :class:`_LevelRunner` returns a *single*
+    tensor (an :class:`Op` has one output), so per-argument gradients are
+    flattened and concatenated; ``slots[i]`` is ``(offset, size, shape)``
+    for argument ``i`` or ``None`` where no gradient flows.  Reshape and
+    concatenation are exact (pure data movement), so sliced-back values
+    are bit-identical to the individual gradients.
+    """
+    parts, slots, offset = [], [], 0
+    for g in grads:
+        if g is None:
+            slots.append(None)
+            continue
+        size = 1
+        for s in g.shape:
+            size *= s
+        slots.append((offset, size, tuple(g.shape)))
+        parts.append(_ops.reshape(g, (-1,)))
+        offset += size
+    if not parts:
+        raise RuntimeError("no gradient flows to any input of the compiled module")
+    flat = parts[0] if len(parts) == 1 else _ops.concatenate(parts)
+    return flat, slots
+
+
+@dataclass
+class _Level:
+    """One compiled gradient level: its plan plus the slot table mapping
+    the *previous* level's arguments into the flat output."""
+
+    plan: CompiledPlan
+    slots: Optional[list]
+    out_shape: tuple
+    out_dtype: np.dtype
+
+
+class _PlanOp(Op):
+    """Graph node replaying one gradient level of a compiled module.
+
+    Level 0 computes ``y = module(x)`` from inputs ``(x, *params)``;
+    level ``k`` computes the flattened gradients of level ``k-1``'s
+    output with respect to level ``k-1``'s inputs, from inputs
+    ``(x, *params, seed_1, ..., seed_k)``.  ``backward`` steps one level
+    deeper: under ``create_graph=True`` it *records* a level-``k+1``
+    node (plus differentiable slicing), so the result can be
+    differentiated again — double backward through compiled plans; in
+    the terminal (no-grad) sweep it runs the level-``k+1`` plan directly
+    on raw arrays.  Outputs are copied out of the plans' arenas —
+    several applications of the same plan can be in flight in one graph
+    (e.g. the eight vertex decodes of a trilinear query), so returned
+    arrays must not alias reused buffers.
     """
 
-    def __init__(self, runner: "_GradRunner"):
+    def __init__(self, runner: "_LevelRunner", level: int = 0):
         self.runner = runner
+        self.level = level
 
     def forward(self, *arrays):
-        return self.runner.fwd_plan.run(*arrays)[0].copy()
+        return self.runner.level(self.level).plan.run(*arrays)[0].copy()
 
     def backward(self, grad_output):
+        runner, level = self.runner, self.level
+        nxt = runner.level(level + 1)
         if is_grad_enabled():
-            raise RuntimeError(
-                "compiled modules support first-order gradients only; "
-                "double backward (create_graph=True) through a compiled module "
-                "is not representable — disable compilation for this path"
-            )
+            flat = _PlanOp.apply(*self.inputs, grad_output,
+                                 runner=runner, level=level + 1)
+            grads = []
+            for slot in nxt.slots:
+                if slot is None:
+                    grads.append(None)
+                else:
+                    off, size, shape = slot
+                    grads.append(_ops.reshape(flat[off:off + size], shape))
+            return tuple(grads)
         arrays = [t.data for t in self.inputs] + [grad_output.data]
-        outs = self.runner.vjp_plan.run(*arrays)
+        flat = nxt.plan.run(*arrays)[0]
         grads = []
-        for slot in self.runner.structure:
-            grads.append(None if slot is None else Tensor(outs[slot].copy()))
+        for slot in nxt.slots:
+            if slot is None:
+                grads.append(None)
+            else:
+                off, size, shape = slot
+                grads.append(Tensor(flat[off:off + size].reshape(shape).copy()))
         return tuple(grads)
 
 
-class _GradRunner:
-    """Forward + VJP plan pair for one input signature."""
+class _LevelRunner:
+    """Lazily-built stack of compiled gradient plans for one signature.
+
+    ``level(0)`` is the traced module forward; ``level(k)`` recomputes
+    the forward and ``k`` nested VJP sweeps (``create_graph=True`` all
+    the way, so every sweep stays on the tape) and returns the
+    ``k``-th-order gradients flattened into one vector.  Levels are
+    traced on demand — a prediction-only path builds levels 0–1, the
+    equation loss reaches level 3 (forward, coordinate gradient, its
+    gradient, parameter VJP) — and each level's plan rematerializes all
+    forward intermediates, so no Python graph state survives between
+    calls.
+    """
 
     def __init__(self, module, x: Tensor, params: Optional[list] = None, pinned=()):
-        params = list(module.parameters()) if params is None else list(params)
+        self.module = module
+        self.params = list(module.parameters()) if params is None else list(params)
+        self.pinned = tuple(pinned)
+        self._x_template = x.data.copy()
+        self._levels: list[_Level] = []
+        self.level(0)  # fail fast: an untraceable forward raises here
 
-        def fwd(x, *params):
-            return module(x)
+    def level(self, k: int) -> _Level:
+        while len(self._levels) <= k:
+            self._build_next()
+        return self._levels[k]
 
-        program, _, _ = trace(fwd, x.detach(), *params)
-        self.fwd_plan = compile_program(program, pinned=pinned)
-        # The VJP seed is a program input; its signature is the forward
-        # program's output value (no extra probe call needed).
+    def _build_next(self) -> None:
+        k = len(self._levels)
+        module, params = self.module, self.params
+        n_params = len(params)
+        slot_box: list = []
+
+        def fk(x, *rest):
+            ps = rest[:n_params]
+            seeds = rest[n_params:]
+            args = [x, *ps]
+            out = module(x)
+            slot_box.clear()
+            for seed in seeds:
+                gs = _grad(out, args, grad_outputs=seed, create_graph=True,
+                           allow_unused=True)
+                out, slots = _flatten_grads(gs)
+                slot_box.append(slots)
+                args.append(seed)
+            return out
+
+        # One seed per already-built level; each seed's signature is that
+        # level's output value.  Seeds require grad: they are arguments of
+        # deeper levels (a VJP is linear in its seed), so their gradient
+        # slots must exist.
+        seeds = [
+            Tensor(np.ones(lvl.out_shape, dtype=lvl.out_dtype), requires_grad=True)
+            for lvl in self._levels
+        ]
+        x_in = Tensor(self._x_template.copy(), requires_grad=True)
+        # Levels are often built lazily from inside an eager terminal
+        # backward sweep, which runs under no_grad; the trace must record
+        # a graph for its internal grad() calls regardless.
+        with enable_grad():
+            program, _, _ = trace(fk, x_in, *params, *seeds)
+        plan = compile_program(program, pinned=self.pinned)
         out_value = program.values[program.output_ids[0]]
-
-        def vjp(x, *params_and_seed):
-            seed = params_and_seed[-1]
-            y = module(x)
-            return _grad(y, [x, *params], grad_outputs=seed, create_graph=True,
-                         allow_unused=True)
-
-        seed = Tensor(np.ones(out_value.shape, dtype=out_value.dtype))
-        x_in = Tensor(x.data.copy(), requires_grad=True)
-        program, self.structure, _ = trace(vjp, x_in, *params, seed)
-        self.vjp_plan = compile_program(program, pinned=pinned)
+        self._levels.append(_Level(
+            plan=plan,
+            slots=list(slot_box[-1]) if slot_box else None,
+            out_shape=tuple(out_value.shape),
+            out_dtype=np.dtype(out_value.dtype),
+        ))
 
 
 class CompiledModule:
@@ -303,9 +473,12 @@ class CompiledModule:
 
     Behaves like the module itself (``wrapper(x) -> Tensor``) with plans
     cached per input signature and precision policy.  With
-    ``backward=True`` gradient-requiring calls run through a compiled
-    forward/VJP pair (first order only); otherwise they fall back to the
-    eager module so the autodiff graph is recorded as usual.
+    ``backward=True`` gradient-requiring calls run through a lazily-built
+    stack of compiled gradient plans (:class:`_LevelRunner`) that
+    supports double (and higher-order) backward — ``create_graph=True``
+    sweeps record deeper plan levels instead of raising; otherwise they
+    fall back to the eager module so the autodiff graph is recorded as
+    usual (warned once as an ``unsupported`` fallback).
 
     Not registered as a sub-module on purpose: assigning a wrapper to a
     model attribute must not change ``state_dict`` layout or checkpoint
@@ -384,18 +557,32 @@ class CompiledModule:
         if not needs_grad:
             return self._fn(x)
         if not self.backward:
+            # Documented opt-out: grad paths run eagerly, bit-identically.
+            self._fn._note_fallback(
+                "unsupported",
+                "gradients requested through a backward=False wrapper")
             self._fn.eager_calls += 1
             return self.module(x)
         key = (default_dtype().str, x.shape, x.dtype.str)
         runner = self._grad_runners.get(key)
-        if runner is None:
-            runner = _GradRunner(self.module, x, self._params,
-                                 pinned=self._pinned_arrays())
+        if key not in self._grad_runners:
+            try:
+                runner = _LevelRunner(self.module, x, self._params,
+                                      pinned=self._pinned_arrays())
+            except Exception as exc:
+                runner = None  # permanent eager fallback for this key
+                self._grad_fail_detail = f"{type(exc).__name__}: {exc}"
             self._grad_runners[key] = runner
             if len(self._grad_runners) > self._max_plans:
                 self._grad_runners.popitem(last=False)
         else:
+            runner = self._grad_runners[key]
             self._grad_runners.move_to_end(key)
+        if runner is None:
+            self._fn._note_fallback("trace-failure",
+                                    getattr(self, "_grad_fail_detail", ""))
+            self._fn.eager_calls += 1
+            return self.module(x)
         return _PlanOp.apply(x, *self._params, runner=runner)
 
     # ------------------------------------------------------------ inspection

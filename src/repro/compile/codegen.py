@@ -1,0 +1,257 @@
+"""Python source emission for fused elementwise regions.
+
+:func:`emit_region` turns one fusion region (a consecutive run of
+elementwise kernel steps selected by :mod:`repro.compile.fuse`) into a
+single generated Python function, compiled once with :func:`compile` and
+cached on the plan.  The generated body is a flat sequence of backend
+``out=`` kernel calls — exactly the calls the individual step closures
+would have made, on exactly the same arena buffers, in exactly the same
+order — so fused execution is bit-identical to unfused execution by
+construction.  What changes is dispatch cost: one Python call replaces
+one call per op, and every *stable* operand is bound as a default
+argument (a local variable at run time) instead of being re-fetched from
+the environment list on every step.
+
+Operand binding rules
+---------------------
+
+* **Stable** arrays — trace constants and kernel-step arena buffers —
+  are bound as default arguments at ``def`` time.  Their ``env`` slots
+  are filled at compile time and never rebound.
+* **Unstable** slots — program inputs, view-step outputs and
+  eager-fallback outputs — are loaded from ``env`` in the region
+  preamble, because :meth:`CompiledPlan.run` rebinds them on every call.
+* Scalars (``Pow`` exponents, ``LeakyReLU`` slopes) are embedded as
+  ``repr`` literals, which round-trips floats exactly.
+* Multi-kernel lowerings (ReLU, Sigmoid, Softplus, masks) receive
+  region-private scratch arrays allocated once at emit time, mirroring
+  the transient arena scratch of the closure builders.
+
+Steady-state execution of a region therefore allocates nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..autodiff import ops as _ops
+from ..backend import get_backend
+
+__all__ = ["RegionInfo", "emit_region"]
+
+_B = get_backend()
+
+#: Backend kernels the generated source may reference, keyed by the name
+#: used in the emitted code.
+_KERNELS = {
+    "negative": _B.negative, "exp": _B.exp, "log": _B.log, "sin": _B.sin,
+    "cos": _B.cos, "tanh": _B.tanh, "abs": _B.abs, "sign": _B.sign,
+    "floor": _B.floor, "add": _B.add, "subtract": _B.subtract,
+    "multiply": _B.multiply, "divide": _B.divide, "maximum": _B.maximum,
+    "minimum": _B.minimum, "power": _B.power, "sqrt": _B.sqrt,
+    "log1p": _B.log1p, "greater": _B.greater,
+    "greater_equal": _B.greater_equal, "less_equal": _B.less_equal,
+    "copyto": _B.copyto,
+}
+
+_UNARY_NAMES = {
+    _ops.Neg: "negative", _ops.Exp: "exp", _ops.Log: "log", _ops.Sin: "sin",
+    _ops.Cos: "cos", _ops.Tanh: "tanh", _ops.Abs: "abs", _ops.Sign: "sign",
+    _ops.Floor: "floor",
+}
+
+_BINARY_NAMES = {
+    _ops.Add: "add", _ops.Sub: "subtract", _ops.Mul: "multiply",
+    _ops.Div: "divide", _ops.Maximum: "maximum", _ops.Minimum: "minimum",
+}
+
+_MASK_NAMES = {
+    _ops.GreaterMask: "greater",
+    _ops.GreaterEqualMask: "greater_equal",
+    _ops.LessEqualMask: "less_equal",
+}
+
+
+@dataclass
+class RegionInfo:
+    """One emitted fusion region: the compiled callable plus provenance."""
+
+    fn: Callable
+    name: str
+    source: str
+    op_names: list
+    n_ops: int
+    scratch_bytes: int
+
+
+def _emit_node(node, out, name_of, scratch, kern, values):
+    """Source lines computing one node into the (bound) buffer ``out``.
+
+    Each branch mirrors the corresponding closure in the executor's
+    ``_build_step`` — same kernels, same call order, same in-place
+    aliasing discipline — so fused and unfused execution agree bitwise.
+    """
+    op = node.op
+    cls = type(op)
+    ids = node.in_ids
+
+    uname = _UNARY_NAMES.get(cls)
+    if uname is not None:
+        return [f"{kern(uname)}({name_of(ids[0])}, out={out})"]
+
+    bname = _BINARY_NAMES.get(cls)
+    if bname is not None:
+        return [f"{kern(bname)}({name_of(ids[0])}, {name_of(ids[1])}, out={out})"]
+
+    mname = _MASK_NAMES.get(cls)
+    if mname is not None:
+        return [f"{kern(mname)}({name_of(ids[0])}, {name_of(ids[1])}, out={out})"]
+
+    if cls is _ops.Pow:
+        a, p = name_of(ids[0]), op.exponent
+        if p == 2.0:
+            return [f"{kern('multiply')}({a}, {a}, out={out})"]
+        if p == 3.0:
+            # Reads the operand after the first write; the executor never
+            # aliases ``out`` with ``a`` for this exponent.
+            return [f"{kern('multiply')}({a}, {a}, out={out})",
+                    f"{kern('multiply')}({out}, {a}, out={out})"]
+        if p == 1.0:
+            return [f"{kern('copyto')}({out}, {a})"]
+        if p == 0.5:
+            return [f"{kern('sqrt')}({a}, out={out})"]
+        return [f"{kern('power')}({a}, {p!r}, out={out})"]
+
+    if cls is _ops.ReLU:
+        a = name_of(ids[0])
+        spec = values[node.out_id]
+        m = scratch(spec.shape, spec.dtype)
+        return [f"{kern('greater')}({a}, 0.0, out={m})",
+                f"{kern('multiply')}({a}, {m}, out={out})"]
+
+    if cls is _ops.LeakyReLU:
+        a = name_of(ids[0])
+        return [f"{kern('multiply')}({a}, {op.negative_slope!r}, out={out})",
+                f"{kern('maximum')}({out}, {a}, out={out})"]
+
+    if cls is _ops.LeakyReLUMask:
+        a = name_of(ids[0])
+        m = scratch(values[node.out_id].shape, np.bool_)
+        return [f"{kern('greater')}({a}, 0.0, out={m})",
+                f"{out}.fill({op.negative_slope!r})",
+                f"{kern('copyto')}({out}, 1.0, where={m})"]
+
+    if cls is _ops.Sigmoid:
+        a = name_of(ids[0])
+        spec = values[node.out_id]
+        s1 = scratch(spec.shape, spec.dtype)
+        s2 = scratch(spec.shape, spec.dtype)
+        m = scratch(spec.shape, np.bool_)
+        return [
+            f"{kern('greater_equal')}({a}, 0.0, out={m})",
+            f"{kern('abs')}({a}, out={s1})",
+            f"{kern('negative')}({s1}, out={s1})",
+            f"{kern('exp')}({s1}, out={s1})",
+            f"{kern('add')}({s1}, 1.0, out={s2})",
+            f"{kern('divide')}({s1}, {s2}, out={out})",
+            f"{kern('divide')}(1.0, {s2}, out={s1})",
+            f"{kern('copyto')}({out}, {s1}, where={m})",
+        ]
+
+    if cls is _ops.Softplus:
+        a = name_of(ids[0])
+        spec = values[node.out_id]
+        s = scratch(spec.shape, spec.dtype)
+        return [
+            f"{kern('abs')}({a}, out={s})",
+            f"{kern('negative')}({s}, out={s})",
+            f"{kern('exp')}({s}, out={s})",
+            f"{kern('log1p')}({s}, out={s})",
+            f"{kern('maximum')}({a}, 0.0, out={out})",
+            f"{kern('add')}({out}, {s}, out={out})",
+        ]
+
+    if cls is _ops.BroadcastTo:
+        return [f"{kern('copyto')}({out}, {name_of(ids[0])})"]
+
+    raise NotImplementedError(
+        f"no codegen emitter for fusible op {cls.__name__}; "
+        f"repro.compile.fuse.FUSIBLE and the emitters drifted apart"
+    )
+
+
+def emit_region(nodes, values, env, start: int) -> RegionInfo:
+    """Generate, compile and bind one fused-region function.
+
+    Parameters
+    ----------
+    nodes:
+        The region's :class:`~repro.compile.tracer.Node` list (consecutive
+        fusible kernel steps, in program order).
+    values:
+        The program's value table.
+    env:
+        The plan environment at compile time: non-``None`` slots (trace
+        constants, kernel-step arena buffers) are stable arrays bound as
+        defaults; ``None`` slots are loaded in the preamble each run.
+    start:
+        Index of the region's first step in the plan, used for naming.
+    """
+    bindings: dict[str, object] = {}
+    preamble: list[str] = []
+    body: list[str] = []
+    names: dict[int, str] = {}
+    scratch_count = 0
+    scratch_bytes = 0
+
+    def kern(name: str) -> str:
+        bindings[name] = _KERNELS[name]
+        return name
+
+    def name_of(vid: int) -> str:
+        nm = names.get(vid)
+        if nm is None:
+            nm = f"v{vid}"
+            names[vid] = nm
+            arr = env[vid]
+            if arr is not None:
+                bindings[nm] = arr
+            else:
+                preamble.append(f"{nm} = env[{vid}]")
+        return nm
+
+    def scratch(shape, dtype) -> str:
+        nonlocal scratch_count, scratch_bytes
+        arr = np.empty(shape, dtype=dtype)
+        scratch_bytes += arr.nbytes
+        nm = f"s{scratch_count}"
+        scratch_count += 1
+        bindings[nm] = arr
+        return nm
+
+    op_names: list[str] = []
+    for node in nodes:
+        out = name_of(node.out_id)  # arena buffer: always a stable binding
+        body.extend(_emit_node(node, out, name_of, scratch, kern, values))
+        op_names.append(node.op_name)
+
+    fname = f"_region{start}"
+    params = "".join(f", {nm}={nm}" for nm in bindings)
+    lines = [f"def {fname}(env{params}):"]
+    lines.extend("    " + ln for ln in preamble)
+    lines.extend("    " + ln for ln in body)
+    source = "\n".join(lines) + "\n"
+    namespace = dict(bindings)
+    code = compile(source, f"<repro.compile.region{start}>", "exec")
+    exec(code, namespace)
+    return RegionInfo(
+        fn=namespace[fname],
+        name=f"fused[{len(nodes)}@{start}]",
+        source=source,
+        op_names=op_names,
+        n_ops=len(nodes),
+        scratch_bytes=scratch_bytes,
+    )

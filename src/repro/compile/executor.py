@@ -37,6 +37,8 @@ import numpy as np
 from ..autodiff import ops as _ops
 from ..backend import get_backend
 from ..obs import runtime as _obs
+from .codegen import emit_region
+from .fuse import fusible_regions, is_fusible
 from .passes import alias_roots, constant_fold, dead_code_elim, is_view_node, last_uses
 from .tracer import CONSTANT, INTERMEDIATE, Node, Program
 
@@ -60,6 +62,9 @@ class PlanStats:
     n_fallback: int = 0
     n_buffers: int = 0
     arena_bytes: int = 0
+    n_codegen_regions: int = 0
+    n_codegen_ops: int = 0
+    codegen_bytes: int = 0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -99,6 +104,8 @@ _UNARY = {
     _ops.Cos: _B.cos,
     _ops.Tanh: _B.tanh,
     _ops.Abs: _B.abs,
+    _ops.Sign: _B.sign,
+    _ops.Floor: _B.floor,
 }
 
 _BINARY = {
@@ -108,6 +115,15 @@ _BINARY = {
     _ops.Div: _B.divide,
     _ops.Maximum: _B.maximum,
     _ops.Minimum: _B.minimum,
+}
+
+#: Comparison-mask ops: a boolean predicate cast into a floating buffer
+#: (``np.greater(a, b, out=float_buf)`` performs the bool -> float cast,
+#: matching the eager ``(a > b).astype(dtype)`` exactly).
+_MASKS = {
+    _ops.GreaterMask: _B.greater,
+    _ops.GreaterEqualMask: _B.greater_equal,
+    _ops.LessEqualMask: _B.less_equal,
 }
 
 
@@ -164,6 +180,25 @@ def _build_step(node: Node, buf: np.ndarray, arena: _Arena, values) -> Callable:
         def step(env):
             _B.multiply(env[i], slope, out=buf)
             _B.maximum(buf, env[i], out=buf)
+        return step
+
+    kern = _MASKS.get(cls)
+    if kern is not None:
+        i, j = ids
+        return lambda env: kern(env[i], env[j], out=buf)
+
+    if cls is _ops.LeakyReLUMask:
+        i, slope = ids[0], op.negative_slope
+        mask = arena.acquire(values[node.out_id].shape, np.bool_)
+        arena.release(mask)  # transient: free for any later node's storage
+
+        # fill(slope) + copyto(1, where=a>0) == where(a > 0, 1, slope);
+        # ``a`` is read (into the bool scratch) before the first write
+        # into ``buf``, so the node is in-place safe.
+        def step(env):
+            _B.greater(env[i], 0.0, out=mask)
+            buf.fill(slope)
+            _B.copyto(buf, 1.0, where=mask)
         return step
 
     if cls is _ops.Sigmoid:
@@ -259,7 +294,8 @@ def _build_step(node: Node, buf: np.ndarray, arena: _Arena, values) -> Callable:
 def _inplace_ok(op) -> bool:
     """Whether the node's kernel may write over a dying same-shape operand."""
     cls = type(op)
-    if (cls in _UNARY or cls in _BINARY or cls is _ops.ReLU
+    if (cls in _UNARY or cls in _BINARY or cls in _MASKS
+            or cls is _ops.ReLU or cls is _ops.LeakyReLUMask
             or cls is _ops.Softplus or cls is _ops.Sigmoid):
         return True
     return cls is _ops.Pow and op.exponent != 3.0
@@ -267,8 +303,9 @@ def _inplace_ok(op) -> bool:
 
 #: Op classes with an in-place lowering in :func:`_build_step`.
 _LOWERED = (
-    tuple(_UNARY) + tuple(_BINARY)
-    + (_ops.Pow, _ops.ReLU, _ops.LeakyReLU, _ops.Softplus, _ops.Sigmoid,
+    tuple(_UNARY) + tuple(_BINARY) + tuple(_MASKS)
+    + (_ops.Pow, _ops.ReLU, _ops.LeakyReLU, _ops.LeakyReLUMask,
+       _ops.Softplus, _ops.Sigmoid,
        _ops.MatMul, _ops.Sum, _ops.BroadcastTo, _ops.Concatenate, _ops.Pad,
        _ops.PutIndex)
 )
@@ -305,7 +342,8 @@ class CompiledPlan:
     """
 
     def __init__(self, program: Program, steps, env, input_ids, output_ids,
-                 stats: PlanStats, alloc_cell, step_names=None):
+                 stats: PlanStats, alloc_cell, step_names=None, layout=None,
+                 region_sources=None):
         self.program = program
         self._steps = steps
         self._env = env
@@ -313,9 +351,15 @@ class CompiledPlan:
         self._output_ids = output_ids
         self.stats = stats
         self._alloc_cell = alloc_cell
-        #: Human-readable label per step (op class, ``view:X``, ``fallback:X``)
-        #: used by the per-kernel profiler.
+        #: Human-readable label per step (op class, ``view:X``,
+        #: ``fallback:X``, ``fused[N@j]``) used by the per-kernel profiler.
         self.step_names = list(step_names) if step_names is not None else []
+        #: One record per *lowered op* (pre-fusion granularity): op name,
+        #: output value, storage kind, arena buffer slot, liveness and
+        #: fused-region membership.  Feeds :meth:`dump`.
+        self.layout = list(layout) if layout is not None else []
+        #: Generated source of each codegen region, in region order.
+        self.region_sources = list(region_sources) if region_sources is not None else []
         self._kernel_hists: dict = {}
 
     @property
@@ -373,6 +417,36 @@ class CompiledPlan:
         stats = ", ".join(f"{k}={v}" for k, v in self.stats.as_dict().items())
         return f"{self.program.describe()}\n  [{stats}]"
 
+    def dump(self) -> str:
+        """Pretty-print the lowered plan: ops, liveness, buffers, regions.
+
+        One line per lowered op (fused regions keep per-op lines, tagged
+        with their region id), showing the output value, its storage
+        (arena buffer slot, ``view`` or ``fallback``), and the step at
+        which the value's storage dies (``output`` values never die).
+        """
+        s = self.stats
+        n_ops = len(self.layout)
+        lines = [
+            f"plan: {len(self._input_ids)} inputs, {len(self._output_ids)} outputs, "
+            f"{n_ops} ops in {len(self._steps)} steps "
+            f"({s.n_codegen_ops} ops fused into {s.n_codegen_regions} regions), "
+            f"arena: {s.n_buffers} buffers / {s.arena_bytes} bytes"
+        ]
+        for e in self.layout:
+            if e["kind"] == "kernel":
+                storage = f"buf[{e['buffer']}]" if e["buffer"] is not None else "buf[?]"
+            else:
+                storage = e["kind"]
+            die = e["last_use"]
+            life = "output" if die is None or die >= n_ops else f"dies@{die}"
+            region = f"  region={e['region']}" if e["region"] is not None else ""
+            lines.append(
+                f"  [{e['index']:4d}] {e['op']:<22} v{e['out']:<5} "
+                f"{e['dtype']}{e['shape']}  {storage:<10} {life}{region}"
+            )
+        return "\n".join(lines)
+
 
 def compile_program(program: Program, pinned=()) -> CompiledPlan:
     """Optimize ``program`` and lower it onto an arena-backed executor.
@@ -395,6 +469,7 @@ def compile_program(program: Program, pinned=()) -> CompiledPlan:
     inplace_bufs: set[int] = set()       # id(buffer) of chain-carrying buffers
     steps = []
     step_names: list[str] = []
+    step_kinds: list[str] = []           # "kernel" | "view" | "fallback" per step
     env: list = [None] * len(values)
     for value in values:
         if value.kind == CONSTANT:
@@ -405,6 +480,7 @@ def compile_program(program: Program, pinned=()) -> CompiledPlan:
         if is_view_node(node):
             steps.append(_view_step(node))
             step_names.append(f"view:{type(node.op).__name__}")
+            step_kinds.append("view")
             stats.n_views += 1
         elif not _has_kernel(node.op):
             # No in-place lowering: run the recorded op eagerly (fresh
@@ -418,6 +494,7 @@ def compile_program(program: Program, pinned=()) -> CompiledPlan:
             stats.n_fallback += 1
             steps.append(step)
             step_names.append(f"fallback:{type(node.op).__name__}")
+            step_kinds.append("fallback")
         else:
             buf = None
             if _inplace_ok(node.op):
@@ -440,6 +517,7 @@ def compile_program(program: Program, pinned=()) -> CompiledPlan:
             env[node.out_id] = buf
             steps.append(_build_step(node, buf, arena, values))
             step_names.append(type(node.op).__name__)
+            step_kinds.append("kernel")
         for vid in set(node.in_ids):
             root = roots.get(vid, vid)
             if last.get(root) == j and root in buffers:
@@ -447,6 +525,50 @@ def compile_program(program: Program, pinned=()) -> CompiledPlan:
 
     stats.n_buffers = len(arena.allocated)
     stats.arena_bytes = int(sum(b.nbytes for b in arena.allocated))
+
+    # Per-op layout records (pre-fusion granularity), for dump().
+    slot_of = {id(b): k for k, b in enumerate(arena.allocated)}
+    layout = []
+    for j, node in enumerate(program.nodes):
+        out_val = values[node.out_id]
+        kind = step_kinds[j]
+        buf = env[node.out_id] if kind == "kernel" else None
+        layout.append({
+            "index": j,
+            "op": node.op_name,
+            "out": node.out_id,
+            "shape": tuple(out_val.shape),
+            "dtype": np.dtype(out_val.dtype).str,
+            "kind": kind,
+            "buffer": slot_of.get(id(buf)) if buf is not None else None,
+            "last_use": last.get(roots.get(node.out_id, node.out_id)),
+            "region": None,
+        })
+
+    # Codegen fusion tier: splice each maximal elementwise run into one
+    # generated function.  Splicing back-to-front keeps earlier region
+    # indices valid; fused execution is bit-identical by construction
+    # (same kernels, same buffers, same order — see repro.compile.codegen).
+    flags = [
+        kind == "kernel" and is_fusible(node.op)
+        for kind, node in zip(step_kinds, program.nodes)
+    ]
+    regions = fusible_regions(flags)
+    region_sources: list[str] = []
+    for r_index, (start, end) in enumerate(regions):
+        for j in range(start, end):
+            layout[j]["region"] = r_index
+    for start, end in reversed(regions):
+        info = emit_region(program.nodes[start:end], values, env, start)
+        steps[start:end] = [info.fn]
+        step_names[start:end] = [info.name]
+        region_sources.append(info.source)
+        stats.n_codegen_regions += 1
+        stats.n_codegen_ops += info.n_ops
+        stats.codegen_bytes += info.scratch_bytes
+    region_sources.reverse()
+
     return CompiledPlan(program, steps, env, list(program.input_ids),
                         list(program.output_ids), stats, alloc_cell,
-                        step_names=step_names)
+                        step_names=step_names, layout=layout,
+                        region_sources=region_sources)

@@ -1,0 +1,72 @@
+"""Fusion-region selection: group elementwise kernel steps for codegen.
+
+The executor's first fusion tier is *storage* fusion: single-consumer
+elementwise chains share one arena buffer (``out=`` in-place kernels).
+This module drives the second tier, *dispatch* fusion: maximal runs of
+consecutive elementwise kernel steps are grouped into **regions**, and
+:mod:`repro.compile.codegen` emits one generated Python function per
+region.  A fused region replaces N step closures (N dict lookups, N
+closure calls, N profiler branches per run) with a single call whose
+body is a flat sequence of bound-kernel invocations — the Python-side
+dispatch overhead that dominates this single-core target shrinks by the
+region length.
+
+Region membership is purely positional: a region is a *consecutive* run
+of steps, so replacing it with one callable preserves program order
+exactly and the generated code computes bit-identical results (it calls
+the very same kernels on the very same arena buffers, in the same
+order).  Heavyweight steps (matmul, reductions, concatenation), view
+steps and eager-fallback steps break regions — their per-call dispatch
+cost is negligible next to their kernel time, and views/fallbacks rebind
+environment slots that generated code must observe.
+"""
+
+from __future__ import annotations
+
+from ..autodiff import ops as _ops
+
+__all__ = ["FUSIBLE", "is_fusible", "fusible_regions"]
+
+#: Elementwise op classes eligible for codegen regions.  Mirrors the
+#: elementwise subset of the executor's in-place lowerings — every class
+#: listed here must have an emitter in :mod:`repro.compile.codegen`
+#: (``emit_region`` raises at compile time if the sets drift apart).
+#: ``LeakyReLU`` appears here unconditionally because slopes outside
+#: [0, 1] never reach a kernel step in the first place (the executor
+#: lowers them as fallback steps, which break regions).
+FUSIBLE = (
+    _ops.Neg, _ops.Exp, _ops.Log, _ops.Sin, _ops.Cos, _ops.Tanh, _ops.Abs,
+    _ops.Sign, _ops.Floor,
+    _ops.Add, _ops.Sub, _ops.Mul, _ops.Div, _ops.Maximum, _ops.Minimum,
+    _ops.Pow, _ops.ReLU, _ops.LeakyReLU, _ops.Softplus, _ops.Sigmoid,
+    _ops.GreaterMask, _ops.GreaterEqualMask, _ops.LessEqualMask,
+    _ops.LeakyReLUMask, _ops.BroadcastTo,
+)
+
+
+def is_fusible(op) -> bool:
+    """Whether a kernel step for ``op`` may join a codegen region."""
+    return isinstance(op, FUSIBLE)
+
+
+def fusible_regions(flags, min_len: int = 2):
+    """Maximal runs of ``True`` in ``flags`` of length >= ``min_len``.
+
+    ``flags[j]`` says whether step ``j`` is a fusible kernel step.
+    Returns ``[(start, end), ...]`` half-open index ranges in ascending
+    order.  Runs shorter than ``min_len`` stay individual step closures:
+    a one-op "region" would just add an extra call frame.
+    """
+    regions: list[tuple[int, int]] = []
+    start = None
+    for j, flag in enumerate(flags):
+        if flag:
+            if start is None:
+                start = j
+        elif start is not None:
+            if j - start >= min_len:
+                regions.append((start, j))
+            start = None
+    if start is not None and len(flags) - start >= min_len:
+        regions.append((start, len(flags)))
+    return regions

@@ -103,6 +103,40 @@ class Program:
             lines.append(f"  v{node.out_id} = {node.op_name}({args})  # {out.shape} {out.dtype}")
         return "\n".join(lines)
 
+    def dump(self) -> str:
+        """Annotated listing: per-op index, shapes and value liveness.
+
+        Complements :meth:`describe` with the information the executor's
+        arena allocator works from — where each value is read for the
+        last time (``dies@j``), or whether it is a program output /
+        never consumed.  For buffer assignments and fused-region
+        boundaries of the *lowered* plan, see
+        :meth:`repro.compile.executor.CompiledPlan.dump`.
+        """
+        last: dict[int, int] = {}
+        for j, node in enumerate(self.nodes):
+            for vid in node.in_ids:
+                last[vid] = j
+        out_set = set(self.output_ids)
+        lines = [
+            f"program: {len(self.input_ids)} inputs, {len(self.nodes)} ops, "
+            f"{len(self.output_ids)} outputs"
+        ]
+        for j, node in enumerate(self.nodes):
+            args = ", ".join(f"v{i}" for i in node.in_ids)
+            out = self.values[node.out_id]
+            if node.out_id in out_set:
+                life = "output"
+            elif node.out_id in last:
+                life = f"dies@{last[node.out_id]}"
+            else:
+                life = "unused"
+            lines.append(
+                f"  [{j:4d}] v{node.out_id} = {node.op_name}({args})"
+                f"  # {out.shape} {np.dtype(out.dtype).str} {life}"
+            )
+        return "\n".join(lines)
+
 
 class Tracer:
     """Records every :meth:`Op.apply` into a :class:`Program` under way.

@@ -71,44 +71,59 @@ def query_latent_grid(
     # (N, nt, nz, nx, C) layout so that gathering vertices yields (N, P, C).
     grid_last = ops.transpose(grid, (0, 2, 3, 4, 1))
 
-    cell_index: list[np.ndarray] = []
+    # Cell indices are held as exact integers in *floating* tensors computed
+    # on the tape (floor + clip) rather than as numpy int scratch: a
+    # repro.compile capture of this function then recomputes every gather
+    # location from the live coordinates instead of baking the trace
+    # batch's indices into the plan.
+    cell_index: list[Tensor] = []
     frac: list[Tensor] = []
     for axis in range(3):
         n = sizes[axis]
         pos = ops.mul(coords[:, :, axis], float(max(n - 1, 1)))
         if n == 1:
-            idx = np.zeros((n_batch, n_points), dtype=np.int64)
+            # Degenerate axis: every point lives in cell 0 (data-independent).
+            idx = Tensor(np.zeros((n_batch, n_points), dtype=dt))
         else:
-            idx = np.clip(np.floor(pos.data).astype(np.int64), 0, n - 2)
+            idx = ops.clip_by_value(ops.floor(pos), 0.0, float(n - 2))
+            if idx.dtype != dt:
+                idx = ops.mul(idx, Tensor(np.ones((), dtype=dt)))
         cell_index.append(idx)
-        frac.append(ops.sub(pos, Tensor(idx.astype(dt))))
-
-    batch_index = np.broadcast_to(np.arange(n_batch)[:, None], (n_batch, n_points))
+        frac.append(ops.sub(pos, idx))
 
     if interpolation == "nearest":
         # Decode from the per-point nearest vertex: per-axis nearest offsets.
-        offsets = [np.where(f.data >= 0.5, 1, 0) for f in frac]
-        vertex_index = []
-        for axis in range(3):
-            vertex_index.append(np.clip(cell_index[axis] + offsets[axis], 0, sizes[axis] - 1))
-        latent = ops.getitem(grid_last, (batch_index, *vertex_index))
-        rel = ops.stack(
-            [ops.sub(frac[a], Tensor(offsets[a].astype(dt))) for a in range(3)], axis=-1
-        )
+        offsets = [ops.greater_equal_mask(f, 0.5) for f in frac]
+        vertex_index = [
+            ops.clip_by_value(ops.add(cell_index[axis], offsets[axis]), 0.0,
+                              float(sizes[axis] - 1))
+            for axis in range(3)
+        ]
+        latent = ops.gather_vertices(grid_last, *vertex_index)
+        rel = ops.stack([ops.sub(frac[a], offsets[a]) for a in range(3)], axis=-1)
         return decoder(ops.concatenate([rel, latent], axis=-1))
+
+    # Per-axis clamped vertex indices for offsets 0 and 1, hoisted out of
+    # the 8-corner loop (the cell index is already within [0, n-2], so the
+    # offset-0 vertex is the cell index itself).
+    vertex01 = [
+        (cell_index[axis],
+         ops.clip_by_value(ops.add(cell_index[axis], 1.0), 0.0, float(sizes[axis] - 1)))
+        for axis in range(3)
+    ]
 
     output: Tensor | None = None
     for offsets in itertools.product((0, 1), repeat=3):
         weight: Tensor | None = None
         rel_components: list[Tensor] = []
-        vertex_index: list[np.ndarray] = []
+        vertex_index: list[Tensor] = []
         for axis, offset in enumerate(offsets):
             f = frac[axis]
             w_axis = f if offset == 1 else ops.sub(1.0, f)
             weight = w_axis if weight is None else ops.mul(weight, w_axis)
             rel_components.append(ops.sub(f, float(offset)))
-            vertex_index.append(np.clip(cell_index[axis] + offset, 0, sizes[axis] - 1))
-        latent = ops.getitem(grid_last, (batch_index, *vertex_index))  # (N, P, C)
+            vertex_index.append(vertex01[axis][offset])
+        latent = ops.gather_vertices(grid_last, *vertex_index)  # (N, P, C)
         rel = ops.stack(rel_components, axis=-1)  # (N, P, 3)
         decoded = decoder(ops.concatenate([rel, latent], axis=-1))  # (N, P, m)
         contribution = ops.mul(ops.expand_dims(weight, -1), decoded)

@@ -18,7 +18,7 @@ from ..pde import PDESystem
 from .model import MeshfreeFlowNet
 
 __all__ = ["prediction_loss", "equation_loss", "uses_equation_loss", "LossWeights",
-           "compute_losses", "LossBreakdown"]
+           "loss_terms", "compute_losses", "LossBreakdown"]
 
 
 def uses_equation_loss(pde_system: Optional["PDESystem"], weights: "LossWeights") -> bool:
@@ -81,6 +81,44 @@ class LossBreakdown:
     per_constraint: dict[str, float]
 
 
+def loss_terms(
+    model: MeshfreeFlowNet,
+    lowres: Tensor,
+    coords: Tensor,
+    targets: Tensor,
+    pde_system: Optional[PDESystem],
+    weights: LossWeights,
+    coord_scales: Optional[Sequence[float]] = None,
+) -> tuple[Tensor, Tensor, Tensor, dict[str, Tensor]]:
+    """Tensor-valued loss terms for a mini-batch of point samples.
+
+    Returns ``(total, prediction, equation, per_constraint)`` where every
+    element is a :class:`Tensor` — nothing is converted to Python floats,
+    so the whole evaluation stays inside the op layer and can be captured
+    by :mod:`repro.compile` as part of a fused training-step program.
+    ``per_constraint`` maps constraint names to their mean absolute
+    residual.  :func:`compute_losses` wraps this with the scalar
+    conversion eager callers want.
+    """
+    use_equation = uses_equation_loss(pde_system, weights)
+    if use_equation:
+        pred, values = model.forward_with_derivatives(lowres, coords, pde_system, coord_scales)
+        residuals = pde_system.residuals(values)
+        le = equation_loss(residuals, norm=weights.norm)
+        per_constraint = {k: ops.mean(ops.abs(v)) for k, v in residuals.items()}
+    else:
+        pred = model(lowres, coords)
+        le = Tensor(0.0)
+        per_constraint = {}
+
+    lp = prediction_loss(pred, targets, norm=weights.norm)
+    if use_equation:
+        total = ops.add(lp, ops.mul(le, float(weights.gamma)))
+    else:
+        total = lp
+    return total, lp, le, per_constraint
+
+
 def compute_losses(
     model: MeshfreeFlowNet,
     lowres: Tensor,
@@ -97,26 +135,13 @@ def compute_losses(
     (expensive) higher-order derivative computation is skipped entirely and
     only the prediction loss is evaluated, matching the γ=0 rows of Table 1.
     """
-    use_equation = uses_equation_loss(pde_system, weights)
-    if use_equation:
-        pred, values = model.forward_with_derivatives(lowres, coords, pde_system, coord_scales)
-        residuals = pde_system.residuals(values)
-        le = equation_loss(residuals, norm=weights.norm)
-        per_constraint = {k: float(ops.mean(ops.abs(v)).data) for k, v in residuals.items()}
-    else:
-        pred = model(lowres, coords)
-        le = Tensor(0.0)
-        per_constraint = {}
-
-    lp = prediction_loss(pred, targets, norm=weights.norm)
-    if use_equation:
-        total = ops.add(lp, ops.mul(le, float(weights.gamma)))
-    else:
-        total = lp
+    total, lp, le, per_constraint = loss_terms(
+        model, lowres, coords, targets, pde_system, weights, coord_scales
+    )
     breakdown = LossBreakdown(
         total=float(total.data),
         prediction=float(lp.data),
         equation=float(le.data),
-        per_constraint=per_constraint,
+        per_constraint={k: float(v.data) for k, v in per_constraint.items()},
     )
     return total, breakdown

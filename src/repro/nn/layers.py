@@ -11,7 +11,7 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
-from ..autodiff import Tensor, nn_ops, ops
+from ..autodiff import Tensor, nn_ops, ops, record_state_update
 from . import init
 from .module import Module, Parameter
 
@@ -121,9 +121,19 @@ class BatchNorm3d(Module):
             mu = ops.mean(x, axis=axes, keepdims=True)
             v = ops.var(x, axis=axes, keepdims=True)
             if self.track_running_stats:
+                # The exponential update is expressed in differentiable ops
+                # and applied through record_state_update so that a
+                # repro.compile capture of a training step observes the
+                # buffer write as a traced output instead of an invisible
+                # side effect (the values are IEEE-identical to the former
+                # in-place numpy expression).
                 m = self.momentum
-                self.running_mean[...] = (1 - m) * self.running_mean + m * mu.data.reshape(-1)
-                self.running_var[...] = (1 - m) * self.running_var + m * v.data.reshape(-1)
+                new_mean = ops.add(ops.mul(Tensor(self.running_mean), 1 - m),
+                                   ops.mul(ops.reshape(mu, (-1,)), m))
+                new_var = ops.add(ops.mul(Tensor(self.running_var), 1 - m),
+                                  ops.mul(ops.reshape(v, (-1,)), m))
+                record_state_update(self.running_mean, new_mean)
+                record_state_update(self.running_var, new_var)
         else:
             mu = Tensor(self.running_mean.reshape(1, -1, 1, 1, 1))
             v = Tensor(self.running_var.reshape(1, -1, 1, 1, 1))

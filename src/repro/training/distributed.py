@@ -37,11 +37,14 @@ The node-fused forward requires batch-independent normalisation (group /
 instance norm, the same caveat as real DDP without SyncBatchNorm); with
 ``nodes == world_size`` every rank is its own node and no fusion occurs.
 
-With ``config.compile=True`` each node's fused forward/backward routes its
-continuous-decode batches through :mod:`repro.compile` plans (traced
-forward + VJP pairs when only the prediction loss is active, eager-exact
-either way) — the per-primitive Python dispatch the tape engine would pay
-``world_size`` times per step is paid zero times after the first trace.
+With ``config.compile=True`` each node's micro-batch runs as one
+:class:`~repro.compile.CompiledTrainingStep` plan replay — forward, PDE
+residuals, loss and parameter VJP captured together, including the
+second-order derivative stack of the equation loss — so the
+per-primitive Python dispatch the tape engine would pay ``world_size``
+times per step is paid zero times after the first trace, and the
+replayed gradients entering the all-reduce are bit-identical to the
+eager ones.
 """
 
 from __future__ import annotations
@@ -99,6 +102,12 @@ class DistributedTrainer(Trainer):
         #: for the sharding tests and for debugging data coverage.
         self.last_step_indices: list[tuple[int, int, int, list[int]]] = []
         self._comm_marker = (0, 0)
+
+    def _loss_scale(self):
+        """Pre-scale only when accumulating: single micro-batch sweeps run
+        unscaled and the all-reduce performs the cross-node average."""
+        cfg = self.config
+        return 1.0 / cfg.accumulate_steps if cfg.accumulate_steps > 1 else None
 
     # ---------------------------------------------------------------- sharding
     def _begin_epoch(self, epoch: int) -> None:
@@ -170,10 +179,15 @@ class DistributedTrainer(Trainer):
                     self.last_step_indices.append((node, acc, rank, drawn))
                     indices.extend(drawn)
                 batch = self.dataset.sample_batch(indices, epoch=epoch)
-                total, breakdown = self._loss_for_batch(batch)
-                if cfg.accumulate_steps > 1:
-                    total = total * (1.0 / cfg.accumulate_steps)
-                total.backward()
+                if self._compiled_step is not None:
+                    # Fused replay: loss, (pre-scaled) VJP and buffer
+                    # effects in one plan, bit-identical to the eager path.
+                    breakdown = self._compiled_step(batch)
+                else:
+                    total, breakdown = self._loss_for_batch(batch)
+                    if cfg.accumulate_steps > 1:
+                        total = total * (1.0 / cfg.accumulate_steps)
+                    total.backward()
                 losses.append(breakdown.total)
                 pred_losses.append(breakdown.prediction)
                 eq_losses.append(breakdown.equation)

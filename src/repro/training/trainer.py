@@ -64,7 +64,7 @@ class TrainerConfig:
     bucket_mb: float = 25.0               #: DistributedTrainer: all-reduce bucket capacity (MB)
     allreduce_algorithm: str = "ring"     #: DistributedTrainer: "ring" (bandwidth-optimal) or "naive"
     steps_per_epoch: Optional[int] = None #: defaults to len(dataset) / global batch
-    compile: bool = False                 #: fused compiled decode plans (repro.compile)
+    compile: bool = False                 #: fused compiled training step + decode plans (repro.compile)
     scenario: Optional[str] = None        #: resolve the PDE system from ``repro.scenarios``
     seed: int = 0
     verbose: bool = False
@@ -125,13 +125,27 @@ class Trainer:
         self.scheduler = self._build_scheduler()
         self.history = TrainingHistory()
         self._epoch = 0
-        if self.config.compile and hasattr(self.model, "compile_decoder"):
-            # Fused decode plans for every loss evaluation.  With an active
-            # equation loss the decoder must stay differentiable to second
-            # order, so only the no-grad paths (validation, evaluation) are
-            # compiled; prediction-only training also compiles the fused
-            # forward/backward of each (node-batched) micro-batch step.
-            self.model.compile_decoder(backward=not self._use_equation_loss())
+        self._compiled_step = None
+        if self.config.compile:
+            # The training loop itself runs as one compiled program per
+            # micro-batch: forward, PDE residuals (including the
+            # second-order derivative stack of the equation loss), loss and
+            # parameter VJP are traced together and replayed bit-identically
+            # to the eager step.  The decoder wrapper additionally serves
+            # the no-grad paths (validation, evaluation) from fused decode
+            # plans; it stays ``backward=False`` because training gradients
+            # now flow through the fused step, not through ``decode()``.
+            # Neither path ever degrades silently — a fallback warns once
+            # per reason (:class:`repro.compile.CompileFallbackWarning`)
+            # and is counted in the ``compile.fallbacks`` metric.
+            from ..compile import CompiledTrainingStep  # lazy: keeps import light
+
+            self._compiled_step = CompiledTrainingStep(
+                self.model, self.pde_system, self.weights,
+                loss_scale=self._loss_scale(),
+            )
+            if hasattr(self.model, "compile_decoder"):
+                self.model.compile_decoder(backward=False)
 
     def _build_optimizer(self) -> Optimizer:
         cfg = self.config
@@ -158,6 +172,10 @@ class Trainer:
 
     def _use_equation_loss(self) -> bool:
         return uses_equation_loss(self.pde_system, self.weights)
+
+    def _loss_scale(self) -> float:
+        """Loss pre-scaling of one micro-batch backward (gradient averaging)."""
+        return 1.0 / self.config.world_size
 
     def _loss_for_batch(self, batch: Batch):
         """Combined loss of one micro-batch, cast to the model's precision.
@@ -188,11 +206,18 @@ class Trainer:
         for rank in range(cfg.world_size):
             indices = [base + rank * cfg.batch_size + i for i in range(cfg.batch_size)]
             batch = self.dataset.sample_batch(indices, epoch=epoch)
-            total, breakdown = self._loss_for_batch(batch)
-            # Average gradients across workers: scale each worker's loss by 1/world_size
-            # before backward so the accumulated gradient equals the DDP average.
-            scaled = total * (1.0 / cfg.world_size)
-            scaled.backward()
+            if self._compiled_step is not None:
+                # One plan replay per micro-batch: loss, scaled VJP and
+                # buffer effects in a single fused program (bit-identical
+                # to the eager sequence below).
+                breakdown = self._compiled_step(batch)
+            else:
+                total, breakdown = self._loss_for_batch(batch)
+                # Average gradients across workers: scale each worker's loss by
+                # 1/world_size before backward so the accumulated gradient
+                # equals the DDP average.
+                scaled = total * (1.0 / cfg.world_size)
+                scaled.backward()
             losses.append(breakdown.total)
             pred_losses.append(breakdown.prediction)
             eq_losses.append(breakdown.equation)

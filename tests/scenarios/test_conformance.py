@@ -200,14 +200,56 @@ class TestTrainStepSmoke:
         assert record["equation_loss"] > 0.0  # residuals of an untrained model
 
     def test_compile_matches_eager(self, scenario, small_dataset):
-        """Under an active equation loss ``TrainerConfig.compile`` must keep
-        every grad-requiring decode on the eager path, so the two training
-        histories agree bit-for-bit (seeded identical init + data order)."""
-        _, eager = self._train(scenario, small_dataset, compile_flag=False)
-        _, compiled = self._train(scenario, small_dataset, compile_flag=True)
+        """``TrainerConfig.compile`` runs the full physics-constrained step
+        — forward, PDE residuals, loss and parameter VJP — as *replayed
+        compiled plans* (not an eager fallback), and the training histories,
+        final parameters and module buffers still agree bit-for-bit with
+        eager training (seeded identical init + data order)."""
+        eager_tr, eager = self._train(scenario, small_dataset, compile_flag=False)
+        comp_tr, compiled = self._train(scenario, small_dataset, compile_flag=True)
         assert len(eager) == len(compiled)
         for key in ("loss", "prediction_loss", "equation_loss"):
             assert np.array_equal(eager.series(key), compiled.series(key)), key
+        for pe, pc in zip(eager_tr.model.parameters(), comp_tr.model.parameters()):
+            assert np.array_equal(pe.data, pc.data)
+        for me, mc in zip(eager_tr.model.modules(), comp_tr.model.modules()):
+            for be, bc in zip(me._buffers.values(), mc._buffers.values()):
+                assert np.array_equal(be, bc)
+        stats = comp_tr._compiled_step.stats()
+        # Real compilation: the first micro-batch traces, the rest replay.
+        assert stats["n_plans"] >= 1
+        assert stats["plan_hits"] >= 1
+        assert stats["fallbacks"] == {}
+
+    def test_compiled_checkpoint_resume_bitwise(self, scenario, small_dataset, tmp_path):
+        """A compiled run checkpointed mid-training and resumed (still
+        compiled — the resume re-traces against the restored parameter
+        arrays) continues bit-identically to an uninterrupted eager run."""
+        _, eager = self._train(scenario, small_dataset, compile_flag=False)
+
+        config = TrainerConfig(epochs=1, batch_size=2, steps_per_epoch=2,
+                               gamma=0.0125, learning_rate=1e-3, seed=0,
+                               scenario=scenario.name, compile=True)
+        first = Trainer(scenario.build_model("tiny"), small_dataset, config=config)
+        first.train()
+        ckpt = tmp_path / "mid.npz"
+        first.save(ckpt)
+
+        resumed = Trainer(scenario.build_model("tiny"), small_dataset, config=config)
+        resumed.resume(ckpt)
+        history = resumed.train(epochs=1)
+
+        reference = self._train_epochs(scenario, small_dataset, epochs=2)
+        assert history.series("loss")[-1] == reference.series("loss")[-1]
+        assert np.array_equal(history.series("loss"), reference.series("loss"))
+        assert resumed._compiled_step.stats()["fallbacks"] == {}
+
+    def _train_epochs(self, scenario, small_dataset, epochs):
+        config = TrainerConfig(epochs=epochs, batch_size=2, steps_per_epoch=2,
+                               gamma=0.0125, learning_rate=1e-3, seed=0,
+                               scenario=scenario.name, compile=False)
+        trainer = Trainer(scenario.build_model("tiny"), small_dataset, config=config)
+        return trainer.train()
 
 
 class TestTiledInference:

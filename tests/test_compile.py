@@ -11,10 +11,21 @@ The contract under test (ISSUE 5 acceptance criteria):
 * steady-state execution of a fully lowered plan allocates **nothing**
   (buffer-arena regression pin);
 * fallback to eager execution is automatic whenever a plan could be wrong
-  (gradients without ``backward=True``, impure modules, double backward).
+  (gradients without ``backward=True``, impure modules) — and never
+  silent: one :class:`~repro.compile.CompileFallbackWarning` per
+  (wrapper, reason), with per-call counts in ``stats()`` and the metrics
+  registry (ISSUE 8);
+* double backward works through compiled plans — ``compile(module,
+  backward=True)`` and :class:`~repro.compile.CompiledTrainingStep`
+  replay the whole equation-loss training step (forward, residuals,
+  loss, parameter VJP and BatchNorm effects) bit-identically (ISSUE 8);
+* maximal elementwise runs are emitted as generated per-region callables
+  (the codegen fusion tier), preserving both bit-exactness and the
+  steady-state zero-allocation pin (ISSUE 8).
 """
 
 import tracemalloc
+import warnings
 
 import numpy as np
 import pytest
@@ -237,12 +248,39 @@ class TestCompiledBackward:
         gc = grad(ops.sum(cm(x)), x)
         assert np.array_equal(ge.data, gc.data)
 
-    def test_double_backward_raises(self):
+    def test_double_backward_bitwise_equal(self):
+        """grad-of-grad through compiled plans matches eager bitwise.
+
+        This is the equation-loss pattern: differentiate the decode with
+        respect to its input with ``create_graph=True``, build a loss on
+        that derivative, then take the parameter VJP through it."""
         imnet = make_imnet()
-        cm = rc.compile(imnet, backward=True)
         x = decoder_input(seed=9, requires_grad=True)
-        with pytest.raises(RuntimeError, match="first-order"):
-            grad(ops.sum(cm(x)), x, create_graph=True)
+
+        def second_order(decoder):
+            gx = grad(ops.sum(decoder(x)), x, create_graph=True)
+            return ops.mean(ops.square(gx))
+
+        loss_e = second_order(imnet)
+        loss_e.backward()
+        # The last layer's bias has no second-order gradient (d(dy/dx)/db
+        # is zero): its grad legitimately stays None on both paths.
+        ref = {name: None if p.grad is None else p.grad.copy()
+               for name, p in imnet.named_parameters()}
+        imnet.zero_grad()
+
+        cm = rc.compile(imnet, backward=True)
+        loss_c = second_order(cm)
+        loss_c.backward()
+        assert np.array_equal(loss_e.data, loss_c.data)
+        for name, p in imnet.named_parameters():
+            if ref[name] is None:
+                assert p.grad is None, name
+            else:
+                assert np.array_equal(ref[name], p.grad), name
+        # forward + input-grad + its VJP: three plan levels were built
+        assert cm.stats()["n_grad_plans"] >= 1
+        assert cm.stats()["fallbacks"] == {}
 
     def test_inplace_weight_update_visible_without_retrace(self):
         imnet = make_imnet()
@@ -265,7 +303,9 @@ class TestCompiledBackward:
             return model
 
         eager, compiled = run(False), run(True)
-        assert compiled._decoder is not None and compiled._decoder.backward
+        # Training gradients flow through the fused CompiledTrainingStep;
+        # the decoder wrapper only serves no-grad paths, so backward=False.
+        assert compiled._decoder is not None and not compiled._decoder.backward
         for pe, pc in zip(eager.parameters(), compiled.parameters()):
             assert np.array_equal(pe.data, pc.data)
 
@@ -498,3 +538,210 @@ class TestPowLowering:
         g1 = grad(ops.sum(ops.pow(x, 3.0)), x, create_graph=True)
         g2 = grad(ops.sum(g1), x)
         assert np.allclose(g2.data, 6.0 * x.data, rtol=1e-12, atol=1e-12)
+
+
+class TestFusionTier:
+    """The codegen fusion tier: elementwise regions become one generated
+    callable each, with replays bit-identical and allocation-free."""
+
+    def test_decode_plan_has_codegen_regions(self):
+        imnet = make_imnet()
+        cm = rc.compile(imnet, copy_outputs=False)
+        x = decoder_input()
+        with inference_mode():
+            y = cm(x)
+            stats = cm.plans[0].stats
+            assert stats.n_codegen_regions >= 1
+            # A region is worth emitting only when it spans >= 2 ops.
+            assert stats.n_codegen_ops >= 2 * stats.n_codegen_regions
+            assert stats.codegen_bytes > 0
+            assert np.array_equal(y.data, imnet(x).data)
+
+    def test_fused_regions_bitwise_equal_across_replays(self):
+        imnet = make_imnet()
+        cm = rc.compile(imnet, copy_outputs=True)
+        xs = [decoder_input(seed=s) for s in (3, 4, 5)]
+        with inference_mode():
+            compiled = [cm(x).data for x in xs]
+            eager = [imnet(x).data for x in xs]
+        assert cm.plans[0].stats.n_codegen_regions >= 1
+        for c, e in zip(compiled, eager):
+            assert np.array_equal(c, e)
+
+    def test_fused_regions_steady_state_allocates_nothing(self):
+        """PR 5's arena pin, extended to the codegen tier: a warmed plan
+        *containing generated regions* must stay allocation-free."""
+        imnet = make_imnet()
+        cm = rc.compile(imnet, copy_outputs=False)
+        x = decoder_input((4, 4096, 9), seed=14)
+        with inference_mode():
+            cm(x)  # warm: trace + arena + region compilation
+            plan = cm.plans[0]
+            assert plan.stats.n_codegen_regions >= 1
+            before = plan.runtime_allocs
+            tracemalloc.start()
+            for _ in range(3):
+                cm(x)
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+        assert plan.runtime_allocs == before
+        assert peak < TestAllocationRegression.STEADY_STATE_BUDGET, \
+            f"fused-region replay allocated {peak} bytes"
+
+
+class TestDump:
+    """Program and plan pretty-printers: ops, liveness, buffers, regions."""
+
+    def test_program_dump_lists_ops_and_liveness(self):
+        def f(a, b):
+            return ops.mul(ops.add(a, b), b)
+
+        program, _, _ = rc.trace(
+            f, Tensor(np.ones(4)), Tensor(np.full(4, 2.0)))
+        text = program.dump()
+        assert "Add" in text and "Mul" in text
+        assert "dies@" in text
+        assert "output" in text
+
+    def test_plan_dump_shows_buffers_and_regions(self):
+        cm = rc.compile(make_imnet(), copy_outputs=False)
+        with inference_mode():
+            cm(decoder_input())
+        text = cm.plans[0].dump()
+        assert "arena:" in text
+        assert "buf[" in text
+        assert "region=" in text
+        assert "regions)" in text  # header counts fused regions
+
+
+class TestFallbackWarnings:
+    """Eager degradation is never silent: one warning per (wrapper, reason),
+    per-call counts in ``stats()`` and the metrics registry."""
+
+    def test_unsupported_grad_fallback_warns_once_and_counts(self):
+        imnet = make_imnet()
+        cm = rc.compile(imnet)  # backward=False: grads are the opt-out
+        x = decoder_input(seed=13, requires_grad=True)
+        with pytest.warns(rc.CompileFallbackWarning, match="unsupported"):
+            grad(ops.sum(cm(x)), x)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a second warning would raise
+            grad(ops.sum(cm(x)), x)
+        assert cm.stats()["fallbacks"] == {"unsupported": 2}
+
+    def test_trace_failure_warns_and_counts(self):
+        def hostile(a):
+            raise RuntimeError("untraceable")
+
+        cf = rc.compile_fn(hostile)
+        with pytest.raises(RuntimeError):
+            with pytest.warns(rc.CompileFallbackWarning, match="trace-failure"):
+                cf(Tensor(np.ones(3)))
+        assert cf.stats()["fallbacks"]["trace-failure"] == 1
+
+    def test_fallback_counts_reach_metrics_registry(self):
+        from repro.obs.metrics import REGISTRY
+
+        imnet = make_imnet()
+        cm = rc.compile(imnet)
+        x = decoder_input(seed=13, requires_grad=True)
+        with pytest.warns(rc.CompileFallbackWarning):
+            grad(ops.sum(cm(x)), x)
+        snap = REGISTRY.snapshot()["gauges"]
+        keys = [k for k in snap
+                if k.startswith("compile.fallbacks{") and 'reason="unsupported"' in k]
+        assert keys, f"no fallback gauge in {sorted(snap)[:10]}..."
+        assert any(snap[k] >= 1 for k in keys)
+
+
+class TestCompiledTrainingStep:
+    """The full physics-constrained training step as one compiled program."""
+
+    @staticmethod
+    def _scenario_setup():
+        from repro.core.losses import LossWeights, compute_losses
+        from repro.scenarios import get_scenario
+
+        sc = get_scenario("rayleigh_benard")
+        hr = sc.generate(nt=8, nz=8, nx=16, seed=7)
+        ds = sc.make_dataset(results=hr, lr_factors=(2, 2, 2),
+                             crop_shape_lr=(2, 4, 4), n_points=8,
+                             samples_per_epoch=8, seed=0)
+        return sc, ds, sc.make_pde_system(), LossWeights(gamma=0.0125), compute_losses
+
+    def test_equation_loss_step_bitwise_equal(self):
+        """Losses, per-constraint norms, every parameter gradient and every
+        BatchNorm running-stat write of a *replayed* compiled step match
+        the eager loss + ``backward()`` sequence bit-for-bit."""
+        sc, ds, pde, weights, compute_losses = self._scenario_setup()
+        m_eager, m_comp = sc.build_model("tiny"), sc.build_model("tiny")
+        for pe, pc in zip(m_eager.parameters(), m_comp.parameters()):
+            pc.data[...] = pe.data
+        step = rc.CompiledTrainingStep(m_comp, pde, weights, loss_scale=0.5)
+        for call in range(3):  # call 0 traces, 1..2 replay
+            batch = ds.sample_batch([2 * call, 2 * call + 1], epoch=0)
+            m_eager.zero_grad()
+            m_comp.zero_grad()
+            dt = m_eager.dtype
+            total, bd_e = compute_losses(
+                m_eager,
+                Tensor(np.asarray(batch.lowres, dtype=dt)),
+                Tensor(np.asarray(batch.coords, dtype=dt), requires_grad=True),
+                Tensor(np.asarray(batch.targets, dtype=dt)),
+                pde, weights, coord_scales=batch.coord_scales)
+            (total * 0.5).backward()
+            bd_c = step(batch)
+            assert (bd_e.total, bd_e.prediction, bd_e.equation) == \
+                   (bd_c.total, bd_c.prediction, bd_c.equation)
+            assert bd_e.per_constraint == bd_c.per_constraint
+            for pe, pc in zip(m_eager.parameters(), m_comp.parameters()):
+                assert (pe.grad is None) == (pc.grad is None)
+                if pe.grad is not None:
+                    assert np.array_equal(pe.grad, pc.grad)
+            for me, mc in zip(m_eager.modules(), m_comp.modules()):
+                for be, bc in zip(me._buffers.values(), mc._buffers.values()):
+                    assert np.array_equal(be, bc)
+        stats = step.stats()
+        assert stats["n_plans"] == 1
+        assert stats["plan_hits"] == 2
+        assert stats["fallbacks"] == {}
+
+    def test_double_backward_region_present(self):
+        """With the equation loss on, the traced step differentiates through
+        its own derivative stack — the plan must exist (no fallback), and
+        gradients for the *encoder* parameters must be populated too."""
+        sc, ds, pde, weights, _ = self._scenario_setup()
+        model = sc.build_model("tiny")
+        step = rc.CompiledTrainingStep(model, pde, weights)
+        step(ds.sample_batch([0, 1], epoch=0))
+        n_with_grad = sum(p.grad is not None for p in model.parameters())
+        assert n_with_grad >= len(model.parameters()) - 2
+        assert step.stats()["n_plans"] == 1
+        assert step.stats()["fallbacks"] == {}
+
+    def test_parameter_rebind_invalidates_plans(self):
+        sc, ds, pde, weights, _ = self._scenario_setup()
+        model = sc.build_model("tiny")
+        step = rc.CompiledTrainingStep(model, pde, weights)
+        batch = ds.sample_batch([0, 1], epoch=0)
+        step(batch)
+        assert step.stats()["n_plans"] == 1
+        p = model.parameters()[0]
+        p.data = p.data.copy()  # rebind: new array identity
+        model.zero_grad()
+        step(batch)
+        stats = step.stats()
+        assert stats["retraces"] == 2  # fingerprint change forced a re-trace
+
+    def test_active_dropout_degrades_loudly_to_eager(self):
+        sc, ds, pde, weights, _ = self._scenario_setup()
+        model = sc.build_model("tiny")
+        model.imnet.net = nn.Sequential(nn.Dropout(0.5), model.imnet.net)
+        step = rc.CompiledTrainingStep(model, pde, weights)
+        batch = ds.sample_batch([0, 1], epoch=0)
+        with pytest.warns(rc.CompileFallbackWarning, match="impure"):
+            bd = step(batch)
+        assert np.isfinite(bd.total)
+        stats = step.stats()
+        assert stats["n_plans"] == 0
+        assert stats["fallbacks"]["impure"] == 1
