@@ -127,6 +127,29 @@ class SuperResolutionDataset:
             max((cx - 1) * fx * dx_hr, 1e-12),
         ])
 
+    def config_key(self) -> str:
+        """Stable serialization key of the dataset recipe + source content.
+
+        Fingerprints the sampling hyper-parameters together with the
+        :meth:`~repro.simulation.result.SimulationResult.content_key` of
+        every source simulation.  Because crop/point sampling is fully
+        deterministic given ``(seed, epoch, index)``, two datasets with
+        equal keys produce bit-identical batches — the contract the
+        experiment pipeline's artifact fingerprints build on.
+        """
+        from ..pipeline.fingerprint import fingerprint
+
+        return fingerprint({
+            "results": [r.content_key() for r in self.results],
+            "lr_factors": list(self.lr_factors),
+            "crop_shape_lr": list(self.crop_shape_lr),
+            "n_points": self.n_points,
+            "samples_per_epoch": self.samples_per_epoch,
+            "normalize": self.normalizer is not None,
+            "downsample_method": self.downsample_method,
+            "seed": self.seed,
+        })
+
     # ---------------------------------------------------------------- info
     @property
     def n_datasets(self) -> int:

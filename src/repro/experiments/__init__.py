@@ -6,7 +6,16 @@ from .ablations import (
     run_ablation_capacity,
     run_ablation_interpolation,
 )
-from .common import SCALES, ExperimentScale, build_dataset, build_model, get_scale, simulate, train_model
+from .common import (
+    SCALES,
+    ExperimentScale,
+    build_dataset,
+    build_model,
+    get_scale,
+    run_stages,
+    simulate,
+    train_model,
+)
 from .figures import run_fig2_simulation, run_fig6_qualitative, run_fig7_scaling
 from .tables import (
     GAMMA_STAR,
@@ -25,6 +34,7 @@ __all__ = [
     "build_dataset",
     "build_model",
     "train_model",
+    "run_stages",
     "PAPER_GAMMAS",
     "GAMMA_STAR",
     "run_table1_gamma_sweep",

@@ -9,17 +9,17 @@ individual architectural decisions of MeshfreeFlowNet:
 * latent-grid channel count (model capacity),
 * all-reduce algorithm and communication/computation overlap in the scaling
   performance model.
+
+Like the table runners, these are thin wrappers over the cached pipeline
+stages in :mod:`repro.pipeline.stages`.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-
-from ..distributed import ScalingPerformanceModel
-from ..metrics.report import MetricReport
-from ..training import evaluate_model
-from .common import ExperimentScale, build_dataset, build_model, get_scale, simulate, train_model
+from ..pipeline.stages import allreduce_stage, eval_stage, sim_stage, train_stage
+from .common import ExperimentScale, get_scale, run_stages
 
 __all__ = [
     "run_ablation_activation",
@@ -29,12 +29,18 @@ __all__ = [
 ]
 
 
-def _train_and_eval(scale: ExperimentScale, dataset, val_dataset, gamma: float,
-                    label: str, **config_overrides) -> tuple[MetricReport, dict]:
-    model = build_model(scale, **config_overrides)
-    trainer = train_model(scale, dataset, gamma=gamma, model=model)
-    report = evaluate_model(trainer.model, val_dataset, label=label)
-    return report, trainer.history.to_dict()
+def _grid_stages(scale: ExperimentScale, gamma: float,
+                 variants: Sequence[tuple[str, str, dict]]) -> list:
+    """simulate + per-variant train/eval stages for a one-knob ablation grid."""
+    stages = [sim_stage("sim.train", scale, seed=scale.seed),
+              sim_stage("sim.val", scale, seed=scale.seed + 1)]
+    for key, label, overrides in variants:
+        stages.append(train_stage(f"train.{key}", scale, gamma=float(gamma),
+                                  sim_deps=["sim.train"], model_overrides=overrides))
+        stages.append(eval_stage(f"eval.{key}", scale, label=label,
+                                 sim_dep="sim.val", train_dep=f"train.{key}",
+                                 model_overrides=overrides))
+    return stages
 
 
 def run_ablation_activation(scale: str | ExperimentScale = "tiny",
@@ -42,15 +48,11 @@ def run_ablation_activation(scale: str | ExperimentScale = "tiny",
                             gamma: float = 0.0125) -> dict:
     """Equation loss vs. decoder activation smoothness."""
     scale = get_scale(scale)
-    sim = simulate(scale)
-    val_sim = simulate(scale, seed=scale.seed + 1)
-    dataset = build_dataset(scale, results=sim)
-    val_dataset = build_dataset(scale, results=val_sim)
-    reports, histories = {}, {}
-    for act in activations:
-        label = f"activation={act}"
-        reports[label], histories[label] = _train_and_eval(
-            scale, dataset, val_dataset, gamma, label, imnet_activation=act)
+    variants = [(act, f"activation={act}", {"imnet_activation": act})
+                for act in activations]
+    values = run_stages(_grid_stages(scale, gamma, variants), name="ablation_activation")
+    reports = {label: values[f"eval.{key}"] for key, label, _ in variants}
+    histories = {label: values[f"train.{key}"]["history"] for key, label, _ in variants}
     return {"experiment": "ablation_activation", "scale": scale.name,
             "reports": reports, "histories": histories}
 
@@ -59,15 +61,10 @@ def run_ablation_interpolation(scale: str | ExperimentScale = "tiny",
                                gamma: float = 0.0) -> dict:
     """Trilinear latent blending (Eqn. 6) vs. nearest-vertex decoding."""
     scale = get_scale(scale)
-    sim = simulate(scale)
-    val_sim = simulate(scale, seed=scale.seed + 1)
-    dataset = build_dataset(scale, results=sim)
-    val_dataset = build_dataset(scale, results=val_sim)
-    reports = {}
-    for mode in ("trilinear", "nearest"):
-        label = f"interpolation={mode}"
-        reports[label], _ = _train_and_eval(
-            scale, dataset, val_dataset, gamma, label, interpolation=mode)
+    variants = [(mode, f"interpolation={mode}", {"interpolation": mode})
+                for mode in ("trilinear", "nearest")]
+    values = run_stages(_grid_stages(scale, gamma, variants), name="ablation_interpolation")
+    reports = {label: values[f"eval.{key}"] for key, label, _ in variants}
     return {"experiment": "ablation_interpolation", "scale": scale.name, "reports": reports}
 
 
@@ -76,17 +73,12 @@ def run_ablation_capacity(scale: str | ExperimentScale = "tiny",
                           gamma: float = 0.0) -> dict:
     """Latent context grid width (capacity of the learned representation)."""
     scale = get_scale(scale)
-    sim = simulate(scale)
-    val_sim = simulate(scale, seed=scale.seed + 1)
-    dataset = build_dataset(scale, results=sim)
-    val_dataset = build_dataset(scale, results=val_sim)
-    reports, parameter_counts = {}, {}
-    for c in latent_channels:
-        label = f"latent={c}"
-        model = build_model(scale, latent_channels=int(c))
-        parameter_counts[label] = model.num_parameters()
-        trainer = train_model(scale, dataset, gamma=gamma, model=model)
-        reports[label] = evaluate_model(trainer.model, val_dataset, label=label)
+    variants = [(f"latent{c}", f"latent={c}", {"latent_channels": int(c)})
+                for c in latent_channels]
+    values = run_stages(_grid_stages(scale, gamma, variants), name="ablation_capacity")
+    reports = {label: values[f"eval.{key}"] for key, label, _ in variants}
+    parameter_counts = {label: values[f"train.{key}"]["num_parameters"]
+                        for key, label, _ in variants}
     return {"experiment": "ablation_capacity", "scale": scale.name,
             "reports": reports, "parameter_counts": parameter_counts}
 
@@ -94,22 +86,7 @@ def run_ablation_capacity(scale: str | ExperimentScale = "tiny",
 def run_ablation_allreduce(world_sizes: Sequence[int] = (1, 2, 8, 32, 128),
                            overlap_fractions: Sequence[float] = (0.0, 0.5, 0.9)) -> dict:
     """Scaling efficiency vs. communication/computation overlap (performance model)."""
-    results = {}
-    for overlap in overlap_fractions:
-        model = ScalingPerformanceModel(overlap_fraction=float(overlap))
-        results[f"overlap={overlap:g}"] = {
-            int(p.world_size): {"efficiency": p.efficiency, "throughput": p.throughput}
-            for p in model.evaluate(list(world_sizes))
-        }
-    # Naive (gather+broadcast) all-reduce cost comparison at the largest size.
-    ring = ScalingPerformanceModel()
-    naive_cost = ring.message_bytes * (max(world_sizes) - 1) / ring.cluster.inter_node_bandwidth
-    return {
-        "experiment": "ablation_allreduce",
-        "world_sizes": [int(w) for w in world_sizes],
-        "results": results,
-        "ring_vs_naive_comm_time": {
-            "ring": ring.communication_time(max(world_sizes)),
-            "naive": naive_cost,
-        },
-    }
+    values = run_stages([allreduce_stage("allreduce", world_sizes=world_sizes,
+                                         overlap_fractions=overlap_fractions)],
+                        name="ablation_allreduce")
+    return values["allreduce"]

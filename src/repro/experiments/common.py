@@ -15,7 +15,7 @@ provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 from typing import Optional, Sequence
 
 
@@ -27,7 +27,7 @@ from ..simulation import DatasetSpec, SimulationResult, generate_dataset
 from ..training import Trainer, TrainerConfig
 
 __all__ = ["ExperimentScale", "get_scale", "build_datasets", "build_dataset",
-           "build_model", "train_model", "SCALES"]
+           "build_model", "train_model", "run_stages", "SCALES"]
 
 
 @dataclass
@@ -53,6 +53,13 @@ class ExperimentScale:
     seed: int = 0
 
     def with_overrides(self, **overrides) -> "ExperimentScale":
+        valid = {f.name for f in fields(self)}
+        unknown = sorted(set(overrides) - valid)
+        if unknown:
+            raise KeyError(
+                f"unknown ExperimentScale override(s) {unknown}; "
+                f"valid fields: {sorted(valid)}"
+            )
         return replace(self, **overrides)
 
     def _scenario_model_overrides(self) -> dict:
@@ -68,7 +75,7 @@ class ExperimentScale:
             "small": MeshfreeFlowNetConfig.small,
             "paper": MeshfreeFlowNetConfig.paper,
         }[self.model_size]
-        merged = {**self._scenario_model_overrides(), **overrides}
+        merged = {"seed": self.seed, **self._scenario_model_overrides(), **overrides}
         if self.model_size == "paper":
             cfg = factory()
             for key, value in merged.items():
@@ -131,6 +138,23 @@ def get_scale(scale: str | ExperimentScale | None) -> ExperimentScale:
         return SCALES[scale]
     except KeyError as exc:
         raise KeyError(f"unknown scale '{scale}'; available: {sorted(SCALES)}") from exc
+
+
+def run_stages(stages, name: str = "adhoc", jobs: int = 1) -> dict:
+    """Run ad-hoc pipeline stages fully in memory; return stage values by name.
+
+    The legacy table/figure runners are thin wrappers that build a few
+    :mod:`repro.pipeline.stages` nodes and extract their values from here.
+    Raises ``RuntimeError`` listing the failing stages if any stage body
+    raised (in-memory runs have no cone poisoning to hide behind).
+    """
+    from ..pipeline.graph import Pipeline, run_pipeline  # lazy: avoids an import cycle
+
+    report = run_pipeline(Pipeline(stages, name=name), store=None, jobs=jobs)
+    if not report.ok:
+        failures = {r.name: r.error for r in report.results.values() if r.status == "failed"}
+        raise RuntimeError(f"pipeline stage(s) failed: {failures}")
+    return report.values
 
 
 def simulate(scale: ExperimentScale, rayleigh: Optional[float] = None,

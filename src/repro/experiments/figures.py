@@ -1,18 +1,25 @@
-"""Runners for Figures 2, 6 and 7 of the paper."""
+"""Runners for Figures 2, 6 and 7 of the paper.
+
+Thin wrappers over the pipeline stage bodies (see
+:mod:`repro.pipeline.stages`); the payload dictionaries are built by the
+same code paths ``python -m repro.pipeline run`` caches on disk.
+"""
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
-import numpy as np
-
-from ..autodiff import Tensor
-from ..baselines import TrilinearBaseline
 from ..distributed import ScalingPerformanceModel
-from ..inference import InferenceEngine
-from ..metrics import turbulence_summary
+from ..pipeline.stages import (
+    fig2_stage,
+    fig6_payload,
+    fig6_stage,
+    fig7_payload,
+    sim_stage,
+    train_stage,
+)
 from ..training import Trainer
-from .common import ExperimentScale, build_dataset, get_scale, simulate, train_model
+from .common import ExperimentScale, build_dataset, get_scale, run_stages, simulate
 
 __all__ = ["run_fig2_simulation", "run_fig6_qualitative", "run_fig7_scaling"]
 
@@ -26,23 +33,12 @@ def run_fig2_simulation(scale: str | ExperimentScale = "tiny",
     would plot to regenerate the figure.
     """
     scale = get_scale(scale)
-    sim = simulate(scale)
-    index = min(int(snapshot_fraction * (sim.nt - 1)), sim.nt - 1)
-    snapshot = sim.snapshot(index)
-    _, dz, dx = sim.grid_spacing()
-    nu = float(np.sqrt(sim.prandtl / sim.rayleigh))
-    stats = turbulence_summary(snapshot["u"], snapshot["w"], dx=dx, dz=dz, nu=nu)
-    return {
-        "experiment": "fig2_simulation",
-        "scale": scale.name,
-        "snapshot_index": index,
-        "time": float(sim.times[index]),
-        "fields": snapshot,
-        "grid": {"nz": sim.nz, "nx": sim.nx, "lx": sim.lx, "lz": sim.lz},
-        "rayleigh": sim.rayleigh,
-        "prandtl": sim.prandtl,
-        "turbulence_summary": stats,
-    }
+    values = run_stages([
+        sim_stage("sim", scale, seed=scale.seed),
+        fig2_stage("fig2", scale, sim_dep="sim",
+                   snapshot_fraction=float(snapshot_fraction)),
+    ], name="fig2")
+    return values["fig2"]
 
 
 def run_fig6_qualitative(scale: str | ExperimentScale = "tiny",
@@ -57,41 +53,20 @@ def run_fig6_qualitative(scale: str | ExperimentScale = "tiny",
     high-resolution ground truth — the four image rows of the figure.
     """
     scale = get_scale(scale)
-    sim = simulate(scale)
-    dataset = build_dataset(scale, results=sim)
-    if trainer is None:
-        trainer = train_model(scale, dataset, gamma=gamma)
-    model = trainer.model
-
-    lowres, highres, _ = dataset.evaluation_pair(0)
-    hr_shape = highres.shape[1:]
-    engine = InferenceEngine(model)
-    prediction = engine.predict_grid(Tensor(lowres[None]), hr_shape)[0]
-    trilinear = TrilinearBaseline().predict_grid(Tensor(lowres[None]), hr_shape)[0]
-
-    # Convert everything back to physical units and pick one HR time index.
-    pred_fields = dataset.denormalize(prediction, channel_axis=0)
-    tri_fields = dataset.denormalize(trilinear, channel_axis=0)
-    true_fields = dataset.denormalize(highres, channel_axis=0)
-    low_fields = dataset.denormalize(lowres, channel_axis=0)
-
-    t_hr = min(int(snapshot_fraction * (hr_shape[0] - 1)), hr_shape[0] - 1)
-    t_lr = min(t_hr // scale.lr_factors[0], lowres.shape[1] - 1)
-    channels = dataset.channel_names
-    return {
-        "experiment": "fig6_qualitative",
-        "scale": scale.name,
-        "gamma": gamma,
-        "channels": channels,
-        "lowres": {c: low_fields[i, t_lr] for i, c in enumerate(channels)},
-        "prediction": {c: pred_fields[i, t_hr] for i, c in enumerate(channels)},
-        "trilinear": {c: tri_fields[i, t_hr] for i, c in enumerate(channels)},
-        "ground_truth": {c: true_fields[i, t_hr] for i, c in enumerate(channels)},
-        "errors": {
-            "prediction_mae": float(np.mean(np.abs(pred_fields - true_fields))),
-            "trilinear_mae": float(np.mean(np.abs(tri_fields - true_fields))),
-        },
-    }
+    if trainer is not None:
+        # Pre-trained model supplied: skip the train stage entirely.
+        sim = simulate(scale)
+        dataset = build_dataset(scale, results=sim)
+        return fig6_payload(trainer.model, dataset, scale, gamma=float(gamma),
+                            snapshot_fraction=float(snapshot_fraction))
+    values = run_stages([
+        sim_stage("sim", scale, seed=scale.seed),
+        train_stage("train", scale, gamma=float(gamma), sim_deps=["sim"]),
+        fig6_stage("fig6", scale, train_dep="train", sim_dep="sim",
+                   gamma=float(gamma),
+                   snapshot_fraction=float(snapshot_fraction)),
+    ], name="fig6")
+    return values["fig6"]
 
 
 def run_fig7_scaling(scale: str | ExperimentScale = "tiny",
@@ -110,22 +85,25 @@ def run_fig7_scaling(scale: str | ExperimentScale = "tiny",
     * 7c — the same losses plotted against modelled wall-clock time
       (epochs × modelled epoch time for that worker count).
     """
+    import numpy as np
+
     scale = get_scale(scale)
     perf = performance_model if performance_model is not None else ScalingPerformanceModel()
-    throughput_points = perf.evaluate(list(world_sizes))
 
     curves: dict[int, dict] = {}
     if train_curves:
         curve_sizes = list(curve_world_sizes) if curve_world_sizes is not None else list(world_sizes)
-        sim = simulate(scale)
         n_epochs = scale.epochs if epochs is None else int(epochs)
+        stages = [sim_stage("sim", scale, seed=scale.seed)]
         for ws in curve_sizes:
-            dataset = build_dataset(scale, results=sim)
-            trainer = train_model(
-                scale, dataset, gamma=0.0,
-                world_size=int(ws), epochs=n_epochs,
-            )
-            losses = trainer.history.series("loss")
+            stages.append(train_stage(
+                f"train.ws{ws}", scale, gamma=0.0, sim_deps=["sim"],
+                trainer_overrides={"world_size": int(ws), "epochs": n_epochs},
+            ))
+        values = run_stages(stages, name="fig7")
+        for ws in curve_sizes:
+            records = values[f"train.ws{ws}"]["history"]["records"]
+            losses = np.asarray([r["loss"] for r in records if "loss" in r], dtype=float)
             epoch_time = perf.epoch_time(int(ws))
             curves[int(ws)] = {
                 "epochs": list(range(len(losses))),
@@ -134,27 +112,4 @@ def run_fig7_scaling(scale: str | ExperimentScale = "tiny",
                 "modelled_epoch_time": epoch_time,
             }
 
-    return {
-        "experiment": "fig7_scaling",
-        "scale": scale.name,
-        "world_sizes": [int(w) for w in world_sizes],
-        "throughput": {
-            p.world_size: {
-                "throughput": p.throughput,
-                "ideal_throughput": perf.ideal_throughput(p.world_size),
-                "efficiency": p.efficiency,
-                "step_time": p.step_time,
-                "communication_time": p.communication_time,
-                "epoch_time": p.epoch_time,
-            }
-            for p in throughput_points
-        },
-        "efficiency_at_max": throughput_points[-1].efficiency,
-        "loss_curves": curves,
-        "performance_model": {
-            "n_parameters": perf.n_parameters,
-            "compute_time_per_sample": perf.compute_time_per_sample,
-            "batch_size_per_worker": perf.batch_size_per_worker,
-            "overlap_fraction": perf.overlap_fraction,
-        },
-    }
+    return fig7_payload(perf, world_sizes, curves, scale.name)

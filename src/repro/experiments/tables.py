@@ -4,6 +4,12 @@ Every runner returns a dictionary with a ``"reports"`` entry mapping row
 labels to :class:`~repro.metrics.report.MetricReport` objects (the NMAE / R²
 of the nine physics metrics — exactly the columns of the paper's tables),
 plus experiment-specific extras (training histories, configuration).
+
+Since the pipeline refactor these are thin wrappers: each one assembles the
+same simulate → train → evaluate stages that ``python -m repro.pipeline run``
+caches on disk, and runs them in memory via
+:func:`~repro.experiments.common.run_stages`.  The numbers are identical
+either way — the stage bodies *are* the experiment.
 """
 
 from __future__ import annotations
@@ -12,10 +18,9 @@ from typing import Sequence
 
 import numpy as np
 
-from ..baselines import TrilinearBaseline, UNetDecoderBaseline
 from ..metrics.report import MetricReport, format_table
-from ..training import Trainer, evaluate_model
-from .common import ExperimentScale, build_dataset, get_scale, simulate, train_model
+from ..pipeline.stages import eval_stage, sim_stage, train_stage
+from .common import ExperimentScale, get_scale, run_stages
 
 __all__ = ["run_table1_gamma_sweep", "run_table2_baselines",
            "run_table3_unseen_ic", "run_table4_rayleigh_transfer"]
@@ -34,18 +39,21 @@ def run_table1_gamma_sweep(scale: str | ExperimentScale = "tiny",
     physics metrics on a validation simulation with a different seed.
     """
     scale = get_scale(scale)
-    train_sim = simulate(scale, seed=scale.seed)
-    val_sim = simulate(scale, seed=scale.seed + 1)
-    dataset = build_dataset(scale, results=train_sim)
-    val_dataset = build_dataset(scale, results=val_sim)
+    stages = [sim_stage("sim.train", scale, seed=scale.seed),
+              sim_stage("sim.val", scale, seed=scale.seed + 1)]
+    for gamma in gammas:
+        stages.append(train_stage(f"train.g{gamma:g}", scale, gamma=float(gamma),
+                                  sim_deps=["sim.train"]))
+        stages.append(eval_stage(f"eval.g{gamma:g}", scale, label=f"gamma={gamma:g}",
+                                 sim_dep="sim.val", train_dep=f"train.g{gamma:g}"))
+    values = run_stages(stages, name="table1")
 
     reports: dict[str, MetricReport] = {}
     histories = {}
     for gamma in gammas:
-        trainer = train_model(scale, dataset, gamma=float(gamma))
         label = f"gamma={gamma:g}"
-        reports[label] = evaluate_model(trainer.model, val_dataset, label=label)
-        histories[label] = trainer.history.to_dict()
+        reports[label] = values[f"eval.g{gamma:g}"]
+        histories[label] = values[f"train.g{gamma:g}"]["history"]
         if verbose:
             print(f"{label}: avg R2 = {reports[label].average_r2:.4f}")
     if verbose:
@@ -64,31 +72,34 @@ def run_table2_baselines(scale: str | ExperimentScale = "tiny",
                          verbose: bool = False) -> dict:
     """Table 2: MeshfreeFlowNet (γ=0 and γ=γ*) vs Baselines I and II."""
     scale = get_scale(scale)
-    train_sim = simulate(scale, seed=scale.seed)
-    val_sim = simulate(scale, seed=scale.seed + 1)
-    dataset = build_dataset(scale, results=train_sim)
-    val_dataset = build_dataset(scale, results=val_sim)
-
-    reports: dict[str, MetricReport] = {}
-
-    # Baseline (I): trilinear interpolation (no training).
-    reports["baseline_I_trilinear"] = evaluate_model(
-        TrilinearBaseline(), val_dataset, label="baseline_I_trilinear")
-
-    # Baseline (II): U-Net encoder + convolutional decoder.
-    baseline2 = UNetDecoderBaseline(scale.model_config(), upsample_factors=scale.lr_factors)
-    trainer_b2 = Trainer(baseline2, dataset, pde_system=None,
-                         config=scale.trainer_config(gamma=0.0))
-    trainer_b2.train()
-    reports["baseline_II_unet"] = evaluate_model(baseline2, val_dataset, label="baseline_II_unet")
-
-    # MeshfreeFlowNet without and with the equation loss.
-    trainer_g0 = train_model(scale, dataset, gamma=0.0)
-    reports["mfn_gamma=0"] = evaluate_model(trainer_g0.model, val_dataset, label="mfn_gamma=0")
-
-    trainer_gs = train_model(scale, dataset, gamma=gamma_star)
-    reports["mfn_gamma=gamma*"] = evaluate_model(trainer_gs.model, val_dataset, label="mfn_gamma=gamma*")
-
+    stages = [
+        sim_stage("sim.train", scale, seed=scale.seed),
+        sim_stage("sim.val", scale, seed=scale.seed + 1),
+        # Baseline (I): trilinear interpolation (no training).
+        eval_stage("eval.baseline1", scale, label="baseline_I_trilinear",
+                   sim_dep="sim.val", model_kind="trilinear"),
+        # Baseline (II): U-Net encoder + convolutional decoder.
+        train_stage("train.unet", scale, gamma=0.0, sim_deps=["sim.train"],
+                    model_kind="unet_baseline"),
+        eval_stage("eval.baseline2", scale, label="baseline_II_unet",
+                   sim_dep="sim.val", train_dep="train.unet",
+                   model_kind="unet_baseline"),
+        # MeshfreeFlowNet without and with the equation loss.
+        train_stage("train.g0", scale, gamma=0.0, sim_deps=["sim.train"]),
+        eval_stage("eval.g0", scale, label="mfn_gamma=0",
+                   sim_dep="sim.val", train_dep="train.g0"),
+        train_stage("train.gstar", scale, gamma=float(gamma_star),
+                    sim_deps=["sim.train"]),
+        eval_stage("eval.gstar", scale, label="mfn_gamma=gamma*",
+                   sim_dep="sim.val", train_dep="train.gstar"),
+    ]
+    values = run_stages(stages, name="table2")
+    reports: dict[str, MetricReport] = {
+        "baseline_I_trilinear": values["eval.baseline1"],
+        "baseline_II_unet": values["eval.baseline2"],
+        "mfn_gamma=0": values["eval.g0"],
+        "mfn_gamma=gamma*": values["eval.gstar"],
+    }
     if verbose:
         print(format_table(reports, title="Table 2 — MeshfreeFlowNet vs baselines"))
     return {
@@ -110,16 +121,22 @@ def run_table3_unseen_ic(scale: str | ExperimentScale = "tiny",
     """
     scale = get_scale(scale)
     max_count = max(dataset_counts)
-    train_sims = [simulate(scale, seed=scale.seed + i) for i in range(max_count)]
-    unseen_sim = simulate(scale, seed=scale.seed + 1000)
-    unseen_dataset = build_dataset(scale, results=unseen_sim)
+    sim_names = [f"sim.s{i}" for i in range(max_count)]
+    stages = [sim_stage(name, scale, seed=scale.seed + i)
+              for i, name in enumerate(sim_names)]
+    stages.append(sim_stage("sim.unseen", scale, seed=scale.seed + 1000))
+    for count in dataset_counts:
+        label = f"{count}_dataset" + ("s" if count > 1 else "")
+        stages.append(train_stage(f"train.n{count}", scale, gamma=float(gamma),
+                                  sim_deps=sim_names[:count]))
+        stages.append(eval_stage(f"eval.n{count}", scale, label=label,
+                                 sim_dep="sim.unseen", train_dep=f"train.n{count}"))
+    values = run_stages(stages, name="table3")
 
     reports: dict[str, MetricReport] = {}
     for count in dataset_counts:
-        dataset = build_dataset(scale, results=train_sims[:count])
-        trainer = train_model(scale, dataset, gamma=gamma)
         label = f"{count}_dataset" + ("s" if count > 1 else "")
-        reports[label] = evaluate_model(trainer.model, unseen_dataset, label=label)
+        reports[label] = values[f"eval.n{count}"]
         if verbose:
             print(f"{label}: avg R2 = {reports[label].average_r2:.4f}")
     if verbose:
@@ -145,17 +162,23 @@ def run_table4_rayleigh_transfer(scale: str | ExperimentScale = "tiny",
     Rayleigh numbers.
     """
     scale = get_scale(scale)
-    train_sims = [simulate(scale, rayleigh=ra, seed=scale.seed + i)
-                  for i, ra in enumerate(train_rayleigh)]
-    dataset = build_dataset(scale, results=train_sims)
-    trainer = train_model(scale, dataset, gamma=gamma, rayleigh=float(np.median(train_rayleigh)))
+    train_names = [f"sim.train{i}" for i in range(len(train_rayleigh))]
+    stages = [sim_stage(name, scale, seed=scale.seed + i, rayleigh=float(ra))
+              for i, (name, ra) in enumerate(zip(train_names, train_rayleigh))]
+    stages.append(train_stage("train.mix", scale, gamma=float(gamma),
+                              sim_deps=train_names,
+                              pde_rayleigh=float(np.median(train_rayleigh))))
+    for i, ra in enumerate(test_rayleigh):
+        stages.append(sim_stage(f"sim.test{i}", scale, seed=scale.seed + 500 + i,
+                                rayleigh=float(ra)))
+        stages.append(eval_stage(f"eval.ra{i}", scale, label=f"Ra={ra:.0e}",
+                                 sim_dep=f"sim.test{i}", train_dep="train.mix"))
+    values = run_stages(stages, name="table4")
 
     reports: dict[str, MetricReport] = {}
     for i, ra in enumerate(test_rayleigh):
-        test_sim = simulate(scale, rayleigh=ra, seed=scale.seed + 500 + i)
-        test_dataset = build_dataset(scale, results=test_sim)
         label = f"Ra={ra:.0e}"
-        reports[label] = evaluate_model(trainer.model, test_dataset, label=label)
+        reports[label] = values[f"eval.ra{i}"]
         if verbose:
             print(f"{label}: avg R2 = {reports[label].average_r2:.4f}")
     if verbose:

@@ -1,0 +1,8 @@
+"""``python -m repro.pipeline`` — see :mod:`repro.pipeline.cli`."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

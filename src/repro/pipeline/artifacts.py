@@ -1,0 +1,277 @@
+"""Content-addressed artifact store for pipeline stage outputs.
+
+Every stage output is persisted under its fingerprint (see
+:mod:`repro.pipeline.fingerprint`)::
+
+    <root>/objects/<fingerprint>/meta.json     # provenance + payload digests
+    <root>/objects/<fingerprint>/value.json    # JSON skeleton of the value
+    <root>/objects/<fingerprint>/arrays.npz    # extracted ndarray leaves
+    <root>/objects/<fingerprint>/sim<k>.npz    # embedded SimulationResults
+
+Values are arbitrary JSON-like trees whose leaves may additionally be NumPy
+arrays, :class:`~repro.metrics.report.MetricReport` objects or
+:class:`~repro.simulation.result.SimulationResult` blocks — the tree
+serializer extracts those into sidecar archives and round-trips them
+losslessly (arrays keep their exact dtypes, which is what makes bit-identical
+cache replay possible).
+
+Writes are atomic (staged into ``<root>/tmp`` and renamed), ``meta.json``
+records a SHA-256 per payload file, and :meth:`ArtifactStore.load` verifies
+them — a truncated or tampered payload raises :class:`ArtifactCorrupted`
+instead of silently feeding bad data downstream (callers treat this as a
+cache miss and recompute).  Stages with long-running work keep mid-run
+checkpoints in :meth:`ArtifactStore.scratch_dir`, a per-fingerprint directory
+that survives interruption and is cleared once the artifact commits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from ..metrics.report import MetricReport
+from ..simulation.result import SimulationResult
+from .fingerprint import file_digest
+
+__all__ = ["ArtifactStore", "ArtifactCorrupted", "ArtifactMissing",
+           "save_value", "load_value"]
+
+#: Version of the on-disk artifact layout.
+STORE_FORMAT = 1
+
+
+class ArtifactMissing(KeyError):
+    """No artifact stored under the requested fingerprint."""
+
+
+class ArtifactCorrupted(RuntimeError):
+    """A stored payload failed its recorded SHA-256 digest check."""
+
+
+# --------------------------------------------------------------------------
+# value (de)serialization: JSON skeleton + array / simulation sidecars
+# --------------------------------------------------------------------------
+
+class _TreeWriter:
+    """Walks a value tree, swapping non-JSON leaves for tagged references."""
+
+    def __init__(self):
+        self.arrays: dict[str, np.ndarray] = {}
+        self.sims: list[SimulationResult] = []
+
+    def encode(self, obj):
+        """Return the JSON-safe skeleton of ``obj``, collecting sidecar leaves."""
+        if obj is None or isinstance(obj, (bool, str)):
+            return obj
+        if isinstance(obj, (int, np.integer)):
+            return int(obj)
+        if isinstance(obj, (float, np.floating)):
+            return float(obj)
+        if isinstance(obj, np.ndarray):
+            key = f"a{len(self.arrays)}"
+            self.arrays[key] = obj
+            return {"__ndarray__": key}
+        if isinstance(obj, SimulationResult):
+            self.sims.append(obj)
+            return {"__simulation__": len(self.sims) - 1}
+        if isinstance(obj, MetricReport):
+            return {"__metric_report__": {
+                "label": obj.label,
+                "nmae": self.encode(dict(obj.nmae)),
+                "r2": self.encode(dict(obj.r2)),
+            }}
+        if isinstance(obj, (list, tuple)):
+            return [self.encode(item) for item in obj]
+        if isinstance(obj, dict):
+            return {"__dict__": [[self.encode(str(k)), self.encode(v)]
+                                 for k, v in obj.items()]}
+        raise TypeError(
+            f"cannot serialize artifact leaf of type {type(obj).__name__}: {obj!r}"
+        )
+
+
+def _decode_tree(obj, arrays, sim_loader):
+    """Inverse of :meth:`_TreeWriter.encode`."""
+    if isinstance(obj, list):
+        return [_decode_tree(item, arrays, sim_loader) for item in obj]
+    if isinstance(obj, dict):
+        if "__ndarray__" in obj:
+            return np.asarray(arrays[obj["__ndarray__"]])
+        if "__simulation__" in obj:
+            return sim_loader(int(obj["__simulation__"]))
+        if "__metric_report__" in obj:
+            body = obj["__metric_report__"]
+            return MetricReport(
+                nmae=_decode_tree(body["nmae"], arrays, sim_loader),
+                r2=_decode_tree(body["r2"], arrays, sim_loader),
+                label=body.get("label", ""),
+            )
+        if "__dict__" in obj:
+            return {k: _decode_tree(v, arrays, sim_loader) for k, v in obj["__dict__"]}
+        raise ValueError(f"unrecognised artifact skeleton node: {sorted(obj)}")
+    return obj
+
+
+def save_value(value, directory: Path) -> list[str]:
+    """Serialize ``value`` into ``directory``; return the payload file names."""
+    writer = _TreeWriter()
+    skeleton = writer.encode(value)
+    directory.mkdir(parents=True, exist_ok=True)
+    files = ["value.json"]
+    (directory / "value.json").write_text(
+        json.dumps({"format": STORE_FORMAT, "value": skeleton}, sort_keys=True))
+    if writer.arrays:
+        np.savez_compressed(directory / "arrays.npz", **writer.arrays)
+        files.append("arrays.npz")
+    for idx, sim in enumerate(writer.sims):
+        name = f"sim{idx}.npz"
+        sim.save(directory / name)
+        files.append(name)
+    return files
+
+
+def load_value(directory: Path):
+    """Load a value previously written by :func:`save_value`."""
+    payload = json.loads((directory / "value.json").read_text())
+    arrays: dict[str, np.ndarray] = {}
+    arrays_path = directory / "arrays.npz"
+    if arrays_path.exists():
+        with np.load(arrays_path) as data:
+            arrays = {key: data[key] for key in data.files}
+    def sim_loader(idx: int) -> SimulationResult:
+        return SimulationResult.load(directory / f"sim{idx}.npz")
+    return _decode_tree(payload["value"], arrays, sim_loader)
+
+
+# --------------------------------------------------------------------------
+# the store
+# --------------------------------------------------------------------------
+
+@dataclass
+class ArtifactRecord:
+    """Provenance of one stored artifact (the contents of its ``meta.json``)."""
+
+    fingerprint: str
+    stage: str
+    created: float
+    files: dict[str, str]
+    meta: dict
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form (what ``meta.json`` holds)."""
+        return {"format": STORE_FORMAT, "fingerprint": self.fingerprint,
+                "stage": self.stage, "created": self.created,
+                "files": dict(self.files), "meta": dict(self.meta)}
+
+
+class ArtifactStore:
+    """Content-addressed, corruption-checked artifact store (see module docs)."""
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self._objects = self.root / "objects"
+        self._tmp = self.root / "tmp"
+        self._scratch = self.root / "scratch"
+
+    # ------------------------------------------------------------- locations
+    def _object_dir(self, fp: str) -> Path:
+        return self._objects / fp
+
+    def scratch_dir(self, fp: str) -> Path:
+        """Persistent per-fingerprint working directory for mid-run state.
+
+        Survives interruption (this is where training stages keep their
+        resumable checkpoints) and is deleted when the artifact commits.
+        """
+        path = self._scratch / fp
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
+    # ---------------------------------------------------------------- access
+    def has(self, fp: str) -> bool:
+        """True when an artifact is stored (and structurally complete)."""
+        return (self._object_dir(fp) / "meta.json").exists()
+
+    def record(self, fp: str) -> ArtifactRecord:
+        """Read an artifact's provenance record (no payload verification)."""
+        meta_path = self._object_dir(fp) / "meta.json"
+        if not meta_path.exists():
+            raise ArtifactMissing(fp)
+        raw = json.loads(meta_path.read_text())
+        return ArtifactRecord(fingerprint=raw["fingerprint"], stage=raw["stage"],
+                              created=raw["created"], files=raw["files"],
+                              meta=raw.get("meta", {}))
+
+    def load(self, fp: str):
+        """Load and return the artifact value, verifying payload digests.
+
+        Raises :class:`ArtifactMissing` when absent and
+        :class:`ArtifactCorrupted` when any payload file is missing or its
+        SHA-256 no longer matches ``meta.json`` — the executor converts the
+        latter into a recompute rather than propagating bad data.
+        """
+        record = self.record(fp)
+        obj_dir = self._object_dir(fp)
+        for name, digest in record.files.items():
+            path = obj_dir / name
+            if not path.exists():
+                raise ArtifactCorrupted(f"{fp}: payload '{name}' is missing")
+            if file_digest(path) != digest:
+                raise ArtifactCorrupted(f"{fp}: payload '{name}' failed its digest check")
+        return load_value(obj_dir)
+
+    def save(self, fp: str, value, stage: str = "", meta: Optional[dict] = None) -> ArtifactRecord:
+        """Atomically store ``value`` under ``fp``; returns its record.
+
+        The value is staged into a temporary directory, payloads are hashed,
+        and the directory is renamed into place — a crash mid-write never
+        leaves a half-artifact behind (an existing artifact for ``fp`` is
+        replaced).  The fingerprint's scratch directory is cleared on
+        commit.
+        """
+        self._tmp.mkdir(parents=True, exist_ok=True)
+        stage_dir = Path(self._tmp) / f"{fp}.{os.getpid()}.{time.monotonic_ns()}"
+        try:
+            files = save_value(value, stage_dir)
+            record = ArtifactRecord(
+                fingerprint=fp, stage=stage, created=time.time(),
+                files={name: file_digest(stage_dir / name) for name in files},
+                meta=dict(meta or {}),
+            )
+            (stage_dir / "meta.json").write_text(
+                json.dumps(record.as_dict(), sort_keys=True, indent=1))
+            final = self._object_dir(fp)
+            final.parent.mkdir(parents=True, exist_ok=True)
+            if final.exists():
+                shutil.rmtree(final)
+            os.replace(stage_dir, final)
+        except BaseException:
+            shutil.rmtree(stage_dir, ignore_errors=True)
+            raise
+        scratch = self._scratch / fp
+        if scratch.exists():
+            shutil.rmtree(scratch, ignore_errors=True)
+        return record
+
+    def delete(self, fp: str) -> bool:
+        """Remove an artifact (returns whether anything was deleted)."""
+        obj_dir = self._object_dir(fp)
+        if obj_dir.exists():
+            shutil.rmtree(obj_dir)
+            return True
+        return False
+
+    def manifest(self) -> list[dict]:
+        """Provenance records of every stored artifact, sorted by stage name."""
+        records = []
+        if self._objects.exists():
+            for meta_path in sorted(self._objects.glob("*/meta.json")):
+                records.append(json.loads(meta_path.read_text()))
+        return sorted(records, key=lambda r: (r.get("stage", ""), r["fingerprint"]))

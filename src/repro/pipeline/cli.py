@@ -1,0 +1,143 @@
+"""Command-line front end: ``python -m repro.pipeline run|status|ls``.
+
+* ``run`` — execute the pipeline described by a ``pipeline.toml``; writes
+  ``manifest.json`` (per-stage fingerprints and cache outcomes) and, when
+  validation stages ran, ``validation_report.json`` into the artifact store.
+  ``--from/--until/--force`` select/invalidate stages, ``--jobs`` overrides
+  the fan-out width, ``--expect-cached`` exits non-zero if anything had to
+  be recomputed (the CI warm-run assertion), and a failed validation fails
+  the command.
+* ``status`` — compute every stage's fingerprint and report which artifacts
+  are present without executing anything.
+* ``ls`` — list the DAG (topological order, dependencies, cache state).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .artifacts import ArtifactStore
+from .config import load_pipeline_config
+from .graph import run_pipeline
+from .stages import build_standard_pipeline
+
+__all__ = ["main"]
+
+
+def _build(args):
+    """Resolve (config, pipeline, store) from parsed CLI arguments."""
+    cfg = load_pipeline_config(args.config)
+    pipeline = build_standard_pipeline(cfg)
+    store_path = Path(args.store) if args.store else Path(cfg.store)
+    return cfg, pipeline, ArtifactStore(store_path)
+
+
+def _cmd_run(args) -> int:
+    cfg, pipeline, store = _build(args)
+    jobs = args.jobs if args.jobs else cfg.jobs
+    report = run_pipeline(
+        pipeline, store=store,
+        until=args.until, start_from=getattr(args, "from"),
+        force=args.force or (), jobs=jobs, keep_values=False,
+    )
+    counts = report.counts()
+    for result in report.results.values():
+        print(f"  [{result.status:>8}] {result.name}  ({result.seconds:.2f}s)"
+              + (f"  !! {result.error}" if result.error else ""))
+    print(f"pipeline '{cfg.name}': {counts.get('computed', 0)} computed, "
+          f"{counts.get('cached', 0)} cached, {counts.get('skipped', 0)} skipped, "
+          f"{counts.get('failed', 0)} failed in {report.seconds:.2f}s")
+
+    store.root.mkdir(parents=True, exist_ok=True)
+    (store.root / "manifest.json").write_text(
+        json.dumps(report.manifest(), indent=2, sort_keys=True) + "\n")
+
+    exit_code = 0 if report.ok else 1
+    validations = {name: value for name, value in report.values.items()
+                   if name.startswith("validate.")}
+    if validations:
+        payload = validations if len(validations) > 1 else next(iter(validations.values()))
+        (store.root / "validation_report.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        for name, verdict in validations.items():
+            status = "ok" if verdict.get("ok") else "FAILED"
+            print(f"validation {name}: {status}")
+            if not verdict.get("ok"):
+                exit_code = 1
+    if args.expect_cached and counts.get("computed", 0):
+        print(f"--expect-cached: {counts['computed']} stage(s) were recomputed",
+              file=sys.stderr)
+        exit_code = 1
+    return exit_code
+
+
+def _cmd_status(args) -> int:
+    cfg, pipeline, store = _build(args)
+    fps = pipeline.fingerprints()
+    cached = 0
+    for stage in pipeline.topo_order():
+        fp = fps[stage.name]
+        state = "cached" if store.has(fp) else "missing"
+        cached += state == "cached"
+        print(f"  [{state:>7}] {stage.name}  {fp[:12]}")
+    print(f"pipeline '{cfg.name}': {cached}/{len(pipeline)} artifacts cached "
+          f"in {store.root}")
+    return 0
+
+
+def _cmd_ls(args) -> int:
+    _, pipeline, store = _build(args)
+    fps = pipeline.fingerprints()
+    for stage in pipeline.topo_order():
+        deps = f"  <- {', '.join(stage.deps)}" if stage.deps else ""
+        mark = "*" if store.has(fps[stage.name]) else " "
+        print(f" {mark} {stage.name}{deps}")
+    print(f"{len(pipeline)} stages ('*' = artifact cached)")
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    """Build the ``repro.pipeline`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.pipeline",
+        description="Config-driven, resumable experiment pipeline "
+                    "(content-addressed artifacts).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--config", default="pipeline.toml",
+                       help="pipeline TOML file (default: ./pipeline.toml)")
+        p.add_argument("--store", default=None,
+                       help="artifact store directory (default: from config)")
+
+    run = sub.add_parser("run", help="execute the pipeline (cache-aware)")
+    common(run)
+    run.add_argument("--from", dest="from", default=None, metavar="STAGE",
+                     help="force this stage and its downstream cone to recompute")
+    run.add_argument("--until", default=None, metavar="STAGE",
+                     help="run only this stage and its upstream closure")
+    run.add_argument("--force", action="append", default=None, metavar="STAGE",
+                     help="force one stage to recompute (repeatable)")
+    run.add_argument("--jobs", type=int, default=None,
+                     help="max concurrently running stages (default: from config)")
+    run.add_argument("--expect-cached", action="store_true",
+                     help="fail if any stage had to be recomputed")
+    run.set_defaults(fn=_cmd_run)
+
+    status = sub.add_parser("status", help="show per-stage cache state")
+    common(status)
+    status.set_defaults(fn=_cmd_status)
+
+    ls = sub.add_parser("ls", help="list the stage DAG")
+    common(ls)
+    ls.set_defaults(fn=_cmd_ls)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = make_parser().parse_args(argv)
+    return args.fn(args)

@@ -1,0 +1,249 @@
+"""``pipeline.toml`` → validated :class:`PipelineConfig`.
+
+The config front-end is deliberately thin: a TOML document selects the
+experiment scale (and per-knob overrides resolved through
+:func:`repro.experiments.get_scale` / :meth:`ExperimentScale.with_overrides`),
+which tables, figures and ablations to build, trainer knobs threaded to every
+training stage (``world_size``, ``compile``, precision), and the validation
+pins.  Unknown sections and keys raise immediately with the list of valid
+names — a typo never silently disables a stage.
+
+Parsing uses stdlib :mod:`tomllib` (Python ≥ 3.11).  On older interpreters a
+minimal built-in parser covering the subset this file format uses (tables,
+strings, numbers, booleans, inline arrays) keeps the pipeline importable and
+runnable without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Mapping, Optional
+
+try:  # Python >= 3.11
+    import tomllib as _toml
+except ModuleNotFoundError:  # pragma: no cover - exercised only on py<=3.10
+    _toml = None
+
+__all__ = ["PipelineConfig", "load_pipeline_config", "parse_toml"]
+
+
+def _parse_scalar(token: str):
+    """Parse one minimal-TOML scalar token."""
+    token = token.strip()
+    if token.startswith('"') and token.endswith('"') and len(token) >= 2:
+        return token[1:-1]
+    if token.startswith("'") and token.endswith("'") and len(token) >= 2:
+        return token[1:-1]
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    if token.startswith("[") and token.endswith("]"):
+        inner = token[1:-1].strip()
+        if not inner:
+            return []
+        depth, parts, current = 0, [], []
+        for ch in inner:
+            if ch == "[":
+                depth += 1
+            elif ch == "]":
+                depth -= 1
+            if ch == "," and depth == 0:
+                parts.append("".join(current))
+                current = []
+            else:
+                current.append(ch)
+        parts.append("".join(current))
+        return [_parse_scalar(p) for p in parts if p.strip()]
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError as exc:
+        raise ValueError(f"cannot parse TOML value: {token!r}") from exc
+
+
+def _parse_toml_minimal(text: str) -> dict:
+    """Fallback parser for the TOML subset ``pipeline.toml`` uses (see module docs)."""
+    root: dict = {}
+    table = root
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip() if not raw_line.strip().startswith('"') else raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            table = root
+            for part in line[1:-1].strip().split("."):
+                table = table.setdefault(part.strip().strip('"'), {})
+            continue
+        if "=" not in line:
+            raise ValueError(f"cannot parse TOML line: {raw_line!r}")
+        key, _, value = line.partition("=")
+        table[key.strip().strip('"')] = _parse_scalar(value)
+    return root
+
+
+def parse_toml(text: str) -> dict:
+    """Parse TOML text via :mod:`tomllib`, or the minimal fallback on py<3.11."""
+    if _toml is not None:
+        return _toml.loads(text)
+    return _parse_toml_minimal(text)
+
+
+def _check_keys(section: str, given: Mapping, allowed: set[str]) -> None:
+    """Reject unknown keys with the valid names spelled out."""
+    unknown = sorted(set(given) - allowed)
+    if unknown:
+        raise KeyError(
+            f"unknown key(s) {unknown} in [{section}]; valid keys: {sorted(allowed)}"
+        )
+
+
+#: Default experiment selection of the standard pipeline.
+_DEFAULT_TABLES = {"table1": True, "table2": False, "table3": False, "table4": False}
+_DEFAULT_FIGURES = {"fig2": True, "fig6": False, "fig7": False}
+_DEFAULT_ABLATIONS = {"activation": False, "interpolation": False,
+                      "capacity": False, "allreduce": False}
+
+
+@dataclass
+class PipelineConfig:
+    """Validated pipeline settings (the in-memory form of ``pipeline.toml``)."""
+
+    name: str = "repro"
+    scale: str = "tiny"
+    scale_overrides: dict = field(default_factory=dict)
+    store: str = ".pipeline-store"
+    jobs: int = 2
+    tables: dict = field(default_factory=lambda: dict(_DEFAULT_TABLES))
+    figures: dict = field(default_factory=lambda: dict(_DEFAULT_FIGURES))
+    ablations: dict = field(default_factory=lambda: dict(_DEFAULT_ABLATIONS))
+    table1_gammas: tuple = (0.0, 0.0125, 0.1, 1.0)
+    table3_dataset_counts: tuple = (1, 3)
+    table4_train_rayleigh: tuple = (2e5, 1e6, 9e6)
+    table4_test_rayleigh: tuple = (1e4, 1e5, 5e6)
+    fig7_world_sizes: tuple = (1, 2, 16, 128)
+    fig7_curve_world_sizes: tuple = (1, 2)
+    ablation_activations: tuple = ("softplus", "relu")
+    ablation_latent_channels: tuple = (2, 6)
+    gamma_star: float = 0.0125
+    train_overrides: dict = field(default_factory=dict)
+    validate_table1: bool = True
+    pins: Optional[str] = None          #: pin-set name or path (None = auto by scale)
+    nmae_rtol: float = 0.05             #: relative tolerance on pinned 100×NMAE values
+    r2_atol: float = 0.05               #: absolute tolerance on pinned R² values
+
+    def __post_init__(self):
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        for name, table in (("tables", self.tables), ("figures", self.figures),
+                            ("ablations", self.ablations)):
+            defaults = {"tables": _DEFAULT_TABLES, "figures": _DEFAULT_FIGURES,
+                        "ablations": _DEFAULT_ABLATIONS}[name]
+            _check_keys(f"pipeline.{name}", table, set(defaults))
+        self.table1_gammas = tuple(float(g) for g in self.table1_gammas)
+        self.table3_dataset_counts = tuple(int(c) for c in self.table3_dataset_counts)
+        self.table4_train_rayleigh = tuple(float(r) for r in self.table4_train_rayleigh)
+        self.table4_test_rayleigh = tuple(float(r) for r in self.table4_test_rayleigh)
+        self.fig7_world_sizes = tuple(int(w) for w in self.fig7_world_sizes)
+        self.fig7_curve_world_sizes = tuple(int(w) for w in self.fig7_curve_world_sizes)
+        self.ablation_activations = tuple(str(a) for a in self.ablation_activations)
+        self.ablation_latent_channels = tuple(int(c) for c in self.ablation_latent_channels)
+
+    # ------------------------------------------------------------ resolution
+    def resolved_scale(self):
+        """The :class:`~repro.experiments.ExperimentScale` this config selects."""
+        from ..experiments import get_scale
+
+        scale = get_scale(self.scale)
+        if self.scale_overrides:
+            overrides = {
+                key: tuple(v) if isinstance(v, list) else v
+                for key, v in self.scale_overrides.items()
+            }
+            scale = scale.with_overrides(**overrides)
+        return scale
+
+    def enabled_tables(self) -> list[str]:
+        """Names of the enabled table experiments, in paper order."""
+        return [name for name in _DEFAULT_TABLES if self.tables.get(name)]
+
+    def enabled_figures(self) -> list[str]:
+        """Names of the enabled figure experiments, in paper order."""
+        return [name for name in _DEFAULT_FIGURES if self.figures.get(name)]
+
+    def enabled_ablations(self) -> list[str]:
+        """Names of the enabled ablation experiments."""
+        return [name for name in _DEFAULT_ABLATIONS if self.ablations.get(name)]
+
+    def as_dict(self) -> dict:
+        """Plain-dict form (JSON/fingerprint friendly)."""
+        out = asdict(self)
+        for key, value in out.items():
+            if isinstance(value, tuple):
+                out[key] = list(value)
+        return out
+
+    # --------------------------------------------------------------- parsing
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PipelineConfig":
+        """Build from a parsed TOML document (strict unknown-key validation).
+
+        Layout::
+
+            [pipeline]            # name, scale, store, jobs, gamma_star, ...
+            [pipeline.scale_overrides]
+            [pipeline.tables]     # table1 = true, ...
+            [pipeline.figures]
+            [pipeline.ablations]
+            [pipeline.train]      # TrainerConfig overrides for every stage
+            [pipeline.validation] # table1 = true, pins, tolerances
+        """
+        _check_keys("<root>", data, {"pipeline"})
+        body = dict(data.get("pipeline", {}))
+        sections = {
+            "scale_overrides": dict(body.pop("scale_overrides", {})),
+            "tables": body.pop("tables", None),
+            "figures": body.pop("figures", None),
+            "ablations": body.pop("ablations", None),
+            "train": dict(body.pop("train", {})),
+            "validation": dict(body.pop("validation", {})),
+        }
+        scalar_keys = {
+            "name", "scale", "store", "jobs", "gamma_star",
+            "table1_gammas", "table3_dataset_counts",
+            "table4_train_rayleigh", "table4_test_rayleigh",
+            "fig7_world_sizes", "fig7_curve_world_sizes",
+            "ablation_activations", "ablation_latent_channels",
+        }
+        _check_keys("pipeline", body, scalar_keys)
+        validation = sections["validation"]
+        _check_keys("pipeline.validation", validation,
+                    {"table1", "pins", "nmae_rtol", "r2_atol"})
+        kwargs = dict(body)
+        kwargs["scale_overrides"] = sections["scale_overrides"]
+        for key in ("tables", "figures", "ablations"):
+            if sections[key] is not None:
+                defaults = {"tables": _DEFAULT_TABLES, "figures": _DEFAULT_FIGURES,
+                            "ablations": _DEFAULT_ABLATIONS}[key]
+                merged = dict(defaults)
+                merged.update(sections[key])
+                kwargs[key] = merged
+        kwargs["train_overrides"] = sections["train"]
+        if "table1" in validation:
+            kwargs["validate_table1"] = bool(validation["table1"])
+        if "pins" in validation:
+            kwargs["pins"] = validation["pins"]
+        for tol in ("nmae_rtol", "r2_atol"):
+            if tol in validation:
+                kwargs[tol] = float(validation[tol])
+        return cls(**kwargs)
+
+
+def load_pipeline_config(path) -> PipelineConfig:
+    """Read and validate a ``pipeline.toml`` file."""
+    text = Path(path).read_text()
+    return PipelineConfig.from_dict(parse_toml(text))

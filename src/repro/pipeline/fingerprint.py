@@ -1,0 +1,117 @@
+"""Stable content fingerprints for pipeline stages and artifacts.
+
+An artifact's identity is the SHA-256 of a *canonical* byte serialization of
+everything that determines its value:
+
+* the stage's resolved configuration slice (``Stage.params``),
+* a **code token** — the hash of the source file defining the stage
+  function, so editing stage code invalidates its artifacts,
+* the fingerprints of every upstream artifact (hash chaining: any change
+  anywhere in the upstream cone changes every downstream key).
+
+Canonicalisation rules: mappings are serialized with sorted keys, sequences
+in order, floats via :func:`repr` (shortest round-trip form, so ``0.1``
+hashes identically in every process), NumPy arrays as
+``dtype/shape/raw-bytes`` digests.  The encoding is versioned
+(:data:`FINGERPRINT_VERSION`) — bump it when the canonical form changes so
+stale stores never alias new keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["fingerprint", "canonical_bytes", "code_token", "file_digest",
+           "FINGERPRINT_VERSION"]
+
+#: Version tag mixed into every fingerprint (bump on encoding changes).
+FINGERPRINT_VERSION = "repro-fp/1"
+
+_CODE_TOKEN_CACHE: dict[str, str] = {}
+
+
+def _encode(obj, out: list[bytes]) -> None:
+    """Append the canonical encoding of ``obj`` to ``out`` (recursive)."""
+    if obj is None:
+        out.append(b"N")
+    elif isinstance(obj, bool):
+        out.append(b"T" if obj else b"F")
+    elif isinstance(obj, (int, np.integer)):
+        out.append(b"i" + repr(int(obj)).encode())
+    elif isinstance(obj, (float, np.floating)):
+        out.append(b"f" + repr(float(obj)).encode())
+    elif isinstance(obj, str):
+        data = obj.encode("utf-8")
+        out.append(b"s" + str(len(data)).encode() + b":" + data)
+    elif isinstance(obj, bytes):
+        out.append(b"b" + str(len(obj)).encode() + b":" + obj)
+    elif isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        head = f"a{arr.dtype.str}{arr.shape}".encode()
+        out.append(head + hashlib.sha256(arr.tobytes()).digest())
+    elif isinstance(obj, (list, tuple)):
+        out.append(b"[")
+        for item in obj:
+            _encode(item, out)
+        out.append(b"]")
+    elif isinstance(obj, dict):
+        out.append(b"{")
+        for key in sorted(obj, key=str):
+            _encode(str(key), out)
+            _encode(obj[key], out)
+        out.append(b"}")
+    else:
+        raise TypeError(
+            f"cannot fingerprint object of type {type(obj).__name__}: {obj!r}; "
+            "supported types: None, bool, int, float, str, bytes, ndarray, "
+            "list, tuple, dict"
+        )
+
+
+def canonical_bytes(obj) -> bytes:
+    """Deterministic byte serialization of a JSON-like object tree."""
+    out: list[bytes] = [FINGERPRINT_VERSION.encode(), b"|"]
+    _encode(obj, out)
+    return b"".join(out)
+
+
+def fingerprint(obj) -> str:
+    """SHA-256 hex digest of :func:`canonical_bytes` — the artifact key."""
+    return hashlib.sha256(canonical_bytes(obj)).hexdigest()
+
+
+def file_digest(path) -> str:
+    """SHA-256 hex digest of a file's contents (used for corruption checks)."""
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def code_token(fn) -> str:
+    """Hash of the source file defining ``fn`` (stable across processes).
+
+    Editing any code in the stage function's module changes the token and
+    therefore every fingerprint derived from it — the conservative
+    "code version" component of the artifact key.  Functions without a
+    reachable source file (e.g. built in an interactive session) hash
+    their qualified name instead, with a ``dynamic:`` prefix so they never
+    collide with file tokens.
+    """
+    try:
+        src = inspect.getsourcefile(fn)
+    except TypeError:
+        src = None
+    if src is None or not Path(src).exists():
+        return "dynamic:" + hashlib.sha256(
+            f"{getattr(fn, '__module__', '?')}.{getattr(fn, '__qualname__', repr(fn))}".encode()
+        ).hexdigest()
+    cached = _CODE_TOKEN_CACHE.get(src)
+    if cached is None:
+        cached = _CODE_TOKEN_CACHE[src] = file_digest(src)
+    return cached

@@ -1,0 +1,120 @@
+"""Typed pipeline stages: the unit of work of the experiment DAG.
+
+A :class:`Stage` declares everything the orchestrator needs to schedule and
+cache it:
+
+* ``name`` — unique DAG node id (dotted, e.g. ``"train.table1.g0.0125"``),
+* ``fn`` — the stage body, a callable taking a :class:`StageContext` and
+  returning the artifact value (any tree the artifact store can serialize),
+* ``deps`` — names of upstream stages whose artifact values are delivered
+  in ``ctx.inputs``,
+* ``params`` — the stage's resolved configuration slice; together with the
+  code token of ``fn`` and the upstream fingerprints this determines the
+  stage's artifact fingerprint,
+* ``version`` — manual invalidation knob (bump to force recompute without a
+  code or config change).
+
+Stage bodies must be pure functions of ``(params, inputs)`` up to the
+documented determinism of the subsystems they call — the cache assumes a
+stage re-run with equal fingerprints reproduces the artifact bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Mapping, Optional, Sequence
+
+from .fingerprint import code_token, fingerprint
+
+__all__ = ["Stage", "StageContext"]
+
+
+@dataclass
+class StageContext:
+    """Everything a stage body may touch while running.
+
+    Attributes
+    ----------
+    params:
+        The stage's configuration slice (exactly what was fingerprinted).
+    inputs:
+        Upstream artifact values keyed by stage name.
+    fingerprint:
+        This stage's artifact fingerprint.
+    scratch:
+        Persistent per-fingerprint directory for mid-run state (resumable
+        training checkpoints); ``None`` when running without a store.
+    """
+
+    params: Mapping
+    inputs: Mapping
+    fingerprint: str
+    scratch: Optional[Path] = None
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One node of the experiment DAG (see module docstring)."""
+
+    name: str
+    fn: Callable[[StageContext], object]
+    deps: tuple[str, ...] = ()
+    params: Mapping = field(default_factory=dict)
+    version: str = "1"
+    description: str = ""
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("stage name must be non-empty")
+        object.__setattr__(self, "deps", tuple(self.deps))
+        seen = set()
+        for dep in self.deps:
+            if dep in seen:
+                raise ValueError(f"stage '{self.name}' lists dependency '{dep}' twice")
+            seen.add(dep)
+
+    def compute_fingerprint(self, upstream: Mapping[str, str]) -> str:
+        """Artifact key: params + code token + chained upstream fingerprints."""
+        return fingerprint({
+            "stage": self.name,
+            "version": self.version,
+            "params": dict(self.params),
+            "code": code_token(self.fn),
+            "deps": {dep: upstream[dep] for dep in self.deps},
+        })
+
+
+def topological_order(stages: Sequence[Stage]) -> list[Stage]:
+    """Stable topological sort; raises on unknown deps and cycles.
+
+    Ties are broken by declaration order so fingerprint computation and
+    serial execution are reproducible run to run.
+    """
+    by_name = {s.name: s for s in stages}
+    for stage in stages:
+        for dep in stage.deps:
+            if dep not in by_name:
+                raise ValueError(
+                    f"stage '{stage.name}' depends on unknown stage '{dep}'; "
+                    f"known: {sorted(by_name)}"
+                )
+    order: list[Stage] = []
+    state: dict[str, int] = {}  # 0 = visiting, 1 = done
+
+    def visit(name: str, chain: tuple[str, ...]) -> None:
+        mark = state.get(name)
+        if mark == 1:
+            return
+        if mark == 0:
+            cycle = " -> ".join(chain[chain.index(name):] + (name,))
+            raise ValueError(f"pipeline dependency cycle: {cycle}")
+        state[name] = 0
+        for dep in by_name[name].deps:
+            visit(dep, chain + (name,))
+        state[name] = 1
+        order.append(by_name[name])
+
+    for stage in stages:
+        visit(stage.name, ())
+    return order

@@ -119,6 +119,26 @@ class SimulationResult:
             channels=self.channels,
         )
 
+    def content_key(self) -> str:
+        """Stable serialization key: SHA-256 over the physical content.
+
+        Hashes the field block bytes, snapshot times, domain extents,
+        non-dimensional parameters and the channel layout — everything
+        :meth:`save` persists (``metadata`` is provenance, not content, and
+        is deliberately excluded).  Two results with equal keys round-trip
+        to bit-identical archives, which is what lets the experiment
+        pipeline treat simulations as content-addressed artifacts.
+        """
+        from ..pipeline.fingerprint import fingerprint
+
+        return fingerprint({
+            "fields": self.fields,
+            "times": self.times,
+            "lx": float(self.lx), "lz": float(self.lz),
+            "rayleigh": float(self.rayleigh), "prandtl": float(self.prandtl),
+            "channels": list(self.channels),
+        })
+
     def save(self, path) -> None:
         """Persist to an ``.npz`` archive."""
         np.savez_compressed(

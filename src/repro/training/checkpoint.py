@@ -11,7 +11,13 @@ from ..nn.module import Module
 from ..optim.optimizers import Optimizer
 from ..optim.schedulers import LRScheduler
 
-__all__ = ["save_checkpoint", "load_checkpoint", "read_metadata"]
+__all__ = ["save_checkpoint", "load_checkpoint", "read_metadata",
+           "CheckpointFingerprintError", "verify_checkpoint_fingerprint",
+           "save_fingerprinted_checkpoint", "load_fingerprinted_checkpoint"]
+
+
+class CheckpointFingerprintError(ValueError):
+    """A checkpoint's recorded artifact fingerprint does not match the expected key."""
 
 
 def _resolve(path) -> Path:
@@ -99,3 +105,51 @@ def read_metadata(path) -> dict:
     """Read only the JSON metadata of a checkpoint (cheap; no state is loaded)."""
     with np.load(_resolve(path)) as data:
         return _decode_metadata(data)
+
+
+# ---------------------------------------------------------------------------
+# fingerprint-keyed artifact checkpoints (the pipeline's resumable-train seam)
+# ---------------------------------------------------------------------------
+
+def verify_checkpoint_fingerprint(path, fingerprint: str) -> dict:
+    """Check that a checkpoint was written for artifact key ``fingerprint``.
+
+    Returns the metadata on success; raises
+    :class:`CheckpointFingerprintError` when the checkpoint carries no
+    ``artifact_fingerprint`` or a different one.  The experiment pipeline
+    uses this before resuming a mid-train scratch checkpoint, so state
+    written for a stale stage configuration can never leak into a resumed
+    run.
+    """
+    metadata = read_metadata(path)
+    recorded = metadata.get("artifact_fingerprint")
+    if recorded != fingerprint:
+        raise CheckpointFingerprintError(
+            f"checkpoint {path} was written for artifact "
+            f"{recorded!r}, expected {fingerprint!r}"
+        )
+    return metadata
+
+
+def save_fingerprinted_checkpoint(path, fingerprint: str, model: Module,
+                                  optimizer: Optimizer | None = None,
+                                  scheduler: LRScheduler | None = None,
+                                  metadata: dict | None = None) -> None:
+    """:func:`save_checkpoint` with the artifact key embedded in the metadata."""
+    merged = dict(metadata or {})
+    merged["artifact_fingerprint"] = str(fingerprint)
+    save_checkpoint(path, model, optimizer, scheduler=scheduler, metadata=merged)
+
+
+def load_fingerprinted_checkpoint(path, fingerprint: str, model: Module,
+                                  optimizer: Optimizer | None = None,
+                                  scheduler: LRScheduler | None = None,
+                                  strict_dtype: bool = False) -> dict:
+    """:func:`load_checkpoint` that first verifies the artifact fingerprint.
+
+    Raises :class:`CheckpointFingerprintError` *before* any state is
+    mutated when the checkpoint belongs to a different artifact key.
+    """
+    verify_checkpoint_fingerprint(path, fingerprint)
+    return load_checkpoint(path, model, optimizer, scheduler=scheduler,
+                           strict_dtype=strict_dtype)

@@ -321,13 +321,21 @@ class Trainer:
     def _set_rng_state(self, states) -> None:
         """Restore per-worker RNG stream state captured by :meth:`_rng_state`."""
 
-    def save(self, path) -> None:
+    @property
+    def epochs_completed(self) -> int:
+        """Number of epochs trained so far (survives checkpoint/resume)."""
+        return self._epoch
+
+    def save(self, path, extra_metadata: Optional[dict] = None) -> None:
         """Checkpoint the complete training state to ``path`` (an ``.npz``).
 
         Captures model parameters/buffers, optimizer state (including
         float64 master weights), scheduler position, epoch counter, history,
         the model's dtype policy and the per-worker RNG streams — everything
         needed for :meth:`resume` to continue bit-identically.
+        ``extra_metadata`` entries are merged into the checkpoint metadata
+        (the experiment pipeline records its artifact fingerprint this way);
+        they must not collide with the trainer's own keys.
         """
         metadata = {
             "format": CHECKPOINT_FORMAT,
@@ -337,6 +345,11 @@ class Trainer:
             "config": asdict(self.config),
             "rng": self._rng_state(),
         }
+        if extra_metadata:
+            collisions = sorted(set(extra_metadata) & set(metadata))
+            if collisions:
+                raise ValueError(f"extra_metadata keys collide with trainer metadata: {collisions}")
+            metadata.update(extra_metadata)
         save_checkpoint(path, self.model, self.optimizer, scheduler=self.scheduler,
                         metadata=metadata)
 

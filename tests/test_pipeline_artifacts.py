@@ -1,0 +1,302 @@
+"""Content-addressed artifact layer: fingerprints, the store, cache semantics."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.metrics.report import MetricReport
+from repro.pipeline import (
+    ArtifactCorrupted,
+    ArtifactMissing,
+    ArtifactStore,
+    Pipeline,
+    Stage,
+    fingerprint,
+    run_pipeline,
+)
+from repro.pipeline.artifacts import load_value, save_value
+from repro.pipeline.fingerprint import FINGERPRINT_VERSION, canonical_bytes, code_token
+from repro.pipeline.stage import topological_order
+from repro.simulation import SimulationResult
+
+
+# --------------------------------------------------------------------------
+# fingerprints
+# --------------------------------------------------------------------------
+
+class TestFingerprint:
+    def test_dict_key_order_is_irrelevant(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_value_changes_change_the_key(self):
+        base = {"x": 1.0, "y": [1, 2, 3]}
+        assert fingerprint(base) != fingerprint({**base, "x": 1.0000000001})
+        assert fingerprint(base) != fingerprint({**base, "y": [1, 2, 4]})
+
+    def test_type_distinctions(self):
+        # 1 vs 1.0 vs True vs "1" must all hash differently.
+        keys = {fingerprint(v) for v in (1, 1.0, True, "1")}
+        assert len(keys) == 4
+
+    def test_ndarray_content_and_dtype(self):
+        a = np.arange(6, dtype=np.float64)
+        assert fingerprint(a) == fingerprint(a.copy())
+        assert fingerprint(a) != fingerprint(a.astype(np.float32))
+        assert fingerprint(a) != fingerprint(a.reshape(2, 3))
+
+    def test_version_tag_is_mixed_in(self):
+        assert FINGERPRINT_VERSION.encode() in canonical_bytes({"k": 1})
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError, match="cannot fingerprint"):
+            fingerprint({"fn": object()})
+
+    def test_code_token_is_the_source_file_hash(self):
+        def local_fn(ctx):
+            return None
+
+        token = code_token(local_fn)
+        assert token == code_token(TestFingerprint.test_code_token_is_the_source_file_hash)
+        assert len(token) == 64
+
+    def test_fingerprint_stable_across_processes(self):
+        """The same structure must hash identically in a fresh interpreter."""
+        payload = {"scale": {"epochs": 4, "lr": 1e-2}, "gammas": [0.0, 0.0125],
+                   "arr": np.arange(5, dtype=np.float64)}
+        expected = fingerprint(payload)
+        script = (
+            "import numpy as np\n"
+            "from repro.pipeline import fingerprint\n"
+            "payload = {'scale': {'epochs': 4, 'lr': 1e-2}, 'gammas': [0.0, 0.0125],\n"
+            "           'arr': np.arange(5, dtype=np.float64)}\n"
+            "print(fingerprint(payload))\n"
+        )
+        out = subprocess.run([sys.executable, "-c", script], capture_output=True,
+                             text=True, check=True,
+                             env={"PYTHONPATH": str(Path(__file__).parent.parent / "src"),
+                                  "PATH": "/usr/bin:/bin"})
+        assert out.stdout.strip() == expected
+
+    def test_standard_pipeline_fingerprints_stable_across_processes(self):
+        from repro.pipeline import PipelineConfig, build_standard_pipeline
+
+        fps = build_standard_pipeline(PipelineConfig()).fingerprints()
+        script = (
+            "import json\n"
+            "from repro.pipeline import PipelineConfig, build_standard_pipeline\n"
+            "print(json.dumps(build_standard_pipeline(PipelineConfig()).fingerprints()))\n"
+        )
+        out = subprocess.run([sys.executable, "-c", script], capture_output=True,
+                             text=True, check=True,
+                             env={"PYTHONPATH": str(Path(__file__).parent.parent / "src"),
+                                  "PATH": "/usr/bin:/bin"})
+        assert json.loads(out.stdout) == fps
+
+
+# --------------------------------------------------------------------------
+# value serialization + the store
+# --------------------------------------------------------------------------
+
+def _sample_sim() -> SimulationResult:
+    rng = np.random.default_rng(7)
+    return SimulationResult(fields=rng.normal(size=(3, 4, 5, 6)),
+                            times=np.linspace(0.0, 1.0, 3),
+                            lx=3.0, lz=1.0, rayleigh=1e6, prandtl=1.0)
+
+
+class TestValueSerialization:
+    def test_round_trip_mixed_tree(self, tmp_path):
+        value = {
+            "text": "hello", "n": 3, "x": 0.125, "flag": True, "none": None,
+            "arr": np.arange(12, dtype=np.float32).reshape(3, 4),
+            "nested": {"list": [1, "two", {"deep": np.ones(2)}]},
+            "report": MetricReport(nmae={"Etot": 1.5}, r2={"Etot": 0.9}, label="row"),
+            "sim": _sample_sim(),
+        }
+        save_value(value, tmp_path)
+        loaded = load_value(tmp_path)
+        assert loaded["text"] == "hello" and loaded["n"] == 3
+        assert loaded["x"] == 0.125 and loaded["flag"] is True and loaded["none"] is None
+        np.testing.assert_array_equal(loaded["arr"], value["arr"])
+        assert loaded["arr"].dtype == np.float32
+        np.testing.assert_array_equal(loaded["nested"]["list"][2]["deep"], np.ones(2))
+        assert loaded["report"].label == "row"
+        assert loaded["report"].nmae == {"Etot": 1.5}
+        np.testing.assert_array_equal(loaded["sim"].fields, value["sim"].fields)
+
+    def test_store_round_trip_and_manifest(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        record = store.save("f" * 64, {"x": np.arange(3)}, stage="demo",
+                            meta={"seconds": 1.0})
+        assert store.has("f" * 64)
+        assert record.stage == "demo"
+        np.testing.assert_array_equal(store.load("f" * 64)["x"], np.arange(3))
+        manifest = store.manifest()
+        assert len(manifest) == 1 and manifest[0]["stage"] == "demo"
+
+    def test_missing_artifact_raises(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        assert not store.has("0" * 64)
+        with pytest.raises(ArtifactMissing):
+            store.load("0" * 64)
+
+    def test_corrupted_payload_detected(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        fp = "c" * 64
+        store.save(fp, {"x": np.arange(10, dtype=np.float64)})
+        # Flip bytes in the array payload behind the store's back.
+        payload = store.root / "objects" / fp / "arrays.npz"
+        data = bytearray(payload.read_bytes())
+        data[-8] ^= 0xFF
+        payload.write_bytes(bytes(data))
+        with pytest.raises(ArtifactCorrupted):
+            store.load(fp)
+
+    def test_scratch_dir_cleared_on_commit(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        fp = "d" * 64
+        scratch = store.scratch_dir(fp)
+        (scratch / "mid-run.txt").write_text("checkpoint")
+        store.save(fp, {"done": True})
+        assert not scratch.exists()
+
+
+# --------------------------------------------------------------------------
+# DAG + executor cache semantics
+# --------------------------------------------------------------------------
+
+def _counting_pipeline(calls, base=1.0):
+    """a -> b -> c chain plus an independent stage d; every run is counted."""
+
+    def body(ctx):
+        calls.append(ctx.params["tag"])
+        upstream = sum(ctx.inputs[dep]["v"] for dep in sorted(ctx.inputs))
+        return {"v": ctx.params["x"] + upstream}
+
+    return Pipeline([
+        Stage("a", body, params={"tag": "a", "x": base}),
+        Stage("b", body, deps=("a",), params={"tag": "b", "x": 10.0}),
+        Stage("c", body, deps=("b",), params={"tag": "c", "x": 100.0}),
+        Stage("d", body, params={"tag": "d", "x": 7.0}),
+    ])
+
+
+class TestCacheSemantics:
+    def test_unchanged_rerun_is_all_cache_hits(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        calls = []
+        report = run_pipeline(_counting_pipeline(calls), store=store)
+        assert report.counts() == {"computed": 4}
+        assert report.values["c"]["v"] == 111.0
+
+        report = run_pipeline(_counting_pipeline(calls), store=store)
+        assert report.counts() == {"cached": 4}, "unchanged rerun must not recompute"
+        assert sorted(calls) == ["a", "b", "c", "d"]
+        assert report.values["c"]["v"] == 111.0
+
+    def test_config_edit_recomputes_exactly_the_downstream_cone(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        run_pipeline(_counting_pipeline([]), store=store)
+
+        calls = []
+        report = run_pipeline(_counting_pipeline(calls, base=2.0), store=store)
+        statuses = {n: r.status for n, r in report.results.items()}
+        assert statuses == {"a": "computed", "b": "computed", "c": "computed",
+                            "d": "cached"}
+        assert sorted(calls) == ["a", "b", "c"]
+        assert report.values["c"]["v"] == 112.0
+
+    def test_corrupted_artifact_triggers_recompute(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        pipe = _counting_pipeline([])
+        report = run_pipeline(pipe, store=store)
+        fp = report.results["b"].fingerprint
+        value_file = store.root / "objects" / fp / "value.json"
+        value_file.write_text(value_file.read_text()[:-2])  # truncate JSON
+
+        calls = []
+        report = run_pipeline(_counting_pipeline(calls), store=store)
+        assert report.results["b"].status == "computed"
+        assert report.results["a"].status == "cached"
+        assert report.results["c"].status == "cached"
+        assert calls == ["b"]
+        assert report.values["b"]["v"] == 11.0
+
+    def test_force_and_start_from(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        run_pipeline(_counting_pipeline([]), store=store)
+
+        report = run_pipeline(_counting_pipeline([]), store=store, force=["b"])
+        statuses = {n: r.status for n, r in report.results.items()}
+        assert statuses == {"a": "cached", "b": "computed", "c": "cached", "d": "cached"}
+
+        report = run_pipeline(_counting_pipeline([]), store=store, start_from="b")
+        statuses = {n: r.status for n, r in report.results.items()}
+        assert statuses == {"a": "cached", "b": "computed", "c": "computed", "d": "cached"}
+
+    def test_until_selects_the_upstream_closure(self, tmp_path):
+        report = run_pipeline(_counting_pipeline([]), until="b")
+        statuses = {n: r.status for n, r in report.results.items()}
+        assert statuses == {"a": "computed", "b": "computed",
+                            "c": "skipped", "d": "skipped"}
+
+    def test_failed_stage_poisons_its_cone(self):
+        def boom(ctx):
+            raise RuntimeError("stage exploded")
+
+        def ok(ctx):
+            return {"v": 1}
+
+        pipe = Pipeline([
+            Stage("a", ok), Stage("b", boom, deps=("a",)),
+            Stage("c", ok, deps=("b",)), Stage("d", ok),
+        ])
+        report = run_pipeline(pipe)
+        assert not report.ok
+        assert report.results["b"].status == "failed"
+        assert "stage exploded" in report.results["b"].error
+        assert report.results["c"].status == "skipped"
+        assert report.results["c"].error == "upstream stage failed"
+        assert report.results["d"].status == "computed"
+
+    def test_parallel_execution_matches_serial(self, tmp_path):
+        serial = run_pipeline(_counting_pipeline([]))
+        parallel = run_pipeline(_counting_pipeline([]), jobs=4)
+        assert {n: v["v"] for n, v in serial.values.items()} == \
+               {n: v["v"] for n, v in parallel.values.items()}
+
+    def test_keep_values_false_retains_only_terminal_stages(self, tmp_path):
+        report = run_pipeline(_counting_pipeline([]), keep_values=False)
+        assert set(report.values) == {"c", "d"}
+
+
+class TestGraphValidation:
+    def test_duplicate_stage_name(self):
+        pipe = Pipeline([Stage("a", lambda ctx: None)])
+        with pytest.raises(ValueError, match="duplicate stage name"):
+            pipe.add(Stage("a", lambda ctx: None))
+
+    def test_unknown_dependency(self):
+        with pytest.raises(ValueError, match="unknown stage"):
+            topological_order([Stage("a", lambda ctx: None, deps=("ghost",))])
+
+    def test_cycle_detection(self):
+        stages = [Stage("a", lambda ctx: None, deps=("b",)),
+                  Stage("b", lambda ctx: None, deps=("a",))]
+        with pytest.raises(ValueError, match="cycle"):
+            topological_order(stages)
+
+    def test_unknown_stage_lookup_lists_names(self):
+        pipe = Pipeline([Stage("a", lambda ctx: None)])
+        with pytest.raises(KeyError, match="available"):
+            pipe["zzz"]
+
+    def test_upstream_and_downstream_cones(self):
+        pipe = _counting_pipeline([])
+        assert pipe.upstream_closure(["c"]) == {"a", "b", "c"}
+        assert pipe.downstream_cone(["a"]) == {"a", "b", "c"}
+        assert pipe.downstream_cone(["d"]) == {"d"}
