@@ -37,6 +37,7 @@ from .core import (
     equation_loss,
     prediction_loss,
 )
+from .faults import CircuitBreaker, FaultPlan, Retry
 from .inference import InferenceEngine, TiledLatentField
 from .pde import PDESystem, RayleighBenard2D, make_pde_system
 from .scenarios import Scenario, available_scenarios, get_scenario, register_scenario
@@ -53,6 +54,9 @@ __all__ = [
     "ImNet",
     "InferenceEngine",
     "TiledLatentField",
+    "FaultPlan",
+    "Retry",
+    "CircuitBreaker",
     "ModelServer",
     "QueryRequest",
     "QueryResult",

@@ -1,0 +1,39 @@
+"""repro.faults — deterministic fault injection, retry policies, breakers.
+
+Three pieces, used across serving, training and the pipeline:
+
+* :class:`FaultPlan` — a seeded, context-manager-scoped schedule of
+  exceptions / delays / corruptions at named injection sites. Off by
+  default with zero overhead (sites check a module global).
+* :class:`Retry` — frozen retry policy: bounded attempts, exponential
+  backoff with deterministic jitter, transient-error classification,
+  per-attempt timeout.
+* :class:`CircuitBreaker` — per-target closed/open/half-open breaker.
+
+See docs/ARCHITECTURE.md ("Fault tolerance") for the site catalogue and
+state machines.
+"""
+
+from .breaker import BreakerOpenError, CircuitBreaker
+from .plan import FaultEvent, FaultInjected, FaultPlan, FaultRule, corrupt_file
+from .retry import AttemptTimeout, PermanentError, Retry, TransientError, is_transient
+
+# NOTE: the active-plan flag is intentionally NOT re-exported: a
+# ``from repro.faults import ACTIVE`` would freeze the value at import
+# time. Injection sites read it as ``from repro.faults import plan as
+# _faults`` / ``_faults.ACTIVE`` so activation is visible everywhere.
+
+__all__ = [
+    "FaultPlan",
+    "FaultRule",
+    "FaultEvent",
+    "FaultInjected",
+    "corrupt_file",
+    "Retry",
+    "TransientError",
+    "PermanentError",
+    "AttemptTimeout",
+    "is_transient",
+    "CircuitBreaker",
+    "BreakerOpenError",
+]

@@ -1,0 +1,134 @@
+"""Per-target circuit breaker: closed -> open -> half-open -> closed.
+
+A breaker guards one failure domain (one serving replica, one remote
+store). ``failure_threshold`` consecutive failures trip it *open*; after
+``cooldown`` seconds it lets one trial call through (*half-open*); the
+trial's outcome either closes it again or re-opens it for another
+cooldown. ``clock`` is injectable so tests drive transitions without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["CircuitBreaker", "BreakerOpenError"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class BreakerOpenError(RuntimeError):
+    """Raised by :meth:`CircuitBreaker.call` while the breaker is open."""
+
+    def __init__(self, name: str, remaining: float):
+        super().__init__(f"circuit breaker {name!r} is open (retry in {remaining:.3f}s)")
+        self.name = name
+        self.remaining = remaining
+
+
+class CircuitBreaker:
+    """Per-target circuit breaker: closed → open → half-open → closed.
+
+    ``failure_threshold`` consecutive failures open the breaker; after
+    ``cooldown`` seconds the next :meth:`allow` admits a single half-open
+    probe whose outcome either closes the breaker or re-opens it with a
+    fresh cooldown.  Transitions are recorded in :attr:`transitions` and
+    surfaced through the optional ``on_transition`` callback (the serving
+    layer publishes them as ``faults.breaker_transitions``).
+    """
+
+    def __init__(
+        self,
+        name: str = "",
+        failure_threshold: int = 5,
+        cooldown: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[str, str], None]] = None,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self.transitions: List[Tuple[str, str]] = []
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def allow(self) -> bool:
+        """May a call proceed right now? Open -> False until cooldown elapses."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state != OPEN
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            if self._state != CLOSED:
+                self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == HALF_OPEN:
+                # Failed trial: back to open for another cooldown.
+                self._opened_at = self._clock()
+                self._transition(OPEN)
+                return
+            self._failures += 1
+            if self._state == CLOSED and self._failures >= self.failure_threshold:
+                self._opened_at = self._clock()
+                self._transition(OPEN)
+
+    def call(self, fn: Callable, *args, **kwargs):
+        """Run ``fn`` through the breaker, recording the outcome."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == OPEN:
+                remaining = max(0.0, self.cooldown - (self._clock() - self._opened_at))
+                raise BreakerOpenError(self.name, remaining)
+        try:
+            result = fn(*args, **kwargs)
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+    def _maybe_half_open(self) -> None:
+        # Caller holds the lock.
+        if self._state == OPEN and self._clock() - self._opened_at >= self.cooldown:
+            self._transition(HALF_OPEN)
+
+    def _transition(self, new_state: str) -> None:
+        # Caller holds the lock.
+        old = self._state
+        self._state = new_state
+        self.transitions.append((old, new_state))
+        self._publish(old, new_state)
+        if self._on_transition is not None:
+            self._on_transition(old, new_state)
+
+    def _publish(self, old: str, new: str) -> None:
+        from ..obs import runtime as _obs
+
+        if not _obs.enabled:
+            return
+        from ..obs.metrics import REGISTRY
+
+        REGISTRY.counter("faults.breaker_transitions", name=self.name or "breaker", to=new).inc()

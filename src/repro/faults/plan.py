@@ -1,0 +1,333 @@
+"""Deterministic, seeded fault injection at named sites.
+
+A :class:`FaultPlan` is a schedule of faults — exceptions, delays, or
+payload corruptions — attached to *injection sites*: short dotted names
+(``"serving.worker"``, ``"comm.allreduce"``, ``"pipeline.store.load"``)
+that instrumented code declares by calling :func:`FaultPlan.fire`.
+
+Determinism contract: every site keeps its own call counter, and every
+rule decides purely from ``(seed, rule_index, site, call_number)`` via a
+sha256 hash — no global RNG, no wall clock. The same seed therefore
+yields the same fault schedule per site regardless of thread timing.
+
+Zero-overhead contract: plans are scoped with a context manager that
+sets the module-global ``ACTIVE``. Instrumented sites guard with::
+
+    if _faults.ACTIVE is not None:
+        _faults.ACTIVE.fire("serving.worker")
+
+so the disabled cost is one module-attribute read and a ``None`` check
+(gated at <= 3% serving throughput in ``benchmarks/test_chaos_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple
+
+from .retry import TransientError
+
+__all__ = ["FaultInjected", "FaultRule", "FaultEvent", "FaultPlan", "corrupt_file", "ACTIVE"]
+
+#: The currently active plan, or None. Module-global on purpose: it is the
+#: cheapest cross-thread seam (same pattern as ``repro.obs.runtime``).
+ACTIVE: Optional["FaultPlan"] = None
+
+_ACTIVATION_LOCK = threading.Lock()
+
+KIND_RAISE = "raise"
+KIND_DELAY = "delay"
+KIND_CORRUPT = "corrupt"
+
+
+class FaultInjected(TransientError):
+    """The default exception raised by a ``fail`` rule.
+
+    Subclasses :class:`TransientError` so retry policies treat injected
+    faults as retryable unless the rule says ``transient=False``.
+    """
+
+    def __init__(self, site: str, message: str = "", transient: bool = True):
+        super().__init__(message or f"injected fault at {site!r}")
+        self.site = site
+        self.transient = transient
+
+
+def _u01(seed: int, rule_index: int, site: str, call: int) -> float:
+    """Stateless uniform draw for probability rules — independent of history."""
+    digest = hashlib.sha256(f"{seed}:{rule_index}:{site}:{call}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass
+class FaultRule:
+    """One scheduled fault. Exactly one selector (``at``/``every``/``p``) is set."""
+
+    kind: str
+    site: str  # fnmatch pattern over site names
+    at: Optional[Tuple[int, ...]] = None  # 1-based call numbers
+    every: Optional[int] = None  # every Nth call
+    p: Optional[float] = None  # per-call probability
+    exc: Optional[Callable[[str], BaseException]] = None
+    message: str = ""
+    transient: bool = True
+    seconds: float = 0.0
+    mutator: Optional[Callable] = None
+    max_faults: Optional[int] = None
+    index: int = 0  # position in the plan; part of the probability hash
+    fired: int = 0  # mutated under the plan lock
+
+    def matches(self, site: str) -> bool:
+        return fnmatch.fnmatchcase(site, self.site)
+
+    def triggers(self, seed: int, site: str, call: int) -> bool:
+        """Would this rule fire on call ``call``? Pure apart from max_faults."""
+        if self.max_faults is not None and self.fired >= self.max_faults:
+            return False
+        if self.at is not None:
+            return call in self.at
+        if self.every is not None:
+            return call % self.every == 0
+        return _u01(seed, self.index, site, call) < self.p
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """A fault that actually fired, recorded on ``plan.events``."""
+
+    site: str
+    kind: str
+    call: int  # per-site call number at which it fired
+    rule: int  # index of the rule in the plan
+    detail: str = ""
+
+
+class FaultPlan:
+    """A seeded schedule of faults, activated as a context manager.
+
+    >>> plan = FaultPlan(seed=7)
+    >>> plan.fail("serving.worker", every=3)
+    >>> plan.delay("serving.batch", 0.002, p=0.25)
+    >>> with plan:
+    ...     run_chaos_workload()
+    >>> plan.events  # what fired, per site and call number
+    """
+
+    def __init__(self, seed: int = 0, name: str = "chaos"):
+        self.seed = int(seed)
+        self.name = name
+        self._rules: List[FaultRule] = []
+        self._lock = threading.Lock()
+        self._calls: dict = {}  # site -> call count
+        self.events: List[FaultEvent] = []
+
+    # ------------------------------------------------------------------
+    # Rule builders
+    # ------------------------------------------------------------------
+    def fail(
+        self,
+        site: str,
+        *,
+        exc: Optional[Callable[[str], BaseException]] = None,
+        message: str = "",
+        at: Optional[Tuple[int, ...]] = None,
+        every: Optional[int] = None,
+        p: Optional[float] = None,
+        transient: bool = True,
+        max_faults: Optional[int] = None,
+    ) -> "FaultPlan":
+        """Raise at ``site``: FaultInjected by default, or ``exc(message)``."""
+        return self._add(FaultRule(
+            kind=KIND_RAISE, site=site, at=_norm_at(at), every=every, p=p,
+            exc=exc, message=message, transient=transient, max_faults=max_faults,
+        ))
+
+    def delay(
+        self,
+        site: str,
+        seconds: float,
+        *,
+        at: Optional[Tuple[int, ...]] = None,
+        every: Optional[int] = None,
+        p: Optional[float] = None,
+        max_faults: Optional[int] = None,
+    ) -> "FaultPlan":
+        """Sleep ``seconds`` at ``site`` (injected latency)."""
+        if seconds < 0:
+            raise ValueError(f"delay seconds must be >= 0, got {seconds}")
+        return self._add(FaultRule(
+            kind=KIND_DELAY, site=site, at=_norm_at(at), every=every, p=p,
+            seconds=float(seconds), max_faults=max_faults,
+        ))
+
+    def corrupt(
+        self,
+        site: str,
+        mutator: Callable,
+        *,
+        at: Optional[Tuple[int, ...]] = None,
+        every: Optional[int] = None,
+        p: Optional[float] = None,
+        max_faults: Optional[int] = None,
+    ) -> "FaultPlan":
+        """Apply ``mutator(payload)`` at ``site``; a non-None return replaces it."""
+        if not callable(mutator):
+            raise TypeError("corrupt() needs a callable mutator")
+        return self._add(FaultRule(
+            kind=KIND_CORRUPT, site=site, at=_norm_at(at), every=every, p=p,
+            mutator=mutator, max_faults=max_faults,
+        ))
+
+    def _add(self, rule: FaultRule) -> "FaultPlan":
+        selectors = sum(x is not None for x in (rule.at, rule.every, rule.p))
+        if selectors != 1:
+            raise ValueError("exactly one of at=, every=, p= must be given")
+        if rule.every is not None and rule.every < 1:
+            raise ValueError(f"every must be >= 1, got {rule.every}")
+        if rule.p is not None and not 0.0 <= rule.p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {rule.p}")
+        rule.index = len(self._rules)
+        self._rules.append(rule)
+        return self
+
+    # ------------------------------------------------------------------
+    # Activation
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "FaultPlan":
+        global ACTIVE
+        with _ACTIVATION_LOCK:
+            if ACTIVE is not None:
+                raise RuntimeError(
+                    f"a FaultPlan ({ACTIVE.name!r}) is already active; plans do not nest"
+                )
+            ACTIVE = self
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        global ACTIVE
+        with _ACTIVATION_LOCK:
+            ACTIVE = None
+
+    activate = __enter__
+
+    # ------------------------------------------------------------------
+    # Firing
+    # ------------------------------------------------------------------
+    def fire(self, site: str, payload=None):
+        """Advance ``site``'s call counter and apply any triggered rules.
+
+        Delay rules sleep, corrupt rules rewrite ``payload`` (returned to
+        the caller), raise rules raise — applied in that order so one call
+        can be delayed *and* then fail. Returns the (possibly mutated)
+        payload when no raise rule fires.
+        """
+        with self._lock:
+            call = self._calls.get(site, 0) + 1
+            self._calls[site] = call
+            triggered = [
+                rule for rule in self._rules
+                if rule.matches(site) and rule.triggers(self.seed, site, call)
+            ]
+            for rule in triggered:
+                rule.fired += 1
+                self.events.append(FaultEvent(
+                    site=site, kind=rule.kind, call=call, rule=rule.index,
+                    detail=rule.message,
+                ))
+        if not triggered:
+            return payload
+        for rule in triggered:
+            self._publish(site, rule.kind)
+        for rule in triggered:
+            if rule.kind == KIND_DELAY:
+                time.sleep(rule.seconds)
+        for rule in triggered:
+            if rule.kind == KIND_CORRUPT:
+                replacement = rule.mutator(payload)
+                if replacement is not None:
+                    payload = replacement
+        for rule in triggered:
+            if rule.kind == KIND_RAISE:
+                if rule.exc is not None:
+                    raise rule.exc(rule.message or f"injected fault at {site!r}")
+                raise FaultInjected(site, rule.message, transient=rule.transient)
+        return payload
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def counts(self) -> dict:
+        """Per-site call counts observed so far."""
+        with self._lock:
+            return dict(self._calls)
+
+    def injected(self) -> dict:
+        """(site, kind) -> number of faults fired."""
+        with self._lock:
+            summary: dict = {}
+            for event in self.events:
+                key = (event.site, event.kind)
+                summary[key] = summary.get(key, 0) + 1
+            return summary
+
+    def schedule(self, site: str, calls: int) -> List[Tuple[int, str]]:
+        """Preview (call, kind) pairs for the first ``calls`` calls at ``site``.
+
+        Pure — does not advance counters. ``max_faults`` budgets are
+        simulated locally, so the preview matches a fresh plan's behaviour.
+        """
+        fired = {rule.index: 0 for rule in self._rules}
+        out: List[Tuple[int, str]] = []
+        for call in range(1, calls + 1):
+            for rule in self._rules:
+                if not rule.matches(site):
+                    continue
+                if rule.max_faults is not None and fired[rule.index] >= rule.max_faults:
+                    continue
+                if rule.at is not None:
+                    hit = call in rule.at
+                elif rule.every is not None:
+                    hit = call % rule.every == 0
+                else:
+                    hit = _u01(self.seed, rule.index, site, call) < rule.p
+                if hit:
+                    fired[rule.index] += 1
+                    out.append((call, rule.kind))
+        return out
+
+    def _publish(self, site: str, kind: str) -> None:
+        from ..obs import runtime as _obs
+
+        if not _obs.enabled:
+            return
+        from ..obs.metrics import REGISTRY
+
+        REGISTRY.counter("faults.injected", site=site, kind=kind).inc()
+        if _obs.tracing:
+            from ..obs.trace import add_event
+
+            now = time.perf_counter()
+            add_event(f"faults.{kind}", now, now, site=site, plan=self.name)
+
+
+def _norm_at(at) -> Optional[Tuple[int, ...]]:
+    if at is None:
+        return None
+    values = tuple(int(x) for x in ((at,) if isinstance(at, int) else at))
+    if not values or any(v < 1 for v in values):
+        raise ValueError(f"at= call numbers are 1-based positive ints, got {at!r}")
+    return values
+
+
+def corrupt_file(path) -> None:
+    """Flip the last byte of ``path`` in place — a standard corruption mutator."""
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if data:
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))

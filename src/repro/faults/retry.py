@@ -1,0 +1,201 @@
+"""Retry policies with deterministic backoff and transient-error classification.
+
+The serving, training and pipeline layers all need the same three pieces:
+
+* a *vocabulary* for "is this error worth retrying?" (`TransientError`,
+  `PermanentError`, `is_transient`),
+* a frozen `Retry` policy object (max attempts, exponential backoff with
+  deterministic jitter, per-attempt timeout, retryable classes),
+* a way to run a callable under that policy (`Retry.call`).
+
+Jitter is derived from a seeded hash of the attempt index, never from a
+global RNG, so a given policy produces the same delay schedule on every
+run — chaos tests can pin wall-clock-free behaviour exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+__all__ = [
+    "TransientError",
+    "PermanentError",
+    "AttemptTimeout",
+    "is_transient",
+    "Retry",
+]
+
+
+class TransientError(RuntimeError):
+    """Marker base class: the operation may succeed if simply retried."""
+
+
+class PermanentError(RuntimeError):
+    """Marker base class: retrying cannot help; fail fast."""
+
+
+class AttemptTimeout(TransientError):
+    """A single attempt exceeded the policy's per-attempt timeout."""
+
+
+def is_transient(exc: BaseException, extra: Tuple[type, ...] = ()) -> bool:
+    """Classify an exception as transient (retryable) or permanent.
+
+    Order matters: an explicit ``PermanentError`` always wins, a
+    ``FaultInjected`` carries its own ``transient`` flag, the marker
+    classes come next, and finally the stdlib's I/O-flavoured exceptions
+    (connection resets, timeouts) default to transient.
+    """
+    from .plan import FaultInjected  # local: plan imports this module
+
+    if isinstance(exc, PermanentError):
+        return False
+    if isinstance(exc, FaultInjected):
+        return exc.transient
+    if isinstance(exc, TransientError):
+        return True
+    if extra and isinstance(exc, tuple(extra)):
+        return True
+    return isinstance(exc, (ConnectionError, TimeoutError))
+
+
+def _u01(seed: int, tag: str, n: int) -> float:
+    """Deterministic uniform in [0, 1) from a seeded hash — no global RNG."""
+    digest = hashlib.sha256(f"{seed}:{tag}:{n}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+def _call_with_timeout(fn, args, kwargs, timeout: float):
+    """Run ``fn`` in a helper thread, raising AttemptTimeout if it overruns.
+
+    The overrunning attempt keeps executing in its daemon thread (Python
+    offers no safe preemption); the caller simply stops waiting for it.
+    """
+    outcome = {}
+    done = threading.Event()
+
+    def runner():
+        try:
+            outcome["value"] = fn(*args, **kwargs)
+        except BaseException as exc:  # delivered to the waiting thread
+            outcome["error"] = exc
+        finally:
+            done.set()
+
+    thread = threading.Thread(target=runner, name="repro-retry-attempt", daemon=True)
+    thread.start()
+    if not done.wait(timeout):
+        raise AttemptTimeout(f"attempt exceeded per-attempt timeout of {timeout}s")
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome.get("value")
+
+
+@dataclass(frozen=True)
+class Retry:
+    """Bounded-retry policy: exponential backoff with deterministic jitter.
+
+    ``max_attempts`` counts the first try, so ``max_attempts=3`` means at
+    most two retries. ``retry_on`` extends the transient classification
+    with extra exception classes. ``attempt_timeout`` bounds each attempt
+    (the overrun surfaces as a retryable :class:`AttemptTimeout`);
+    ``total_deadline`` bounds the whole call including backoff sleeps.
+    """
+
+    max_attempts: int = 3
+    backoff: float = 0.05
+    multiplier: float = 2.0
+    max_backoff: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+    retry_on: Tuple[type, ...] = field(default=())
+    attempt_timeout: Optional[float] = None
+    total_deadline: Optional[float] = None
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {self.backoff}")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.max_backoff < 0:
+            raise ValueError(f"max_backoff must be >= 0, got {self.max_backoff}")
+        for candidate in self.retry_on:
+            if not (isinstance(candidate, type) and issubclass(candidate, BaseException)):
+                raise TypeError(f"retry_on entries must be exception classes, got {candidate!r}")
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based), jittered deterministically."""
+        delay = min(self.backoff * self.multiplier ** (attempt - 1), self.max_backoff)
+        if self.jitter and delay > 0:
+            delay *= 1.0 + self.jitter * (2.0 * _u01(self.seed, "retry-delay", attempt) - 1.0)
+        return max(delay, 0.0)
+
+    def retryable(self, exc: BaseException) -> bool:
+        return is_transient(exc, extra=self.retry_on)
+
+    def call(
+        self,
+        fn: Callable,
+        *args,
+        label: str = "",
+        classify: Optional[Callable[[BaseException], bool]] = None,
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        **kwargs,
+    ):
+        """Run ``fn`` under this policy; re-raise the last error on exhaustion.
+
+        ``classify`` overrides the transient test; ``on_retry(attempt, exc)``
+        fires before each backoff sleep (used by callers to count retries).
+        """
+        classify = classify or self.retryable
+        start = time.monotonic()
+        target = label or getattr(fn, "__name__", "call")
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                if self.attempt_timeout is not None:
+                    return _call_with_timeout(fn, args, kwargs, self.attempt_timeout)
+                return fn(*args, **kwargs)
+            except Exception as exc:
+                retryable = attempt < self.max_attempts and classify(exc)
+                delay = self.delay_for(attempt) if retryable else 0.0
+                if retryable and self.total_deadline is not None:
+                    if time.monotonic() - start + delay > self.total_deadline:
+                        retryable = False
+                if not retryable:
+                    _publish_exhausted(target)
+                    raise
+                _publish_retry(target)
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                if delay > 0:
+                    sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _publish_retry(target: str) -> None:
+    from ..obs import runtime as _obs
+
+    if not _obs.enabled:
+        return
+    from ..obs.metrics import REGISTRY
+
+    REGISTRY.counter("retries.attempts", target=target).inc()
+
+
+def _publish_exhausted(target: str) -> None:
+    from ..obs import runtime as _obs
+
+    if not _obs.enabled:
+        return
+    from ..obs.metrics import REGISTRY
+
+    REGISTRY.counter("retries.exhausted", target=target).inc()

@@ -36,6 +36,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..faults import plan as _faults
 from ..metrics.report import MetricReport
 from ..simulation.result import SimulationResult
 from .fingerprint import file_digest
@@ -217,8 +218,16 @@ class ArtifactStore:
         SHA-256 no longer matches ``meta.json`` — the executor converts the
         latter into a recompute rather than propagating bad data.
         """
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.fire("pipeline.store.load")
         record = self.record(fp)
         obj_dir = self._object_dir(fp)
+        if _faults.ACTIVE is not None:
+            # Corruption seam: a ``corrupt`` rule's mutator receives the
+            # object directory and may flip payload bytes in place — the
+            # digest check below then raises ArtifactCorrupted, exercising
+            # the executor's delete-and-recompute recovery path.
+            _faults.ACTIVE.fire("pipeline.store.object_dir", payload=obj_dir)
         for name, digest in record.files.items():
             path = obj_dir / name
             if not path.exists():
@@ -236,6 +245,8 @@ class ArtifactStore:
         replaced).  The fingerprint's scratch directory is cleared on
         commit.
         """
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.fire("pipeline.store.save")
         self._tmp.mkdir(parents=True, exist_ok=True)
         stage_dir = Path(self._tmp) / f"{fp}.{os.getpid()}.{time.monotonic_ns()}"
         try:

@@ -131,6 +131,7 @@ class PipelineConfig:
     ablation_latent_channels: tuple = (2, 6)
     gamma_star: float = 0.0125
     train_overrides: dict = field(default_factory=dict)
+    retry: dict = field(default_factory=dict)
     validate_table1: bool = True
     pins: Optional[str] = None          #: pin-set name or path (None = auto by scale)
     nmae_rtol: float = 0.05             #: relative tolerance on pinned 100×NMAE values
@@ -152,6 +153,10 @@ class PipelineConfig:
         self.fig7_curve_world_sizes = tuple(int(w) for w in self.fig7_curve_world_sizes)
         self.ablation_activations = tuple(str(a) for a in self.ablation_activations)
         self.ablation_latent_channels = tuple(int(c) for c in self.ablation_latent_channels)
+        _check_keys("pipeline.retry", self.retry,
+                    {"max_attempts", "backoff", "multiplier", "max_backoff",
+                     "jitter", "seed", "stages"})
+        self.retry_policy()  # validate the numeric knobs eagerly
 
     # ------------------------------------------------------------ resolution
     def resolved_scale(self):
@@ -178,6 +183,29 @@ class PipelineConfig:
     def enabled_ablations(self) -> list[str]:
         """Names of the enabled ablation experiments."""
         return [name for name in _DEFAULT_ABLATIONS if self.ablations.get(name)]
+
+    def retry_policy(self):
+        """The ``[pipeline.retry]`` section as a :class:`repro.faults.Retry`.
+
+        ``None`` when the section is absent.  The policy is execution
+        configuration only — it never enters stage fingerprints, so adding
+        or tuning retries leaves every cached artifact valid.
+        """
+        if not self.retry:
+            return None
+        from ..faults import Retry
+
+        knobs = {k: v for k, v in self.retry.items() if k != "stages"}
+        casts = {"max_attempts": int, "seed": int, "backoff": float,
+                 "multiplier": float, "max_backoff": float, "jitter": float}
+        return Retry(**{k: casts[k](v) for k, v in knobs.items()})
+
+    def retry_stage_patterns(self) -> tuple:
+        """fnmatch patterns naming the stages the retry policy applies to."""
+        patterns = self.retry.get("stages", ["*"])
+        if isinstance(patterns, str):
+            patterns = [patterns]
+        return tuple(str(p) for p in patterns)
 
     def as_dict(self) -> dict:
         """Plain-dict form (JSON/fingerprint friendly)."""
@@ -210,6 +238,7 @@ class PipelineConfig:
             "figures": body.pop("figures", None),
             "ablations": body.pop("ablations", None),
             "train": dict(body.pop("train", {})),
+            "retry": dict(body.pop("retry", {})),
             "validation": dict(body.pop("validation", {})),
         }
         scalar_keys = {
@@ -233,6 +262,7 @@ class PipelineConfig:
                 merged.update(sections[key])
                 kwargs[key] = merged
         kwargs["train_overrides"] = sections["train"]
+        kwargs["retry"] = sections["retry"]
         if "table1" in validation:
             kwargs["validate_table1"] = bool(validation["table1"])
         if "pins" in validation:

@@ -29,6 +29,7 @@ from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
+from ..faults import TransientError, is_transient
 from .artifacts import ArtifactCorrupted, ArtifactStore
 from .stage import Stage, StageContext, topological_order
 
@@ -121,6 +122,7 @@ class StageResult:
     status: str          #: "computed" | "cached" | "skipped" | "failed"
     seconds: float = 0.0
     error: Optional[str] = None
+    attempts: int = 1    #: executions of the stage body (> 1 after retries)
 
 
 @dataclass
@@ -153,6 +155,7 @@ class RunReport:
             "stages": [
                 {"name": r.name, "fingerprint": r.fingerprint,
                  "status": r.status, "seconds": r.seconds,
+                 **({"attempts": r.attempts} if r.attempts > 1 else {}),
                  **({"error": r.error} if r.error else {})}
                 for r in self.results.values()
             ],
@@ -175,6 +178,17 @@ def _emit_metrics(status: str, stage: str, seconds: float) -> None:
         REGISTRY.histogram("pipeline.stage_seconds").observe(seconds)
     elif status == "failed":
         REGISTRY.counter("pipeline.stages_failed").inc()
+
+
+def _emit_retry(stage: str) -> None:
+    """Count one retried (or transiently failed) stage execution."""
+    from ..obs import runtime as _obs
+
+    if not _obs.enabled:
+        return
+    from ..obs.metrics import REGISTRY
+
+    REGISTRY.counter("pipeline.retries", stage=stage).inc()
 
 
 def run_pipeline(pipeline: Pipeline, store: Optional[ArtifactStore] = None,
@@ -235,35 +249,76 @@ def run_pipeline(pipeline: Pipeline, store: Optional[ArtifactStore] = None,
         if remaining_consumers[dep] == 0 and not keep_values:
             values.pop(dep, None)
 
+    def classify(exc: BaseException) -> bool:
+        # ArtifactCorrupted counts as transient at the retry layer: a
+        # recompute-and-rewrite fixes a torn artifact.
+        return is_transient(exc, extra=(ArtifactCorrupted,))
+
     def execute(stage: Stage) -> StageResult:
         from ..obs import span
 
         fp = fps[stage.name]
+        attempts = {"n": 1}
+
+        def count_retry(attempt: int, exc: BaseException) -> None:
+            attempts["n"] += 1
+            _emit_retry(stage.name)
+
+        def under_retry(fn):
+            if stage.retry is None:
+                return fn()
+            try:
+                return stage.retry.call(fn, label=stage.name,
+                                        classify=classify, on_retry=count_retry)
+            except Exception as exc:
+                # Carry the attempt count out to the failed-StageResult
+                # builder in the scheduling loop below.
+                exc._pipeline_attempts = attempts["n"]
+                raise
+
+        def under_retry_load(fn):
+            # Corruption is NOT retried here: re-reading the same torn
+            # bytes cannot help — the except below deletes and recomputes.
+            if stage.retry is None:
+                return fn()
+            return stage.retry.call(fn, label=stage.name,
+                                    classify=is_transient, on_retry=count_retry)
+
         if store is not None and stage.name not in forced and store.has(fp):
             try:
                 t0 = time.perf_counter()
-                values[stage.name] = store.load(fp)
+                values[stage.name] = under_retry_load(lambda: store.load(fp))
                 result = StageResult(stage.name, fp, "cached",
                                      seconds=time.perf_counter() - t0)
                 _emit_metrics("cached", stage.name, result.seconds)
                 return result
             except ArtifactCorrupted:
                 store.delete(fp)  # fall through to a clean recompute
+            except TransientError:
+                # Store IO kept failing transiently even after retries;
+                # recomputing below still yields a correct artifact.
+                _emit_retry(stage.name)
         ctx = StageContext(
             params=stage.params, fingerprint=fp,
             inputs={dep: values[dep] for dep in stage.deps},
             scratch=store.scratch_dir(fp) if store is not None else None,
         )
+
+        def compute():
+            with span("pipeline.stage", stage=stage.name, fingerprint=fp[:12]):
+                return stage.fn(ctx)
+
         t0 = time.perf_counter()
-        with span("pipeline.stage", stage=stage.name, fingerprint=fp[:12]):
-            value = stage.fn(ctx)
+        value = under_retry(compute)
         elapsed = time.perf_counter() - t0
         if store is not None:
-            store.save(fp, value, stage=stage.name,
-                       meta={"params": dict(stage.params), "deps": list(stage.deps),
-                             "seconds": elapsed, "version": stage.version})
+            under_retry(lambda: store.save(
+                fp, value, stage=stage.name,
+                meta={"params": dict(stage.params), "deps": list(stage.deps),
+                      "seconds": elapsed, "version": stage.version}))
         values[stage.name] = value
-        result = StageResult(stage.name, fp, "computed", seconds=elapsed)
+        result = StageResult(stage.name, fp, "computed", seconds=elapsed,
+                             attempts=attempts["n"])
         _emit_metrics("computed", stage.name, elapsed)
         return result
 
@@ -297,7 +352,8 @@ def run_pipeline(pipeline: Pipeline, store: Optional[ArtifactStore] = None,
                     result = future.result()
                 except Exception as exc:  # stage body raised: poison its cone
                     result = StageResult(stage.name, fps[stage.name], "failed",
-                                         error=f"{type(exc).__name__}: {exc}")
+                                         error=f"{type(exc).__name__}: {exc}",
+                                         attempts=getattr(exc, "_pipeline_attempts", 1))
                     _emit_metrics("failed", stage.name, 0.0)
                     failed_cone |= pipeline.downstream_cone([stage.name])
                 report.results[stage.name] = result

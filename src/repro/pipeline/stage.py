@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Mapping, Optional, Sequence
 
+from ..faults import Retry
 from .fingerprint import code_token, fingerprint
 
 __all__ = ["Stage", "StageContext"]
@@ -55,7 +56,14 @@ class StageContext:
 
 @dataclass(frozen=True)
 class Stage:
-    """One node of the experiment DAG (see module docstring)."""
+    """One node of the experiment DAG (see module docstring).
+
+    ``retry`` attaches a :class:`repro.faults.Retry` policy: transient
+    failures of the stage body (and of the artifact store IO around it)
+    are retried under it instead of failing the run.  The policy is
+    *execution* configuration, deliberately excluded from the artifact
+    fingerprint — adding or tuning retries must not invalidate caches.
+    """
 
     name: str
     fn: Callable[[StageContext], object]
@@ -63,6 +71,7 @@ class Stage:
     params: Mapping = field(default_factory=dict)
     version: str = "1"
     description: str = ""
+    retry: Optional["Retry"] = None
 
     def __post_init__(self):
         if not self.name:

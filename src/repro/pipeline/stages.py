@@ -30,7 +30,8 @@ runners are now thin wrappers over these stages).
 
 from __future__ import annotations
 
-from dataclasses import asdict
+import fnmatch
+from dataclasses import asdict, replace
 from typing import Mapping, Optional, Sequence
 
 import numpy as np
@@ -649,4 +650,21 @@ def build_standard_pipeline(cfg: PipelineConfig) -> Pipeline:
         pipe.add(allreduce_stage("ablation.allreduce", world_sizes=(1, 2, 8, 32, 128),
                                  overlap_fractions=(0.0, 0.5, 0.9)))
 
+    _apply_retry_policy(pipe, cfg)
     return pipe
+
+
+def _apply_retry_policy(pipe: Pipeline, cfg: PipelineConfig) -> None:
+    """Attach the ``[pipeline.retry]`` policy to every matching stage.
+
+    Applied after the DAG is built so the policy reaches stages regardless
+    of which experiment registered them.  ``Stage.retry`` never enters the
+    fingerprint, so this is cache-neutral by construction.
+    """
+    policy = cfg.retry_policy()
+    if policy is None:
+        return
+    patterns = cfg.retry_stage_patterns()
+    for stage in pipe.stages:
+        if any(fnmatch.fnmatchcase(stage.name, p) for p in patterns):
+            pipe._stages[stage.name] = replace(stage, retry=policy)

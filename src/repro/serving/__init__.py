@@ -55,7 +55,7 @@ from .scheduler import (
 )
 from .server import ModelServer
 from .telemetry import ServerTelemetry, format_stats_table
-from .api import Client, start_http_server, stop_http_server
+from .api import Client, ServingUnavailable, start_http_server, stop_http_server
 
 __all__ = [
     "QueryRequest",
@@ -73,6 +73,7 @@ __all__ = [
     "ServerTelemetry",
     "format_stats_table",
     "Client",
+    "ServingUnavailable",
     "start_http_server",
     "stop_http_server",
 ]

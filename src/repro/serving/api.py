@@ -29,19 +29,27 @@ Endpoints
 from __future__ import annotations
 
 import json
+import logging
 import threading
-from http.client import HTTPConnection
+from http.client import HTTPConnection, HTTPException
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
 import numpy as np
 
+from ..faults import Retry, TransientError
 from ..obs.trace import span as _span
 from .requests import QueryRequest, QueryResult
 from .scheduler import SchedulerClosedError, ServerOverloadedError
 from .server import ModelServer
 
-__all__ = ["start_http_server", "stop_http_server", "Client"]
+__all__ = ["start_http_server", "stop_http_server", "Client", "ServingUnavailable"]
+
+logger = logging.getLogger("repro.serving")
+
+
+class ServingUnavailable(TransientError):
+    """The gateway answered 503 (overloaded / shutting down) — retryable."""
 
 
 def _result_payload(result: QueryResult) -> dict:
@@ -159,13 +167,26 @@ def start_http_server(server: ModelServer, host: str = "127.0.0.1",
     return httpd
 
 
-def stop_http_server(httpd: ThreadingHTTPServer) -> None:
-    """Stop a gateway started by :func:`start_http_server` and join its thread."""
+def stop_http_server(httpd: ThreadingHTTPServer, timeout: float = 10.0) -> bool:
+    """Stop a gateway started by :func:`start_http_server` and join its thread.
+
+    Returns ``True`` when the serving thread exited within ``timeout``.
+    A stuck thread (e.g. a handler blocked on a wedged worker) is logged
+    and abandoned — it is a daemon thread, so it cannot block interpreter
+    exit — and ``False`` is returned so callers can surface the failed
+    drain instead of silently assuming a clean shutdown.
+    """
     httpd.shutdown()
     httpd.server_close()
     thread = getattr(httpd, "_serving_thread", None)
-    if thread is not None:
-        thread.join(timeout=10.0)
+    if thread is None:
+        return True
+    thread.join(timeout=timeout)
+    if thread.is_alive():
+        logger.warning("HTTP gateway thread %s did not exit within %.1fs; "
+                       "abandoning it (drain incomplete)", thread.name, timeout)
+        return False
+    return True
 
 
 class Client:
@@ -174,16 +195,37 @@ class Client:
     Opens one connection per call (thread-safe without shared state); values
     come back in the served precision (float64 by default), bit-identical
     to a direct engine call at that precision.
+
+    ``retry`` opts into idempotent retries: every gateway call is a pure
+    read or a deterministic re-computable query, so connection errors,
+    socket timeouts and 503s (:class:`ServingUnavailable`) are safely
+    retried under the given :class:`~repro.faults.Retry` policy.  Off by
+    default — callers that cannot tolerate duplicate work keep fail-fast
+    semantics.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8080,
-                 timeout: Optional[float] = 60.0):
+                 timeout: Optional[float] = 60.0,
+                 retry: Optional[Retry] = None):
         self.host = host
         self.port = int(port)
         self.timeout = timeout
+        self.retry = retry
 
     # ---------------------------------------------------------------- plumbing
+    @staticmethod
+    def _retryable(exc: BaseException) -> bool:
+        # OSError covers refused/reset connections and socket timeouts;
+        # HTTPException covers torn responses. All requests are idempotent.
+        return isinstance(exc, (ServingUnavailable, OSError, HTTPException))
+
     def _call(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        if self.retry is None:
+            return self._call_once(method, path, payload)
+        return self.retry.call(self._call_once, method, path, payload,
+                               classify=self._retryable, label=f"client:{path}")
+
+    def _call_once(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
         conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             body = None if payload is None else json.dumps(payload)
@@ -191,6 +233,10 @@ class Client:
             conn.request(method, path, body=body, headers=headers)
             response = conn.getresponse()
             data = json.loads(response.read() or b"{}")
+            if response.status == 503:
+                raise ServingUnavailable(
+                    f"{method} {path} unavailable (503): {data.get('error')}"
+                )
             if response.status >= 400:
                 raise RuntimeError(
                     f"{method} {path} failed ({response.status}): {data.get('error')}"

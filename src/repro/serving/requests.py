@@ -123,10 +123,15 @@ class QueryRequest:
         return self
 
     def expired(self, now: Optional[float] = None) -> bool:
-        """Whether the deadline (if any) has passed."""
+        """Whether the deadline (if any) has passed.
+
+        Deadline semantics are *exclusive*: a request must complete
+        strictly before its deadline, so a request examined exactly at
+        the deadline instant is already expired (``>=``, not ``>``).
+        """
         if self.deadline is None:
             return False
-        return (time.monotonic() if now is None else now) > self.deadline
+        return (time.monotonic() if now is None else now) >= self.deadline
 
 
 @dataclass

@@ -31,6 +31,7 @@ from typing import Callable, List, Mapping, Optional
 
 import numpy as np
 
+from ..faults import plan as _faults
 from ..obs.trace import current_context, span as _span
 from ..obs import runtime as _obs
 from .requests import (
@@ -316,6 +317,11 @@ def _run_batch_impl(engine, items: List[_PendingItem],
                           f"(available: {sorted(engines)})"))
             continue
         try:
+            # Injection site "serving.batch": a fail rule poisons only this
+            # (domain, dtype) group — the except below resolves its items
+            # with status="error" — and a delay rule injects decode latency.
+            if _faults.ACTIVE is not None:
+                _faults.ACTIVE.fire("serving.batch", payload=(domain_id, dtype_name))
             field = group_engine.open(lowres, key=domain_key)
             point_items = [i for i in domain_items if not i.request.is_grid]
             grid_items = [i for i in domain_items if i.request.is_grid]

@@ -23,9 +23,10 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+import logging
 import threading
 import time
-from concurrent.futures import CancelledError
+from concurrent.futures import CancelledError, InvalidStateError
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Dict, Optional, Sequence
 
@@ -33,8 +34,10 @@ import numpy as np
 
 from ..autodiff import Tensor
 from ..backend import canonical_dtype
+from ..faults import CircuitBreaker, Retry
+from ..faults import plan as _faults
 from ..inference import InferenceEngine, LatentTileCache
-from .requests import STATUS_CANCELLED, STATUS_TIMEOUT, QueryRequest, QueryResult
+from .requests import STATUS_CANCELLED, STATUS_ERROR, STATUS_TIMEOUT, QueryRequest, QueryResult
 from .scheduler import (
     BatchPolicy,
     MicroBatchScheduler,
@@ -45,6 +48,8 @@ from .scheduler import (
 from .telemetry import ServerTelemetry
 
 __all__ = ["ModelServer"]
+
+logger = logging.getLogger("repro.serving")
 
 
 class ModelServer:
@@ -72,6 +77,25 @@ class ModelServer:
         precision's per-worker engine replicas, so a float32 fleet serves
         alongside the float64 one at +half the weight memory.  Defaults to
         the model's own parameter dtype only.
+    breaker_threshold, breaker_cooldown:
+        Per-worker circuit breaker: after ``breaker_threshold``
+        *consecutive* batch failures the worker's breaker trips open and
+        the worker stops pulling batches for ``breaker_cooldown`` seconds
+        (the rest of the fleet keeps serving); the next batch after the
+        cooldown is the half-open trial that either closes the breaker or
+        re-opens it.
+    worker_backoff:
+        :class:`~repro.faults.Retry` policy shaping the sleep between a
+        worker crash and its restart (exponential backoff; only the delay
+        schedule is used — the worker loop itself never gives up).
+    shed_watermark, shed_priority:
+        Load shedding: when the pending queue is at or beyond
+        ``shed_watermark * max_pending``, submissions with priority
+        ``<= shed_priority`` are fast-rejected with
+        :class:`ServerOverloadedError` before touching the queue, keeping
+        headroom for high-priority traffic.  The default watermark of
+        ``1.0`` disables shedding (only the hard ``max_pending`` bound
+        applies).
     tile_shape, cache_tiles, engine_kwargs:
         Forwarded to every :class:`~repro.inference.InferenceEngine`
         replica (``cache_tiles`` sizes the single shared latent cache;
@@ -91,9 +115,16 @@ class ModelServer:
                  cache_tiles: Optional[int] = 64,
                  telemetry_window: int = 2048,
                  precisions: Optional[Sequence] = None,
+                 breaker_threshold: int = 5,
+                 breaker_cooldown: float = 0.25,
+                 worker_backoff: Optional[Retry] = None,
+                 shed_watermark: float = 1.0,
+                 shed_priority: int = 0,
                  **engine_kwargs):
         if n_workers < 1:
             raise ValueError("n_workers must be positive")
+        if not 0.0 < shed_watermark <= 1.0:
+            raise ValueError(f"shed_watermark must be in (0, 1], got {shed_watermark}")
         self.cache = LatentTileCache(capacity=cache_tiles)
         if precisions is None:
             precisions = (model.dtype,)
@@ -128,12 +159,25 @@ class ModelServer:
         #: cache keys so re-registration can never serve stale latents.
         self._domains: Dict[str, tuple] = {}
         self._domains_lock = threading.Lock()
+        self._shed_watermark = float(shed_watermark)
+        self._shed_priority = int(shed_priority)
+        self._breaker_cooldown = float(breaker_cooldown)
+        self._worker_backoff = worker_backoff if worker_backoff is not None else Retry(
+            max_attempts=8, backoff=0.01, multiplier=2.0, max_backoff=0.25, jitter=0.0)
+        self._breakers = [
+            CircuitBreaker(name=f"serving-worker-{i}",
+                           failure_threshold=breaker_threshold,
+                           cooldown=breaker_cooldown,
+                           on_transition=self.telemetry.record_breaker_transition)
+            for i in range(n_workers)
+        ]
         self._workers = [
-            threading.Thread(target=self._worker_loop, args=(engines,),
+            threading.Thread(target=self._worker_loop, args=(i, engines),
                              name=f"serving-worker-{i}", daemon=True)
             for i, engines in enumerate(self._worker_engines)
         ]
         self._closed = False
+        self._drained = True
         for worker in self._workers:
             worker.start()
 
@@ -192,6 +236,15 @@ class ModelServer:
         if timeout is not None:
             request = dataclasses.replace(
                 request, deadline=time.monotonic() + float(timeout))
+        if (self._shed_watermark < 1.0
+                and request.priority <= self._shed_priority
+                and len(self.scheduler) >= self._shed_watermark * self.scheduler.max_pending):
+            # Fast-reject before touching the heap: under saturation, low
+            # priority traffic is shed to keep headroom for the rest.
+            self.telemetry.record_shed()
+            raise ServerOverloadedError(
+                f"load shed: pending queue at watermark "
+                f"({self._shed_watermark:.0%} of {self.scheduler.max_pending})")
         try:
             future = self.scheduler.submit(request)
         except (ServerOverloadedError, SchedulerClosedError):
@@ -224,14 +277,68 @@ class ModelServer:
                                error="request cancelled")
 
     # ---------------------------------------------------------------- workers
-    def _worker_loop(self, engines: "dict[str, InferenceEngine]") -> None:
+    def _worker_loop(self, index: int, engines: "dict[str, InferenceEngine]") -> None:
+        """Supervised worker loop: crashes are contained, never fatal.
+
+        ``run_batch`` already resolves per-group failures, so an exception
+        escaping it means the replica itself is sick (or a fault was
+        injected above the batch level).  The supervisor fails only the
+        poisoned batch's still-pending requests (``status="error"``),
+        records the crash on the worker's circuit breaker, sleeps an
+        exponential backoff, and keeps pulling.  While the breaker is open
+        the worker idles and the rest of the fleet serves; a closed
+        scheduler overrides the breaker so shutdown can always drain.
+        """
+        breaker = self._breakers[index]
+        crashes = 0  # consecutive, for the restart backoff schedule
         while True:
+            if not breaker.allow() and not self.scheduler.closed:
+                time.sleep(min(0.005, self._breaker_cooldown or 0.005))
+                continue
             batch = self.scheduler.next_batch()
             if batch is None:
                 return
-            if batch:
-                run_batch(engines, batch, self._resolve_domain,
-                          telemetry=self.telemetry, default_dtype=self._precisions[0])
+            if not batch:
+                continue
+            try:
+                self._serve_batch(engines, batch)
+            except Exception as exc:  # noqa: BLE001 - supervisor boundary
+                crashes += 1
+                self._on_worker_crash(index, batch, exc)
+                breaker.record_failure()
+                delay = self._worker_backoff.delay_for(
+                    min(crashes, self._worker_backoff.max_attempts))
+                if delay > 0:
+                    time.sleep(delay)
+            else:
+                crashes = 0
+                breaker.record_success()
+
+    def _serve_batch(self, engines: "dict[str, InferenceEngine]", batch) -> None:
+        """One batch through the injection site + engine (supervised above)."""
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.fire("serving.worker")
+        run_batch(engines, batch, self._resolve_domain,
+                  telemetry=self.telemetry, default_dtype=self._precisions[0])
+
+    def _on_worker_crash(self, index: int, batch, exc: BaseException) -> None:
+        """Fail the crashed batch's unresolved requests with a definite status."""
+        summary = f"{type(exc).__name__}: {exc}"
+        logger.warning("serving worker %d crashed on a %d-request batch (%s); restarting",
+                       index, len(batch), summary)
+        self.telemetry.record_worker_crash()
+        for item in batch:
+            if item.future.done():
+                continue
+            result = QueryResult(
+                request_id=item.request.request_id, status=STATUS_ERROR,
+                batch_requests=len(batch),
+                error=f"worker-{index} crashed: {summary}")
+            try:
+                item.future.set_result(result)
+            except InvalidStateError:  # cancelled under our feet
+                continue
+            self.telemetry.record_result(result)
 
     # ------------------------------------------------------------------ stats
     def stats(self) -> dict:
@@ -239,6 +346,7 @@ class ModelServer:
         snapshot = self.telemetry.snapshot(queue_depth=len(self.scheduler),
                                            cache_stats=self.cache.stats())
         snapshot["precisions"] = list(self._precisions)
+        snapshot["breakers"] = [breaker.state for breaker in self._breakers]
         return snapshot
 
     @property
@@ -252,15 +360,19 @@ class ModelServer:
         return len(self.engines)
 
     # --------------------------------------------------------------- shutdown
-    def close(self, drain: bool = True, timeout: Optional[float] = 30.0) -> None:
+    def close(self, drain: bool = True, timeout: Optional[float] = 30.0) -> bool:
         """Gracefully shut down: stop admissions, finish or cancel the queue.
 
         With ``drain=True`` (default) queued requests are still served
         before the workers exit; with ``drain=False`` they complete
-        immediately with ``status="cancelled"``.  Idempotent.
+        immediately with ``status="cancelled"``.  Idempotent.  Returns
+        ``True`` when every worker thread exited within ``timeout``;
+        ``False`` (with a logged warning) when one had to be abandoned —
+        it is a daemon thread, so it cannot block interpreter exit, but
+        its in-flight batch may still be running.
         """
         if self._closed:
-            return
+            return self._drained
         self._closed = True
         self.scheduler.close()
         if not drain:
@@ -270,8 +382,15 @@ class ModelServer:
                 if item.future.set_running_or_notify_cancel():
                     item.future.set_result(result)
                 self.telemetry.record_result(result)
+        drained = True
         for worker in self._workers:
             worker.join(timeout=timeout)
+            if worker.is_alive():
+                drained = False
+                logger.warning("serving worker %s did not exit within %.1fs; "
+                               "abandoning its thread", worker.name, timeout)
+        self._drained = drained
+        return drained
 
     def __enter__(self) -> "ModelServer":
         return self

@@ -59,6 +59,10 @@ class ServerTelemetry:
         self._batched_requests = reg.counter("serving.batched_requests")
         self._coalesced_requests = reg.counter("serving.coalesced_requests")
         self._points_decoded = reg.counter("serving.points_decoded")
+        # Fault-tolerance counters (lifetime).
+        self._shed = reg.counter("serving.shed")
+        self._worker_crashes = reg.counter("serving.worker_crashes")
+        self._breaker_transitions = reg.counter("serving.breaker_transitions")
         # Rolling latency windows (seconds).
         self.queue_wait = reg.histogram("serving.queue_wait_seconds",
                                         maxlen=window).window
@@ -118,10 +122,38 @@ class ServerTelemetry:
         """Query points decoded (lifetime)."""
         return int(self._points_decoded.value)
 
+    @property
+    def shed(self) -> int:
+        """Requests fast-rejected by load shedding (lifetime; also rejected)."""
+        return int(self._shed.value)
+
+    @property
+    def worker_crashes(self) -> int:
+        """Worker-loop crashes caught by the supervisor (lifetime)."""
+        return int(self._worker_crashes.value)
+
+    @property
+    def breaker_transitions(self) -> int:
+        """Circuit-breaker state transitions across all workers (lifetime)."""
+        return int(self._breaker_transitions.value)
+
     # -------------------------------------------------------------- recording
     def record_admission(self, accepted: bool) -> None:
         """Count one admission decision (rejected = backpressure drop)."""
         (self._accepted if accepted else self._rejected).inc()
+
+    def record_shed(self) -> None:
+        """Count one load-shed request (a shed request is also a rejection)."""
+        self._shed.inc()
+        self._rejected.inc()
+
+    def record_worker_crash(self) -> None:
+        """Count one supervised worker crash."""
+        self._worker_crashes.inc()
+
+    def record_breaker_transition(self, old: str, new: str) -> None:
+        """Count one circuit-breaker transition (wired via ``on_transition``)."""
+        self._breaker_transitions.inc()
 
     def record_batch(self, n_requests: int, n_points: int) -> None:
         """Count one executed micro-batch of ``n_requests`` / ``n_points``."""
@@ -173,6 +205,9 @@ class ServerTelemetry:
             "errors": self.errors,
             "batches": batches,
             "points_decoded": points,
+            "shed": self.shed,
+            "worker_crashes": self.worker_crashes,
+            "breaker_transitions": self.breaker_transitions,
             "requests_per_batch": (self.batched_requests / batches
                                    if batches else 0.0),
             "coalesced_requests": self.coalesced_requests,

@@ -282,3 +282,31 @@ class DistributedTrainer(Trainer):
             g.bit_generator.state = state["stream"]
             self._cursors[rank] = (np.asarray(state["order"], dtype=np.int64),
                                    int(state["pos"]))
+
+    # ------------------------------------------------------------ fault recovery
+    def _recovery_extra_state(self) -> dict:
+        """Communicator statistics for the epoch-recovery boundary.
+
+        The byte/collective totals (and the ``_comm_marker`` the per-epoch
+        deltas are computed against) live outside the checkpoint, but the
+        history's ``comm_bytes`` fields are derived from them — a rollback
+        must rewind them too or a recovered run's telemetry would double
+        count the faulted epoch's collectives and break bit-identity with
+        the fault-free run.
+        """
+        comm = self.communicator
+        return {
+            "comm_bytes": int(comm.total_bytes),
+            "collectives": int(comm.num_collectives),
+            "history_len": len(comm.history),
+            "marker": [int(v) for v in self._comm_marker],
+        }
+
+    def _restore_recovery_extra(self, extra: dict) -> None:
+        if not extra:
+            return
+        comm = self.communicator
+        comm.total_bytes = int(extra["comm_bytes"])
+        comm.num_collectives = int(extra["collectives"])
+        del comm.history[int(extra["history_len"]):]
+        self._comm_marker = tuple(int(v) for v in extra["marker"])

@@ -18,13 +18,17 @@ is bit-identical to an uninterrupted one.
 from __future__ import annotations
 
 import json
+import logging
+import tempfile
 import time
 from dataclasses import asdict, dataclass, field
+from pathlib import Path
 from typing import Optional
 
 import numpy as np
 
 from ..autodiff import Tensor
+from ..faults import plan as _faults
 from ..core.losses import LossWeights, compute_losses, uses_equation_loss
 from ..data.dataset import Batch, SuperResolutionDataset
 from ..metrics.report import MetricReport
@@ -37,6 +41,8 @@ from .evaluation import eval_mode, evaluate_model
 from .history import TrainingHistory
 
 __all__ = ["TrainerConfig", "Trainer"]
+
+logger = logging.getLogger("repro.training")
 
 #: Version tag of the trainer checkpoint layout (stored in the metadata).
 CHECKPOINT_FORMAT = 2
@@ -66,6 +72,8 @@ class TrainerConfig:
     steps_per_epoch: Optional[int] = None #: defaults to len(dataset) / global batch
     compile: bool = False                 #: fused compiled training step + decode plans (repro.compile)
     scenario: Optional[str] = None        #: resolve the PDE system from ``repro.scenarios``
+    fault_recovery: bool = False          #: epoch-level checkpoint/rollback recovery boundary
+    max_epoch_retries: int = 2            #: rollback-and-rerun attempts per epoch before re-raising
     seed: int = 0
     verbose: bool = False
 
@@ -87,6 +95,8 @@ class TrainerConfig:
             raise ValueError("bucket_mb must be positive")
         if self.allreduce_algorithm not in ("ring", "naive"):
             raise ValueError("allreduce_algorithm must be 'ring' or 'naive'")
+        if self.max_epoch_retries < 0:
+            raise ValueError("max_epoch_retries must be >= 0")
         if self.nodes is not None:
             if self.nodes < 1:
                 raise ValueError("nodes must be >= 1")
@@ -125,6 +135,9 @@ class Trainer:
         self.scheduler = self._build_scheduler()
         self.history = TrainingHistory()
         self._epoch = 0
+        #: Epoch rollback-and-rerun events performed by the recovery
+        #: boundary (``config.fault_recovery``) over this trainer's life.
+        self.epoch_recoveries = 0
         self._compiled_step = None
         if self.config.compile:
             # The training loop itself runs as one compiled program per
@@ -273,44 +286,82 @@ class Trainer:
             REGISTRY.gauge("training.nodes").set(record["nodes"])
 
     # ------------------------------------------------------------------ train
+    def _run_epoch(self, epoch: int, steps: int) -> dict:
+        """One full epoch: sharding setup, optimizer steps, history record."""
+        cfg = self.config
+        self._begin_epoch(epoch)
+        t0 = time.perf_counter()
+        step_records = [self.train_step(s, epoch) for s in range(steps)]
+        elapsed = time.perf_counter() - t0
+        record = {
+            "epoch": epoch,
+            "loss": float(np.mean([r["loss"] for r in step_records])),
+            "prediction_loss": float(np.mean([r["prediction_loss"] for r in step_records])),
+            "equation_loss": float(np.mean([r["equation_loss"] for r in step_records])),
+            "lr": self.optimizer.lr,
+            "steps": steps,
+            "world_size": cfg.world_size,
+            "wall_time": elapsed,
+        }
+        record.update(self._epoch_extras())
+        if self.val_dataset is not None:
+            record["val_loss"] = self.validation_loss()
+        return record
+
     def train(self, epochs: Optional[int] = None) -> TrainingHistory:
         """Run the training loop; returns (and stores) the per-epoch history.
 
         When ``config.scheduler`` is set, the scheduler is stepped once at
         the end of every epoch; the ``lr`` recorded for an epoch is the rate
         that was actually used during that epoch.
+
+        With ``config.fault_recovery`` enabled, every epoch runs inside a
+        recovery boundary: the complete training state is checkpointed at
+        the epoch start, and a fault escaping the epoch (a crashed rank, a
+        failed collective, an injected chaos fault) triggers a rollback to
+        that checkpoint and a re-run of the epoch.  The re-run replays the
+        exact same sampler/RNG state, so a faulted-and-recovered run is
+        bit-identical to a fault-free one (pinned by the chaos suite).  An
+        epoch failing more than ``config.max_epoch_retries`` times
+        re-raises the fault.
         """
         cfg = self.config
         n_epochs = cfg.epochs if epochs is None else int(epochs)
         steps = self._steps_per_epoch()
         self.model.train()
-        for _ in range(n_epochs):
-            epoch = self._epoch
-            self._begin_epoch(epoch)
-            t0 = time.perf_counter()
-            step_records = [self.train_step(s, epoch) for s in range(steps)]
-            elapsed = time.perf_counter() - t0
-            record = {
-                "epoch": epoch,
-                "loss": float(np.mean([r["loss"] for r in step_records])),
-                "prediction_loss": float(np.mean([r["prediction_loss"] for r in step_records])),
-                "equation_loss": float(np.mean([r["equation_loss"] for r in step_records])),
-                "lr": self.optimizer.lr,
-                "steps": steps,
-                "world_size": cfg.world_size,
-                "wall_time": elapsed,
-            }
-            record.update(self._epoch_extras())
-            if self.val_dataset is not None:
-                record["val_loss"] = self.validation_loss()
-            self.history.append(**record)
-            self._emit_metrics(record)
-            self._epoch += 1
-            if self.scheduler is not None:
-                self.scheduler.step()
-            if cfg.verbose:
-                print(f"[epoch {epoch:3d}] loss={record['loss']:.5f} "
-                      f"(pred={record['prediction_loss']:.5f}, eq={record['equation_loss']:.5f})")
+        recovery = _EpochRecovery(self) if cfg.fault_recovery else None
+        try:
+            for _ in range(n_epochs):
+                epoch = self._epoch
+                if recovery is not None:
+                    recovery.capture()
+                attempt = 0
+                while True:
+                    try:
+                        # Injection site "training.epoch": an epoch-level
+                        # fault, as opposed to faults surfacing from the
+                        # communicator's comm.* sites inside the steps.
+                        if _faults.ACTIVE is not None:
+                            _faults.ACTIVE.fire("training.epoch")
+                        record = self._run_epoch(epoch, steps)
+                        break
+                    except Exception as exc:
+                        attempt += 1
+                        if recovery is None or attempt > cfg.max_epoch_retries:
+                            raise
+                        recovery.restore(exc, epoch, attempt)
+                self.history.append(**record)
+                self._emit_metrics(record)
+                self._epoch += 1
+                if self.scheduler is not None:
+                    self.scheduler.step()
+                if cfg.verbose:
+                    print(f"[epoch {epoch:3d}] loss={record['loss']:.5f} "
+                          f"(pred={record['prediction_loss']:.5f}, "
+                          f"eq={record['equation_loss']:.5f})")
+        finally:
+            if recovery is not None:
+                recovery.close()
         return self.history
 
     # -------------------------------------------------------- checkpoint/resume
@@ -320,6 +371,19 @@ class Trainer:
 
     def _set_rng_state(self, states) -> None:
         """Restore per-worker RNG stream state captured by :meth:`_rng_state`."""
+
+    def _recovery_extra_state(self) -> dict:
+        """Extra JSON-serializable state the recovery boundary must restore.
+
+        The base checkpoint already captures everything :meth:`resume`
+        needs; subclasses add state that lives *outside* the checkpoint
+        (the distributed trainer's communicator byte/collective counters,
+        which feed the per-epoch ``comm_bytes`` history fields).
+        """
+        return {}
+
+    def _restore_recovery_extra(self, extra: dict) -> None:
+        """Restore state captured by :meth:`_recovery_extra_state`."""
 
     @property
     def epochs_completed(self) -> int:
@@ -375,8 +439,11 @@ class Trainer:
         current = asdict(self.config)
         for key, saved in saved_config.items():
             # ``compile`` is exempt because compiled and eager execution are
-            # numerically identical — toggling it across a resume is safe.
-            if key in ("epochs", "verbose", "compile") or key not in current:
+            # numerically identical — toggling it across a resume is safe,
+            # as is toggling the fault-recovery boundary (it only decides
+            # *whether* epochs are checkpointed, never their numerics).
+            exempt = ("epochs", "verbose", "compile", "fault_recovery", "max_epoch_retries")
+            if key in exempt or key not in current:
                 continue
             # JSON has no tuples and only string keys; normalise before comparing.
             expected = json.loads(json.dumps(current[key]))
@@ -454,3 +521,50 @@ class Trainer:
         dataset = dataset if dataset is not None else self.dataset
         return evaluate_model(self.model, dataset, dataset_index=dataset_index,
                               label=label, chunk_size=chunk_size)
+
+
+class _EpochRecovery:
+    """Checkpoint-based rollback boundary around one training epoch.
+
+    :meth:`capture` snapshots the complete training state (via the
+    trainer's own bit-identical :meth:`Trainer.save`) into a scratch
+    directory at the start of every epoch; :meth:`restore` rolls back to
+    that snapshot after a fault so the epoch re-runs from exactly the
+    state it first started from — same parameters, optimizer moments,
+    scheduler position, sampler shards and RNG streams.
+    """
+
+    def __init__(self, trainer: Trainer):
+        self.trainer = trainer
+        self._dir = tempfile.TemporaryDirectory(prefix="repro-epoch-recovery-")
+        self.path = Path(self._dir.name) / "epoch.npz"
+
+    def capture(self) -> None:
+        trainer = self.trainer
+        trainer.save(self.path, extra_metadata={
+            "recovery_extra": trainer._recovery_extra_state()})
+
+    def restore(self, exc: BaseException, epoch: int, attempt: int) -> None:
+        trainer = self.trainer
+        logger.warning(
+            "epoch %d failed (%s: %s); rolling back to the epoch checkpoint "
+            "and re-running (attempt %d/%d)", epoch, type(exc).__name__, exc,
+            attempt, trainer.config.max_epoch_retries)
+        meta = trainer.resume(self.path)
+        trainer._restore_recovery_extra(meta.get("recovery_extra") or {})
+        trainer.model.train()  # resume leaves mode untouched; the loop trains
+        trainer.epoch_recoveries += 1
+        self._publish()
+
+    def close(self) -> None:
+        self._dir.cleanup()
+
+    @staticmethod
+    def _publish() -> None:
+        from ..obs import runtime as _obs
+
+        if not _obs.enabled:
+            return
+        from ..obs.metrics import REGISTRY
+
+        REGISTRY.counter("training.recoveries").inc()

@@ -1,0 +1,209 @@
+"""Chaos tests for the pipeline: per-stage retries and store-corruption recovery.
+
+These prove the resumable-DAG layer under seeded chaos: a stage carrying a
+:class:`~repro.faults.Retry` recovers from injected transient faults (in
+the stage body, the store's load path, and the store's save path), torn
+artifacts are detected by digest and recomputed, and — crucially — the warm
+rerun after any chaos cold run is still 100% cache hits.
+"""
+
+import fnmatch
+
+import pytest
+
+from repro.faults import (
+    FaultInjected,
+    FaultPlan,
+    PermanentError,
+    Retry,
+    TransientError,
+    corrupt_file,
+)
+from repro.faults import plan as faults_plan
+from repro.pipeline.artifacts import ArtifactCorrupted, ArtifactStore
+from repro.pipeline.config import PipelineConfig, parse_toml
+from repro.pipeline.graph import Pipeline, run_pipeline
+from repro.pipeline.stage import Stage
+
+FAST_RETRY = Retry(max_attempts=3, backoff=0.0, jitter=0.0)
+
+
+def flaky_stage_body(ctx):
+    """A stage body carrying its own injection site (``demo.compute``)."""
+    if faults_plan.ACTIVE is not None:
+        faults_plan.ACTIVE.fire("demo.compute")
+    return {"value": 41 + 1}
+
+
+def make_pipeline(retry=FAST_RETRY):
+    return Pipeline([Stage("demo", flaky_stage_body, retry=retry)])
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+class TestStageRetry:
+    def test_transient_fault_is_retried_then_cached(self, store):
+        plan = FaultPlan(seed=3)
+        plan.fail("demo.compute", at=(1,), message="transient blip")
+        with plan:
+            report = run_pipeline(make_pipeline(), store=store)
+        result = report.results["demo"]
+        assert result.status == "computed"
+        assert result.attempts == 2
+        assert report.values["demo"] == {"value": 42}
+
+        # Warm rerun after the chaos cold run: 100% cache hits.
+        warm = run_pipeline(make_pipeline(), store=store)
+        assert warm.results["demo"].status == "cached"
+        assert warm.results["demo"].attempts == 1
+
+    def test_permanent_fault_is_not_retried(self, store):
+        plan = FaultPlan(seed=3)
+        plan.fail("demo.compute", every=1, exc=PermanentError, message="bad config")
+        with plan:
+            report = run_pipeline(make_pipeline(), store=store)
+        result = report.results["demo"]
+        assert result.status == "failed"
+        assert result.attempts == 1
+        assert not report.ok
+
+    def test_exhausted_retries_fail_the_stage(self, store):
+        plan = FaultPlan(seed=3)
+        plan.fail("demo.compute", every=1, message="always down")
+        with plan:
+            report = run_pipeline(make_pipeline(), store=store)
+        result = report.results["demo"]
+        assert result.status == "failed"
+        assert result.attempts == FAST_RETRY.max_attempts
+
+    def test_without_retry_transient_faults_fail_fast(self, store):
+        plan = FaultPlan(seed=3)
+        plan.fail("demo.compute", at=(1,), message="transient blip")
+        with plan:
+            report = run_pipeline(make_pipeline(retry=None), store=store)
+        assert report.results["demo"].status == "failed"
+        assert report.results["demo"].attempts == 1
+
+    def test_attempts_survive_into_the_manifest(self, store):
+        plan = FaultPlan(seed=3)
+        plan.fail("demo.compute", at=(1,), message="transient blip")
+        with plan:
+            report = run_pipeline(make_pipeline(), store=store)
+        entry = next(e for e in report.manifest()["stages"]
+                     if e["name"] == "demo")
+        assert entry["attempts"] == 2
+
+
+class TestStoreChaos:
+    def test_save_fault_is_retried(self, store):
+        plan = FaultPlan(seed=5)
+        plan.fail("pipeline.store.save", at=(1,), message="disk blip")
+        with plan:
+            report = run_pipeline(make_pipeline(), store=store)
+        assert report.results["demo"].status == "computed"
+        assert store.has(report.results["demo"].fingerprint)
+        assert run_pipeline(make_pipeline(), store=store).results["demo"].status == "cached"
+
+    def test_load_fault_is_retried_and_stays_cached(self, store):
+        run_pipeline(make_pipeline(), store=store)  # warm the cache
+        plan = FaultPlan(seed=6)
+        plan.fail("pipeline.store.load", at=(1,), message="io blip")
+        with plan:
+            report = run_pipeline(make_pipeline(), store=store)
+        # The retried load succeeded: no recompute happened.
+        assert report.results["demo"].status == "cached"
+        assert report.values["demo"] == {"value": 42}
+
+    def test_corrupted_artifact_is_recomputed(self, store):
+        cold = run_pipeline(make_pipeline(), store=store)
+        fingerprint = cold.results["demo"].fingerprint
+
+        plan = FaultPlan(seed=7, name="bitrot")
+        plan.corrupt("pipeline.store.object_dir",
+                     mutator=lambda obj_dir: corrupt_file(obj_dir / "value.json"),
+                     at=(1,))
+        with plan:
+            report = run_pipeline(make_pipeline(), store=store)
+        # The torn payload failed its digest, was deleted, and recomputed.
+        assert report.results["demo"].status == "computed"
+        assert report.values["demo"] == {"value": 42}
+        assert plan.injected() == {("pipeline.store.object_dir", "corrupt"): 1}
+        assert store.has(fingerprint)  # rewritten under the same fingerprint
+
+        warm = run_pipeline(make_pipeline(), store=store)
+        assert warm.results["demo"].status == "cached"
+
+    def test_direct_load_raises_artifact_corrupted(self, store):
+        cold = run_pipeline(make_pipeline(), store=store)
+        fingerprint = cold.results["demo"].fingerprint
+        plan = FaultPlan(seed=8)
+        plan.corrupt("pipeline.store.object_dir",
+                     mutator=lambda obj_dir: corrupt_file(obj_dir / "value.json"),
+                     every=1)
+        with plan:
+            with pytest.raises(ArtifactCorrupted, match="digest"):
+                store.load(fingerprint)
+
+
+class TestRetryConfig:
+    TOML = """
+[pipeline]
+name = "chaos"
+
+[pipeline.retry]
+max_attempts = 4
+backoff = 0.01
+multiplier = 3.0
+jitter = 0.0
+stages = ["train.*", "sim.*"]
+"""
+
+    def test_retry_section_parses_into_a_policy(self):
+        cfg = PipelineConfig.from_dict(parse_toml(self.TOML))
+        policy = cfg.retry_policy()
+        assert policy.max_attempts == 4
+        assert policy.backoff == pytest.approx(0.01)
+        assert policy.multiplier == pytest.approx(3.0)
+        assert cfg.retry_stage_patterns() == ("train.*", "sim.*")
+
+    def test_no_section_means_no_policy(self):
+        cfg = PipelineConfig()
+        assert cfg.retry_policy() is None
+        assert cfg.retry_stage_patterns() == ("*",)
+
+    def test_unknown_retry_key_raises(self):
+        with pytest.raises(KeyError, match="pipeline.retry"):
+            PipelineConfig(retry={"attempts": 3})
+
+    def test_invalid_retry_values_raise_eagerly(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(retry={"max_attempts": 0})
+
+    def test_standard_pipeline_attaches_policy_to_matching_stages(self):
+        from repro.pipeline.stages import build_standard_pipeline
+
+        cfg = PipelineConfig(retry={"max_attempts": 2, "backoff": 0.0,
+                                    "stages": ["train.*"]})
+        pipe = build_standard_pipeline(cfg)
+        train = [s for s in pipe.stages if fnmatch.fnmatchcase(s.name, "train.*")]
+        others = [s for s in pipe.stages if not fnmatch.fnmatchcase(s.name, "train.*")]
+        assert train and others  # the selection is non-trivial
+        assert all(s.retry is not None and s.retry.max_attempts == 2 for s in train)
+        assert all(s.retry is None for s in others)
+
+    def test_retry_never_enters_the_fingerprint(self):
+        bare = Stage("demo", flaky_stage_body)
+        retried = Stage("demo", flaky_stage_body, retry=FAST_RETRY)
+        assert bare.compute_fingerprint({}) == retried.compute_fingerprint({})
+
+    def test_checked_in_pipeline_toml_carries_a_retry_policy(self):
+        from pathlib import Path
+
+        from repro.pipeline.config import load_pipeline_config
+
+        cfg = load_pipeline_config(Path(__file__).resolve().parents[1] / "pipeline.toml")
+        policy = cfg.retry_policy()
+        assert policy is not None and policy.max_attempts >= 2

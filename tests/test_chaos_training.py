@@ -1,0 +1,200 @@
+"""Chaos tests for training: epoch rollback and bit-identical recovery.
+
+The acceptance criterion of the fault-tolerance PR: a training run that
+loses a rank mid-epoch (an injected communicator fault), rolls back to the
+epoch checkpoint and re-runs must finish with *bitwise* identical
+parameters and history to the fault-free run — under the float64 policy
+and the float32 policy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import precision
+from repro.core import MeshfreeFlowNet, MeshfreeFlowNetConfig
+from repro.faults import FaultInjected, FaultPlan
+from repro.training import DistributedTrainer, Trainer, TrainerConfig
+
+
+def make_model(dtype="float64", seed=3):
+    with precision(dtype):
+        return MeshfreeFlowNet(MeshfreeFlowNetConfig.tiny(seed=seed, unet_norm="group"))
+
+
+def dist_config(**overrides):
+    base = dict(epochs=2, batch_size=1, world_size=4, gamma=0.0,
+                steps_per_epoch=2, learning_rate=1e-2, fault_recovery=True)
+    base.update(overrides)
+    return TrainerConfig(**base)
+
+
+def assert_same_params(a, b):
+    for pa, pb in zip(a.parameters(), b.parameters()):
+        assert pa.data.dtype == pb.data.dtype
+        assert np.array_equal(pa.data, pb.data)
+
+
+def assert_same_history(ha, hb):
+    assert len(ha) == len(hb)
+    for ra, rb in zip(ha.records, hb.records):
+        assert set(ra) == set(rb)
+        for key in ra:
+            if key == "wall_time":
+                continue
+            assert ra[key] == rb[key], f"history field {key}: {ra[key]} != {rb[key]}"
+
+
+class TestConfigValidation:
+    def test_max_epoch_retries_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            TrainerConfig(max_epoch_retries=-1)
+
+    def test_recovery_knobs_do_not_poison_checkpoint_compat(self, tiny_dataset):
+        # fault_recovery / max_epoch_retries are runtime knobs: a checkpoint
+        # written without them must resume into a trainer that enables them.
+        writer = DistributedTrainer(make_model(), tiny_dataset,
+                                    config=dist_config(fault_recovery=False))
+        writer.train()
+
+    def test_zero_retries_reraises_first_fault(self, tiny_dataset):
+        trainer = DistributedTrainer(
+            make_model(), tiny_dataset,
+            config=dist_config(max_epoch_retries=0))
+        plan = FaultPlan(seed=0)
+        plan.fail("comm.allreduce", at=(1,), message="rank lost")
+        with plan:
+            with pytest.raises(FaultInjected, match="rank lost"):
+                trainer.train()
+
+
+class TestDistributedRecovery:
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_recovered_run_is_bit_identical(self, tiny_dataset, dtype):
+        cfg = dist_config()
+        with precision(dtype):
+            clean = DistributedTrainer(make_model(dtype), tiny_dataset, config=cfg)
+            clean_history = clean.train()
+
+            faulted = DistributedTrainer(make_model(dtype), tiny_dataset, config=cfg)
+            # 2 steps/epoch x 1 all-reduce/step: call 3 is epoch 2, step 1 —
+            # the fault lands mid-run with one epoch already committed.
+            plan = FaultPlan(seed=1, name="rank-loss")
+            plan.fail("comm.allreduce", at=(3,), message="rank lost")
+            with plan:
+                faulted_history = faulted.train()
+
+        assert faulted.epoch_recoveries == 1
+        assert plan.injected() == {("comm.allreduce", "raise"): 1}
+        assert_same_history(clean_history, faulted_history)
+        assert_same_params(clean.model, faulted.model)
+
+    def test_repeated_faults_within_budget_still_recover(self, tiny_dataset):
+        cfg = dist_config(max_epoch_retries=2)
+        clean = DistributedTrainer(make_model(), tiny_dataset, config=cfg)
+        clean_history = clean.train()
+
+        faulted = DistributedTrainer(make_model(), tiny_dataset, config=cfg)
+        plan = FaultPlan(seed=2)
+        # Both faults land in epoch 2 (calls 3 and 5): the first rollback's
+        # re-run is hit again and a second rollback still converges.
+        plan.fail("comm.allreduce", at=(3, 5), message="rank lost")
+        with plan:
+            faulted_history = faulted.train()
+        assert faulted.epoch_recoveries == 2
+        assert_same_history(clean_history, faulted_history)
+        assert_same_params(clean.model, faulted.model)
+
+    def test_exhausted_retries_reraise(self, tiny_dataset):
+        trainer = DistributedTrainer(make_model(), tiny_dataset,
+                                     config=dist_config(max_epoch_retries=1))
+        plan = FaultPlan(seed=0)
+        plan.fail("comm.allreduce", p=1.0, message="network gone")
+        with plan:
+            with pytest.raises(FaultInjected, match="network gone"):
+                trainer.train()
+        assert trainer.epoch_recoveries == 1  # one rollback was attempted
+
+    def test_comm_stats_match_after_recovery(self, tiny_dataset):
+        # The recovery boundary rewinds communicator counters, so the
+        # history's comm telemetry cannot double-count the rolled-back epoch.
+        cfg = dist_config()
+        clean = DistributedTrainer(make_model(), tiny_dataset, config=cfg)
+        clean.train()
+        faulted = DistributedTrainer(make_model(), tiny_dataset, config=cfg)
+        plan = FaultPlan(seed=3)
+        plan.fail("comm.allreduce", at=(3,), message="rank lost")
+        with plan:
+            faulted.train()
+        assert faulted.communicator.total_bytes == clean.communicator.total_bytes
+        assert faulted.communicator.num_collectives == clean.communicator.num_collectives
+        assert len(faulted.communicator.history) == len(clean.communicator.history)
+
+
+class TestSerialTrainerRecovery:
+    def test_epoch_level_fault_recovers_bit_identically(self, tiny_dataset):
+        cfg = TrainerConfig(epochs=2, batch_size=1, gamma=0.0, steps_per_epoch=2,
+                            learning_rate=1e-2, fault_recovery=True)
+        clean = Trainer(make_model(), tiny_dataset, config=cfg)
+        clean_history = clean.train()
+
+        faulted = Trainer(make_model(), tiny_dataset, config=cfg)
+        plan = FaultPlan(seed=4)
+        plan.fail("training.epoch", at=(2,), message="spot instance reclaimed")
+        with plan:
+            faulted_history = faulted.train()
+        assert faulted.epoch_recoveries == 1
+        assert_same_history(clean_history, faulted_history)
+        assert_same_params(clean.model, faulted.model)
+
+    def test_recovery_disabled_propagates_fault(self, tiny_dataset):
+        cfg = TrainerConfig(epochs=2, batch_size=1, gamma=0.0, steps_per_epoch=2,
+                            learning_rate=1e-2, fault_recovery=False)
+        trainer = Trainer(make_model(), tiny_dataset, config=cfg)
+        plan = FaultPlan(seed=0)
+        plan.fail("training.epoch", at=(1,), message="spot instance reclaimed")
+        with plan:
+            with pytest.raises(FaultInjected):
+                trainer.train()
+        assert trainer.epoch_recoveries == 0
+
+
+class TestCommunicatorFaultSites:
+    def test_send_recv_roundtrip_and_mailboxes(self):
+        from repro.distributed.comm import SimulatedCommunicator
+
+        comm = SimulatedCommunicator(2)
+        message = np.arange(6, dtype=np.float64)
+        comm.send(message, src=0, dst=1, tag=7)
+        received = comm.recv(src=0, dst=1, tag=7)
+        assert np.array_equal(received, message)
+        with pytest.raises(RuntimeError, match="no matching send"):
+            comm.recv(src=0, dst=1, tag=7)
+
+    def test_send_site_fires_before_counters_advance(self):
+        from repro.distributed.comm import SimulatedCommunicator
+
+        comm = SimulatedCommunicator(2)
+        plan = FaultPlan(seed=0)
+        plan.fail("comm.send", at=(1,), message="link down")
+        with plan:
+            with pytest.raises(FaultInjected):
+                comm.send(np.zeros(4), src=0, dst=1)
+        # The injected fault left the communicator statistics untouched.
+        assert comm.total_bytes == 0
+        assert comm.num_collectives == 0
+
+    def test_collective_sites_cover_the_catalogue(self):
+        from repro.distributed.comm import SimulatedCommunicator
+
+        comm = SimulatedCommunicator(2)
+        plan = FaultPlan(seed=0)
+        plan.fail("comm.*", every=1, message="partition")
+        with plan:
+            with pytest.raises(FaultInjected):
+                comm.allreduce(np.zeros(4))
+            with pytest.raises(FaultInjected):
+                comm.broadcast(np.zeros(4), root=0)
+            with pytest.raises(FaultInjected):
+                comm.barrier()
+        assert sorted(plan.counts()) == ["comm.allreduce", "comm.barrier",
+                                         "comm.broadcast"]

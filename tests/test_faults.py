@@ -1,0 +1,475 @@
+"""repro.faults unit tests: deterministic fault plans, Retry, CircuitBreaker.
+
+The determinism tests enforce the tentpole contract of the fault-injection
+framework: the same seed must yield the same fault schedule — both in the
+pure :meth:`FaultPlan.schedule` preview and in live ``fire()`` sequences —
+so every chaos test in the suite is exactly reproducible.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    AttemptTimeout,
+    BreakerOpenError,
+    CircuitBreaker,
+    FaultInjected,
+    FaultPlan,
+    PermanentError,
+    Retry,
+    TransientError,
+    corrupt_file,
+    is_transient,
+)
+from repro.faults import plan as faults_plan
+
+
+def no_sleep(_seconds):
+    """Backoff sink for Retry tests — never actually sleeps."""
+
+
+# --------------------------------------------------------------------------- #
+# FaultPlan: selectors, determinism, scoping                                  #
+# --------------------------------------------------------------------------- #
+
+
+class TestFaultPlanRules:
+    def test_exactly_one_selector_required(self):
+        plan = FaultPlan()
+        with pytest.raises(ValueError, match="exactly one"):
+            plan.fail("s", message="x")
+        with pytest.raises(ValueError, match="exactly one"):
+            plan.fail("s", message="x", at=(1,), every=2)
+
+    def test_selector_validation(self):
+        plan = FaultPlan()
+        with pytest.raises(ValueError):
+            plan.fail("s", every=0, message="x")
+        with pytest.raises(ValueError):
+            plan.fail("s", p=1.5, message="x")
+        with pytest.raises(ValueError):
+            plan.fail("s", at=(0,), message="x")  # call numbers are 1-based
+        with pytest.raises(ValueError):
+            plan.delay("s", -1.0, every=1)
+        with pytest.raises(TypeError):
+            plan.corrupt("s", mutator=None, every=1)
+
+    def test_at_selector_fires_exact_calls(self):
+        plan = FaultPlan(seed=0)
+        plan.fail("site", at=(2, 4), message="boom")
+        hits = []
+        with plan:
+            for call in range(1, 6):
+                try:
+                    plan.fire("site")
+                except FaultInjected:
+                    hits.append(call)
+        assert hits == [2, 4]
+
+    def test_every_selector(self):
+        plan = FaultPlan(seed=0)
+        plan.fail("site", every=3, message="boom")
+        hits = []
+        with plan:
+            for call in range(1, 10):
+                try:
+                    plan.fire("site")
+                except FaultInjected:
+                    hits.append(call)
+        assert hits == [3, 6, 9]
+
+    def test_probability_selector_is_seed_deterministic(self):
+        def live_hits(seed):
+            plan = FaultPlan(seed=seed)
+            plan.fail("site", p=0.5, message="boom")
+            hits = []
+            with plan:
+                for call in range(1, 41):
+                    try:
+                        plan.fire("site")
+                    except FaultInjected:
+                        hits.append(call)
+            return hits
+
+        first, again = live_hits(7), live_hits(7)
+        assert first == again
+        assert first  # p=0.5 over 40 calls fires at least once
+        assert live_hits(8) != first
+
+    def test_schedule_preview_matches_live_firing(self):
+        plan = FaultPlan(seed=13)
+        plan.fail("site", p=0.3, message="boom")
+        plan.delay("site", 0.0, every=5)
+        preview = plan.schedule("site", 25)
+
+        live = FaultPlan(seed=13)
+        live.fail("site", p=0.3, message="boom")
+        live.delay("site", 0.0, every=5)
+        fired = []
+        with live:
+            for call in range(1, 26):
+                try:
+                    live.fire("site")
+                except FaultInjected:
+                    fired.append((call, "raise"))
+        raises_only = [entry for entry in preview if entry[1] == "raise"]
+        assert fired == raises_only
+        delays = [entry for entry in preview if entry[1] == "delay"]
+        assert [c for c, _ in delays] == [5, 10, 15, 20, 25]
+
+    def test_max_faults_budget(self):
+        plan = FaultPlan(seed=0)
+        plan.fail("site", every=1, message="boom", max_faults=2)
+        hits = 0
+        with plan:
+            for _ in range(6):
+                try:
+                    plan.fire("site")
+                except FaultInjected:
+                    hits += 1
+        assert hits == 2
+        assert plan.schedule("site", 6) == [(1, "raise"), (2, "raise")]
+
+    def test_fnmatch_site_patterns(self):
+        plan = FaultPlan(seed=0)
+        plan.fail("comm.*", every=1, message="boom")
+        with plan:
+            with pytest.raises(FaultInjected):
+                plan.fire("comm.allreduce")
+            with pytest.raises(FaultInjected):
+                plan.fire("comm.send")
+            plan.fire("serving.worker")  # no match, no fault
+        assert plan.counts() == {"comm.allreduce": 1, "comm.send": 1,
+                                 "serving.worker": 1}
+
+    def test_custom_exception_class_and_transience(self):
+        plan = FaultPlan(seed=0)
+        plan.fail("a", at=(1,), exc=OSError, message="disk gone")
+        plan.fail("b", at=(1,), message="fatal", transient=False)
+        with plan:
+            with pytest.raises(OSError, match="disk gone"):
+                plan.fire("a")
+            with pytest.raises(FaultInjected) as err:
+                plan.fire("b")
+        assert err.value.transient is False
+        assert not is_transient(err.value)
+
+    def test_delay_rule_sleeps(self):
+        plan = FaultPlan(seed=0)
+        plan.delay("site", 0.05, at=(1,))
+        with plan:
+            start = time.monotonic()
+            plan.fire("site")
+            assert time.monotonic() - start >= 0.04
+
+    def test_corrupt_rule_mutates_payload(self):
+        plan = FaultPlan(seed=0)
+        plan.corrupt("site", mutator=lambda arr: -arr, at=(2,))
+        payload = np.array([1.0, 2.0])
+        with plan:
+            assert plan.fire("site", payload=payload) is payload
+            replaced = plan.fire("site", payload=payload)
+        assert np.array_equal(replaced, [-1.0, -2.0])
+
+    def test_corrupt_file_flips_bytes(self, tmp_path):
+        target = tmp_path / "payload.bin"
+        target.write_bytes(b"hello")
+        corrupt_file(target)
+        assert target.read_bytes() != b"hello"
+        assert len(target.read_bytes()) == 5
+
+    def test_events_record_site_kind_and_call(self):
+        plan = FaultPlan(seed=0, name="unit")
+        plan.fail("site", at=(2,), message="boom")
+        with plan:
+            plan.fire("site")
+            with pytest.raises(FaultInjected):
+                plan.fire("site")
+        assert [(e.site, e.kind, e.call) for e in plan.events] == [("site", "raise", 2)]
+        assert plan.injected() == {("site", "raise"): 1}
+
+
+class TestFaultPlanScoping:
+    def test_sites_ignore_inactive_plans(self):
+        # Injection sites guard on the module-global ACTIVE, the idiom every
+        # instrumented subsystem uses; an un-activated plan is invisible.
+        def instrumented_site():
+            if faults_plan.ACTIVE is not None:
+                faults_plan.ACTIVE.fire("site")
+            return "ok"
+
+        plan = FaultPlan(seed=0)
+        plan.fail("site", every=1, message="boom")
+        assert instrumented_site() == "ok"  # not activated: no fault
+        with plan:
+            with pytest.raises(FaultInjected):
+                instrumented_site()
+        assert instrumented_site() == "ok"  # deactivated again
+
+    def test_context_manager_scopes_activation(self):
+        plan = FaultPlan(seed=0)
+        assert faults_plan.ACTIVE is None
+        with plan:
+            assert faults_plan.ACTIVE is plan
+        assert faults_plan.ACTIVE is None
+
+    def test_activation_clears_on_exception(self):
+        plan = FaultPlan(seed=0)
+        plan.fail("site", at=(1,), message="boom")
+        with pytest.raises(FaultInjected):
+            with plan:
+                plan.fire("site")
+        assert faults_plan.ACTIVE is None
+
+    def test_plans_do_not_nest(self):
+        with FaultPlan(seed=0, name="outer"):
+            with pytest.raises(RuntimeError, match="outer"):
+                FaultPlan(seed=1).__enter__()
+        assert faults_plan.ACTIVE is None
+
+
+# --------------------------------------------------------------------------- #
+# Transient classification                                                    #
+# --------------------------------------------------------------------------- #
+
+
+class TestIsTransient:
+    def test_classification_table(self):
+        assert is_transient(TransientError("x"))
+        assert is_transient(AttemptTimeout("slow"))
+        assert is_transient(ConnectionError("reset"))
+        assert is_transient(TimeoutError("late"))
+        assert not is_transient(PermanentError("bad config"))
+        assert not is_transient(ValueError("bug"))
+        assert is_transient(ValueError("listed"), extra=(ValueError,))
+
+    def test_fault_injected_carries_its_transience(self):
+        assert is_transient(FaultInjected("s", transient=True))
+        assert not is_transient(FaultInjected("s", transient=False))
+
+    def test_permanent_wins_over_extra(self):
+        class Weird(PermanentError):
+            pass
+
+        assert not is_transient(Weird("x"), extra=(Weird,))
+
+
+# --------------------------------------------------------------------------- #
+# Retry                                                                       #
+# --------------------------------------------------------------------------- #
+
+
+class TestRetry:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Retry(max_attempts=0)
+        with pytest.raises(ValueError):
+            Retry(backoff=-1.0)
+        with pytest.raises(ValueError):
+            Retry(multiplier=0.5)
+        with pytest.raises(ValueError):
+            Retry(jitter=2.0)
+        with pytest.raises(TypeError):
+            Retry(retry_on=("not-a-class",))
+
+    def test_delay_schedule_is_deterministic(self):
+        a = Retry(backoff=0.1, multiplier=2.0, jitter=0.25, seed=3, max_backoff=10.0)
+        b = Retry(backoff=0.1, multiplier=2.0, jitter=0.25, seed=3, max_backoff=10.0)
+        assert [a.delay_for(n) for n in range(1, 6)] == [b.delay_for(n) for n in range(1, 6)]
+        c = Retry(backoff=0.1, multiplier=2.0, jitter=0.25, seed=4, max_backoff=10.0)
+        assert [a.delay_for(n) for n in range(1, 6)] != [c.delay_for(n) for n in range(1, 6)]
+
+    def test_delay_grows_exponentially_and_caps(self):
+        retry = Retry(backoff=0.1, multiplier=2.0, jitter=0.0, max_backoff=0.35)
+        assert retry.delay_for(1) == pytest.approx(0.1)
+        assert retry.delay_for(2) == pytest.approx(0.2)
+        assert retry.delay_for(3) == pytest.approx(0.35)  # capped
+        assert retry.delay_for(10) == pytest.approx(0.35)
+
+    def test_jitter_stays_within_band(self):
+        retry = Retry(backoff=0.1, multiplier=1.0, jitter=0.2, seed=9)
+        for attempt in range(1, 20):
+            assert 0.08 <= retry.delay_for(attempt) <= 0.12
+
+    def test_retries_transient_then_succeeds(self):
+        retry = Retry(max_attempts=4, backoff=0.0, jitter=0.0)
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientError("blip")
+            return "done"
+
+        assert retry.call(flaky, sleep=no_sleep) == "done"
+        assert calls["n"] == 3
+
+    def test_non_retryable_raises_immediately(self):
+        retry = Retry(max_attempts=5, backoff=0.0)
+        calls = {"n": 0}
+
+        def broken():
+            calls["n"] += 1
+            raise ValueError("logic bug")
+
+        with pytest.raises(ValueError):
+            retry.call(broken, sleep=no_sleep)
+        assert calls["n"] == 1
+
+    def test_exhaustion_reraises_original_error(self):
+        retry = Retry(max_attempts=3, backoff=0.0, jitter=0.0)
+        calls = {"n": 0}
+
+        def always_failing():
+            calls["n"] += 1
+            raise TransientError(f"blip {calls['n']}")
+
+        with pytest.raises(TransientError, match="blip 3"):
+            retry.call(always_failing, sleep=no_sleep)
+        assert calls["n"] == 3
+
+    def test_retry_on_extends_classification(self):
+        retry = Retry(max_attempts=2, backoff=0.0, retry_on=(KeyError,))
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise KeyError("missing")
+            return "ok"
+
+        assert retry.call(flaky, sleep=no_sleep) == "ok"
+
+    def test_on_retry_callback_sees_attempt_and_error(self):
+        retry = Retry(max_attempts=3, backoff=0.0, jitter=0.0)
+        seen = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise TransientError("blip")
+            return "ok"
+
+        retry.call(flaky, on_retry=lambda attempt, exc: seen.append((attempt, type(exc))),
+                   sleep=no_sleep)
+        assert seen == [(1, TransientError), (2, TransientError)]
+
+    def test_attempt_timeout_surfaces_as_retryable(self):
+        retry = Retry(max_attempts=2, backoff=0.0, jitter=0.0, attempt_timeout=0.05)
+        calls = {"n": 0}
+
+        def slow_then_fast():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                time.sleep(0.5)
+            return "ok"
+
+        assert retry.call(slow_then_fast, sleep=no_sleep) == "ok"
+        assert calls["n"] == 2
+
+    def test_attempt_timeout_exhaustion_raises_attempt_timeout(self):
+        retry = Retry(max_attempts=1, attempt_timeout=0.02)
+        with pytest.raises(AttemptTimeout):
+            retry.call(lambda: time.sleep(0.5), sleep=no_sleep)
+
+    def test_total_deadline_stops_retrying(self):
+        retry = Retry(max_attempts=50, backoff=10.0, jitter=0.0, total_deadline=0.01)
+        calls = {"n": 0}
+
+        def always_failing():
+            calls["n"] += 1
+            raise TransientError("blip")
+
+        with pytest.raises(TransientError):
+            retry.call(always_failing, sleep=no_sleep)
+        assert calls["n"] == 1  # the 10 s backoff would blow the deadline
+
+
+# --------------------------------------------------------------------------- #
+# CircuitBreaker                                                              #
+# --------------------------------------------------------------------------- #
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestCircuitBreaker:
+    def make(self, **kwargs):
+        clock = FakeClock()
+        kwargs.setdefault("failure_threshold", 3)
+        kwargs.setdefault("cooldown", 1.0)
+        breaker = CircuitBreaker(name="unit", clock=clock, **kwargs)
+        return breaker, clock
+
+    def test_opens_after_threshold_failures(self):
+        breaker, _ = self.make()
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+
+    def test_success_resets_failure_streak(self):
+        breaker, _ = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_after_cooldown_then_closes_on_success(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(1.5)
+        assert breaker.allow()
+        assert breaker.state == "half_open"
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_half_open_failure_reopens_with_fresh_cooldown(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()  # half-open probe
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(0.5)  # fresh cooldown: not elapsed yet
+        assert not breaker.allow()
+        clock.advance(0.6)
+        assert breaker.allow()
+
+    def test_transitions_are_recorded_and_reported(self):
+        seen = []
+        breaker, clock = self.make(failure_threshold=1, on_transition=lambda old, new:
+                                   seen.append((old, new)))
+        breaker.record_failure()
+        clock.advance(1.5)
+        breaker.allow()
+        breaker.record_success()
+        assert seen == [("closed", "open"), ("open", "half_open"),
+                        ("half_open", "closed")]
+        assert [new for _, new in breaker.transitions] == ["open", "half_open", "closed"]
+
+    def test_call_raises_breaker_open_error(self):
+        breaker, clock = self.make(failure_threshold=1, cooldown=5.0)
+        with pytest.raises(RuntimeError):
+            breaker.call(lambda: (_ for _ in ()).throw(RuntimeError("boom")).__next__())
+        with pytest.raises(BreakerOpenError) as err:
+            breaker.call(lambda: "never runs")
+        assert "unit" in str(err.value)
+        clock.advance(6.0)
+        assert breaker.call(lambda: "served") == "served"
+        assert breaker.state == "closed"
